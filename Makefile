@@ -1,0 +1,30 @@
+# Convenience targets for the reproduction workflow.
+
+PYTHON ?= python
+
+.PHONY: install test bench experiments examples coverage clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Regenerate every experiment table (E1..E13) to stdout.
+experiments:
+	$(PYTHON) -m repro experiments
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f; echo; done
+
+# The final artifacts recorded in the repository.
+record:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,26 @@
+"""E10 — ablations of the paper's design choices (DESIGN.md §3)."""
+
+import pytest
+
+from repro.bench import experiment_e10_ablations
+from repro.core import good_nodes_approx
+from repro.graphs import gnp, uniform_weights
+
+
+@pytest.mark.experiment("E10")
+def test_e10_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e10_ablations,
+        kwargs={"n": 300},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["weight_term_needed"]
+
+
+@pytest.mark.parametrize("mis_name", ["luby", "ghaffari", "deterministic"])
+def test_mis_blackbox_swap(benchmark, mis_name):
+    g = uniform_weights(gnp(200, 0.05, seed=1), 1, 20, seed=2)
+    result = benchmark(lambda: good_nodes_approx(g, mis=mis_name, seed=3))
+    assert result.weight(g) >= g.total_weight() / (4 * (g.max_degree + 1))

@@ -1,0 +1,33 @@
+"""E11 — §8 / Open Question 2: colouring-based MaxIS pays Ω(D) rounds."""
+
+import pytest
+
+from repro.bench import experiment_e11_coloring_diameter
+from repro.coloring import distributed_color_class_maxis, greedy_coloring, random_coloring
+from repro.graphs import grid_2d, uniform_weights
+
+
+@pytest.mark.experiment("E11")
+def test_e11_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e11_coloring_diameter,
+        kwargs={"lengths": (20, 40, 80)},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["coloring_rounds_grow_with_diameter"]
+    assert report.findings["theorem2_diameter_independent"]
+
+
+def test_random_coloring_throughput(benchmark):
+    g = grid_2d(10, 30)
+    res = benchmark(lambda: random_coloring(g, seed=1))
+    assert res.num_colors <= g.max_degree + 1
+
+
+def test_color_class_selection_throughput(benchmark):
+    g = uniform_weights(grid_2d(2, 50), 1, 9, seed=2)
+    colors = greedy_coloring(g)
+    res = benchmark(lambda: distributed_color_class_maxis(g, colors))
+    assert res.weight(g) > 0

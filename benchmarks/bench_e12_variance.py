@@ -1,0 +1,27 @@
+"""E12 — weighted ranking's variance blow-up (the [17] caveat in §1)."""
+
+import pytest
+
+from repro.bench import experiment_e12_ranking_variance
+from repro.core import boppana_is
+from repro.graphs import star
+
+
+@pytest.mark.experiment("E12")
+def test_e12_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e12_ranking_variance,
+        kwargs={"n_leaves": 200, "trials": 2000},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["expectation_met_on_average"]
+    assert report.findings["no_concentration"]
+    assert report.findings["sparsified_always_ok"]
+
+
+def test_ranking_on_star_throughput(benchmark):
+    g = star(300).with_weights({0: 1e6, **{i: 1.0 for i in range(1, 301)}})
+    result = benchmark(lambda: boppana_is(g, seed=1))
+    assert result.rounds == 1

@@ -1,0 +1,17 @@
+"""E13 — message complexity of every pipeline."""
+
+import pytest
+
+from repro.bench import experiment_e13_message_complexity
+
+
+@pytest.mark.experiment("E13")
+def test_e13_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e13_message_complexity,
+        kwargs={"sizes": (100, 200, 400)},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["messages_per_edge_bounded"]

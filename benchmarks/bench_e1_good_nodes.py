@@ -1,0 +1,29 @@
+"""E1 — Theorem 8: the good-nodes O(Δ)-approximation.
+
+Regenerates the w(I) >= w(V)/(4(Δ+1)) table across sizes and weight
+schemes, and micro-benchmarks one good-nodes run.
+"""
+
+import pytest
+
+from repro.bench import experiment_e1_good_nodes
+from repro.core import good_nodes_approx
+from repro.graphs import gnp, uniform_weights
+
+
+@pytest.mark.experiment("E1")
+def test_e1_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e1_good_nodes,
+        kwargs={"sizes": (100, 200, 400), "trials": 3},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["bound_always_holds"]
+
+
+def test_good_nodes_single_run(benchmark):
+    g = uniform_weights(gnp(300, 8.0 / 300, seed=1), 1, 100, seed=2)
+    result = benchmark(lambda: good_nodes_approx(g, seed=3))
+    assert result.weight(g) >= g.total_weight() / (4 * (g.max_degree + 1))

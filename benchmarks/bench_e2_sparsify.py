@@ -1,0 +1,31 @@
+"""E2 — Theorem 9: weighted sparsification (Lemmas 3 and 5)."""
+
+import pytest
+
+from repro.bench import experiment_e2_sparsify
+from repro.core import sample_subgraph, sparsified_approx
+from repro.graphs import random_regular, skewed_heavy_set
+
+
+@pytest.mark.experiment("E2")
+def test_e2_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e2_sparsify,
+        kwargs={"sizes": (200, 400, 800), "trials": 3},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["delta_h_is_O_log_n"]
+
+
+def test_sampling_single_run(benchmark):
+    g = skewed_heavy_set(random_regular(500, 60, seed=1), fraction=0.02, seed=2)
+    outcome = benchmark(lambda: sample_subgraph(g, seed=3))
+    assert outcome.subgraph.n > 0
+
+
+def test_sparsified_pipeline_single_run(benchmark):
+    g = skewed_heavy_set(random_regular(400, 50, seed=4), fraction=0.02, seed=5)
+    result = benchmark(lambda: sparsified_approx(g, seed=6))
+    assert result.weight(g) > 0

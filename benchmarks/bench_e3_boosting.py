@@ -1,0 +1,27 @@
+"""E3 — Theorem 10 + Proposition 2: local-ratio boosting."""
+
+import pytest
+
+from repro.bench import experiment_e3_boosting
+from repro.core import theorem1_maxis
+from repro.graphs import gnp, uniform_weights
+
+
+@pytest.mark.experiment("E3")
+def test_e3_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e3_boosting,
+        kwargs={"n": 150, "eps_values": (2.0, 1.0, 0.5, 0.25)},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["stack_property_holds"]
+    assert report.findings["remark_bound_holds"]
+
+
+@pytest.mark.parametrize("eps", [1.0, 0.25])
+def test_boosted_pipeline(benchmark, eps):
+    g = uniform_weights(gnp(150, 10.0 / 150, seed=1), 1, 50, seed=2)
+    result = benchmark(lambda: theorem1_maxis(g, eps, mis="luby", seed=3))
+    assert result.weight(g) >= g.total_weight() / ((1 + eps) * (g.max_degree + 1))

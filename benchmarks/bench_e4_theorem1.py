@@ -1,0 +1,25 @@
+"""E4 — Theorem 1: deterministic (1+ε)Δ, certified against exact OPT."""
+
+import pytest
+
+from repro.bench import experiment_e4_theorem1
+from repro.core import theorem1_maxis
+from repro.graphs import gnp, uniform_weights
+
+
+@pytest.mark.experiment("E4")
+def test_e4_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e4_theorem1,
+        kwargs={"n": 60, "eps_values": (1.0, 0.5, 0.25), "trials": 3},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["all_certificates_hold"]
+
+
+def test_theorem1_deterministic_blackbox(benchmark):
+    g = uniform_weights(gnp(120, 0.06, seed=1), 1, 40, seed=2)
+    result = benchmark(lambda: theorem1_maxis(g, 0.5, seed=3))
+    assert result.size > 0

@@ -1,0 +1,40 @@
+"""E5 — the headline comparison: Theorem 2 vs Bar-Yehuda et al. [8].
+
+The paper's claim is an exponential round speed-up by dropping the
+``log W`` factor (and running MIS on an O(log n)-degree sample).  The
+report shows baseline rounds growing ∝ log2 W while Theorem 2 is flat.
+"""
+
+import pytest
+
+from repro.bench import experiment_e5_speedup
+from repro.core import bar_yehuda_maxis, theorem2_maxis
+from repro.graphs import gnp, integer_weights
+
+
+@pytest.mark.experiment("E5")
+def test_e5_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e5_speedup,
+        kwargs={"n": 300, "scales": (1, 100, 10_000, 1_000_000)},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["baseline_grows_with_W"]
+    assert report.findings["theorem2_flat_in_W"]
+
+
+@pytest.fixture(scope="module")
+def big_w_graph():
+    return integer_weights(gnp(250, 12.0 / 250, seed=1), 10 ** 6, seed=2)
+
+
+def test_baseline_bar_yehuda(benchmark, big_w_graph):
+    result = benchmark(lambda: bar_yehuda_maxis(big_w_graph, seed=3))
+    assert result.size > 0
+
+
+def test_theorem2_same_instance(benchmark, big_w_graph):
+    result = benchmark(lambda: theorem2_maxis(big_w_graph, 0.5, seed=3))
+    assert result.size > 0

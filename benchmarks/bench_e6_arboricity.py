@@ -1,0 +1,29 @@
+"""E6 — Theorem 3: the arboricity algorithm vs the Δ-based pipeline."""
+
+import pytest
+
+from repro.bench import experiment_e6_arboricity
+from repro.core import low_arboricity_maxis
+from repro.graphs import caterpillar, uniform_weights
+
+
+@pytest.mark.experiment("E6")
+def test_e6_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e6_arboricity,
+        kwargs={"hub_degrees": (20, 40, 80), "n": 300},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["arboricity_algorithm_nontrivial"]
+    # On every row with 8(1+ε)α < (1+ε)Δ the guarantee winner is arboricity.
+    for row in report.rows:
+        if row["factor_arb"] < row["factor_delta"]:
+            assert row["guarantee_winner"] == "arboricity"
+
+
+def test_arboricity_pipeline_on_caterpillar(benchmark):
+    g = uniform_weights(caterpillar(40, 12), 1, 20, seed=1)
+    result = benchmark(lambda: low_arboricity_maxis(g, 0.5, alpha=1, seed=2))
+    assert result.weight(g) > 0

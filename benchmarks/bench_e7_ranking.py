@@ -1,0 +1,31 @@
+"""E7 — Theorems 5/11: the ranking algorithm and its boosted form."""
+
+import pytest
+
+from repro.bench import experiment_e7_ranking
+from repro.core import boppana_is, low_degree_maxis
+from repro.graphs import random_regular
+
+
+@pytest.mark.experiment("E7")
+def test_e7_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e7_ranking,
+        kwargs={"n": 600, "degrees": (4, 8, 16), "trials": 10},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["boosted_bound_holds"]
+
+
+def test_one_round_ranking(benchmark):
+    g = random_regular(1000, 8, seed=1)
+    result = benchmark(lambda: boppana_is(g, seed=2))
+    assert result.rounds == 1
+
+
+def test_boosted_theorem5(benchmark):
+    g = random_regular(600, 6, seed=3)
+    result = benchmark(lambda: low_degree_maxis(g, 0.5, seed=4))
+    assert result.size >= 600 / (1.5 * 7)

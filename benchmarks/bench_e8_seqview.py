@@ -1,0 +1,31 @@
+"""E8 — Proposition 3: distributional equivalence of Boppana and SeqBoppana."""
+
+import pytest
+
+from repro.bench import experiment_e8_sequential_view
+from repro.core import seq_boppana, seq_boppana0
+from repro.graphs import gnp
+
+
+@pytest.mark.experiment("E8")
+def test_e8_report(benchmark, report_sink):
+    report = benchmark.pedantic(
+        experiment_e8_sequential_view,
+        kwargs={"trials": 4000},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.findings["tv_within_noise"]
+
+
+def test_seq_boppana_throughput(benchmark):
+    g = gnp(400, 0.05, seed=1)
+    result = benchmark(lambda: seq_boppana(g, seed=2))
+    assert len(result) > 0
+
+
+def test_seq_boppana0_throughput(benchmark):
+    g = gnp(400, 0.05, seed=1)
+    result = benchmark(lambda: seq_boppana0(g, seed=2))
+    assert len(result) > 0

@@ -1,0 +1,92 @@
+"""Micro-benchmarks for the substrates (not tied to one experiment).
+
+These track the costs that bound how far the experiment sweeps can scale:
+graph generation, the simulator's per-round overhead, the four MIS black
+boxes, exact arboricity, and the exact MaxWIS solver.
+"""
+
+import pytest
+
+from repro.core import exact_max_weight_is
+from repro.graphs import arboricity, gnp, grid_2d, random_regular, uniform_weights
+from repro.mis import coloring_mis, ghaffari_mis, local_minima_mis, luby_mis
+from repro.primitives import bfs_tree
+
+
+def test_gnp_generation(benchmark):
+    g = benchmark(lambda: gnp(2000, 0.005, seed=1))
+    assert g.n == 2000
+
+
+def test_induced_subgraph(benchmark):
+    g = gnp(2000, 0.005, seed=1)
+    keep = [v for v in g.nodes if v % 2 == 0]
+    h = benchmark(lambda: g.induced_subgraph(keep))
+    assert h.n == 1000
+
+
+@pytest.mark.parametrize("name,fn", [
+    ("luby", luby_mis),
+    ("ghaffari", ghaffari_mis),
+    ("deterministic", local_minima_mis),
+    ("coloring", coloring_mis),
+])
+def test_mis_blackbox(benchmark, name, fn):
+    g = gnp(500, 0.02, seed=2)
+    res = benchmark(lambda: fn(g, seed=3))
+    assert res.size > 0
+
+
+def test_exact_arboricity(benchmark):
+    g = gnp(120, 0.1, seed=4)
+    alpha = benchmark(lambda: arboricity(g))
+    assert alpha >= 1
+
+
+def test_exact_maxwis_solver(benchmark):
+    g = uniform_weights(gnp(45, 0.15, seed=5), 1, 10, seed=6)
+    _, opt = benchmark(lambda: exact_max_weight_is(g))
+    assert opt > 0
+
+
+def test_bfs_convergecast(benchmark):
+    g = grid_2d(20, 20)
+    res = benchmark(lambda: bfs_tree(g, 0))
+    assert res.aggregate == 400.0
+
+
+def test_simulator_round_overhead(benchmark):
+    """One thousand node-rounds of a trivial protocol."""
+    from repro.simulator import NodeAlgorithm, run
+
+    class Tick(NodeAlgorithm):
+        def on_start(self, ctx):
+            ctx.broadcast(1)
+
+        def on_round(self, ctx, inbox):
+            if ctx.round_index >= 10:
+                ctx.halt(None)
+            else:
+                ctx.broadcast(1)
+
+    g = random_regular(100, 4, seed=7)
+    result = benchmark(lambda: run(g, Tick))
+    assert result.metrics.rounds == 10
+
+
+def test_weighted_greedy_adversarial_chain(benchmark):
+    """The Θ(n)-round instance for heaviest-first greedy."""
+    from repro.core import greedy_chain_graph, weighted_greedy_maxis
+
+    chain = greedy_chain_graph(300)
+    res = benchmark(lambda: weighted_greedy_maxis(chain))
+    assert res.rounds >= 300
+
+
+def test_theorem2_on_greedy_chain(benchmark):
+    """Theorem 2 on the same chain: rounds stay logarithmic-ish."""
+    from repro.core import greedy_chain_graph, theorem2_maxis
+
+    chain = greedy_chain_graph(300)
+    res = benchmark(lambda: theorem2_maxis(chain, 0.5, seed=1))
+    assert res.rounds < 150

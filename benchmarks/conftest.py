@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_eN_*.py`` regenerates one experiment from DESIGN.md §3 (the
+paper has no tables of its own — E1–E13 are the theorem-by-theorem
+measurement suite).  Reports are printed so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the EXPERIMENTS.md regeneration tool.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(name): marks a benchmark as regenerating one experiment"
+    )
+
+
+@pytest.fixture
+def report_sink(capsys):
+    """Print an ExperimentReport outside of captured output."""
+
+    def _print(report):
+        with capsys.disabled():
+            print()
+            print(report.render())
+
+    return _print

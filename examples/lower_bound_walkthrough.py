@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Figure 1, step by step: why fast IS-approximation implies fast MIS.
+
+The paper's Theorem 4 lower bound works by reduction: if any algorithm
+found an Ω(n/Δ)-size independent set in o(log* n) rounds, you could use it
+to find a *maximal* independent set of a cycle in o(log* n) rounds,
+contradicting Naor's classical bound.  The gadget is the cycle of cliques
+``C1`` (Figure 1).
+
+This script executes the reduction (Algorithm 7) with the one-round
+ranking algorithm as the black box and prints each stage: the inner set on
+``C1``, its projection to the cycle, the gap structure, and the sequential
+fill — then shows why the clique blow-up matters by running the same
+black box on the bare cycle (much bigger gaps).
+
+Run:  python examples/lower_bound_walkthrough.py
+"""
+
+from repro import boppana_is, cycle
+from repro.bench import format_table
+from repro.core import is_maximal_independent_set
+from repro.lowerbound import log_star, max_gap, rand_mis
+
+
+def main() -> None:
+    n0 = 60
+    outcome = rand_mis(n0, lambda g, seed=None: boppana_is(g, seed=seed), seed=3)
+
+    print(f"cycle C: n0 = {n0} nodes;   cycle of cliques C1: "
+          f"{n0} cliques x {outcome.n1} nodes = {n0 * outcome.n1} nodes")
+    print(f"log*({n0 * outcome.n1}) = {log_star(n0 * outcome.n1)} — the bound "
+          "any correct algorithm must pay (Theorem 4)")
+
+    print("\nstep 1 — run A (one-round ranking) on C1:")
+    print(f"  |I1| = {outcome.inner_set_size} nodes, {outcome.inner_rounds} round(s)")
+
+    print("step 2 — project I1 back to C (clique hit -> cycle node):")
+    print(f"  |I| = {len(outcome.projected)} cycle nodes")
+    print(f"  max gap between consecutive I-nodes: {max(outcome.gaps)}")
+
+    print("step 3 — fill the gaps with a sequential greedy MIS:")
+    print(f"  longest gap component: {outcome.fill_rounds} "
+          f"(= extra rounds to fill)")
+    mis_ok = is_maximal_independent_set(cycle(n0), outcome.mis)
+    print(f"  final MIS of C: {len(outcome.mis)} nodes, maximal: {mis_ok}")
+    print(f"  effective rounds: {outcome.effective_rounds} "
+          "(inner + fill)")
+
+    print("\nwhy the cliques? the same black box on the BARE cycle:")
+    rows = []
+    for n in (60, 120, 240):
+        bare = boppana_is(cycle(n), seed=4)
+        # Fixed clique size keeps the blow-up's memory footprint sane
+        # (n1 = 2*n0 at n0=240 would already mean ~20M edges).
+        blown = rand_mis(n, lambda g, seed=None: boppana_is(g, seed=seed),
+                         n1=60, seed=4)
+        rows.append([n, max_gap(n, bare.independent_set), max(blown.gaps)])
+    print(format_table(
+        ["cycle n0", "max gap (bare cycle)", "max gap (cycle of cliques)"],
+        rows,
+    ))
+    print("\nAt laptop scale both stay small (bare-cycle gaps grow only like")
+    print("log n0 / log log n0); the reduction's point is asymptotic: on the")
+    print("bare cycle SOME length-O(T) window fails with non-negligible")
+    print("probability once n0 >> T, while the n1-fold clique blow-up drives")
+    print("each window's failure probability below 1/n0 — that amplification")
+    print("is what Propositions 8-9 need, and why C1 exists at all.")
+
+
+if __name__ == "__main__":
+    main()

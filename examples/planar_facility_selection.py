@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Facility selection on planar/low-arboricity infrastructure graphs.
+
+Road networks and other planar infrastructure graphs have arboricity at
+most 3 even when a few junctions have high degree — exactly the regime
+where Theorem 3's ``8(1+ε)α``-approximation beats the ``(1+ε)Δ`` bound.
+
+Scenario: cities on a road grid (plus a few high-degree hub junctions)
+bid revenue values; we must pick non-adjacent sites (zoning: no two
+neighbouring junctions both get a facility) maximizing total revenue.
+
+The example contrasts the two guarantees and the measured results.
+
+Run:  python examples/planar_facility_selection.py
+"""
+
+from repro import low_arboricity_maxis, theorem2_maxis, uniform_weights
+from repro.bench import format_table
+from repro.graphs import arboricity, grid_2d, planted_heavy_hub
+from repro.graphs.generators import disjoint_union
+
+
+def main() -> None:
+    eps = 0.5
+    instances = {
+        "road grid 12x12": uniform_weights(grid_2d(12, 12), 1, 100, seed=1),
+        "grid + hub junctions": uniform_weights(
+            planted_heavy_hub(200, 60, 2.0 / 200, seed=2), 1, 100, seed=3
+        ),
+        "two districts": uniform_weights(
+            disjoint_union([grid_2d(8, 8), grid_2d(6, 10)]), 1, 100, seed=4
+        ),
+    }
+
+    rows = []
+    for name, g in instances.items():
+        alpha = arboricity(g)
+        delta = g.max_degree
+        arb = low_arboricity_maxis(g, eps, alpha=alpha, seed=5)
+        dlt = theorem2_maxis(g, eps, seed=6)
+        rows.append([
+            name,
+            alpha,
+            delta,
+            f"{8 * (1 + eps) * alpha:.0f}",
+            f"{(1 + eps) * delta:.0f}",
+            f"{arb.weight(g):.0f}",
+            f"{dlt.weight(g):.0f}",
+            arb.rounds,
+            dlt.rounds,
+        ])
+
+    print(format_table(
+        ["instance", "α", "Δ", "8(1+ε)α", "(1+ε)Δ",
+         "w(I) thm3", "w(I) thm2", "rounds thm3", "rounds thm2"],
+        rows,
+    ))
+    print("\nWhen α << Δ/(8(1+ε)) the arboricity guarantee (column 4) is the")
+    print("stronger promise; Theorem 3 pays a log n factor in rounds for it.")
+
+
+if __name__ == "__main__":
+    main()

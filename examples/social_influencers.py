@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Influencer selection on a power-law social graph.
+
+Social/follower graphs are hub-heavy: a few nodes have huge degree, but
+the arboricity stays tiny (they are sparse overall).  Selecting a set of
+mutually non-adjacent "influencers" maximizing total reach-value is a
+MaxIS instance where the paper's two weighted pipelines offer different
+promises:
+
+* Theorem 2: factor `(1+ε)Δ` — terrible when a hub drives Δ into the
+  hundreds;
+* Theorem 3: factor `8(1+ε)α` — independent of the hubs.
+
+The example selects influencer sets with both and reports the guarantees
+and the measured value against the centralized greedy reference.
+
+Run:  python examples/social_influencers.py
+"""
+
+import numpy as np
+
+from repro import greedy_maxis, low_arboricity_maxis, theorem2_maxis
+from repro.bench import format_table
+from repro.graphs import arboricity, degeneracy, exponential_weights, power_law
+
+
+def main() -> None:
+    eps = 0.5
+    rows = []
+    for n in (300, 600):
+        g = power_law(n, exponent=2.1, min_degree=1, seed=n)
+        # Reach value: heavy-tailed, like real engagement metrics.
+        g = exponential_weights(g, scale=10.0, seed=n + 1)
+        alpha = arboricity(g)
+
+        thm3 = low_arboricity_maxis(g, eps, alpha=alpha, seed=7)
+        thm2 = theorem2_maxis(g, eps, seed=7)
+        reference = g.total_weight(greedy_maxis(g))
+
+        rows.append([
+            n,
+            g.max_degree,
+            alpha,
+            degeneracy(g),
+            f"{8 * (1 + eps) * alpha:.0f}",
+            f"{(1 + eps) * g.max_degree:.0f}",
+            f"{thm3.weight(g):.0f}",
+            f"{thm2.weight(g):.0f}",
+            f"{reference:.0f}",
+            thm3.rounds,
+            thm2.rounds,
+        ])
+
+    print(format_table(
+        ["n", "Δ", "α", "degeneracy", "8(1+ε)α", "(1+ε)Δ",
+         "w thm3", "w thm2", "w greedy", "rounds thm3", "rounds thm2"],
+        rows,
+    ))
+    print("\nPower-law graphs keep α tiny while hubs inflate Δ — the")
+    print("arboricity guarantee (column 5) stays in the tens while the")
+    print("Δ-based one (column 6) blows up; measured values are similar,")
+    print("so Theorem 3 buys a much stronger promise on this workload.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Wireless transmission scheduling on a unit-disk network.
+
+The motivating workload for distributed MaxIS: sensors in the plane
+interfere when they are within radio range (a unit-disk graph), each has a
+queue of pending data (its weight), and in every scheduling epoch we want
+to activate a non-interfering set of maximum total backlog — a
+maximum-weight independent set, computed *by the network itself* in few
+CONGEST rounds.
+
+This example schedules several epochs: in each epoch the network runs
+Theorem 2, the chosen senders drain their queues, and everyone else's
+queue grows.  It prints per-epoch throughput and compares against the
+greedy centralized scheduler (which a real deployment could not run — it
+needs global knowledge).
+
+Run:  python examples/wireless_scheduling.py
+"""
+
+import numpy as np
+
+from repro import greedy_maxis, theorem2_maxis
+from repro.bench import format_table
+from repro.core import assert_independent
+from repro.graphs import random_geometric
+
+
+def main() -> None:
+    rng = np.random.default_rng(2024)
+    network = random_geometric(250, radius=0.09, seed=11)
+    print(f"unit-disk network: n={network.n}, m={network.m}, "
+          f"Δ={network.max_degree}")
+
+    queues = {v: float(rng.integers(1, 50)) for v in network.nodes}
+    eps = 0.5
+    rows = []
+    total_sent_distributed = 0.0
+    total_sent_centralized = 0.0
+
+    for epoch in range(5):
+        weighted = network.with_weights(queues)
+
+        # Distributed: the network elects the epoch's transmission set.
+        schedule = theorem2_maxis(weighted, eps=eps, seed=100 + epoch)
+        assert_independent(weighted, schedule.independent_set)
+        sent = schedule.weight(weighted)
+        total_sent_distributed += sent
+
+        # Centralized reference on the same queues.
+        central = greedy_maxis(weighted)
+        total_sent_centralized += weighted.total_weight(central)
+
+        rows.append([
+            epoch,
+            schedule.size,
+            f"{sent:.0f}",
+            schedule.rounds,
+            len(central),
+            f"{weighted.total_weight(central):.0f}",
+        ])
+
+        # Chosen senders drain; everyone else accumulates new traffic.
+        for v in network.nodes:
+            if v in schedule.independent_set:
+                queues[v] = float(rng.integers(1, 10))
+            else:
+                queues[v] += float(rng.integers(0, 20))
+
+    print()
+    print(format_table(
+        ["epoch", "senders", "drained", "CONGEST rounds",
+         "greedy senders", "greedy drained"],
+        rows,
+    ))
+    ratio = total_sent_distributed / max(total_sent_centralized, 1e-9)
+    print(f"\n5-epoch throughput vs centralized greedy: {100 * ratio:.1f}%")
+    print("(the distributed schedule needs no global knowledge and ran in "
+          "tens of O(log n)-bit rounds per epoch)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Analysis tools: the §3 concentration bounds, the §5 martingale
+reconstruction, complexity shape predictions, and trial statistics."""
+
+from repro.analysis.complexity import (
+    fit_loglinear,
+    growth_ratio,
+    log_w,
+    poly_log_log,
+    predicted_bar_yehuda_rounds,
+    predicted_theorem1_rounds,
+)
+from repro.analysis.concentration import (
+    azuma_bound,
+    bernstein_bound,
+    chernoff_bound,
+    proposition4_tail,
+    theorem11_failure_bound,
+)
+from repro.analysis.inner_constant import (
+    InnerConstantEstimate,
+    estimate_inner_constant,
+)
+from repro.analysis.martingale import (
+    MartingaleCheck,
+    check_proposition4_conditions,
+    martingale_increments,
+)
+from repro.analysis.traffic import (
+    RoundTraffic,
+    bits_per_round,
+    busiest_round,
+    messages_per_node,
+)
+from repro.analysis.stats import (
+    TrialSummary,
+    run_trials,
+    summarize_trials,
+    wilson_interval,
+)
+
+__all__ = [
+    "chernoff_bound", "bernstein_bound", "azuma_bound",
+    "theorem11_failure_bound", "proposition4_tail",
+    "MartingaleCheck", "check_proposition4_conditions", "martingale_increments",
+    "log_w", "predicted_theorem1_rounds", "predicted_bar_yehuda_rounds",
+    "poly_log_log", "fit_loglinear", "growth_ratio",
+    "TrialSummary", "summarize_trials", "wilson_interval", "run_trials",
+    "RoundTraffic", "bits_per_round", "messages_per_node", "busiest_round",
+    "InnerConstantEstimate", "estimate_inner_constant",
+]

@@ -1,0 +1,69 @@
+"""Predicted round-complexity curves for shape comparisons (E4, E5).
+
+The experiments cannot match an absolute testbed (there is none — the
+paper is theory), so they compare *measured* round counts against these
+predicted growth shapes: is Theorem 2 flat in ``W`` while the baseline
+grows like ``log W``?  Does Theorem 1 scale like ``MIS/ε``?
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = [
+    "log_w",
+    "predicted_theorem1_rounds",
+    "predicted_bar_yehuda_rounds",
+    "poly_log_log",
+    "fit_loglinear",
+    "growth_ratio",
+]
+
+
+def log_w(max_weight: float) -> float:
+    """``log2 W`` with the convention ``log W >= 1`` (W >= 1 inputs)."""
+    return max(1.0, math.log2(max(2.0, max_weight)))
+
+
+def predicted_theorem1_rounds(mis_rounds: float, eps: float) -> float:
+    """Theorem 1 shape: ``O(MIS(n,Δ)/ε)``."""
+    return mis_rounds / eps
+
+
+def predicted_bar_yehuda_rounds(mis_rounds: float, max_weight: float) -> float:
+    """Baseline [8] shape: ``O(MIS(n,Δ) · log W)``."""
+    return mis_rounds * log_w(max_weight)
+
+
+def poly_log_log(n: int, power: float = 3.0) -> float:
+    """``(log log n)^power`` — Theorem 2's asymptotic envelope."""
+    return math.log(max(math.log(max(n, 3)), 1.0 + 1e-9)) ** power
+
+
+def fit_loglinear(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ≈ a + b·log2(x)``; returns ``(a, b)``.
+
+    Used to test "rounds grow logarithmically in W" claims: the slope
+    ``b`` should be clearly positive for the baseline and ≈ 0 for
+    Theorem 2.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two paired observations")
+    lx = [math.log2(max(x, 1e-12)) for x in xs]
+    mean_x = sum(lx) / len(lx)
+    mean_y = sum(ys) / len(ys)
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    if sxx == 0:
+        return mean_y, 0.0
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ys))
+    b = sxy / sxx
+    a = mean_y - b * mean_x
+    return a, b
+
+
+def growth_ratio(ys: Sequence[float]) -> float:
+    """``max(y)/max(min(y), 1)`` — a crude "did it grow?" statistic."""
+    if not ys:
+        raise ValueError("empty series")
+    return max(ys) / max(min(ys), 1.0)

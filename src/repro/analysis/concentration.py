@@ -1,0 +1,68 @@
+"""The concentration inequalities of §3 (Facts 1–3), as computable bounds.
+
+These are used two ways:
+
+* tests check the *empirical* failure rates of the randomized algorithms
+  against the theoretical tail bounds;
+* the sparsification analysis (Lemmas 3–5) and Theorem 11 are restated as
+  concrete functions of the instance parameters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "chernoff_bound",
+    "bernstein_bound",
+    "azuma_bound",
+    "theorem11_failure_bound",
+    "proposition4_tail",
+]
+
+
+def chernoff_bound(mu: float, eps: float) -> float:
+    """Fact 1: ``Pr[|X − μ| >= εμ] <= 2·exp(−ε²μ/(2+ε))`` for ε in [0,1]."""
+    if not 0 <= eps <= 1:
+        raise ValueError(f"eps must be in [0, 1], got {eps}")
+    if mu < 0:
+        raise ValueError(f"mu must be nonnegative, got {mu}")
+    return min(1.0, 2.0 * math.exp(-(eps * eps) / (2.0 + eps) * mu))
+
+
+def bernstein_bound(t: float, m_bound: float, variance_sum: float) -> float:
+    """Fact 2: ``Pr[|X − μ| >= t] <= 2·exp(−(t²/2)/(M·t/3 + Σ Var))``."""
+    if t < 0:
+        raise ValueError(f"t must be nonnegative, got {t}")
+    denom = m_bound * t / 3.0 + variance_sum
+    if denom <= 0:
+        return 0.0 if t > 0 else 1.0
+    return min(1.0, 2.0 * math.exp(-(t * t) / (2.0 * denom)))
+
+
+def azuma_bound(t: float, increments: Sequence[float]) -> float:
+    """Fact 3 (one-sided): ``Pr[X_N − X_0 <= −t] <= exp(−t²/(2 Σ c_i²))``."""
+    if t < 0:
+        raise ValueError(f"t must be nonnegative, got {t}")
+    s = sum(c * c for c in increments)
+    if s <= 0:
+        return 0.0 if t > 0 else 1.0
+    return min(1.0, math.exp(-(t * t) / (2.0 * s)))
+
+
+def theorem11_failure_bound(n: int, delta: int) -> float:
+    """Theorem 11's tail: ``Pr[|I| < n/(8(Δ+1))] <= exp(−n/(256(Δ+1)))``.
+
+    (Up to the extra ``1/n^c`` from the sequential-view coupling.)
+    """
+    if n <= 0 or delta < 0:
+        raise ValueError("need n > 0 and delta >= 0")
+    return math.exp(-n / (256.0 * (delta + 1)))
+
+
+def proposition4_tail(k: int, m0: float, m1: float, t: float) -> float:
+    """Proposition 4: ``Pr[f_k < k·M1 − t] <= exp(−t²/(8·M0²·k))``."""
+    if k <= 0 or m0 <= 0:
+        raise ValueError("need k > 0 and M0 > 0")
+    return min(1.0, math.exp(-(t * t) / (8.0 * m0 * m0 * k)))

@@ -1,0 +1,68 @@
+"""Empirical reconstruction of the §5 martingale analysis.
+
+Theorem 11's proof builds the martingale ``Y_i = f_i − E[f_i | history]``
+over the sequential view of the ranking algorithm.  This module rebuilds
+those quantities from recorded trajectories so the property tests can
+check the *Max change* and *Expected increase* conditions of Proposition 4
+on real executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.core.ranking import SeqBoppanaTrajectory, seq_boppana_trajectory
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["MartingaleCheck", "check_proposition4_conditions", "martingale_increments"]
+
+
+@dataclass(frozen=True)
+class MartingaleCheck:
+    """Outcome of checking Proposition 4's conditions on a trajectory."""
+
+    max_change_ok: bool          # |f_{i+1} - f_i| <= M0 = 1
+    k: int                       # the n/(2(Δ+1)) horizon actually used
+    min_join_probability: float  # min over the first k steps
+    expected_increase_ok: bool   # that min is >= M1 = 1/2
+    final_size: float            # |I_k|
+    target: float                # k * M1 - t with t = k/4, i.e. k/4
+
+
+def martingale_increments(trajectory: SeqBoppanaTrajectory) -> List[float]:
+    """The shifted increments ``Y_t − Y_{t-1} = ΔI_t − Pr[join | history]``."""
+    return [
+        inc - p
+        for inc, p in zip(trajectory.increments, trajectory.join_probabilities)
+    ]
+
+
+def check_proposition4_conditions(
+    graph: WeightedGraph,
+    seed: Union[int, None, np.random.Generator] = None,
+) -> MartingaleCheck:
+    """Run one sequential-view trajectory and test Proposition 4's setup.
+
+    Uses the paper's parameters: ``k = n/(2(Δ+1))``, ``M0 = 1``,
+    ``M1 = 1/2``, ``t = k/4`` — under which Theorem 11 promises
+    ``|I_k| >= k/4 = n/(8(Δ+1))`` except with probability ``exp(−k/128)``.
+    """
+    traj = seq_boppana_trajectory(graph, seed)
+    delta = graph.max_degree
+    k = max(1, int(graph.n / (2 * (delta + 1))))
+
+    increments = traj.increments[:k]
+    probs = traj.join_probabilities[:k]
+    sizes = traj.sizes()
+
+    return MartingaleCheck(
+        max_change_ok=all(inc in (0, 1) for inc in increments),
+        k=k,
+        min_join_probability=min(probs) if probs else 1.0,
+        expected_increase_ok=all(p >= 0.5 for p in probs),
+        final_size=float(sizes[min(k, len(sizes) - 1)]),
+        target=k / 4.0,
+    )

@@ -1,0 +1,73 @@
+"""Trial statistics for the experiment harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, TypeVar, Union
+
+import numpy as np
+
+__all__ = ["TrialSummary", "summarize_trials", "wilson_interval", "run_trials"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Five-number-ish summary of repeated measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def as_row(self) -> Tuple:
+        return (self.count, round(self.mean, 3), round(self.std, 3),
+                round(self.minimum, 3), round(self.median, 3), round(self.maximum, 3))
+
+
+def summarize_trials(values: Sequence[float]) -> TrialSummary:
+    """Summarize a sequence of trial measurements."""
+    if not values:
+        raise ValueError("no trials to summarize")
+    arr = np.asarray(values, dtype=float)
+    return TrialSummary(
+        count=len(arr),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if len(arr) > 1 else 0.0,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        median=float(np.median(arr)),
+    )
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to report empirical success probabilities of the w.h.p.
+    algorithms with honest uncertainty.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must be in [0, trials]")
+    p = successes / trials
+    denom = 1.0 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+    return max(0.0, centre - half), min(1.0, centre + half)
+
+
+def run_trials(fn: Callable[[int], T], trials: int, *, seed: int = 0) -> List[T]:
+    """Run ``fn(trial_seed)`` for ``trials`` independent derived seeds."""
+    ss = np.random.SeedSequence(seed)
+    children = ss.spawn(trials)
+    out: List[T] = []
+    for child in children:
+        # Derive a plain int seed for APIs that want one.
+        trial_seed = int(child.generate_state(1)[0])
+        out.append(fn(trial_seed))
+    return out

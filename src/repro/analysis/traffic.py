@@ -1,0 +1,57 @@
+"""Traffic analysis over traces: who talks, when, and how much.
+
+Complements :mod:`repro.simulator.metrics` (aggregate counters) with
+per-round and per-node views built from a :class:`~repro.simulator.tracing.Trace`
+— the tools behind the E13 message-complexity experiment and the
+``congest_audit`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.simulator.tracing import Trace
+
+__all__ = ["RoundTraffic", "bits_per_round", "messages_per_node", "busiest_round"]
+
+
+@dataclass(frozen=True)
+class RoundTraffic:
+    """Traffic of one round."""
+
+    round_index: int
+    messages: int
+    bits: int
+
+
+def bits_per_round(trace: Trace) -> List[RoundTraffic]:
+    """Per-round message and bit totals, in round order."""
+    acc: Dict[int, List[int]] = {}
+    for e in trace.events_of("send"):
+        entry = acc.setdefault(e.round_index, [0, 0])
+        entry[0] += 1
+        entry[1] += e.detail[1]
+    return [
+        RoundTraffic(r, msgs, bits)
+        for r, (msgs, bits) in sorted(acc.items())
+    ]
+
+
+def messages_per_node(trace: Trace) -> Dict[int, int]:
+    """How many messages each node sent over the whole run."""
+    out: Dict[int, int] = {}
+    for e in trace.events_of("send"):
+        out[e.node] = out.get(e.node, 0) + 1
+    return out
+
+
+def busiest_round(trace: Trace) -> RoundTraffic:
+    """The round with the most bits on the wire.
+
+    Raises ``ValueError`` on a silent trace.
+    """
+    rounds = bits_per_round(trace)
+    if not rounds:
+        raise ValueError("trace contains no send events")
+    return max(rounds, key=lambda rt: rt.bits)

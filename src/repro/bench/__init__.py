@@ -1,0 +1,44 @@
+"""Experiment harness and the E1–E13 suite (DESIGN.md §3)."""
+
+from repro.bench.experiments import (
+    ALL_EXPERIMENTS,
+    experiment_e1_good_nodes,
+    experiment_e2_sparsify,
+    experiment_e3_boosting,
+    experiment_e4_theorem1,
+    experiment_e5_speedup,
+    experiment_e6_arboricity,
+    experiment_e7_ranking,
+    experiment_e8_sequential_view,
+    experiment_e9_lower_bound,
+    experiment_e10_ablations,
+    experiment_e11_coloring_diameter,
+    experiment_e12_ranking_variance,
+    experiment_e13_message_complexity,
+)
+from repro.bench.deep import DEEP_PRESETS, deep_kwargs
+from repro.bench.harness import ExperimentReport, timed
+from repro.bench.tables import format_row_dicts, format_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEEP_PRESETS",
+    "deep_kwargs",
+    "ExperimentReport",
+    "timed",
+    "format_table",
+    "format_row_dicts",
+    "experiment_e1_good_nodes",
+    "experiment_e2_sparsify",
+    "experiment_e3_boosting",
+    "experiment_e4_theorem1",
+    "experiment_e5_speedup",
+    "experiment_e6_arboricity",
+    "experiment_e7_ranking",
+    "experiment_e8_sequential_view",
+    "experiment_e9_lower_bound",
+    "experiment_e10_ablations",
+    "experiment_e11_coloring_diameter",
+    "experiment_e12_ranking_variance",
+    "experiment_e13_message_complexity",
+]

@@ -1,0 +1,36 @@
+"""Deep-sweep presets for the experiment suite.
+
+The default experiment parameters finish in about a minute for quick
+iteration; these presets trade minutes of runtime for wider sweeps and
+more trials — the settings behind a "full" reproduction run:
+
+    python -m repro experiments --deep
+    python -m repro experiments E5 E7 --deep
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["DEEP_PRESETS", "deep_kwargs"]
+
+DEEP_PRESETS: Dict[str, Dict[str, Any]] = {
+    "E1": {"sizes": (100, 200, 400, 800, 1600), "trials": 5},
+    "E2": {"sizes": (200, 400, 800, 1600), "trials": 5},
+    "E3": {"n": 300, "eps_values": (4.0, 2.0, 1.0, 0.5, 0.25, 0.125)},
+    "E4": {"n": 80, "eps_values": (2.0, 1.0, 0.5, 0.25, 0.125), "trials": 5},
+    "E5": {"n": 500, "scales": (1, 100, 10_000, 1_000_000, 100_000_000)},
+    "E6": {"hub_degrees": (20, 40, 80, 160), "n": 500},
+    "E7": {"n": 1200, "degrees": (4, 8, 16, 32), "trials": 25},
+    "E8": {"trials": 20_000},
+    "E9": {"cycle_sizes": (20, 40, 80, 120)},
+    "E10": {"n": 500},
+    "E11": {"lengths": (20, 40, 80, 160)},
+    "E12": {"n_leaves": 400, "trials": 5_000},
+    "E13": {"sizes": (100, 200, 400, 800)},
+}
+
+
+def deep_kwargs(name: str) -> Dict[str, Any]:
+    """Preset kwargs for experiment ``name`` (empty dict if none)."""
+    return dict(DEEP_PRESETS.get(name, {}))

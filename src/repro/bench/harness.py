@@ -1,0 +1,78 @@
+"""Experiment harness: named experiments producing printable row tables.
+
+Each experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentReport`; ``benchmarks/`` wraps them with pytest-benchmark
+and ``examples/`` prints them.  The report carries both the rows (the
+"table" the paper never printed, E1–E13 in DESIGN.md) and a dict of
+headline findings asserted by the benchmark drivers.  Reports round-trip
+through JSON so CI runs can archive them as artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.bench.tables import format_row_dicts
+
+__all__ = ["ExperimentReport", "timed"]
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's regenerated table plus headline findings."""
+
+    experiment: str
+    description: str
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    findings: Dict[str, Any] = field(default_factory=dict)
+
+    def add_row(self, **row: Any) -> None:
+        self.rows.append(row)
+
+    def render(self) -> str:
+        header = f"== {self.experiment}: {self.description} =="
+        body = format_row_dicts(self.rows)
+        notes = "\n".join(f"  {k}: {v}" for k, v in self.findings.items())
+        parts = [header, body]
+        if notes:
+            parts.append("findings:")
+            parts.append(notes)
+        return "\n".join(parts)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print(self.render())
+
+    def to_json(self) -> str:
+        """Serialize to JSON (rows and findings must be JSON-compatible)."""
+        return json.dumps({
+            "experiment": self.experiment,
+            "description": self.description,
+            "rows": self.rows,
+            "findings": self.findings,
+        }, indent=2, default=str)
+
+    @staticmethod
+    def from_json(text: str) -> "ExperimentReport":
+        """Parse a report previously produced by :meth:`to_json`."""
+        doc = json.loads(text)
+        return ExperimentReport(
+            experiment=doc["experiment"],
+            description=doc["description"],
+            rows=list(doc.get("rows", [])),
+            findings=dict(doc.get("findings", {})),
+        )
+
+
+class timed:
+    """Context manager measuring wall-clock seconds (for report rows)."""
+
+    def __enter__(self) -> "timed":
+        self._start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self._start

@@ -1,0 +1,307 @@
+"""Command-line interface.
+
+Three subcommands::
+
+    python -m repro run --algorithm thm2 --graph gnp:300,0.04 \\
+        --weights uniform:1,100 --eps 0.5 --seed 7
+    python -m repro experiments E1 E5 E9
+    python -m repro info --graph grid:10,20 --weights integers:1000
+
+Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
+``cycle:n`` | ``path:n`` | ``geometric:n,radius`` | ``caterpillar:spine,legs``
+| ``file:PATH`` (the text format of :mod:`repro.graphs.io`).
+
+Weight specs: ``unit`` | ``uniform:lo,hi`` | ``integers:W`` |
+``skewed:fraction,heavy`` | ``degree``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.graphs import (
+    WeightedGraph,
+    caterpillar,
+    cycle,
+    degree_proportional_weights,
+    gnp,
+    grid_2d,
+    integer_weights,
+    path,
+    random_geometric,
+    random_regular,
+    random_tree,
+    skewed_heavy_set,
+    summarize,
+    uniform_weights,
+    unit_weights,
+)
+from repro.graphs.io import load
+
+__all__ = ["main", "parse_graph_spec", "parse_weight_spec"]
+
+
+def parse_graph_spec(spec: str, seed: Optional[int]) -> WeightedGraph:
+    """Materialize a graph from a ``kind:args`` spec string."""
+    kind, _, args = spec.partition(":")
+    parts = [a for a in args.split(",") if a] if args else []
+    try:
+        if kind == "gnp":
+            return gnp(int(parts[0]), float(parts[1]), seed=seed)
+        if kind == "regular":
+            return random_regular(int(parts[0]), int(parts[1]), seed=seed)
+        if kind == "tree":
+            return random_tree(int(parts[0]), seed=seed)
+        if kind == "grid":
+            return grid_2d(int(parts[0]), int(parts[1]))
+        if kind == "cycle":
+            return cycle(int(parts[0]))
+        if kind == "path":
+            return path(int(parts[0]))
+        if kind == "geometric":
+            return random_geometric(int(parts[0]), float(parts[1]), seed=seed)
+        if kind == "caterpillar":
+            return caterpillar(int(parts[0]), int(parts[1]))
+        if kind == "file":
+            return load(args)
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
+    raise SystemExit(f"unknown graph kind {kind!r}")
+
+
+def parse_weight_spec(spec: str, graph: WeightedGraph, seed: Optional[int]) -> WeightedGraph:
+    """Apply a weight scheme spec to ``graph``."""
+    kind, _, args = spec.partition(":")
+    parts = [a for a in args.split(",") if a] if args else []
+    try:
+        if kind == "unit":
+            return unit_weights(graph)
+        if kind == "uniform":
+            lo, hi = (float(parts[0]), float(parts[1])) if parts else (0.0, 1.0)
+            return uniform_weights(graph, lo, hi, seed=seed)
+        if kind == "integers":
+            return integer_weights(graph, int(parts[0]), seed=seed)
+        if kind == "skewed":
+            frac = float(parts[0]) if parts else 0.01
+            heavy = float(parts[1]) if len(parts) > 1 else 1e6
+            return skewed_heavy_set(graph, fraction=frac, heavy=heavy, seed=seed)
+        if kind == "degree":
+            return degree_proportional_weights(graph)
+        if kind == "keep":
+            return graph
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad weight spec {spec!r}: {exc}")
+    raise SystemExit(f"unknown weight scheme {kind!r}")
+
+
+def _algorithms() -> Dict[str, Callable]:
+    from repro.core import (
+        bar_yehuda_maxis,
+        boppana_is,
+        good_nodes_approx,
+        low_arboricity_maxis,
+        low_degree_maxis,
+        sparsified_approx,
+        theorem1_maxis,
+        theorem2_maxis,
+        weighted_greedy_maxis,
+    )
+    from repro.mis import ghaffari_mis, local_minima_mis, luby_mis
+
+    return {
+        "thm1": lambda g, eps, seed: theorem1_maxis(g, eps, seed=seed),
+        "thm2": lambda g, eps, seed: theorem2_maxis(g, eps, seed=seed),
+        "thm3": lambda g, eps, seed: low_arboricity_maxis(g, eps, seed=seed),
+        "thm5": lambda g, eps, seed: low_degree_maxis(g, eps, seed=seed),
+        "thm8": lambda g, eps, seed: good_nodes_approx(g, seed=seed),
+        "thm9": lambda g, eps, seed: sparsified_approx(g, seed=seed),
+        "ranking": lambda g, eps, seed: boppana_is(g, seed=seed),
+        "bar-yehuda": lambda g, eps, seed: bar_yehuda_maxis(g, seed=seed),
+        "weighted-greedy": lambda g, eps, seed: weighted_greedy_maxis(g, seed=seed),
+        "mis-luby": lambda g, eps, seed: luby_mis(g, seed=seed),
+        "mis-ghaffari": lambda g, eps, seed: ghaffari_mis(g, seed=seed),
+        "mis-det": lambda g, eps, seed: local_minima_mis(g, seed=seed),
+    }
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, args.seed)
+    graph = parse_weight_spec(args.weights, graph, None if args.seed is None
+                              else args.seed + 1)
+    algorithms = _algorithms()
+    result = algorithms[args.algorithm](graph, args.eps, args.seed)
+
+    from repro.core import assert_independent
+
+    assert_independent(graph, result.independent_set)
+    payload = {
+        "algorithm": args.algorithm,
+        "graph": {"n": graph.n, "m": graph.m, "max_degree": graph.max_degree,
+                  "total_weight": graph.total_weight()},
+        "independent_set_size": result.size,
+        "independent_set_weight": result.weight(graph),
+        "rounds": result.rounds,
+        "messages": result.messages,
+        "max_message_bits": result.metrics.max_message_bits,
+    }
+    if args.show_set:
+        payload["independent_set"] = sorted(result.independent_set)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import ALL_EXPERIMENTS
+
+    names = args.names or sorted(ALL_EXPERIMENTS, key=lambda s: int(s[1:]))
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments {unknown}; known: {sorted(ALL_EXPERIMENTS)}"
+        )
+    from repro.bench.deep import deep_kwargs
+
+    for name in names:
+        kwargs = deep_kwargs(name) if args.deep else {}
+        report = ALL_EXPERIMENTS[name](**kwargs)
+        print(report.render())
+        print()
+        if args.json_dir:
+            out = Path(args.json_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{name}.json").write_text(report.to_json())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Run an algorithm and certify its guarantee against exact OPT (small
+    instances) or the fraction-of-total bound (any size)."""
+    graph = parse_graph_spec(args.graph, args.seed)
+    graph = parse_weight_spec(args.weights, graph, None if args.seed is None
+                              else args.seed + 1)
+    algorithms = _algorithms()
+    result = algorithms[args.algorithm](graph, args.eps, args.seed)
+
+    from repro.core import certify_fraction_bound, certify_ratio, exact_max_weight_is
+    from repro.exceptions import SolverLimitError
+
+    delta = max(1, graph.max_degree)
+    factor = (1 + args.eps) * delta
+    lines = [
+        f"algorithm: {args.algorithm}",
+        f"w(I) = {result.weight(graph):.3f} over {result.size} nodes "
+        f"in {result.rounds} rounds",
+    ]
+    try:
+        _, opt = exact_max_weight_is(graph, limit_nodes=args.exact_limit)
+        cert = certify_ratio(graph, result.independent_set, factor, opt=opt)
+        lines.append(f"exact OPT = {opt:.3f}; measured ratio = "
+                     f"{opt / max(result.weight(graph), 1e-12):.3f}")
+        lines.append(f"(1+eps)*Delta = {factor:.2f} certificate: "
+                     f"{'HOLDS' if cert.holds else 'VIOLATED'}")
+        failed = not cert.holds
+    except SolverLimitError:
+        cert = certify_fraction_bound(
+            graph, result.independent_set, (1 + args.eps) * (delta + 1)
+        )
+        lines.append(
+            f"instance too large for exact OPT; checked w(I) >= "
+            f"w(V)/((1+eps)(Delta+1)) = {cert.required:.3f}: "
+            f"{'HOLDS' if cert.holds else 'VIOLATED'}"
+        )
+        from repro.core import opt_upper_bound
+
+        ub = opt_upper_bound(graph)
+        lines.append(
+            f"certified OPT upper bound (clique cover) = {ub:.3f}; "
+            f"ratio is therefore at most {ub / max(result.weight(graph), 1e-12):.3f}"
+        )
+        failed = not cert.holds
+    print("\n".join(lines))
+    return 1 if failed else 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = parse_graph_spec(args.graph, args.seed)
+    graph = parse_weight_spec(args.weights, graph, None if args.seed is None
+                              else args.seed + 1)
+    s = summarize(graph)
+    from repro.graphs import arboricity, degeneracy
+
+    print(f"n: {s.n}\nm: {s.m}\nmax_degree: {s.max_degree}")
+    print(f"avg_degree: {s.avg_degree:.2f}")
+    print(f"total_weight: {s.total_weight:.2f}\nmax_weight: {s.max_weight:.2f}")
+    print(f"components: {s.components}")
+    print(f"degeneracy: {degeneracy(graph)}")
+    if graph.n <= args.arboricity_limit:
+        print(f"arboricity: {arboricity(graph)}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed MaxIS approximation (PODC 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one algorithm on one instance")
+    p_run.add_argument("--algorithm", choices=sorted(_algorithms()), default="thm2")
+    p_run.add_argument("--graph", default="gnp:200,0.05", help="graph spec")
+    p_run.add_argument("--weights", default="uniform:1,100", help="weight spec")
+    p_run.add_argument("--eps", type=float, default=0.5)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--json", action="store_true", help="JSON output")
+    p_run.add_argument("--show-set", action="store_true",
+                       help="include the chosen node ids")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiments", help="run E1–E13 experiment reports")
+    p_exp.add_argument("names", nargs="*", help="experiment ids (default: all)")
+    p_exp.add_argument("--json-dir", default=None,
+                       help="also write each report as <dir>/<id>.json")
+    p_exp.add_argument("--deep", action="store_true",
+                       help="use the deep-sweep presets (slower, wider)")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_verify = sub.add_parser(
+        "verify", help="run an algorithm and certify its guarantee"
+    )
+    p_verify.add_argument("--algorithm", choices=sorted(_algorithms()), default="thm2")
+    p_verify.add_argument("--graph", default="gnp:40,0.12")
+    p_verify.add_argument("--weights", default="uniform:1,20")
+    p_verify.add_argument("--eps", type=float, default=0.5)
+    p_verify.add_argument("--seed", type=int, default=0)
+    p_verify.add_argument("--exact-limit", type=int, default=60,
+                          help="max n for the exact-OPT certification")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_info = sub.add_parser("info", help="describe an instance")
+    p_info.add_argument("--graph", default="gnp:200,0.05")
+    p_info.add_argument("--weights", default="unit")
+    p_info.add_argument("--seed", type=int, default=0)
+    p_info.add_argument("--arboricity-limit", type=int, default=2000,
+                        help="skip the exact arboricity above this size")
+    p_info.set_defaults(func=_cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro-maxis`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""(Δ+1)-colouring and the §8 colouring-to-MaxIS pipeline (Open Question 2)."""
+
+from repro.coloring.greedy import greedy_coloring, verify_coloring
+from repro.coloring.random_trial import (
+    ColoringResult,
+    RandomTrialColoring,
+    random_coloring,
+)
+from repro.coloring.pipelined import PipelinedClassSums, pipelined_color_class_maxis
+from repro.coloring.to_maxis import best_color_class, distributed_color_class_maxis
+
+__all__ = [
+    "greedy_coloring",
+    "verify_coloring",
+    "random_coloring",
+    "RandomTrialColoring",
+    "ColoringResult",
+    "best_color_class",
+    "distributed_color_class_maxis",
+    "pipelined_color_class_maxis",
+    "PipelinedClassSums",
+]

@@ -1,0 +1,125 @@
+"""Distributed (deg+1)-list colouring by random colour trials.
+
+The §8 discussion relates ``(Δ+1)``-colouring to MaxIS approximation
+(Open Question 2).  This module supplies the colouring half: the classic
+random-trial algorithm (Johansson; see also Barenboim–Elkin §10), which
+properly colours every graph with colours ``{0, ..., deg(v)}`` per node —
+hence at most ``Δ+1`` colours overall — in ``O(log n)`` rounds w.h.p.
+
+Each two-round phase:
+
+* **propose** — an uncoloured node picks a uniform colour from its palette
+  minus the colours its neighbours have already finalised, and announces it;
+* **decide** — if no neighbour proposed the same colour, the colour is
+  final: announce and halt.
+
+A finalised announcement removes that colour from the neighbours'
+palettes.  Palettes never empty (``deg(v)+1`` colours vs at most
+``deg(v)`` finalised neighbours), so the algorithm cannot deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.runner import run
+
+__all__ = ["RandomTrialColoring", "ColoringResult", "random_coloring"]
+
+_PROP = 0
+_FINAL = 1
+
+
+class RandomTrialColoring(NodeAlgorithm):
+    """Node program for random-trial (deg+1)-list colouring.
+
+    Halt output: the node's final colour (an int in ``0..deg(v)``).
+    """
+
+    def __init__(self) -> None:
+        self._forbidden: set = set()
+        self._proposal: Optional[int] = None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if ctx.degree == 0:
+            ctx.halt(0)
+            return
+        self._propose(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if ctx.round_index % 2 == 1:
+            self._decide(ctx, inbox)
+        else:
+            self._propose_round(ctx, inbox)
+
+    # ------------------------------------------------------------------ #
+
+    def _propose(self, ctx: NodeContext) -> None:
+        palette = [c for c in range(ctx.degree + 1) if c not in self._forbidden]
+        self._proposal = int(palette[int(ctx.rng.integers(0, len(palette)))])
+        ctx.broadcast((_PROP, self._proposal))
+
+    def _propose_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        for msg in inbox.values():
+            if msg[0] == _FINAL:
+                self._forbidden.add(msg[1])
+        self._propose(ctx)
+
+    def _decide(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        conflict = any(
+            msg[0] == _PROP and msg[1] == self._proposal
+            for msg in inbox.values()
+        )
+        if not conflict:
+            ctx.broadcast((_FINAL, self._proposal))
+            ctx.halt(self._proposal)
+
+
+class ColoringResult:
+    """A proper colouring plus its distributed cost."""
+
+    def __init__(self, colors: Dict[int, int], metrics: RunMetrics):
+        self.colors = colors
+        self.metrics = metrics
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    @property
+    def num_colors(self) -> int:
+        return len(set(self.colors.values())) if self.colors else 0
+
+    def color_classes(self) -> Dict[int, frozenset]:
+        """Mapping ``color -> set of nodes with that colour``."""
+        classes: Dict[int, set] = {}
+        for v, c in self.colors.items():
+            classes.setdefault(c, set()).add(v)
+        return {c: frozenset(s) for c, s in classes.items()}
+
+
+def random_coloring(
+    graph: WeightedGraph,
+    *,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> ColoringResult:
+    """Colour ``graph`` with at most ``Δ+1`` colours in O(log n) rounds w.h.p."""
+    if graph.n == 0:
+        return ColoringResult({}, RunMetrics())
+    from repro.simulator.network import Network
+
+    network = Network.of(graph, n_bound)
+    limit = max_rounds if max_rounds is not None else 400 * (graph.n.bit_length() + 2)
+    result = run(network, RandomTrialColoring, policy=policy, seed=seed,
+                 max_rounds=limit)
+    return ColoringResult(dict(result.outputs), result.metrics)

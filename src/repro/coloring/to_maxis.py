@@ -1,0 +1,99 @@
+"""Open Question 2 (§8): from a ``(Δ+1)``-colouring to a MaxIS approximation.
+
+Centrally this is trivial: the heaviest colour class is independent and
+carries at least ``w(V)/(Δ+1)`` — a ``(Δ+1)``-approximation.  The paper's
+point is that *distributedly* it is not: "finding the colour class of
+maximum weight requires ``Ω(D)`` rounds, where ``D`` is the diameter".
+
+:func:`distributed_color_class_maxis` implements the obvious distributed
+realisation — per-colour convergecast of class weights up a BFS tree,
+argmax at the root, decision flooded back down — so experiment E11 can
+*measure* the ``Θ(D + #colours)`` cost against Theorem 2's
+diameter-independent rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.coloring.greedy import verify_coloring
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.primitives.bfs import bfs_tree, flood_value
+from repro.results import AlgorithmResult
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+
+__all__ = ["best_color_class", "distributed_color_class_maxis"]
+
+
+def best_color_class(graph: WeightedGraph,
+                     colors: Dict[int, int]) -> Tuple[FrozenSet[int], float]:
+    """Centralized reference: the heaviest colour class and its weight."""
+    totals: Dict[int, float] = {}
+    for v in graph.nodes:
+        totals[colors[v]] = totals.get(colors[v], 0.0) + graph.weight(v)
+    if not totals:
+        return frozenset(), 0.0
+    best = min(c for c, t in totals.items() if t == max(totals.values()))
+    chosen = frozenset(v for v in graph.nodes if colors[v] == best)
+    return chosen, totals[best]
+
+
+def distributed_color_class_maxis(
+    graph: WeightedGraph,
+    colors: Dict[int, int],
+    *,
+    root: Optional[int] = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+    check: bool = True,
+) -> AlgorithmResult:
+    """Select the heaviest colour class distributedly.
+
+    One convergecast per colour (CONGEST: a per-colour sum fits in one
+    ``O(log n)``-bit message), then one flood of the winning colour.
+    Round cost ``Θ(#colours · D)`` with this naive schedule — pipelining
+    would give ``Θ(#colours + D)``, still ``Ω(D)``, which is the point of
+    the paper's §8 discussion: no colouring-based approach known beats
+    the diameter barrier, while Theorem 2 is diameter-independent.
+
+    Requires a connected graph (the convergecast must reach everything).
+    """
+    if graph.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"algorithm": "color-class"})
+    if check:
+        verify_coloring(graph, colors)
+    if root is None:
+        root = min(graph.nodes)
+
+    metrics = RunMetrics()
+    palette = sorted(set(colors[v] for v in graph.nodes))
+    totals: Dict[int, float] = {}
+    depth = 0
+    for c in palette:
+        contribution = {
+            v: (graph.weight(v) if colors[v] == c else 0.0) for v in graph.nodes
+        }
+        res = bfs_tree(graph, root, values=contribution, op="sum",
+                       policy=policy, n_bound=n_bound)
+        metrics = metrics.merge(res.metrics)
+        totals[c] = res.aggregate
+        depth = max(depth, res.depth)
+
+    best = min(c for c, t in totals.items() if t == max(totals.values()))
+    _, flood_metrics = flood_value(graph, root, best, policy=policy,
+                                   n_bound=n_bound)
+    metrics = metrics.merge(flood_metrics)
+
+    chosen = frozenset(v for v in graph.nodes if colors[v] == best)
+    return AlgorithmResult(
+        independent_set=chosen,
+        metrics=metrics,
+        metadata={
+            "algorithm": "color-class",
+            "num_colors": len(palette),
+            "winning_color": best,
+            "tree_depth": depth,
+            "class_weights": totals,
+        },
+    )

@@ -1,0 +1,77 @@
+"""The paper's contribution: MaxIS approximation algorithms and their
+verification machinery."""
+
+from repro.core.baselines import bar_yehuda_maxis, greedy_maxis, mis_baseline
+from repro.core.boosting import boost, phases_for
+from repro.core.distributed_verify import IndependenceCheck, distributed_independence_check
+from repro.core.exact import exact_max_is_size, exact_max_weight_clique, exact_max_weight_is
+from repro.core.good_nodes import GoodNodesProtocol, good_node_set, good_nodes_approx
+from repro.core.local_ratio import (
+    StackFrame,
+    apply_reduction,
+    clip_nonnegative,
+    pop_stage,
+    sequential_local_ratio_maxis,
+    stack_value,
+    theorem6_holds,
+)
+from repro.core.local_exact import GossipAndSolve, local_exact_maxis
+from repro.core.low_arboricity import low_arboricity_maxis
+from repro.core.ranking import (
+    BoppanaRanking,
+    SeqBoppanaTrajectory,
+    boppana_is,
+    low_degree_maxis,
+    seq_boppana,
+    seq_boppana0,
+    seq_boppana_trajectory,
+    theorem11_threshold_degree,
+)
+from repro.core.sparsify import (
+    SamplingProtocol,
+    sample_subgraph,
+    sampling_probabilities,
+    sparsified_approx,
+)
+from repro.core.theorem1 import theorem1_maxis
+from repro.core.upper_bounds import (
+    clique_cover_upper_bound,
+    greedy_clique_cover,
+    opt_upper_bound,
+)
+from repro.core.weighted_greedy import WeightedGreedy, greedy_chain_graph, weighted_greedy_maxis
+from repro.core.theorem2 import theorem2_maxis
+from repro.core.verify import (
+    ApproximationCertificate,
+    assert_independent,
+    assert_maximal_independent_set,
+    certify_fraction_bound,
+    certify_ratio,
+    certify_result,
+    is_independent,
+    is_maximal_independent_set,
+)
+
+__all__ = [
+    # headline algorithms
+    "theorem1_maxis", "theorem2_maxis", "low_arboricity_maxis", "low_degree_maxis",
+    # building blocks
+    "good_nodes_approx", "good_node_set", "GoodNodesProtocol",
+    "sparsified_approx", "sample_subgraph", "sampling_probabilities", "SamplingProtocol",
+    "boost", "phases_for",
+    "StackFrame", "apply_reduction", "pop_stage", "stack_value", "clip_nonnegative",
+    "sequential_local_ratio_maxis", "theorem6_holds",
+    "BoppanaRanking", "boppana_is", "seq_boppana", "seq_boppana0",
+    "seq_boppana_trajectory", "SeqBoppanaTrajectory", "theorem11_threshold_degree",
+    # baselines & exact
+    "bar_yehuda_maxis", "greedy_maxis", "mis_baseline",
+    "weighted_greedy_maxis", "WeightedGreedy", "greedy_chain_graph",
+    "exact_max_weight_is", "exact_max_is_size", "exact_max_weight_clique",
+    "opt_upper_bound", "clique_cover_upper_bound", "greedy_clique_cover",
+    "local_exact_maxis", "GossipAndSolve",
+    # verification
+    "is_independent", "assert_independent",
+    "is_maximal_independent_set", "assert_maximal_independent_set",
+    "certify_fraction_bound", "certify_ratio", "certify_result", "ApproximationCertificate",
+    "distributed_independence_check", "IndependenceCheck",
+]

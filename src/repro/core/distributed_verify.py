@@ -1,0 +1,89 @@
+"""Distributed self-verification: certify independence in one round.
+
+The library's :mod:`repro.core.verify` checks outputs centrally; a real
+deployment would want the *network* to certify its own output.  For
+independence that costs exactly one CONGEST round: every member announces
+membership; a member hearing a member neighbour rejects.  (Maximality is
+also one round: a non-member with no member neighbour rejects.)
+
+This is a genuinely distributed proof-labelling-style check — the
+complement of the paper's algorithms, closing the loop from "compute" to
+"locally verify" without any central collector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import run
+
+__all__ = ["IndependenceCheck", "distributed_independence_check"]
+
+
+class IndependenceCheck(NodeAlgorithm):
+    """One-round membership exchange.
+
+    Halt output per node: ``"ok"`` when its local view is consistent,
+    ``"conflict"`` when it is a member with a member neighbour, and —
+    with ``maximality=True`` — ``"not-maximal"`` when it is a non-member
+    with no member neighbour.
+    """
+
+    def __init__(self, membership: Mapping[int, bool], maximality: bool = False) -> None:
+        self._membership = membership
+        self._maximality = maximality
+
+    def on_start(self, ctx: NodeContext) -> None:
+        mine = bool(self._membership.get(ctx.node_id, False))
+        if ctx.degree == 0:
+            if self._maximality and not mine:
+                ctx.halt("not-maximal")
+            else:
+                ctx.halt("ok")
+            return
+        ctx.broadcast(mine)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        mine = bool(self._membership.get(ctx.node_id, False))
+        member_neighbor = any(inbox.values())
+        if mine and member_neighbor:
+            ctx.halt("conflict")
+        elif self._maximality and not mine and not member_neighbor:
+            ctx.halt("not-maximal")
+        else:
+            ctx.halt("ok")
+
+
+def distributed_independence_check(
+    graph: WeightedGraph,
+    independent_set: Iterable[int],
+    *,
+    maximality: bool = False,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> Tuple[bool, RunMetrics]:
+    """Verify a claimed (maximal) independent set in one CONGEST round.
+
+    Returns ``(accepted, metrics)``; ``accepted`` iff every node output
+    ``"ok"`` — matching the centralized
+    :func:`repro.core.verify.is_independent` /
+    :func:`...is_maximal_independent_set` verdicts (test-asserted).
+    """
+    members = set(independent_set)
+    membership = {v: (v in members) for v in graph.nodes}
+    if graph.n == 0:
+        return True, RunMetrics()
+    result = run(
+        Network.of(graph, n_bound),
+        lambda: IndependenceCheck(membership, maximality=maximality),
+        policy=policy,
+        seed=0,
+    )
+    accepted = all(out == "ok" for out in result.outputs.values())
+    return accepted, result.metrics

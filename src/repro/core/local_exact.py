@@ -1,0 +1,123 @@
+"""The trivial LOCAL-model exact algorithm: gossip, then solve locally.
+
+In the LOCAL model (unbounded messages) every problem is solvable in
+``O(D)`` rounds: nodes gossip the entire topology, then each runs the
+same deterministic solver and outputs its own membership.  This is the
+degenerate endpoint of the LOCAL/CONGEST spectrum the paper works in —
+useful here as
+
+* a LOCAL-correctness reference for small instances,
+* a live demonstration that the approach is *not* CONGEST: its messages
+  carry ``Θ(m log n)`` bits, which the strict bandwidth policy rejects
+  (test-asserted), and
+* a diameter-round-cost exhibit alongside the §8 discussion.
+
+Local computation is the exact branch-and-bound solver, so instances are
+bounded by its size limit — the point is the model, not scalability.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Mapping, Optional, Set, Tuple
+
+from repro.core.exact import exact_max_weight_is
+from repro.exceptions import GraphError
+from repro.graphs.properties import is_connected
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.results import AlgorithmResult
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import run
+
+__all__ = ["GossipAndSolve", "local_exact_maxis"]
+
+
+class GossipAndSolve(NodeAlgorithm):
+    """Flood (edge, weight) knowledge; solve when the ball stops growing.
+
+    Knowledge is a set of ``(u, v, w_u, w_v)`` tuples.  After ``r`` rounds
+    a node knows exactly the radius-``r`` edge ball; monotone gossip means
+    the first round with no growth is the last possible growth, so the
+    node can halt and solve.  Rounds = eccentricity + 1.
+    """
+
+    def __init__(self) -> None:
+        self._knowledge: Set[Tuple[int, int, float, float]] = set()
+        self._weights: dict = {}
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._weights[ctx.node_id] = ctx.weight
+        if ctx.degree == 0:
+            ctx.halt(True)
+            return
+        # Seed: the node knows its incident edge *endpoints* but not the
+        # neighbours' weights yet; send own weight, learn theirs round 1.
+        ctx.broadcast(("w", ctx.weight))
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if ctx.round_index == 1:
+            for sender, msg in inbox.items():
+                self._weights[sender] = msg[1]
+            for u in ctx.neighbors:
+                a, b = min(ctx.node_id, u), max(ctx.node_id, u)
+                self._knowledge.add(
+                    (a, b, self._weights[a], self._weights[b])
+                )
+            ctx.broadcast(("k", tuple(sorted(self._knowledge))))
+            return
+
+        before = len(self._knowledge)
+        for msg in inbox.values():
+            if msg[0] == "k":
+                self._knowledge.update(tuple(e) for e in msg[1])
+        if len(self._knowledge) > before:
+            ctx.broadcast(("k", tuple(sorted(self._knowledge))))
+            return
+
+        # Ball stopped growing: the component is fully known.  Solve.
+        nodes = {}
+        edges = []
+        for a, b, wa, wb in self._knowledge:
+            nodes[a] = wa
+            nodes[b] = wb
+            edges.append((a, b))
+        nodes.setdefault(ctx.node_id, ctx.weight)
+        graph = WeightedGraph.from_edges(nodes.keys(), edges, nodes)
+        solution, _ = exact_max_weight_is(graph)
+        ctx.halt(ctx.node_id in solution)
+
+
+def local_exact_maxis(
+    graph: WeightedGraph,
+    *,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> AlgorithmResult:
+    """Exact MaxIS in the LOCAL model via full-topology gossip.
+
+    Requires a connected graph (per-component knowledge never merges) and
+    an instance small enough for the exact solver.  Runs under the LOCAL
+    policy by default; pass a strict CONGEST policy to watch it fail —
+    which is exactly the observation that motivates the paper's CONGEST
+    algorithms.
+    """
+    if graph.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"algorithm": "local-exact"})
+    if not is_connected(graph):
+        raise GraphError("local_exact_maxis requires a connected graph")
+    result = run(
+        Network.of(graph, n_bound),
+        GossipAndSolve,
+        policy=policy or BandwidthPolicy.local(),
+        seed=0,
+    )
+    chosen = frozenset(v for v, out in result.outputs.items() if out)
+    return AlgorithmResult(
+        independent_set=chosen,
+        metrics=result.metrics,
+        metadata={"algorithm": "local-exact",
+                  "max_message_bits": result.metrics.max_message_bits},
+    )

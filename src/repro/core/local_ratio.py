@@ -1,0 +1,177 @@
+"""Local-ratio machinery (§4.3): weight reductions, the stack, and the
+greedy pop stage.
+
+The boosting algorithm (Algorithm 1) and the arboricity algorithm
+(Algorithm 6) share this skeleton:
+
+* a **push phase** runs a black box on the current residual weights,
+  records the returned independent set ``I_i`` together with its residual
+  weights (that pair is a *stack frame*), and applies the weight reduction
+  ``w_{i+1}(v) = w_i(v) − Σ_{u ∈ N+(v) ∩ I_i} w_i(u)``;
+* the **pop stage** walks frames in reverse and greedily inserts nodes
+  whose neighbourhood is still untouched.
+
+Distributed cost accounting: a weight reduction is one communication round
+(members of ``I_i`` broadcast their residual weight), and each pop phase is
+one round (fresh members announce themselves before the next frame pops) —
+these constants are charged by the callers.
+
+``stack_value`` computes ``Σ_i w_i(I_i)``; Proposition 2 (the *stack
+property*) states ``w(I) >= stack_value``, and the tests assert it verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "StackFrame",
+    "apply_reduction",
+    "pop_stage",
+    "stack_value",
+    "clip_nonnegative",
+    "sequential_local_ratio_maxis",
+    "theorem6_holds",
+]
+
+
+@dataclass(frozen=True)
+class StackFrame:
+    """One push phase: the set ``I_i`` and its residual weights ``w_i``
+    restricted to ``I_i`` (what Proposition 2 calls ``w_{i_v}(v)``)."""
+
+    independent_set: FrozenSet[int]
+    residual_weights: Dict[int, float]
+
+    @property
+    def value(self) -> float:
+        """``w_i(I_i)`` — this frame's contribution to the stack value."""
+        return sum(self.residual_weights[v] for v in self.independent_set)
+
+
+def apply_reduction(
+    graph: WeightedGraph,
+    weights: Dict[int, float],
+    independent_set: FrozenSet[int],
+) -> Tuple[Dict[int, float], StackFrame]:
+    """One local-ratio step on ``weights``.
+
+    Every node in the inclusive neighbourhood of ``independent_set`` loses
+    the (current) weight of its ``I_i`` neighbours; members of ``I_i``
+    drop to exactly zero because the set is independent.
+
+    Returns:
+        ``(new_weights, frame)`` where ``frame`` records ``I_i`` and the
+        residual weights at push time.
+    """
+    frame = StackFrame(
+        independent_set=frozenset(independent_set),
+        residual_weights={v: weights[v] for v in independent_set},
+    )
+    new_weights = dict(weights)
+    for v in independent_set:
+        wv = weights[v]
+        new_weights[v] -= wv
+        for u in graph.neighbors(v):
+            if u in new_weights:
+                new_weights[u] -= wv
+    return new_weights, frame
+
+
+def pop_stage(graph: WeightedGraph, stack: Sequence[StackFrame]) -> FrozenSet[int]:
+    """Greedy reverse pop (Algorithm 1, lines 10–17).
+
+    Frames are given in push order; the pop walks them last-to-first and
+    inserts each candidate unless a neighbour is already chosen.  The
+    result is independent by construction.
+    """
+    chosen: set = set()
+    blocked: set = set()
+    for frame in reversed(list(stack)):
+        for v in sorted(frame.independent_set):
+            if v in blocked or v in chosen:
+                continue
+            chosen.add(v)
+            blocked.update(graph.neighbors(v))
+    return frozenset(chosen)
+
+
+def stack_value(stack: Sequence[StackFrame]) -> float:
+    """``Σ_i w_i(I_i)`` — the lower bound of Proposition 2."""
+    return sum(frame.value for frame in stack)
+
+
+def sequential_local_ratio_maxis(
+    graph: WeightedGraph,
+    order: Optional[Sequence[int]] = None,
+) -> FrozenSet[int]:
+    """The simple sequential Δ-approximation of §2.2.
+
+    Repeatedly pick a positive-weight node (in ``order``; default
+    ascending id), push it, and reduce its inclusive neighbourhood by its
+    weight; when nothing positive remains, pop the stack greedily.  By the
+    Theorem 6 induction this is a Δ-approximation — *worst case*, for any
+    pick order — and it is the linear-time sequential algorithm the
+    introduction contrasts the distributed setting against.
+    """
+    weights = graph.weights
+    stack: List[StackFrame] = []
+    scan = list(order) if order is not None else list(graph.nodes)
+    progress = True
+    while progress:
+        progress = False
+        for v in scan:
+            if weights[v] > 0:
+                new_weights, frame = apply_reduction(graph, weights, frozenset({v}))
+                weights = clip_nonnegative(new_weights)
+                stack.append(frame)
+                progress = True
+    return pop_stage(graph, stack)
+
+
+def theorem6_holds(
+    graph: WeightedGraph,
+    w1: Dict[int, float],
+    w2: Dict[int, float],
+    independent_set: FrozenSet[int],
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Empirically check the local-ratio theorem (Theorem 6) on an instance.
+
+    Computes the best ratio ``r`` for which ``independent_set`` is
+    ``r``-approximate with respect to ``w1`` and ``w2`` separately, then
+    verifies it is ``r``-approximate with respect to ``w = w1 + w2``.
+    Exact optima are used, so this is limited to exact-solver sizes; the
+    property tests run it over random weight splits.
+    """
+    from repro.core.exact import exact_max_weight_is
+
+    def ratio(weights: Dict[int, float]) -> float:
+        gw = graph.with_weights(weights)
+        _, opt = exact_max_weight_is(gw)
+        achieved = gw.total_weight(independent_set)
+        if opt <= tolerance:
+            return 1.0
+        if achieved <= tolerance:
+            return float("inf")
+        return opt / achieved
+
+    r = max(ratio(w1), ratio(w2))
+    if r == float("inf"):
+        return True  # vacuous: the premise ratio is unbounded
+    combined = {v: w1[v] + w2[v] for v in graph.nodes}
+    return ratio(combined) <= r + 1e-6
+
+
+def clip_nonnegative(weights: Dict[int, float]) -> Dict[int, float]:
+    """Zero out negative residuals.
+
+    Residual weights can go negative (a node adjacent to several pushed
+    nodes); such nodes can never be picked again, and clipping keeps the
+    "positive weight" predicates simple without changing any guarantee.
+    """
+    return {v: (w if w > 0 else 0.0) for v, w in weights.items()}

@@ -1,0 +1,235 @@
+"""The classical ranking algorithm and its sequential view (§5).
+
+* :class:`BoppanaRanking` — Algorithm 2: each node draws a rank uniformly
+  from ``{1, ..., 100·n̄^{c+2}}`` and joins iff its rank strictly beats
+  every neighbour's.  One communication round; Theorem 11 gives
+  ``|I| >= n/(8(Δ+1))`` with probability ``>= 1 − p − 1/n^c`` whenever
+  ``Δ <= n/(256·log(1/p)) − 1``.
+* :func:`seq_boppana` — Algorithm 3: draw vertices uniformly at random one
+  at a time; a vertex joins iff none of its neighbours was drawn before it.
+  Proposition 3: identical output distribution up to ``1/n^c`` TV distance.
+* :func:`seq_boppana0` — Algorithm 5: the without-replacement variant.
+* :func:`low_degree_maxis` — Theorem 5: boosting the ranking algorithm via
+  Corollary 1 yields, for unweighted graphs with ``Δ <= n/log n``, an
+  independent set of size ``>= n/((1+ε)(Δ+1))`` in ``O(1/ε)`` rounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, FrozenSet, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.boosting import boost
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.results import AlgorithmResult
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import run
+
+__all__ = [
+    "BoppanaRanking",
+    "boppana_is",
+    "seq_boppana",
+    "seq_boppana0",
+    "SeqBoppanaTrajectory",
+    "seq_boppana_trajectory",
+    "low_degree_maxis",
+    "theorem11_threshold_degree",
+]
+
+SeedLike = Union[int, None, np.random.SeedSequence]
+
+
+def _rng(seed: SeedLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class BoppanaRanking(NodeAlgorithm):
+    """Algorithm 2 as a one-round node program.
+
+    Ranks are drawn from ``{1, ..., 100·n̄^{c+2}}``; ties exclude both
+    endpoints (the strict comparison of the paper).  Halt output: ``True``
+    iff the node joined.
+    """
+
+    def __init__(self, c: int = 1) -> None:
+        self._c = c
+        self._rank = 0
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if ctx.degree == 0:
+            ctx.halt(True)
+            return
+        high = 100 * max(2, ctx.n_bound) ** (self._c + 2)
+        self._rank = int(ctx.rng.integers(1, high + 1))
+        ctx.broadcast(self._rank)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        ctx.halt(all(self._rank > r for r in inbox.values()))
+
+
+def boppana_is(
+    graph: WeightedGraph,
+    *,
+    c: int = 1,
+    seed: SeedLike = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> AlgorithmResult:
+    """Run the distributed ranking algorithm once.
+
+    The returned set is independent but **not** maximal; in expectation it
+    contains ``>= n/(Δ+1)`` nodes (Boppana; see also [17]), and Theorem 11
+    upgrades that to a w.h.p. bound for ``Δ`` up to ``~n/log n``.
+    """
+    if graph.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"algorithm": "boppana"})
+    network = Network.of(graph, n_bound)
+    result = run(network, lambda: BoppanaRanking(c=c), policy=policy, seed=seed)
+    chosen = frozenset(v for v, out in result.outputs.items() if out)
+    return AlgorithmResult(
+        independent_set=chosen,
+        metrics=result.metrics,
+        metadata={"algorithm": "boppana", "c": c},
+    )
+
+
+def seq_boppana(graph: WeightedGraph, seed: SeedLike = None) -> FrozenSet[int]:
+    """Algorithm 3: sample vertices *with* replacement, rejecting repeats.
+
+    Equivalent in distribution to :func:`seq_boppana0`; kept separate
+    because the paper states both and Proposition 3's proof walks through
+    the chain Boppana → Boppana1 → SeqBoppana0 → SeqBoppana.
+    """
+    rng = _rng(seed)
+    nodes = list(graph.nodes)
+    drawn: set = set()
+    chosen: set = set()
+    while len(drawn) < len(nodes):
+        u = nodes[int(rng.integers(0, len(nodes)))]
+        if u in drawn:
+            continue  # rejection of repeated samples
+        if all(nbr not in drawn for nbr in graph.neighbors(u)):
+            chosen.add(u)
+        drawn.add(u)
+    return frozenset(chosen)
+
+
+def seq_boppana0(graph: WeightedGraph, seed: SeedLike = None) -> FrozenSet[int]:
+    """Algorithm 5: scan a uniformly random permutation; a vertex joins iff
+    it precedes all of its neighbours."""
+    rng = _rng(seed)
+    order = list(graph.nodes)
+    rng.shuffle(order)
+    drawn: set = set()
+    chosen: set = set()
+    for u in order:
+        if all(nbr not in drawn for nbr in graph.neighbors(u)):
+            chosen.add(u)
+        drawn.add(u)
+    return frozenset(chosen)
+
+
+@dataclass(frozen=True)
+class SeqBoppanaTrajectory:
+    """The per-step view used in the §5 martingale analysis.
+
+    ``increments[t]`` is ``|I_{t+1}| - |I_t|`` and
+    ``join_probabilities[t]`` is ``Pr[v_{t+1} joins | I_t]`` (computed
+    exactly from the eliminated-set size), so tests can rebuild the
+    paper's martingale ``Y_t`` and check Proposition 4's conditions.
+    """
+
+    order: Sequence[int]
+    increments: Sequence[int]
+    join_probabilities: Sequence[float]
+    independent_set: FrozenSet[int]
+
+    def sizes(self) -> List[int]:
+        out = [0]
+        for inc in self.increments:
+            out.append(out[-1] + inc)
+        return out
+
+
+def seq_boppana_trajectory(graph: WeightedGraph, seed: SeedLike = None) -> SeqBoppanaTrajectory:
+    """Run Algorithm 5 while recording increments and join probabilities."""
+    rng = _rng(seed)
+    order = list(graph.nodes)
+    rng.shuffle(order)
+    drawn: set = set()
+    eliminated: set = set()  # drawn nodes and their neighbours
+    chosen: set = set()
+    increments: List[int] = []
+    probs: List[float] = []
+    n = graph.n
+    for u in order:
+        # Pr[next uniform draw could still join] = 1 - |eliminated| / n.
+        probs.append(max(0.0, 1.0 - len(eliminated) / n))
+        if u not in eliminated and all(nbr not in drawn for nbr in graph.neighbors(u)):
+            chosen.add(u)
+            increments.append(1)
+        else:
+            increments.append(0)
+        drawn.add(u)
+        eliminated.add(u)
+        eliminated.update(graph.neighbors(u))
+    return SeqBoppanaTrajectory(
+        order=tuple(order),
+        increments=tuple(increments),
+        join_probabilities=tuple(probs),
+        independent_set=frozenset(chosen),
+    )
+
+
+def theorem11_threshold_degree(n: int, p: float) -> float:
+    """The Theorem 11 degree threshold ``n/(256·log(1/p)) − 1``."""
+    if not 0 < p < 1:
+        raise ValueError(f"p must be in (0,1), got {p}")
+    return n / (256.0 * math.log(1.0 / p)) - 1.0
+
+
+def low_degree_maxis(
+    graph: WeightedGraph,
+    eps: float,
+    *,
+    c: int = 1,
+    phases: Optional[int] = None,
+    seed: SeedLike = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> AlgorithmResult:
+    """Theorem 5: boosted ranking for unweighted low-degree graphs.
+
+    The graph is treated as unweighted (weights forced to 1, matching the
+    theorem statement).  The ranking inner algorithm guarantees
+    ``n/(8(Δ+1))`` w.h.p. (Theorem 11), i.e. ``c = 8(Δ+1)/Δ``; Corollary 1
+    then gives ``|I| >= n/((1+ε)(Δ+1))`` w.h.p. in ``O(1/ε)`` rounds.
+    Residual graphs stay unit-weight throughout (an independent-set
+    reduction subtracts at least 1 from every touched unit weight), so the
+    unweighted inner guarantee applies in every phase.
+    """
+    unweighted = graph.with_unit_weights()
+    if unweighted.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"theorem": 5})
+    delta = unweighted.max_degree
+    c_inner = 8.0 * (delta + 1) / max(delta, 1)
+    bound = Network.of(unweighted, n_bound).n_bound
+
+    def inner(residual_graph: WeightedGraph, *, seed=None) -> AlgorithmResult:
+        return boppana_is(residual_graph, c=c, seed=seed, policy=policy, n_bound=bound)
+
+    result = boost(unweighted, inner, eps=eps, c=c_inner, phases=phases, seed=seed)
+    return result.with_metadata(
+        theorem=5,
+        delta=delta,
+        size_guarantee=unweighted.n / ((1.0 + eps) * (delta + 1)),
+    )

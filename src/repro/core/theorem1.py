@@ -1,0 +1,64 @@
+"""Theorem 1: a deterministic ``O(MIS(n,Δ)/ε)``-round ``(1+ε)Δ``-approximation.
+
+Pipeline: Theorem 8's good-nodes ``O(Δ)``-approximation (inner guarantee
+``w(V)/(4(Δ+1))``, i.e. ``c = 4(Δ+1)/Δ``) boosted through Algorithm 1.
+With the deterministic local-minima MIS black box the whole pipeline is
+deterministic; any randomized black box makes it randomized — exactly the
+paper's "depends on the MIS algorithm that is run as a black-box".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.boosting import boost
+from repro.core.good_nodes import good_nodes_approx
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mis.interface import MISBlackBox
+from repro.results import AlgorithmResult
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+
+__all__ = ["theorem1_maxis"]
+
+
+def theorem1_maxis(
+    graph: WeightedGraph,
+    eps: float,
+    *,
+    mis: Union[str, MISBlackBox] = "deterministic",
+    phases: Optional[int] = None,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> AlgorithmResult:
+    """``(1+ε)Δ``-approximate MaxIS via good nodes + boosting.
+
+    The returned set satisfies ``w(I) >= OPT / ((1+ε)Δ)`` and
+    ``w(I) >= w(V) / ((1+ε)(Δ+1))`` (Lemma 6 and the Remark) whenever the
+    MIS black box is correct — for the deterministic black box this is a
+    worst-case guarantee, not a probabilistic one.
+    """
+    if graph.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"theorem": 1})
+    delta = graph.max_degree
+    c = 4.0 * (delta + 1) / max(delta, 1)
+    # Residual phases inherit the *original* graph's knowledge bound: the
+    # paper's nodes know a poly bound on n, not on the residual subgraph.
+    bound = Network.of(graph, n_bound).n_bound
+
+    def inner(residual_graph: WeightedGraph, *, seed=None) -> AlgorithmResult:
+        return good_nodes_approx(
+            residual_graph,
+            mis=mis,
+            seed=seed,
+            policy=policy,
+            n_bound=bound,
+        )
+
+    result = boost(graph, inner, eps=eps, c=c, phases=phases, seed=seed)
+    return result.with_metadata(theorem=1, delta=delta,
+                                guarantee_factor=(1.0 + eps) * max(delta, 1))

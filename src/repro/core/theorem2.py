@@ -1,0 +1,71 @@
+"""Theorem 2: a randomized ``poly(log log n)/ε``-round ``(1+ε)Δ``-approximation.
+
+Pipeline: Theorem 9's sparsified ``O(Δ)``-approximation (sample ``H`` with
+``Δ_H = O(log n)``, then good nodes + a fast MIS on ``H``) boosted through
+Algorithm 1.  The inner guarantee constant ``c`` is a w.h.p. constant; the
+default is conservative and the per-phase ``inner_fraction`` diagnostics in
+the metadata let experiments confirm it held.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.boosting import boost
+from repro.core.sparsify import DEFAULT_LAMBDA, sparsified_approx
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mis.interface import MISBlackBox
+from repro.results import AlgorithmResult
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+
+__all__ = ["theorem2_maxis", "DEFAULT_INNER_CONSTANT"]
+
+# Conservative w.h.p. inner constant: the sampled subgraph keeps a constant
+# fraction of w(V)/Δ reachable, and Theorem 8 on H pays its 4(Δ_H+1)
+# against Δ_H = O(log n).  Empirically the achieved fraction is far better;
+# the boosting guarantee only needs c to be an upper bound.
+DEFAULT_INNER_CONSTANT = 8.0
+
+
+def theorem2_maxis(
+    graph: WeightedGraph,
+    eps: float,
+    *,
+    mis: Union[str, MISBlackBox] = "ghaffari",
+    lamb: float = DEFAULT_LAMBDA,
+    c: float = DEFAULT_INNER_CONSTANT,
+    phases: Optional[int] = None,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> AlgorithmResult:
+    """``(1+ε)Δ``-approximate MaxIS, exponentially faster than MIS-based.
+
+    W.h.p. the returned set satisfies ``w(I) >= OPT / ((1+ε)Δ)``; rounds
+    scale with ``MIS(n, O(log n)) / ε`` instead of ``MIS(n, Δ) · log W``
+    (the Bar-Yehuda et al. baseline this paper improves on).
+    """
+    if graph.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"theorem": 2})
+    delta = graph.max_degree
+    # Residual phases inherit the original graph's knowledge bound (the
+    # sampling probability's log n term and the CONGEST budget both use it).
+    bound = Network.of(graph, n_bound).n_bound
+
+    def inner(residual_graph: WeightedGraph, *, seed=None) -> AlgorithmResult:
+        return sparsified_approx(
+            residual_graph,
+            mis=mis,
+            lamb=lamb,
+            seed=seed,
+            policy=policy,
+            n_bound=bound,
+        )
+
+    result = boost(graph, inner, eps=eps, c=c, phases=phases, seed=seed)
+    return result.with_metadata(theorem=2, delta=delta,
+                                guarantee_factor=(1.0 + eps) * max(delta, 1))

@@ -1,0 +1,133 @@
+"""Distributed heaviest-first greedy — the natural first attempt at
+distributed weighted MaxIS, and why the paper improves on it.
+
+Rule: an undecided node joins the independent set when its ``(weight, id)``
+pair beats every undecided neighbour's.  This emulates the sequential
+heaviest-first greedy exactly (same output set), so it inherits its
+Δ-approximation guarantee — but its round complexity is the length of the
+longest strictly-decreasing ``(weight, id)`` neighbour chain, which an
+adversary makes ``Θ(n)`` (a path with decreasing weights).  The paper's
+point of departure: weighted greedy order is inherently sequential, so
+beating it needs the local-ratio/sparsification machinery instead.
+
+Exposed as a baseline (`E5`-adjacent) and as a worked example of how a
+"natural" algorithm fails the round-complexity bar while passing the
+approximation bar.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.results import AlgorithmResult
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import run
+
+__all__ = ["WeightedGreedy", "weighted_greedy_maxis", "greedy_chain_graph"]
+
+_CLAIM = 0
+_IN = 1
+_OUT = 2
+
+
+class WeightedGreedy(NodeAlgorithm):
+    """Node program for distributed heaviest-first greedy.
+
+    Two-round phases with the silent-neighbour discipline: undecided nodes
+    re-announce ``(weight, id)`` each phase; local maxima join and halt;
+    their neighbours announce OUT and halt.  Halt output: membership bool.
+    """
+
+    def __init__(self) -> None:
+        self._undecided_neighbors: Optional[set] = None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if ctx.degree == 0:
+            ctx.halt(True)
+            return
+        self._undecided_neighbors = set(ctx.neighbors)
+        ctx.broadcast((_CLAIM, ctx.weight))
+
+    @staticmethod
+    def _priority(weight: float, node_id: int):
+        # Heavier first; ties broken toward the smaller id — exactly the
+        # scan order of the sequential heaviest-first greedy.
+        return (weight, -node_id)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if ctx.round_index % 2 == 1:
+            self._decide(ctx, inbox)
+        else:
+            self._claim_round(ctx, inbox)
+
+    def _claim_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        for sender, msg in inbox.items():
+            if msg[0] == _IN:
+                ctx.broadcast((_OUT,))
+                ctx.halt(False)
+                return
+            if msg[0] == _OUT:
+                self._undecided_neighbors.discard(sender)
+        ctx.broadcast((_CLAIM, ctx.weight))
+
+    def _decide(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        mine = self._priority(ctx.weight, ctx.node_id)
+        claims = [
+            self._priority(msg[1], sender)
+            for sender, msg in inbox.items()
+            if msg[0] == _CLAIM and sender in self._undecided_neighbors
+        ]
+        if all(mine > other for other in claims):
+            ctx.broadcast((_IN,))
+            ctx.halt(True)
+
+
+def weighted_greedy_maxis(
+    graph: WeightedGraph,
+    *,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+) -> AlgorithmResult:
+    """Distributed heaviest-first greedy (Δ-approximation, Θ(n) worst case).
+
+    Deterministic: produces exactly the sequential heaviest-first greedy
+    set (ties by id), which the tests assert against
+    :func:`repro.core.baselines.greedy_maxis`.
+    """
+    if graph.n == 0:
+        return AlgorithmResult(frozenset(), RunMetrics(), {"algorithm": "weighted-greedy"})
+    network = Network.of(graph, n_bound)
+    result = run(
+        network,
+        WeightedGreedy,
+        policy=policy,
+        seed=seed,
+        max_rounds=max_rounds if max_rounds is not None else 4 * graph.n + 64,
+    )
+    chosen = frozenset(v for v, out in result.outputs.items() if out)
+    return AlgorithmResult(
+        independent_set=chosen,
+        metrics=result.metrics,
+        metadata={"algorithm": "weighted-greedy"},
+    )
+
+
+def greedy_chain_graph(n: int) -> WeightedGraph:
+    """The adversarial instance: a path with strictly decreasing weights.
+
+    Heaviest-first greedy must decide the nodes one after another down the
+    chain, so :func:`weighted_greedy_maxis` pays ``Θ(n)`` rounds here —
+    the instance behind the "inherently sequential" remark above.
+    """
+    from repro.graphs.generators import path
+
+    return path(n).with_weights({v: float(n - v) for v in range(n)})

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type at the boundary.  Simulator protocol violations get their own
+subtree because they usually indicate an algorithm bug rather than bad input.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Malformed graph input (self loops, asymmetric adjacency, bad ids)."""
+
+
+class GraphFormatError(GraphError):
+    """A serialized graph could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised while running a distributed simulation."""
+
+
+class ProtocolError(SimulationError):
+    """A node algorithm violated the message-passing protocol.
+
+    Examples: sending to a non-neighbour, sending twice to the same
+    neighbour in one round, or sending after halting.
+    """
+
+
+class BandwidthExceeded(SimulationError):
+    """A message exceeded the CONGEST per-edge bit budget in strict mode."""
+
+    def __init__(self, sender: int, receiver: int, bits: int, budget: int, round_index: int):
+        self.sender = sender
+        self.receiver = receiver
+        self.bits = bits
+        self.budget = budget
+        self.round_index = round_index
+        super().__init__(
+            f"round {round_index}: message {sender}->{receiver} is {bits} bits, "
+            f"budget is {budget} bits"
+        )
+
+
+class RoundLimitExceeded(SimulationError):
+    """The simulation did not terminate within the configured round limit."""
+
+    def __init__(self, limit: int, unhalted: int):
+        self.limit = limit
+        self.unhalted = unhalted
+        super().__init__(
+            f"simulation exceeded {limit} rounds with {unhalted} node(s) still running"
+        )
+
+
+class VerificationError(ReproError):
+    """A claimed property of an output (independence, maximality, bound) failed."""
+
+
+class SolverLimitError(ReproError):
+    """The exact solver was asked to handle an instance beyond its size limit."""

@@ -1,0 +1,69 @@
+"""Graph substrate: the weighted-graph data structure, generators,
+arboricity machinery, and the lower-bound instance family."""
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.graphs.generators import (
+    barabasi_albert,
+    caterpillar,
+    complete,
+    cycle,
+    disjoint_union,
+    empty,
+    gnp,
+    grid_2d,
+    path,
+    planted_heavy_hub,
+    power_law,
+    random_bipartite,
+    random_geometric,
+    random_regular,
+    random_tree,
+    star,
+    union_of_random_forests,
+)
+from repro.graphs.weights import (
+    degree_proportional_weights,
+    exponential_weights,
+    integer_weights,
+    polynomial_weights,
+    skewed_heavy_set,
+    uniform_weights,
+    unit_weights,
+)
+from repro.graphs.cliques import CycleOfCliques, cycle_of_cliques
+from repro.graphs.forests import (
+    arboricity,
+    degeneracy,
+    nash_williams_lower_bound,
+    partition_into_forests,
+)
+from repro.graphs.properties import (
+    GraphSummary,
+    complement,
+    average_degree,
+    bfs_distances,
+    connected_components,
+    degree_histogram,
+    diameter,
+    is_connected,
+    summarize,
+)
+
+__all__ = [
+    "WeightedGraph",
+    # generators
+    "cycle", "path", "complete", "star", "empty", "gnp", "random_regular",
+    "grid_2d", "random_tree", "caterpillar", "union_of_random_forests",
+    "random_bipartite", "random_geometric", "power_law", "barabasi_albert",
+    "disjoint_union", "planted_heavy_hub",
+    # weights
+    "unit_weights", "uniform_weights", "integer_weights", "polynomial_weights",
+    "exponential_weights", "degree_proportional_weights", "skewed_heavy_set",
+    # lower-bound instance
+    "CycleOfCliques", "cycle_of_cliques",
+    # arboricity
+    "arboricity", "degeneracy", "partition_into_forests", "nash_williams_lower_bound",
+    # properties
+    "GraphSummary", "summarize", "degree_histogram", "average_degree",
+    "connected_components", "is_connected", "bfs_distances", "diameter", "complement",
+]

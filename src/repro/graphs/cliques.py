@@ -1,0 +1,86 @@
+"""The cycle-of-cliques construction from the lower bound (§7, Figure 1).
+
+Given a cycle ``C`` on ``n0`` nodes, the graph ``C1`` replaces every cycle
+node ``u_i`` by a clique ``D(u_i)`` on ``n1`` nodes, and connects every pair
+of consecutive cliques by a complete bipartite graph.  Formally (§7): nodes
+are ``v_{i,j}`` for ``i in [n0], j in [n1]`` and ``v_{i,j} ~ v_{i',j'}`` iff
+``|i - i'| <= 1`` modulo ``n0`` (and the two nodes differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["CycleOfCliques", "cycle_of_cliques"]
+
+
+@dataclass(frozen=True)
+class CycleOfCliques:
+    """The graph ``C1`` plus the book-keeping needed by the reduction.
+
+    Attributes:
+        graph: the cycle-of-cliques graph; node ``i * n1 + j`` is ``v_{i,j}``.
+        n0: number of cliques (= length of the underlying cycle ``C``).
+        n1: size of each clique.
+    """
+
+    graph: WeightedGraph
+    n0: int
+    n1: int
+
+    def clique_index(self, node: int) -> int:
+        """Which clique ``i`` a ``C1`` node belongs to."""
+        return node // self.n1
+
+    def members(self, i: int) -> Tuple[int, ...]:
+        """All nodes of clique ``i``."""
+        if not 0 <= i < self.n0:
+            raise GraphError(f"clique index {i} out of range [0, {self.n0})")
+        return tuple(range(i * self.n1, (i + 1) * self.n1))
+
+    def project_independent_set(self, independent_set) -> frozenset:
+        """Map an IS of ``C1`` to an IS of ``C`` (§7: ``u_i in I`` iff
+        ``D(u_i)`` contains an ``I1`` node)."""
+        return frozenset({self.clique_index(v) for v in independent_set})
+
+
+def cycle_of_cliques(n0: int, n1: int) -> CycleOfCliques:
+    """Build ``C1`` from the ``n0``-cycle with cliques of size ``n1``.
+
+    The resulting graph has ``n0 * n1`` nodes, each of degree ``3*n1 - 1``
+    (its own clique plus the two adjacent cliques), except when ``n0 <= 2``
+    which is rejected because the cycle degenerates.
+    """
+    if n0 < 3:
+        raise GraphError(f"cycle of cliques needs n0 >= 3, got {n0}")
+    if n1 < 1:
+        raise GraphError(f"clique size must be >= 1, got {n1}")
+
+    n = n0 * n1
+    adj: Dict[int, List[int]] = {v: [] for v in range(n)}
+
+    def block(i: int) -> range:
+        return range(i * n1, (i + 1) * n1)
+
+    for i in range(n0):
+        # Intra-clique edges.
+        mem = list(block(i))
+        for a_idx in range(n1):
+            a = mem[a_idx]
+            for b_idx in range(a_idx + 1, n1):
+                b = mem[b_idx]
+                adj[a].append(b)
+                adj[b].append(a)
+        # Bi-clique to the next clique around the cycle.
+        nxt = (i + 1) % n0
+        for a in block(i):
+            for b in block(nxt):
+                adj[a].append(b)
+                adj[b].append(a)
+
+    graph = WeightedGraph(adj, _skip_validation=True)
+    return CycleOfCliques(graph=graph, n0=n0, n1=n1)

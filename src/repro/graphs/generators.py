@@ -1,0 +1,310 @@
+"""Graph generators used by examples, tests, and the experiment suite.
+
+All randomized generators take an explicit ``seed`` (or a ``numpy`` Generator)
+so every experiment in the repository is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "cycle",
+    "path",
+    "complete",
+    "star",
+    "empty",
+    "gnp",
+    "random_regular",
+    "grid_2d",
+    "random_tree",
+    "caterpillar",
+    "union_of_random_forests",
+    "power_law",
+    "barabasi_albert",
+    "random_geometric",
+    "random_bipartite",
+    "disjoint_union",
+    "planted_heavy_hub",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def cycle(n: int) -> WeightedGraph:
+    """The ``n``-cycle ``C_n`` (``n >= 3``)."""
+    if n < 3:
+        raise GraphError(f"cycle needs n >= 3, got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+def path(n: int) -> WeightedGraph:
+    """The path ``P_n`` on ``n`` nodes."""
+    if n < 1:
+        raise GraphError(f"path needs n >= 1, got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+def complete(n: int) -> WeightedGraph:
+    """The complete graph ``K_n``."""
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+def star(n_leaves: int) -> WeightedGraph:
+    """A star: node 0 is the hub, nodes ``1..n_leaves`` are leaves."""
+    edges = [(0, i) for i in range(1, n_leaves + 1)]
+    return WeightedGraph.from_edges(range(n_leaves + 1), edges)
+
+
+def empty(n: int) -> WeightedGraph:
+    """The edgeless graph on ``n`` nodes."""
+    return WeightedGraph.empty(n)
+
+
+def gnp(n: int, p: float, seed: RngLike = None) -> WeightedGraph:
+    """Erdős–Rényi ``G(n, p)`` sampled edge-by-edge with geometric skipping."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"p must be in [0, 1], got {p}")
+    rng = _rng(seed)
+    edges: List[Tuple[int, int]] = []
+    if p > 0:
+        if p == 1.0:
+            return complete(n)
+        # Geometric skipping over the n*(n-1)/2 potential edges.
+        total = n * (n - 1) // 2
+        log_q = math.log1p(-p)
+        idx = -1
+        while True:
+            r = rng.random()
+            idx += int(math.floor(math.log(max(r, 1e-300)) / log_q)) + 1
+            if idx >= total:
+                break
+            # Map linear index -> (u, v), u < v.
+            u = int((2 * n - 1 - math.sqrt((2 * n - 1) ** 2 - 8 * idx)) // 2)
+            base = u * (2 * n - u - 1) // 2
+            v = idx - base + u + 1
+            edges.append((u, v))
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+def random_regular(n: int, d: int, seed: RngLike = None) -> WeightedGraph:
+    """A random ``d``-regular graph (networkx's pairing-with-repair model)."""
+    if n * d % 2 != 0:
+        raise GraphError(f"n*d must be even for a d-regular graph (n={n}, d={d})")
+    if d >= n:
+        raise GraphError(f"need d < n (n={n}, d={d})")
+    if d == 0:
+        return WeightedGraph.empty(n)
+    import networkx as nx
+
+    rng = _rng(seed)
+    # networkx wants a stdlib-style seed; derive one deterministically.
+    nx_seed = int(rng.integers(0, 2 ** 31 - 1))
+    g = nx.random_regular_graph(d, n, seed=nx_seed)
+    return WeightedGraph.from_edges(range(n), g.edges())
+
+
+def grid_2d(rows: int, cols: int) -> WeightedGraph:
+    """The ``rows x cols`` grid graph (planar, arboricity <= 2)."""
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((nid(r, c), nid(r, c + 1)))
+            if r + 1 < rows:
+                edges.append((nid(r, c), nid(r + 1, c)))
+    return WeightedGraph.from_edges(range(rows * cols), edges)
+
+
+def random_tree(n: int, seed: RngLike = None) -> WeightedGraph:
+    """A uniformly random labelled tree via a random Prüfer sequence."""
+    if n < 1:
+        raise GraphError(f"tree needs n >= 1, got {n}")
+    if n == 1:
+        return WeightedGraph.empty(1)
+    if n == 2:
+        return WeightedGraph.from_edges(range(2), [(0, 1)])
+    rng = _rng(seed)
+    prufer = [int(rng.integers(0, n)) for _ in range(n - 2)]
+    degree = [1] * n
+    for x in prufer:
+        degree[x] += 1
+    edges = []
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for x in prufer:
+        leaf = heapq.heappop(leaves)
+        edges.append((leaf, x))
+        degree[x] -= 1
+        if degree[x] == 1:
+            heapq.heappush(leaves, x)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    edges.append((u, v))
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+def caterpillar(spine: int, legs_per_node: int) -> WeightedGraph:
+    """A caterpillar tree: a spine path with ``legs_per_node`` pendant leaves each.
+
+    Arboricity 1 with max degree ``legs_per_node + 2`` — a useful instance
+    where Theorem 3's guarantee beats Theorem 2's.
+    """
+    edges = [(i, i + 1) for i in range(spine - 1)]
+    nxt = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            edges.append((s, nxt))
+            nxt += 1
+    return WeightedGraph.from_edges(range(nxt), edges)
+
+
+def union_of_random_forests(n: int, k: int, seed: RngLike = None) -> WeightedGraph:
+    """Union of ``k`` random spanning trees on ``n`` nodes: arboricity <= k."""
+    rng = _rng(seed)
+    edge_set: Set[Tuple[int, int]] = set()
+    for _ in range(k):
+        t = random_tree(n, rng)
+        edge_set.update(t.edges())
+    return WeightedGraph.from_edges(range(n), sorted(edge_set))
+
+
+def barabasi_albert(n: int, m_edges: int = 2, seed: RngLike = None) -> WeightedGraph:
+    """Barabási–Albert preferential attachment (unbounded-hub power law).
+
+    Unlike :func:`power_law` (degrees truncated at ``sqrt(n)``), BA hubs
+    grow without bound — the strongest α ≪ Δ regime available here.
+    """
+    if n < m_edges + 1:
+        raise GraphError(f"need n > m_edges (n={n}, m_edges={m_edges})")
+    if m_edges < 1:
+        raise GraphError(f"m_edges must be >= 1, got {m_edges}")
+    rng = _rng(seed)
+    edges: Set[Tuple[int, int]] = set()
+    # Seed clique on the first m_edges+1 nodes.
+    targets = list(range(m_edges + 1))
+    for i in range(m_edges + 1):
+        for j in range(i + 1, m_edges + 1):
+            edges.add((i, j))
+    # Repeated-endpoint list implements preferential attachment.
+    endpoint_pool: List[int] = [v for e in edges for v in e]
+    for v in range(m_edges + 1, n):
+        chosen: Set[int] = set()
+        while len(chosen) < m_edges:
+            chosen.add(int(endpoint_pool[int(rng.integers(0, len(endpoint_pool)))]))
+        for u in chosen:
+            edges.add((min(u, v), max(u, v)))
+            endpoint_pool.extend((u, v))
+    return WeightedGraph.from_edges(range(n), sorted(edges))
+
+
+def power_law(n: int, exponent: float = 2.5, min_degree: int = 1,
+              seed: RngLike = None) -> WeightedGraph:
+    """A power-law degree graph via the configuration model with repair.
+
+    Degrees are drawn from a discrete Pareto-ish tail
+    ``P(d) ∝ d^{-exponent}`` truncated at ``sqrt(n)``; self loops and
+    parallel edges are dropped (the standard "erased" configuration
+    model).  Produces the hub-heavy sparse topology of social/internet
+    graphs — large ``Δ``, small arboricity — a natural Theorem 3 workload.
+    """
+    if n < 2:
+        raise GraphError(f"power_law needs n >= 2, got {n}")
+    if exponent <= 1.0:
+        raise GraphError(f"exponent must exceed 1, got {exponent}")
+    rng = _rng(seed)
+    max_degree = max(min_degree + 1, int(math.isqrt(n)))
+    support = np.arange(min_degree, max_degree + 1, dtype=float)
+    probs = support ** (-exponent)
+    probs /= probs.sum()
+    degrees = rng.choice(support.astype(int), size=n, p=probs)
+    if degrees.sum() % 2 == 1:
+        degrees[int(rng.integers(0, n))] += 1
+    stubs = np.repeat(np.arange(n), degrees)
+    rng.shuffle(stubs)
+    edges: Set[Tuple[int, int]] = set()
+    for a, b in stubs.reshape(-1, 2):
+        a, b = int(a), int(b)
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    return WeightedGraph.from_edges(range(n), sorted(edges))
+
+
+def random_geometric(n: int, radius: float, seed: RngLike = None) -> WeightedGraph:
+    """A random geometric graph on the unit square (unit-disk model).
+
+    Nodes are uniform points; an edge joins pairs within ``radius``.  The
+    standard model of wireless interference — the motivating application
+    for distributed MaxIS (transmission scheduling).
+    """
+    rng = _rng(seed)
+    pts = rng.random((n, 2))
+    edges = []
+    r2 = radius * radius
+    for u in range(n):
+        d = pts[u + 1:] - pts[u]
+        close = np.nonzero((d * d).sum(axis=1) <= r2)[0]
+        edges.extend((u, u + 1 + int(v)) for v in close)
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+def random_bipartite(n_left: int, n_right: int, p: float, seed: RngLike = None) -> WeightedGraph:
+    """Random bipartite graph; left ids ``0..n_left-1``, right follow."""
+    rng = _rng(seed)
+    edges = []
+    for u in range(n_left):
+        for v in range(n_left, n_left + n_right):
+            if rng.random() < p:
+                edges.append((u, v))
+    return WeightedGraph.from_edges(range(n_left + n_right), edges)
+
+
+def disjoint_union(graphs: Sequence[WeightedGraph]) -> WeightedGraph:
+    """Disjoint union; node ids of later graphs are shifted upward."""
+    adj: Dict[int, List[int]] = {}
+    weights: Dict[int, float] = {}
+    offset = 0
+    for g in graphs:
+        # Relabel each component into a contiguous block.
+        ordered = {old: offset + i for i, old in enumerate(g.nodes)}
+        for old in g.nodes:
+            new = ordered[old]
+            adj[new] = [ordered[u] for u in g.neighbors(old)]
+            weights[new] = g.weight(old)
+        offset += g.n
+    return WeightedGraph(adj, weights, _skip_validation=True)
+
+
+def planted_heavy_hub(n: int, hub_degree: int, base_p: float, seed: RngLike = None) -> WeightedGraph:
+    """A sparse ``G(n, p)`` with one planted high-degree hub (node 0).
+
+    Produces graphs where ``Δ`` is large but the arboricity stays small —
+    the regime where Theorem 3 beats the Δ-based algorithms.
+    """
+    rng = _rng(seed)
+    g = gnp(n, base_p, rng)
+    hub_targets = rng.choice(np.arange(1, n), size=min(hub_degree, n - 1), replace=False)
+    edges = set(g.edges())
+    for t in hub_targets:
+        edges.add((0, int(t)))
+    return WeightedGraph.from_edges(range(n), sorted(edges))

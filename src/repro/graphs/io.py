@@ -1,0 +1,90 @@
+"""Serialization of weighted graphs.
+
+Two formats:
+
+* a human-readable text format (``.wg``): header line ``n m``, then ``n``
+  lines ``node weight``, then ``m`` lines ``u v``;
+* JSON, for embedding instances in experiment manifests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import GraphFormatError
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["dumps", "loads", "save", "load", "to_json", "from_json"]
+
+
+def dumps(g: WeightedGraph) -> str:
+    """Serialize ``g`` to the text format."""
+    lines = [f"{g.n} {g.m}"]
+    for v in g.nodes:
+        lines.append(f"{v} {g.weight(v)!r}")
+    for u, v in g.edges():
+        lines.append(f"{u} {v}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str) -> WeightedGraph:
+    """Parse the text format produced by :func:`dumps`."""
+    raw = [ln for ln in text.splitlines() if ln.strip() and not ln.startswith("#")]
+    if not raw:
+        raise GraphFormatError("empty graph document")
+    try:
+        n, m = (int(x) for x in raw[0].split())
+    except ValueError as exc:
+        raise GraphFormatError(f"bad header line: {raw[0]!r}") from exc
+    if len(raw) != 1 + n + m:
+        raise GraphFormatError(
+            f"expected {1 + n + m} lines for n={n}, m={m}; got {len(raw)}"
+        )
+    weights = {}
+    nodes = []
+    for ln in raw[1:1 + n]:
+        parts = ln.split()
+        if len(parts) != 2:
+            raise GraphFormatError(f"bad node line: {ln!r}")
+        v = int(parts[0])
+        nodes.append(v)
+        weights[v] = float(parts[1])
+    edges = []
+    for ln in raw[1 + n:]:
+        parts = ln.split()
+        if len(parts) != 2:
+            raise GraphFormatError(f"bad edge line: {ln!r}")
+        edges.append((int(parts[0]), int(parts[1])))
+    return WeightedGraph.from_edges(nodes, edges, weights)
+
+
+def save(g: WeightedGraph, path: Union[str, Path]) -> None:
+    """Write ``g`` to ``path`` in the text format."""
+    Path(path).write_text(dumps(g))
+
+
+def load(path: Union[str, Path]) -> WeightedGraph:
+    """Read a graph from ``path`` (text format)."""
+    return loads(Path(path).read_text())
+
+
+def to_json(g: WeightedGraph) -> str:
+    """Serialize ``g`` as a JSON object."""
+    return json.dumps({
+        "nodes": [[v, g.weight(v)] for v in g.nodes],
+        "edges": [[u, v] for u, v in g.edges()],
+    })
+
+
+def from_json(text: str) -> WeightedGraph:
+    """Parse the JSON produced by :func:`to_json`."""
+    try:
+        doc = json.loads(text)
+        nodes = [int(v) for v, _ in doc["nodes"]]
+        weights = {int(v): float(w) for v, w in doc["nodes"]}
+        edges = [(int(u), int(v)) for u, v in doc["edges"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphFormatError(f"bad JSON graph document: {exc}") from exc
+    return WeightedGraph.from_edges(nodes, edges, weights)

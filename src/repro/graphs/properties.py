@@ -1,0 +1,137 @@
+"""Structural graph properties used for workload characterisation."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "complement",
+    "degree_histogram",
+    "average_degree",
+    "connected_components",
+    "is_connected",
+    "bfs_distances",
+    "diameter",
+    "GraphSummary",
+    "summarize",
+]
+
+
+def complement(g: WeightedGraph) -> WeightedGraph:
+    """The complement graph (same nodes and weights, inverted adjacency).
+
+    Independent sets of ``g`` are exactly the cliques of ``complement(g)``
+    — used by the property tests to cross-check the exact solver.
+    """
+    nodes = g.nodes
+    node_set = set(nodes)
+    adj = {
+        v: tuple(sorted(node_set - set(g.neighbors(v)) - {v}))
+        for v in nodes
+    }
+    return WeightedGraph(adj, g.weights, _skip_validation=True)
+
+
+def degree_histogram(g: WeightedGraph) -> Dict[int, int]:
+    """Mapping ``degree -> count``."""
+    hist: Dict[int, int] = {}
+    for v in g.nodes:
+        d = g.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def average_degree(g: WeightedGraph) -> float:
+    """``2m / n``; 0 for the empty graph."""
+    return 2.0 * g.m / g.n if g.n else 0.0
+
+
+def connected_components(g: WeightedGraph) -> List[Set[int]]:
+    """Connected components, each as a set of node ids."""
+    seen: Set[int] = set()
+    out: List[Set[int]] = []
+    for start in g.nodes:
+        if start in seen:
+            continue
+        comp = {start}
+        queue = deque([start])
+        seen.add(start)
+        while queue:
+            v = queue.popleft()
+            for u in g.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    comp.add(u)
+                    queue.append(u)
+        out.append(comp)
+    return out
+
+
+def is_connected(g: WeightedGraph) -> bool:
+    """True iff the graph has exactly one connected component (or is empty)."""
+    if g.n == 0:
+        return True
+    return len(connected_components(g)) == 1
+
+
+def bfs_distances(g: WeightedGraph, source: int) -> Dict[int, int]:
+    """Hop distances from ``source`` to every reachable node."""
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        for u in g.neighbors(v):
+            if u not in dist:
+                dist[u] = dist[v] + 1
+                queue.append(u)
+    return dist
+
+
+def diameter(g: WeightedGraph) -> int:
+    """Exact diameter via all-sources BFS (intended for small graphs).
+
+    Raises ``ValueError`` on a disconnected or empty graph.
+    """
+    if g.n == 0:
+        raise ValueError("diameter of the empty graph is undefined")
+    best = 0
+    for v in g.nodes:
+        dist = bfs_distances(g, v)
+        if len(dist) != g.n:
+            raise ValueError("diameter is undefined for disconnected graphs")
+        best = max(best, max(dist.values()))
+    return best
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-line workload characterisation used in experiment reports."""
+
+    n: int
+    m: int
+    max_degree: int
+    avg_degree: float
+    total_weight: float
+    max_weight: float
+    components: int
+
+    def as_row(self) -> Tuple:
+        return (self.n, self.m, self.max_degree, round(self.avg_degree, 2),
+                round(self.total_weight, 2), round(self.max_weight, 2), self.components)
+
+
+def summarize(g: WeightedGraph) -> GraphSummary:
+    """Compute a :class:`GraphSummary` for ``g``."""
+    return GraphSummary(
+        n=g.n,
+        m=g.m,
+        max_degree=g.max_degree,
+        avg_degree=average_degree(g),
+        total_weight=g.total_weight(),
+        max_weight=g.max_weight(),
+        components=len(connected_components(g)),
+    )

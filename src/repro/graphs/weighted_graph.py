@@ -1,0 +1,248 @@
+"""Core graph data structure: an immutable node-weighted undirected graph.
+
+The whole library operates on :class:`WeightedGraph`.  It is deliberately
+self-contained (no networkx in the hot path) so that simulations are
+deterministic and fast; converters to and from ``networkx`` are provided for
+interoperability and for the flow-based arboricity computation.
+
+Node identifiers are arbitrary non-negative integers.  Induced subgraphs keep
+the original identifiers, which is essential for the paper's phase-based
+algorithms (the same physical node participates in many sub-simulations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+
+__all__ = ["WeightedGraph"]
+
+
+class WeightedGraph:
+    """An undirected graph with non-negative node weights.
+
+    Instances are immutable: all "mutating" operations (reweighting, taking
+    subgraphs) return new graphs.  Adjacency lists are stored as sorted
+    tuples, so iteration order is deterministic everywhere.
+    """
+
+    __slots__ = ("_adj", "_weights", "_m", "_nbr_sets")
+
+    def __init__(
+        self,
+        adjacency: Mapping[int, Iterable[int]],
+        weights: Optional[Mapping[int, float]] = None,
+        *,
+        _skip_validation: bool = False,
+    ):
+        adj: Dict[int, Tuple[int, ...]] = {
+            int(v): tuple(sorted(set(int(u) for u in nbrs)))
+            for v, nbrs in adjacency.items()
+        }
+        if not _skip_validation:
+            _validate_adjacency(adj)
+        self._adj = adj
+        if weights is None:
+            self._weights = {v: 1.0 for v in adj}
+        else:
+            w = {int(v): float(weights[v]) for v in adj}
+            bad = [v for v, x in w.items() if x < 0 or x != x]  # negative or NaN
+            if bad:
+                raise GraphError(f"negative or NaN weights on nodes {bad[:5]}")
+            self._weights = w
+        self._m = sum(len(nbrs) for nbrs in adj.values()) // 2
+        self._nbr_sets: Optional[Dict[int, frozenset]] = None
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(
+        cls,
+        nodes: Iterable[int],
+        edges: Iterable[Tuple[int, int]],
+        weights: Optional[Mapping[int, float]] = None,
+    ) -> "WeightedGraph":
+        """Build a graph from an explicit node set and edge list."""
+        adj: Dict[int, list] = {int(v): [] for v in nodes}
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise GraphError(f"self loop on node {u}")
+            if u not in adj or v not in adj:
+                raise GraphError(f"edge ({u}, {v}) references unknown node")
+            adj[u].append(v)
+            adj[v].append(u)
+        return cls(adj, weights, _skip_validation=True)
+
+    @classmethod
+    def empty(cls, n: int) -> "WeightedGraph":
+        """An edgeless graph on nodes ``0 .. n-1`` with unit weights."""
+        return cls({v: () for v in range(n)}, _skip_validation=True)
+
+    @classmethod
+    def from_networkx(cls, g, weight_attr: str = "weight") -> "WeightedGraph":
+        """Convert from a ``networkx`` graph; missing weights default to 1."""
+        adj = {int(v): [int(u) for u in g.neighbors(v)] for v in g.nodes}
+        weights = {int(v): float(g.nodes[v].get(weight_attr, 1.0)) for v in g.nodes}
+        return cls(adj, weights)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges."""
+        return self._m
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """All node ids, sorted ascending."""
+        return tuple(sorted(self._adj))
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over edges as ``(u, v)`` with ``u < v``, sorted."""
+        for u in sorted(self._adj):
+            for v in self._adj[u]:
+                if u < v:
+                    yield (u, v)
+
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Sorted tuple of neighbours of ``v``."""
+        return self._adj[v]
+
+    def inclusive_neighbors(self, v: int) -> Tuple[int, ...]:
+        """``N+(v) = N(v) ∪ {v}`` as used throughout the paper."""
+        return tuple(sorted(self._adj[v] + (v,)))
+
+    def degree(self, v: int) -> int:
+        return len(self._adj[v])
+
+    def has_node(self, v: int) -> bool:
+        return v in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if self._nbr_sets is None:
+            self._nbr_sets = {x: frozenset(nbrs) for x, nbrs in self._adj.items()}
+        return v in self._nbr_sets.get(u, frozenset())
+
+    def weight(self, v: int) -> float:
+        return self._weights[v]
+
+    @property
+    def weights(self) -> Dict[int, float]:
+        """A copy of the node-weight mapping."""
+        return dict(self._weights)
+
+    def total_weight(self, nodes: Optional[Iterable[int]] = None) -> float:
+        """``w(V')`` — sum of weights over ``nodes`` (default: all nodes)."""
+        if nodes is None:
+            return sum(self._weights.values())
+        return sum(self._weights[v] for v in nodes)
+
+    @property
+    def max_degree(self) -> int:
+        """``Δ`` — the maximum degree; 0 for the empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def max_weight(self) -> float:
+        """``W`` — the maximum node weight; 0 for the empty graph."""
+        if not self._weights:
+            return 0.0
+        return max(self._weights.values())
+
+    def weighted_degree(self, v: int) -> float:
+        """``w(N(v))`` — the paper's *weighted degree* (§4.2)."""
+        return sum(self._weights[u] for u in self._adj[v])
+
+    # ------------------------------------------------------------------ #
+    # derived graphs
+    # ------------------------------------------------------------------ #
+
+    def induced_subgraph(self, nodes: Iterable[int]) -> "WeightedGraph":
+        """Subgraph induced by ``nodes``; original ids and weights are kept."""
+        keep = set(nodes)
+        unknown = keep - set(self._adj)
+        if unknown:
+            raise GraphError(f"unknown nodes in induced_subgraph: {sorted(unknown)[:5]}")
+        adj = {
+            v: tuple(u for u in self._adj[v] if u in keep)
+            for v in keep
+        }
+        weights = {v: self._weights[v] for v in keep}
+        return WeightedGraph(adj, weights, _skip_validation=True)
+
+    def with_weights(self, weights: Mapping[int, float]) -> "WeightedGraph":
+        """Same topology with a different weight function (paper's ``G_w'``)."""
+        return WeightedGraph(self._adj, weights, _skip_validation=True)
+
+    def with_unit_weights(self) -> "WeightedGraph":
+        """Same topology, all weights set to 1 (the unweighted view)."""
+        return WeightedGraph(self._adj, {v: 1.0 for v in self._adj}, _skip_validation=True)
+
+    def relabeled(self) -> Tuple["WeightedGraph", Dict[int, int]]:
+        """Relabel nodes to ``0..n-1``; returns ``(graph, old_id -> new_id)``."""
+        mapping = {old: new for new, old in enumerate(self.nodes)}
+        adj = {
+            mapping[v]: tuple(sorted(mapping[u] for u in self._adj[v]))
+            for v in self._adj
+        }
+        weights = {mapping[v]: self._weights[v] for v in self._adj}
+        return WeightedGraph(adj, weights, _skip_validation=True), mapping
+
+    def to_networkx(self):
+        """Convert to a ``networkx.Graph`` with a ``weight`` node attribute."""
+        import networkx as nx
+
+        g = nx.Graph()
+        for v in self.nodes:
+            g.add_node(v, weight=self._weights[v])
+        g.add_edges_from(self.edges())
+        return g
+
+    # ------------------------------------------------------------------ #
+    # dunder
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.nodes)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, WeightedGraph):
+            return NotImplemented
+        return self._adj == other._adj and self._weights == other._weights
+
+    def __hash__(self):
+        raise TypeError("WeightedGraph is not hashable; compare explicitly")
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={self.n}, m={self.m}, max_degree={self.max_degree})"
+
+
+def _validate_adjacency(adj: Mapping[int, Sequence[int]]) -> None:
+    for v, nbrs in adj.items():
+        if v < 0:
+            raise GraphError(f"negative node id {v}")
+        for u in nbrs:
+            if u == v:
+                raise GraphError(f"self loop on node {v}")
+            if u not in adj:
+                raise GraphError(f"edge ({v}, {u}) references unknown node {u}")
+            if v not in adj[u]:
+                raise GraphError(f"asymmetric adjacency between {v} and {u}")

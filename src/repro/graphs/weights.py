@@ -1,0 +1,97 @@
+"""Weight-assignment schemes for MaxIS experiments.
+
+The paper's weighted results are sensitive to the *shape* of the weight
+distribution (``W`` can be ``poly(n)``; the sparsification ablation needs
+adversarially skewed weights), so the experiment suite draws from several
+named schemes.  Every scheme returns a new :class:`WeightedGraph` with the
+same topology.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = [
+    "unit_weights",
+    "uniform_weights",
+    "integer_weights",
+    "polynomial_weights",
+    "exponential_weights",
+    "degree_proportional_weights",
+    "skewed_heavy_set",
+]
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _rng(seed: RngLike) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def unit_weights(g: WeightedGraph) -> WeightedGraph:
+    """All weights 1 (the unweighted case)."""
+    return g.with_unit_weights()
+
+
+def uniform_weights(g: WeightedGraph, low: float = 0.0, high: float = 1.0,
+                    seed: RngLike = None) -> WeightedGraph:
+    """I.i.d. uniform weights in ``[low, high)``."""
+    rng = _rng(seed)
+    return g.with_weights({v: float(rng.uniform(low, high)) for v in g.nodes})
+
+
+def integer_weights(g: WeightedGraph, w_max: int, seed: RngLike = None) -> WeightedGraph:
+    """I.i.d. integer weights in ``{1, ..., w_max}``.
+
+    This is the paper's setting for the Bar-Yehuda et al. baseline, whose
+    round complexity carries a ``log W`` factor.
+    """
+    if w_max < 1:
+        raise GraphError(f"w_max must be >= 1, got {w_max}")
+    rng = _rng(seed)
+    return g.with_weights({v: float(rng.integers(1, w_max + 1)) for v in g.nodes})
+
+
+def polynomial_weights(g: WeightedGraph, exponent: float = 2.0, seed: RngLike = None) -> WeightedGraph:
+    """Integer weights up to ``W = n^exponent`` (the paper's ``W = poly(n)``)."""
+    w_max = max(1, int(round(g.n ** exponent)))
+    return integer_weights(g, w_max, seed)
+
+
+def exponential_weights(g: WeightedGraph, scale: float = 1.0, seed: RngLike = None) -> WeightedGraph:
+    """I.i.d. exponential weights — a heavy-ish tail with W >> median."""
+    rng = _rng(seed)
+    return g.with_weights({v: float(rng.exponential(scale)) + 1e-12 for v in g.nodes})
+
+
+def degree_proportional_weights(g: WeightedGraph, offset: float = 1.0) -> WeightedGraph:
+    """Weight = degree + offset: correlates value with conflict."""
+    return g.with_weights({v: float(g.degree(v)) + offset for v in g.nodes})
+
+
+def skewed_heavy_set(g: WeightedGraph, fraction: float = 0.01,
+                     heavy: float = 1e6, light: float = 1.0,
+                     seed: RngLike = None) -> WeightedGraph:
+    """A tiny random fraction of nodes carries almost all the weight.
+
+    The adversarial instance for *unweighted* (uniform-probability)
+    sparsification: sampling must use the ``w(v)/wmax(v)`` boost term
+    (§4.2) or it misses the heavy nodes.  Used in the E10 ablation.
+    """
+    if not 0 < fraction <= 1:
+        raise GraphError(f"fraction must be in (0, 1], got {fraction}")
+    rng = _rng(seed)
+    k = max(1, int(round(fraction * g.n)))
+    heavy_nodes = set(
+        int(v) for v in rng.choice(np.array(g.nodes), size=k, replace=False)
+    )
+    return g.with_weights(
+        {v: heavy if v in heavy_nodes else light for v in g.nodes}
+    )

@@ -1,0 +1,18 @@
+"""Theorem 4's lower-bound machinery: the cycle-of-cliques reduction
+(Algorithm 7, Figure 1) and the log* arithmetic."""
+
+from repro.lowerbound.gaps import components_after_removal, gap_lengths, max_gap
+from repro.lowerbound.log_star import iterated_log, log_star, tower
+from repro.lowerbound.reduction import ISApproximation, RandMISOutcome, rand_mis
+
+__all__ = [
+    "gap_lengths",
+    "max_gap",
+    "components_after_removal",
+    "log_star",
+    "iterated_log",
+    "tower",
+    "rand_mis",
+    "RandMISOutcome",
+    "ISApproximation",
+]

@@ -1,0 +1,69 @@
+"""Gap analysis on cycles (§7).
+
+Given an independent set ``I`` of the ``n``-cycle, the *gaps* are the runs
+of consecutive cycle nodes strictly between consecutive members of ``I``.
+The reduction's runtime is governed by the maximum gap: the paper shows
+that a correct ``Ω(n/Δ)``-size approximation on the cycle of cliques leaves
+only ``O(T)``-length gaps, which a sequential fill closes in ``O(T)`` rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["gap_lengths", "max_gap", "components_after_removal"]
+
+
+def gap_lengths(n: int, independent_set: Iterable[int]) -> List[int]:
+    """Circular gap lengths between consecutive IS members on the n-cycle.
+
+    Returns one entry per IS member (the run of non-members following it
+    clockwise); ``[n]`` when the set is empty.
+    """
+    members = sorted(set(independent_set))
+    if not members:
+        return [n]
+    for v in members:
+        if not 0 <= v < n:
+            raise ValueError(f"node {v} outside cycle of length {n}")
+    gaps = []
+    for i, v in enumerate(members):
+        nxt = members[(i + 1) % len(members)]
+        distance = (nxt - v) % n if len(members) > 1 else n
+        gaps.append(distance - 1)
+    return gaps
+
+
+def max_gap(n: int, independent_set: Iterable[int]) -> int:
+    """Largest circular gap (``n`` for the empty set)."""
+    return max(gap_lengths(n, independent_set))
+
+
+def components_after_removal(n: int, removed: Iterable[int]) -> List[List[int]]:
+    """Connected components of the n-cycle after deleting ``removed``.
+
+    These are the paths the reduction's sequential MIS fill runs on
+    (``C2 = C \\ J`` in Algorithm 7).
+    """
+    removed_set = set(removed)
+    alive = [v for v in range(n) if v not in removed_set]
+    if not alive:
+        return []
+    if not removed_set:
+        return [list(range(n))]
+    components: List[List[int]] = []
+    current: List[int] = []
+    for v in range(n):
+        if v in removed_set:
+            if current:
+                components.append(current)
+                current = []
+        else:
+            current.append(v)
+    if current:
+        # Wrap around: the last run may join the first one.
+        if components and components[0][0] == 0 and (n - 1) not in removed_set:
+            components[0] = current + components[0]
+        else:
+            components.append(current)
+    return components

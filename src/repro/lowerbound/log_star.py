@@ -1,0 +1,43 @@
+"""The iterated logarithm ``log* n`` and the paper's ``log^(b)`` tower.
+
+Theorem 4's bound is ``Ω(log* n)``; Theorem 13 uses the recursively
+defined ``log^(b)(x)`` (``log^(0)(x) = x``, ``log^(b) = log ∘ log^(b-1)``).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["log_star", "iterated_log", "tower"]
+
+
+def log_star(n: float, base: float = 2.0) -> int:
+    """``log* n``: how many times ``log`` must be applied to reach <= 1."""
+    if n <= 1:
+        return 0
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        x = math.log(x, base)
+        count += 1
+    return count
+
+
+def iterated_log(n: float, b: int, base: float = 2.0) -> float:
+    """``log^(b)(n)``: ``b``-fold composition of ``log`` (Theorem 13)."""
+    x = float(n)
+    for _ in range(b):
+        if x <= 0:
+            return float("-inf")
+        x = math.log(x, base)
+    return x
+
+
+def tower(height: int, base: float = 2.0) -> float:
+    """``base^base^...`` of the given height — inverse of ``log*``."""
+    x = 1.0
+    for _ in range(height):
+        if x > 900:  # base**x would overflow a double
+            return float("inf")
+        x = base ** x
+    return x

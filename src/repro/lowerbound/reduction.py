@@ -1,0 +1,127 @@
+"""Algorithm 7: the RandMIS reduction behind Theorem 4 (§7, Figure 1).
+
+Given an ``n0``-cycle ``C`` and a black-box IS-approximation algorithm
+``A``, RandMIS:
+
+1. builds the cycle of cliques ``C1`` (``n0`` cliques of size ``n1``) and
+   runs ``A`` on it (in the real model this is *simulated* on ``C`` — each
+   cycle node simulates its whole clique; the paper's Proposition 10);
+2. maps the found set ``I1`` back to ``I ⊆ C`` (``u_i`` joins iff its
+   clique contains an ``I1`` node);
+3. removes ``I`` and its neighbours and fills each remaining path with a
+   sequential greedy MIS.
+
+The output is a maximal independent set of ``C``; the *effective round
+cost* is ``T(n0·n1)`` for the simulated call plus the maximum component
+length for the fill — so if ``A`` were ``o(log* n)``, MIS on the cycle
+would be too, contradicting Naor's bound (Theorem 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Union
+
+import numpy as np
+
+from repro.core.verify import assert_independent, assert_maximal_independent_set
+from repro.exceptions import VerificationError
+from repro.graphs.cliques import CycleOfCliques, cycle_of_cliques
+from repro.graphs.generators import cycle
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.lowerbound.gaps import components_after_removal, gap_lengths, max_gap
+from repro.mis.sequential import greedy_mis
+from repro.results import AlgorithmResult
+
+__all__ = ["RandMISOutcome", "rand_mis"]
+
+# Black box: an IS approximation run on a graph, returning an AlgorithmResult.
+ISApproximation = Callable[..., AlgorithmResult]
+
+
+@dataclass(frozen=True)
+class RandMISOutcome:
+    """Everything Algorithm 7 produced, for both use and measurement."""
+
+    mis: FrozenSet[int]                  # maximal independent set of C
+    projected: FrozenSet[int]            # I — the projection of I1 onto C
+    inner_set_size: int                  # |I1| on C1
+    inner_rounds: int                    # T — rounds A spent on C1
+    fill_rounds: int                     # max component length of C \ J
+    gaps: List[int]                      # circular gaps of I in C
+    n0: int
+    n1: int
+
+    @property
+    def effective_rounds(self) -> int:
+        """Simulated cost on C: the A call plus the sequential fill."""
+        return self.inner_rounds + self.fill_rounds
+
+
+def rand_mis(
+    n0: int,
+    inner: ISApproximation,
+    *,
+    n1: Optional[int] = None,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    check: bool = True,
+) -> RandMISOutcome:
+    """Run Algorithm 7 on the ``n0``-cycle.
+
+    Args:
+        n0: cycle length.
+        inner: the approximation black box ``A``; called as
+            ``inner(C1_graph, seed=...)``.  (The paper's hard instances use
+            ``n1 ≈ 2^{n0}``; any ``n1 >= 3`` exercises the construction —
+            larger ``n1`` boosts ``A``'s local success probability.)
+        n1: clique size (default ``2 * n0``, big enough that the clique
+            dominates the neighbourhood structure at test scale).
+        seed: forwarded to the black box.
+        check: verify independence/maximality of every intermediate set.
+
+    Returns:
+        A :class:`RandMISOutcome` with the MIS of ``C`` and the cost split.
+    """
+    if n1 is None:
+        n1 = 2 * n0
+    instance: CycleOfCliques = cycle_of_cliques(n0, n1)
+    c1 = instance.graph
+
+    inner_result = inner(c1, seed=seed)
+    i1 = inner_result.independent_set
+    if check:
+        assert_independent(c1, i1)
+
+    projected = instance.project_independent_set(i1)
+    cycle_graph = cycle(n0)
+    if check:
+        # Projection of an independent set of C1 is independent in C
+        # (adjacent cliques form a biclique, Lemma 9).
+        assert_independent(cycle_graph, projected)
+
+    # J = I plus its cycle neighbours; fill each remaining path greedily.
+    j = set(projected)
+    for v in projected:
+        j.update(cycle_graph.neighbors(v))
+    components = components_after_removal(n0, j)
+    mis = set(projected)
+    fill_rounds = 0
+    for comp in components:
+        fill_rounds = max(fill_rounds, len(comp))
+        sub = cycle_graph.induced_subgraph(comp)
+        mis.update(greedy_mis(sub))
+
+    mis_frozen = frozenset(mis)
+    if check:
+        assert_maximal_independent_set(cycle_graph, mis_frozen)
+
+    return RandMISOutcome(
+        mis=mis_frozen,
+        projected=projected,
+        inner_set_size=len(i1),
+        inner_rounds=inner_result.rounds,
+        fill_rounds=fill_rounds,
+        gaps=gap_lengths(n0, projected),
+        n0=n0,
+        n1=n1,
+    )

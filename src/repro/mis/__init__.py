@@ -1,0 +1,33 @@
+"""MIS black boxes: the ``MIS(n, Δ)`` primitives the paper composes with."""
+
+from repro.mis.coloring_based import ColorSweepMIS, coloring_mis
+from repro.mis.deterministic import LocalMinimaMIS
+from repro.mis.ghaffari import GhaffariMIS
+from repro.mis.interface import (
+    MIS_BLACKBOXES,
+    MISBlackBox,
+    get_mis_blackbox,
+    ghaffari_mis,
+    local_minima_mis,
+    luby_mis,
+    run_mis,
+)
+from repro.mis.luby import LubyMIS
+from repro.mis.sequential import greedy_mis, random_order_mis
+
+__all__ = [
+    "LubyMIS",
+    "GhaffariMIS",
+    "LocalMinimaMIS",
+    "ColorSweepMIS",
+    "coloring_mis",
+    "MISBlackBox",
+    "MIS_BLACKBOXES",
+    "get_mis_blackbox",
+    "run_mis",
+    "luby_mis",
+    "ghaffari_mis",
+    "local_minima_mis",
+    "greedy_mis",
+    "random_order_mis",
+]

@@ -1,0 +1,53 @@
+"""Deterministic MIS by iterated local minima.
+
+The classic identifier-greedy rule: in every phase, an active node whose id
+is smaller than all its active neighbours' ids joins the MIS.  Two rounds
+per phase with the same silent-neighbour discipline as the other black
+boxes.  Worst-case ``O(n)`` rounds (a path with sorted ids), but it is the
+simplest *deterministic* CONGEST MIS, which is exactly what Theorem 1 needs
+as a black box — the theorem's round bound is stated in units of
+``MIS(n, Δ)``, whatever that black box costs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+
+__all__ = ["LocalMinimaMIS"]
+
+_ALIVE = 0
+_IN = 1
+
+
+class LocalMinimaMIS(NodeAlgorithm):
+    """Node program for the deterministic local-minima MIS.
+
+    Halt output is ``True`` (in the MIS) or ``False``.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if ctx.degree == 0:
+            ctx.halt(True)
+            return
+        ctx.broadcast((_ALIVE, ctx.node_id))
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if ctx.round_index % 2 == 1:
+            self._decide(ctx, inbox)
+        else:
+            self._alive_round(ctx, inbox)
+
+    def _alive_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if any(msg[0] == _IN for msg in inbox.values()):
+            ctx.halt(False)
+            return
+        ctx.broadcast((_ALIVE, ctx.node_id))
+
+    def _decide(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        alive_ids = [msg[1] for msg in inbox.values() if msg[0] == _ALIVE]
+        if all(ctx.node_id < other for other in alive_ids):
+            ctx.broadcast((_IN,))
+            ctx.halt(True)

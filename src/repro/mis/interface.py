@@ -1,0 +1,115 @@
+"""Driver functions and the MIS black-box registry.
+
+The paper treats MIS as a black box (``MIS(n, Δ)`` rounds).  Everything in
+:mod:`repro.core` that needs an MIS takes a black box with the uniform
+signature ``blackbox(graph, *, seed=None, policy=None, n_bound=None,
+max_rounds=None) -> AlgorithmResult`` so implementations can be swapped —
+that swap is itself an experiment (E10d).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional, Type, Union
+
+import numpy as np
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.mis.coloring_based import coloring_mis
+from repro.mis.deterministic import LocalMinimaMIS
+from repro.mis.ghaffari import GhaffariMIS
+from repro.mis.luby import LubyMIS
+from repro.results import AlgorithmResult
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import run
+
+__all__ = [
+    "MISBlackBox",
+    "run_mis",
+    "luby_mis",
+    "ghaffari_mis",
+    "local_minima_mis",
+    "coloring_mis",
+    "MIS_BLACKBOXES",
+    "get_mis_blackbox",
+]
+
+MISBlackBox = Callable[..., AlgorithmResult]
+
+SeedLike = Union[int, None, np.random.SeedSequence]
+
+
+def _default_round_limit(n: int, deterministic: bool) -> int:
+    if deterministic:
+        return 4 * n + 64
+    return 400 * (int(math.log2(max(2, n))) + 1) + 1000
+
+
+def run_mis(
+    graph: WeightedGraph,
+    algorithm_cls: Type[NodeAlgorithm],
+    *,
+    seed: SeedLike = None,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+    max_rounds: Optional[int] = None,
+    deterministic: bool = False,
+) -> AlgorithmResult:
+    """Run a node-program MIS to completion and collect its output set."""
+    if graph.n == 0:
+        from repro.simulator.metrics import RunMetrics
+
+        return AlgorithmResult(frozenset(), RunMetrics(), {"algorithm": algorithm_cls.__name__})
+    network = Network.of(graph, n_bound)
+    limit = max_rounds if max_rounds is not None else _default_round_limit(graph.n, deterministic)
+    result = run(
+        network,
+        algorithm_cls,
+        policy=policy,
+        seed=seed,
+        max_rounds=limit,
+    )
+    mis = frozenset(v for v, out in result.outputs.items() if out)
+    return AlgorithmResult(
+        independent_set=mis,
+        metrics=result.metrics,
+        metadata={"algorithm": algorithm_cls.__name__, "n_bound": result.n_bound},
+    )
+
+
+def luby_mis(graph: WeightedGraph, **kwargs) -> AlgorithmResult:
+    """Randomized ``O(log n)``-round MIS (random-priority Luby variant)."""
+    return run_mis(graph, LubyMIS, **kwargs)
+
+
+def ghaffari_mis(graph: WeightedGraph, **kwargs) -> AlgorithmResult:
+    """Ghaffari's desire-level MIS — the fast black box for Theorem 2."""
+    return run_mis(graph, GhaffariMIS, **kwargs)
+
+
+def local_minima_mis(graph: WeightedGraph, **kwargs) -> AlgorithmResult:
+    """Deterministic iterated-local-minima MIS — the black box for Theorem 1."""
+    kwargs.setdefault("deterministic", True)
+    return run_mis(graph, LocalMinimaMIS, **kwargs)
+
+
+MIS_BLACKBOXES: Dict[str, MISBlackBox] = {
+    "luby": luby_mis,
+    "ghaffari": ghaffari_mis,
+    "deterministic": local_minima_mis,
+    "coloring": coloring_mis,
+}
+
+
+def get_mis_blackbox(which: Union[str, MISBlackBox]) -> MISBlackBox:
+    """Resolve a black box by registry name, or pass a callable through."""
+    if callable(which):
+        return which
+    try:
+        return MIS_BLACKBOXES[which]
+    except KeyError:
+        raise KeyError(
+            f"unknown MIS black box {which!r}; known: {sorted(MIS_BLACKBOXES)}"
+        ) from None

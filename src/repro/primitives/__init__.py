@@ -1,0 +1,10 @@
+"""Global CONGEST primitives (BFS tree, convergecast, flooding) used by
+the §8 coloring-to-MaxIS discussion (experiment E11)."""
+
+from repro.primitives.bfs import AGGREGATIONS, BFSResult, bfs_tree, flood_value
+from repro.primitives.h_partition import HPartition, HPartitionProtocol, h_partition
+
+__all__ = [
+    "bfs_tree", "BFSResult", "flood_value", "AGGREGATIONS",
+    "h_partition", "HPartition", "HPartitionProtocol",
+]

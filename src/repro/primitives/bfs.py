@@ -1,0 +1,214 @@
+"""Global CONGEST primitives: BFS tree, convergecast, flooding.
+
+§8 of the paper observes that turning a ``(Δ+1)``-colouring into a MaxIS
+approximation requires finding the maximum-weight colour class, which
+costs ``Ω(D)`` rounds (``D`` = diameter).  To *measure* that obstruction
+(experiment E11) we need the classic global toolkit:
+
+* :func:`bfs_tree` — build a BFS tree from a root and simultaneously
+  convergecast an aggregate to it (rounds ``≈ 2·depth + O(1)``);
+* :func:`flood_value` — broadcast a value from a root (rounds = eccentricity).
+
+Both are textbook CONGEST algorithms with ``O(log n)``-bit messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.properties import is_connected
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import run
+
+__all__ = ["BFSResult", "bfs_tree", "flood_value", "AGGREGATIONS"]
+
+_LVL = 0
+_AGG = 1
+_VAL = 2
+
+AGGREGATIONS: Dict[str, Tuple[Callable[[float, float], float], float]] = {
+    "sum": (lambda a, b: a + b, 0.0),
+    "max": (lambda a, b: max(a, b), float("-inf")),
+    "min": (lambda a, b: min(a, b), float("inf")),
+}
+
+
+class _BFSConvergecast(NodeAlgorithm):
+    """Build the BFS tree and converge-cast an aggregate to the root.
+
+    Protocol: the root announces level 0; a node adopts ``min level + 1``
+    from the first announcements it hears (parent = smallest id among
+    minimum-level announcers) and re-announces, flagging the parent copy.
+    Two rounds after announcing, a node knows its exact child set; once
+    all children have reported their partial aggregates, it reports to its
+    parent and halts with ``(parent, level)``.  The root halts with
+    ``("root", level=0, aggregate)``.
+    """
+
+    def __init__(self, root: int, values: Mapping[int, float], op: str) -> None:
+        if op not in AGGREGATIONS:
+            raise ValueError(f"unknown aggregation {op!r}; known: {sorted(AGGREGATIONS)}")
+        self._root = root
+        self._values = values
+        self._combine, self._identity = AGGREGATIONS[op]
+        self._level: Optional[int] = None
+        self._parent: Optional[int] = None
+        self._announced_at: Optional[int] = None
+        self._children: Optional[set] = None
+        self._partial: float = self._identity
+        self._pending: Optional[set] = None
+        self._reported = False
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._partial = self._combine(self._identity, self._values[ctx.node_id])
+        if ctx.node_id == self._root:
+            self._level = 0
+            self._announced_at = 0
+            for u in ctx.neighbors:
+                ctx.send(u, (_LVL, 0, False))
+            if ctx.degree == 0:
+                ctx.halt(("root", 0, self._partial))
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        announcements = [(msg[1], sender) for sender, msg in inbox.items()
+                         if msg[0] == _LVL]
+
+        if self._level is None and announcements:
+            lvl, parent = min(announcements)
+            self._level = lvl + 1
+            self._parent = parent
+            self._announced_at = ctx.round_index
+            for u in ctx.neighbors:
+                ctx.send(u, (_LVL, self._level, u == parent))
+
+        # Every neighbour announces by announced_at + 1, so child flags
+        # (the parent-directed copies) all land at exactly announced_at + 2.
+        if (self._children is None and self._announced_at is not None
+                and ctx.round_index == self._announced_at + 2):
+            self._children = {sender for sender, msg in inbox.items()
+                              if msg[0] == _LVL and msg[2]}
+            self._pending = set(self._children)
+
+        for sender, msg in inbox.items():
+            if msg[0] == _AGG:
+                # Aggregates arrive only after the child set is known: a
+                # child reports at its announced_at + 2 at the earliest,
+                # one full round after ours.
+                self._partial = self._combine(self._partial, msg[1])
+                self._pending.discard(sender)
+
+        if (self._pending is not None and not self._pending
+                and not self._reported):
+            self._reported = True
+            if ctx.node_id == self._root:
+                ctx.halt(("root", 0, self._partial))
+            else:
+                ctx.send(self._parent, (_AGG, self._partial))
+                ctx.halt((self._parent, self._level))
+
+
+@dataclass(frozen=True)
+class BFSResult:
+    """BFS tree plus the converged aggregate."""
+
+    root: int
+    parent: Dict[int, int]       # non-root nodes -> parent id
+    level: Dict[int, int]
+    aggregate: float
+    metrics: RunMetrics
+
+    @property
+    def depth(self) -> int:
+        return max(self.level.values(), default=0)
+
+
+def bfs_tree(
+    graph: WeightedGraph,
+    root: int,
+    *,
+    values: Optional[Mapping[int, float]] = None,
+    op: str = "sum",
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> BFSResult:
+    """Build a BFS tree from ``root`` and aggregate ``values`` to it.
+
+    Args:
+        graph: a *connected* graph (raises on disconnected input — the
+            flood would never reach the far component).
+        root: root node id.
+        values: per-node contributions (default: node weights).
+        op: ``"sum"`` | ``"max"`` | ``"min"``.
+
+    Returns:
+        :class:`BFSResult`; ``metrics.rounds ≈ 2·depth + O(1)``, the Θ(D)
+        cost the paper's §8 discussion is about.
+    """
+    if not graph.has_node(root):
+        raise GraphError(f"root {root} not in graph")
+    if not is_connected(graph):
+        raise GraphError("bfs_tree requires a connected graph")
+    vals = dict(values) if values is not None else graph.weights
+
+    result = run(
+        Network.of(graph, n_bound),
+        lambda: _BFSConvergecast(root, vals, op),
+        policy=policy,
+        seed=0,
+    )
+    parent: Dict[int, int] = {}
+    level: Dict[int, int] = {root: 0}
+    aggregate = 0.0
+    for v, out in result.outputs.items():
+        if out[0] == "root":
+            aggregate = out[2]
+        else:
+            parent[v] = out[0]
+            level[v] = out[1]
+    return BFSResult(root=root, parent=parent, level=level,
+                     aggregate=aggregate, metrics=result.metrics)
+
+
+class _Flood(NodeAlgorithm):
+    """Forward the root's value once, then halt with it."""
+
+    def __init__(self, root: int, value: Any) -> None:
+        self._root = root
+        self._value = value
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if ctx.node_id == self._root:
+            ctx.broadcast((_VAL, self._value))
+            ctx.halt(self._value)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        for msg in inbox.values():
+            if msg[0] == _VAL:
+                ctx.broadcast((_VAL, msg[1]))
+                ctx.halt(msg[1])
+                return
+
+
+def flood_value(
+    graph: WeightedGraph,
+    root: int,
+    value: Any,
+    *,
+    policy: Optional[BandwidthPolicy] = None,
+    n_bound: Optional[int] = None,
+) -> Tuple[Dict[int, Any], RunMetrics]:
+    """Broadcast ``value`` from ``root``; rounds = eccentricity of root."""
+    if not graph.has_node(root):
+        raise GraphError(f"root {root} not in graph")
+    if not is_connected(graph):
+        raise GraphError("flood_value requires a connected graph")
+    result = run(Network.of(graph, n_bound), lambda: _Flood(root, value),
+                 policy=policy, seed=0)
+    return result.outputs, result.metrics

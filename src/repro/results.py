@@ -1,0 +1,50 @@
+"""Common result type for every distributed algorithm in the library.
+
+Whether it's an MIS black box or a full MaxIS approximation pipeline, a run
+produces an independent set plus the cost accounting the paper's theorems
+are stated in (rounds, messages, bits).  ``metadata`` carries
+algorithm-specific diagnostics (phase logs, stack values, sampled subgraph
+sizes, ...) consumed by the experiment suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.metrics import RunMetrics
+
+__all__ = ["AlgorithmResult"]
+
+
+@dataclass(frozen=True)
+class AlgorithmResult:
+    """An independent set plus the cost of computing it."""
+
+    independent_set: FrozenSet[int]
+    metrics: RunMetrics
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rounds(self) -> int:
+        """Total communication rounds (the paper's complexity measure)."""
+        return self.metrics.rounds
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def size(self) -> int:
+        return len(self.independent_set)
+
+    def weight(self, graph: WeightedGraph) -> float:
+        """``w(I)`` with respect to ``graph``'s weight function."""
+        return graph.total_weight(self.independent_set)
+
+    def with_metadata(self, **extra: Any) -> "AlgorithmResult":
+        """Copy with additional metadata entries."""
+        md = dict(self.metadata)
+        md.update(extra)
+        return AlgorithmResult(self.independent_set, self.metrics, md)

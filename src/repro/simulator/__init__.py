@@ -1,0 +1,31 @@
+"""Executable CONGEST/LOCAL model: synchronous rounds, per-message bit
+accounting, per-node private randomness, and exact round metrics."""
+
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.message import payload_bits, validate_payload
+from repro.simulator.metrics import BandwidthViolation, RunMetrics
+from repro.simulator.models import BandwidthPolicy, CommunicationModel
+from repro.simulator.network import Network, default_n_bound
+from repro.simulator.randomness import derive_seed, spawn_node_rngs
+from repro.simulator.runner import RunResult, run
+from repro.simulator.tracing import Trace, TraceEvent
+
+__all__ = [
+    "NodeAlgorithm",
+    "NodeContext",
+    "payload_bits",
+    "validate_payload",
+    "BandwidthViolation",
+    "RunMetrics",
+    "BandwidthPolicy",
+    "CommunicationModel",
+    "Network",
+    "default_n_bound",
+    "derive_seed",
+    "spawn_node_rngs",
+    "RunResult",
+    "run",
+    "Trace",
+    "TraceEvent",
+]

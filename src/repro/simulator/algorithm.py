@@ -1,0 +1,39 @@
+"""Base class for node programs.
+
+A distributed algorithm is a :class:`NodeAlgorithm` subclass; the runner
+instantiates one object per node, so instance attributes are that node's
+private state.  The life cycle:
+
+1. ``on_start(ctx)`` — round 0: local initialisation, may queue messages;
+2. ``on_round(ctx, inbox)`` — once per communication round, with the
+   messages sent to this node in the previous round (``{sender: payload}``);
+3. the node leaves the computation by calling ``ctx.halt(output)``.
+
+Round counting follows the paper: the number of ``on_round`` sweeps executed
+is the round complexity (``on_start`` is free local computation).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Mapping
+
+from repro.simulator.context import NodeContext
+
+__all__ = ["NodeAlgorithm"]
+
+
+class NodeAlgorithm(ABC):
+    """One node's program.  Subclasses keep per-node state on ``self``."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        """Round 0 hook: initialise state, optionally queue first messages."""
+
+    @abstractmethod
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        """Handle one communication round.
+
+        Args:
+            ctx: the node's context (send/broadcast/halt live here).
+            inbox: messages delivered this round, keyed by sender id.
+        """

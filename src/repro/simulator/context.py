@@ -1,0 +1,112 @@
+"""The node-side API surface.
+
+A :class:`NodeContext` is the *only* handle an algorithm gets, and it
+deliberately exposes exactly the knowledge model of the paper (§3,
+"Assumptions"): a node knows its own identifier, its weight, its incident
+edges (as neighbour identifiers), private randomness, and a polynomial
+upper bound ``n_bound`` on the network size — but *not* ``n``, ``Δ``, or
+anything global.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.simulator.message import validate_payload
+
+__all__ = ["NodeContext"]
+
+
+class NodeContext:
+    """Per-node view of the network during a simulation.
+
+    Algorithms call :meth:`send` / :meth:`broadcast` to queue messages for
+    delivery at the start of the *next* round, and :meth:`halt` to finish
+    with an output value.  One message per neighbour per round (the CONGEST
+    discipline); bundle fields into a tuple instead of sending twice.
+    """
+
+    __slots__ = ("node_id", "neighbors", "weight", "rng", "n_bound",
+                 "_outbox", "_halted", "_output", "_round", "_nbr_set")
+
+    def __init__(self, node_id: int, neighbors: Tuple[int, ...], weight: float,
+                 rng: np.random.Generator, n_bound: int):
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.weight = weight
+        self.rng = rng
+        self.n_bound = n_bound
+        self._outbox: Dict[int, Any] = {}
+        self._halted = False
+        self._output: Any = None
+        self._round = 0
+        self._nbr_set = frozenset(neighbors)
+
+    # ------------------------------------------------------------------ #
+    # info
+    # ------------------------------------------------------------------ #
+
+    @property
+    def degree(self) -> int:
+        """The node's own degree (locally known)."""
+        return len(self.neighbors)
+
+    @property
+    def round_index(self) -> int:
+        """Current communication round (0 = the pre-communication step)."""
+        return self._round
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    @property
+    def output(self) -> Any:
+        return self._output
+
+    # ------------------------------------------------------------------ #
+    # actions
+    # ------------------------------------------------------------------ #
+
+    def send(self, to: int, payload: Any) -> None:
+        """Queue ``payload`` for neighbour ``to`` (delivered next round)."""
+        if self._halted:
+            raise ProtocolError(f"node {self.node_id} sent after halting")
+        if to not in self._nbr_set:
+            raise ProtocolError(
+                f"node {self.node_id} sent to non-neighbour {to}"
+            )
+        if to in self._outbox:
+            raise ProtocolError(
+                f"node {self.node_id} sent twice to {to} in one round; "
+                "bundle fields into a single tuple payload"
+            )
+        validate_payload(payload)
+        self._outbox[to] = payload
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` to every neighbour."""
+        for u in self.neighbors:
+            self.send(u, payload)
+
+    def halt(self, output: Any = None) -> None:
+        """Finish with ``output``.  Messages queued this round still go out."""
+        if self._halted:
+            raise ProtocolError(f"node {self.node_id} halted twice")
+        self._halted = True
+        self._output = output
+
+    # ------------------------------------------------------------------ #
+    # runner-side plumbing (not for algorithms)
+    # ------------------------------------------------------------------ #
+
+    def _drain_outbox(self) -> Dict[int, Any]:
+        out = self._outbox
+        self._outbox = {}
+        return out
+
+    def _advance_round(self) -> None:
+        self._round += 1

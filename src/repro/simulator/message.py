@@ -1,0 +1,60 @@
+"""Message payload encoding and bit accounting.
+
+CONGEST statements are about *bits per message*, so the simulator needs a
+deterministic encoded-size function.  Payloads are restricted to a small
+JSON-like vocabulary — ``None``, ``bool``, ``int``, ``float``, ``str`` and
+(nested) tuples/lists of those — and charged as follows:
+
+* ``None`` / ``bool``: 1 bit;
+* ``int``: sign bit + magnitude bits (``max(1, bit_length)``);
+* ``float``: 64 bits (IEEE double);
+* ``str``: an 8-bit length prefix plus 8 bits per byte of UTF-8;
+* sequence: 8 framing bits plus, per element, a 2-bit tag and the
+  element's cost.
+
+The model stays within a small constant factor of the concrete
+self-delimiting encoding in :mod:`repro.simulator.codec` (property-tested
+in ``tests/test_simulator/test_codec.py``); for the paper's purposes only
+the ``Θ(log n)`` scale matters.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.exceptions import ProtocolError
+
+__all__ = ["payload_bits", "validate_payload"]
+
+_SCALARS = (type(None), bool, int, float, str)
+
+
+def validate_payload(payload: Any) -> None:
+    """Reject payload types the bit accountant cannot encode."""
+    if isinstance(payload, _SCALARS):
+        return
+    if isinstance(payload, (tuple, list)):
+        for item in payload:
+            validate_payload(item)
+        return
+    raise ProtocolError(
+        f"unsupported message payload type {type(payload).__name__}; "
+        "use None/bool/int/float/str and tuples of those"
+    )
+
+
+def payload_bits(payload: Any) -> int:
+    """Encoded size of ``payload`` in bits (see module docstring)."""
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return 1 + max(1, payload.bit_length())
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return 8 + 8 * len(payload.encode("utf-8"))
+    if isinstance(payload, (tuple, list)):
+        return 8 + sum(2 + payload_bits(item) for item in payload)
+    raise ProtocolError(
+        f"unsupported message payload type {type(payload).__name__}"
+    )

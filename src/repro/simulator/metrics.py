@@ -1,0 +1,60 @@
+"""Run metrics: the quantities the paper's theorems are *about*.
+
+Round counts are the headline (Theorems 1–5 are round-complexity claims);
+message counts, total bits, and the largest single message are recorded so
+CONGEST conformance is auditable after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["BandwidthViolation", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class BandwidthViolation:
+    """One over-budget message observed in audit (non-strict) mode."""
+
+    round_index: int
+    sender: int
+    receiver: int
+    bits: int
+    budget: int
+
+
+@dataclass
+class RunMetrics:
+    """Aggregate statistics of one simulation run."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    violations: List[BandwidthViolation] = field(default_factory=list)
+
+    def record_message(self, bits: int) -> None:
+        self.messages += 1
+        self.total_bits += bits
+        if bits > self.max_message_bits:
+            self.max_message_bits = bits
+
+    def merge(self, other: "RunMetrics") -> "RunMetrics":
+        """Sequential composition: rounds add, traffic adds."""
+        merged = RunMetrics(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            total_bits=self.total_bits + other.total_bits,
+            max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            violations=self.violations + other.violations,
+        )
+        return merged
+
+    def add_rounds(self, k: int) -> None:
+        """Charge ``k`` extra rounds (inter-phase coordination steps)."""
+        self.rounds += k
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (self.rounds, self.messages, self.total_bits,
+                self.max_message_bits, len(self.violations))

@@ -1,0 +1,66 @@
+"""Communication models (§1 of the paper).
+
+LOCAL: synchronized rounds, unbounded message size.
+CONGEST: identical, but every message is limited to ``O(log n)`` bits.
+
+The bandwidth budget is ``factor * ceil(log2(n_bound))`` bits per message,
+where ``n_bound`` is the polynomial upper bound on ``n`` that nodes are
+assumed to know (§3, "Assumptions").  ``factor`` is the hidden constant of
+the ``O(log n)``; the default of 32 is generous enough for every algorithm
+in the paper while still catching accidentally-global messages.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["CommunicationModel", "BandwidthPolicy"]
+
+
+class CommunicationModel(Enum):
+    """The two models of the paper."""
+
+    LOCAL = "local"
+    CONGEST = "congest"
+
+
+@dataclass(frozen=True)
+class BandwidthPolicy:
+    """How message sizes are constrained and accounted.
+
+    Attributes:
+        model: LOCAL (no limit) or CONGEST (``O(log n)`` bits/message).
+        factor: constant in the CONGEST budget ``factor * ceil(log2 n_bound)``.
+        strict: in CONGEST, raise :class:`~repro.exceptions.BandwidthExceeded`
+            on violation; otherwise record violations in the run metrics.
+    """
+
+    model: CommunicationModel = CommunicationModel.CONGEST
+    factor: int = 32
+    strict: bool = True
+
+    def budget_bits(self, n_bound: int) -> int:
+        """Per-message bit budget; ``-1`` means unbounded (LOCAL).
+
+        The budget is ``factor * ceil(log2 n_bound)`` with an 8-bit word
+        floor on the logarithm: weights are carried as IEEE doubles (64
+        bits, standing in for the paper's ``poly(n)``-bounded integers),
+        so on degenerate tiny networks the budget must still admit one
+        machine word — the asymptotic ``O(log n)`` scaling is unchanged.
+        """
+        if self.model is CommunicationModel.LOCAL:
+            return -1
+        log_n = max(8, math.ceil(math.log2(max(2, n_bound))))
+        return self.factor * log_n
+
+    @staticmethod
+    def local() -> "BandwidthPolicy":
+        """Convenience constructor for the LOCAL model."""
+        return BandwidthPolicy(model=CommunicationModel.LOCAL)
+
+    @staticmethod
+    def congest(factor: int = 32, strict: bool = True) -> "BandwidthPolicy":
+        """Convenience constructor for the CONGEST model."""
+        return BandwidthPolicy(model=CommunicationModel.CONGEST, factor=factor, strict=strict)

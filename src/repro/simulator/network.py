@@ -1,0 +1,45 @@
+"""Network: a weighted graph plus the knowledge bound nodes receive.
+
+The paper assumes nodes know *some polynomial upper bound* on ``n`` (§3).
+The default bound is the smallest power of two that is at least ``n`` —
+tight enough for honest ``log n`` terms, loose enough that nodes never
+learn the exact size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exceptions import GraphError
+from repro.graphs.weighted_graph import WeightedGraph
+
+__all__ = ["Network", "default_n_bound"]
+
+
+def default_n_bound(n: int) -> int:
+    """Smallest power of two ``>= max(n, 2)``."""
+    b = 2
+    while b < n:
+        b *= 2
+    return b
+
+
+@dataclass(frozen=True)
+class Network:
+    """Topology handed to the runner.
+
+    Attributes:
+        graph: the communication graph with node weights.
+        n_bound: the polynomial upper bound on ``n`` given to every node.
+    """
+
+    graph: WeightedGraph
+    n_bound: int
+
+    @staticmethod
+    def of(graph: WeightedGraph, n_bound: Optional[int] = None) -> "Network":
+        bound = default_n_bound(graph.n) if n_bound is None else n_bound
+        if bound < graph.n:
+            raise GraphError(f"n_bound {bound} is smaller than n={graph.n}")
+        return Network(graph=graph, n_bound=bound)

@@ -1,0 +1,165 @@
+"""The synchronous round scheduler.
+
+``run`` executes one :class:`~repro.simulator.algorithm.NodeAlgorithm` per
+node of a network until every node halts (or a round limit trips).  Message
+delivery is the standard synchronous model: everything queued in round ``r``
+is delivered at the start of round ``r + 1``; bandwidth is checked per
+message against the :class:`~repro.simulator.models.BandwidthPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import BandwidthExceeded, RoundLimitExceeded
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.context import NodeContext
+from repro.simulator.codec import decode_payload, encode_payload
+from repro.simulator.message import payload_bits
+from repro.simulator.metrics import BandwidthViolation, RunMetrics
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.randomness import spawn_node_rngs
+from repro.simulator.tracing import Trace
+
+__all__ = ["RunResult", "run"]
+
+AlgorithmFactory = Callable[[], NodeAlgorithm]
+
+_EMPTY_INBOX: Dict[int, Any] = {}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one simulation.
+
+    Attributes:
+        outputs: per-node halt outputs.
+        metrics: round/message/bit accounting.
+        n_bound: the knowledge bound that was handed to nodes.
+    """
+
+    outputs: Dict[int, Any]
+    metrics: RunMetrics
+    n_bound: int
+
+
+def run(
+    graph_or_network: Union[WeightedGraph, Network],
+    algorithm_factory: AlgorithmFactory,
+    *,
+    policy: Optional[BandwidthPolicy] = None,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    max_rounds: int = 100_000,
+    trace: Optional[Trace] = None,
+    codec_check: bool = False,
+) -> RunResult:
+    """Run a distributed algorithm to completion.
+
+    Args:
+        graph_or_network: the communication graph (wrapped into a
+            :class:`Network` with the default ``n_bound`` if bare).
+        algorithm_factory: zero-argument callable producing a fresh
+            :class:`NodeAlgorithm` for each node.
+        policy: bandwidth policy; defaults to strict CONGEST.
+        seed: master seed; per-node independent streams are derived from it.
+        max_rounds: safety limit; exceeding it raises
+            :class:`~repro.exceptions.RoundLimitExceeded`.
+        trace: optional :class:`Trace` to record sends and halts.
+        codec_check: round-trip every payload through the real binary
+            codec (:mod:`repro.simulator.codec`) before delivery, so
+            receivers see exactly what would arrive on the wire (lists
+            become tuples, unsupported values fail loudly).  Off by
+            default for speed; the conformance tests switch it on.
+
+    Returns:
+        A :class:`RunResult` with per-node outputs and metrics.
+    """
+    network = (
+        graph_or_network
+        if isinstance(graph_or_network, Network)
+        else Network.of(graph_or_network)
+    )
+    graph = network.graph
+    policy = policy or BandwidthPolicy.congest()
+    budget = policy.budget_bits(network.n_bound)
+
+    rngs = spawn_node_rngs(seed, graph.nodes)
+    contexts: Dict[int, NodeContext] = {}
+    programs: Dict[int, NodeAlgorithm] = {}
+    for v in graph.nodes:
+        contexts[v] = NodeContext(
+            node_id=v,
+            neighbors=graph.neighbors(v),
+            weight=graph.weight(v),
+            rng=rngs[v],
+            n_bound=network.n_bound,
+        )
+        programs[v] = algorithm_factory()
+
+    metrics = RunMetrics()
+    active = set()
+    in_flight: Dict[int, Dict[int, Any]] = {}
+
+    def collect(round_index: int, senders) -> None:
+        """Drain outboxes into next round's inboxes, charging bandwidth.
+
+        Only ``senders`` (the nodes that executed this round) can have
+        queued messages, so the sweep skips everyone else.
+        """
+        for v in senders:
+            ctx = contexts[v]
+            for to, payload in ctx._drain_outbox().items():
+                bits = payload_bits(payload)
+                if budget >= 0 and bits > budget:
+                    if policy.strict:
+                        raise BandwidthExceeded(v, to, bits, budget, round_index)
+                    metrics.violations.append(
+                        BandwidthViolation(round_index, v, to, bits, budget)
+                    )
+                metrics.record_message(bits)
+                if trace is not None:
+                    trace.record(round_index, "send", v, (to, bits))
+                if not contexts[to].halted:
+                    if codec_check:
+                        payload = decode_payload(encode_payload(payload))
+                    in_flight.setdefault(to, {})[v] = payload
+
+    # Round 0: local initialisation.
+    for v in graph.nodes:
+        programs[v].on_start(contexts[v])
+        if contexts[v].halted:
+            if trace is not None:
+                trace.record(0, "halt", v, contexts[v].output)
+        else:
+            active.add(v)
+    collect(0, graph.nodes)
+
+    round_index = 0
+    while active:
+        round_index += 1
+        if round_index > max_rounds:
+            raise RoundLimitExceeded(max_rounds, len(active))
+        metrics.rounds = round_index
+        if trace is not None:
+            trace.record(round_index, "round", -1)
+        inboxes = in_flight
+        in_flight = {}
+        executed = sorted(active)
+        for v in executed:
+            ctx = contexts[v]
+            ctx._advance_round()
+            programs[v].on_round(ctx, inboxes.get(v, _EMPTY_INBOX))
+        collect(round_index, executed)
+        for v in executed:
+            if contexts[v].halted:
+                active.discard(v)
+                if trace is not None:
+                    trace.record(round_index, "halt", v, contexts[v].output)
+
+    outputs = {v: contexts[v].output for v in graph.nodes}
+    return RunResult(outputs=outputs, metrics=metrics, n_bound=network.n_bound)

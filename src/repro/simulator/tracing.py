@@ -1,0 +1,72 @@
+"""Optional event tracing for debugging distributed executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+__all__ = ["TraceEvent", "Trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulator event."""
+
+    round_index: int
+    kind: str           # "send" | "halt" | "round"
+    node: int
+    detail: Any = None
+
+
+@dataclass
+class Trace:
+    """Collects :class:`TraceEvent` records during a run.
+
+    Pass an instance to :func:`repro.simulator.runner.run` to capture a
+    full message/halt log; filter with :meth:`events_of` afterwards.
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+    max_events: int = 1_000_000
+
+    def record(self, round_index: int, kind: str, node: int, detail: Any = None) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(TraceEvent(round_index, kind, node, detail))
+
+    def events_of(self, kind: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
+        """Events filtered by kind and/or node."""
+        out = self.events
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        return list(out)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def render_timeline(self, max_rounds: int = 50) -> str:
+        """A compact round-by-round textual timeline for debugging.
+
+        One line per round: how many messages flew (with total bits) and
+        which nodes halted.  Truncated after ``max_rounds`` lines.
+        """
+        by_round: dict = {}
+        for e in self.events:
+            by_round.setdefault(e.round_index, []).append(e)
+        lines: List[str] = []
+        for r in sorted(by_round):
+            if len(lines) >= max_rounds:
+                lines.append(f"... ({len(by_round) - max_rounds} more rounds)")
+                break
+            events = by_round[r]
+            sends = [e for e in events if e.kind == "send"]
+            halts = [e for e in events if e.kind == "halt"]
+            bits = sum(e.detail[1] for e in sends)
+            parts = [f"round {r}:", f"{len(sends)} msgs ({bits} bits)"]
+            if halts:
+                ids = ", ".join(str(e.node) for e in halts[:8])
+                more = "..." if len(halts) > 8 else ""
+                parts.append(f"halted: {ids}{more}")
+            lines.append("  ".join(parts))
+        return "\n".join(lines) if lines else "(no events)"

@@ -1,0 +1,75 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    caterpillar,
+    complete,
+    cycle,
+    gnp,
+    grid_2d,
+    path,
+    random_regular,
+    random_tree,
+    star,
+    uniform_weights,
+)
+
+
+@pytest.fixture
+def triangle() -> WeightedGraph:
+    return complete(3)
+
+
+@pytest.fixture
+def p4() -> WeightedGraph:
+    """Path on 4 nodes with distinct weights 1..4."""
+    return path(4).with_weights({0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0})
+
+
+@pytest.fixture
+def c6() -> WeightedGraph:
+    return cycle(6)
+
+
+@pytest.fixture
+def small_gnp() -> WeightedGraph:
+    return gnp(40, 0.15, seed=7)
+
+
+@pytest.fixture
+def weighted_gnp() -> WeightedGraph:
+    return uniform_weights(gnp(40, 0.15, seed=7), 1.0, 10.0, seed=8)
+
+
+@pytest.fixture
+def medium_gnp() -> WeightedGraph:
+    return gnp(150, 0.05, seed=9)
+
+
+@pytest.fixture
+def tree60() -> WeightedGraph:
+    return random_tree(60, seed=5)
+
+
+@pytest.fixture
+def grid5x6() -> WeightedGraph:
+    return grid_2d(5, 6)
+
+
+@pytest.fixture
+def cat_tree() -> WeightedGraph:
+    return caterpillar(10, 4)
+
+
+@pytest.fixture
+def regular_graph() -> WeightedGraph:
+    return random_regular(60, 6, seed=11)
+
+
+@pytest.fixture
+def star10() -> WeightedGraph:
+    return star(10)

@@ -1,0 +1,69 @@
+"""Brute-force oracles used only by tests.
+
+For graphs with up to ~20 nodes, enumerate all independent sets by bitmask
+— an implementation-independent ground truth for the exact solver and the
+approximation certificates.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+def brute_force_max_weight_is(graph: WeightedGraph) -> Tuple[FrozenSet[int], float]:
+    """Exhaustive MaxWIS by bitmask enumeration (n <= ~20)."""
+    nodes = list(graph.nodes)
+    n = len(nodes)
+    if n > 22:
+        raise ValueError(f"brute force limited to 22 nodes, got {n}")
+    index = {v: i for i, v in enumerate(nodes)}
+    nbr_masks = [0] * n
+    for u, v in graph.edges():
+        nbr_masks[index[u]] |= 1 << index[v]
+        nbr_masks[index[v]] |= 1 << index[u]
+
+    best_mask, best_weight = 0, 0.0
+    for mask in range(1 << n):
+        ok = True
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            if nbr_masks[i] & mask:
+                ok = False
+                break
+            m &= m - 1
+        if not ok:
+            continue
+        weight = sum(graph.weight(nodes[i]) for i in range(n) if mask >> i & 1)
+        if weight > best_weight:
+            best_weight = weight
+            best_mask = mask
+    chosen = frozenset(nodes[i] for i in range(n) if best_mask >> i & 1)
+    return chosen, best_weight
+
+
+def count_independent_sets(graph: WeightedGraph) -> int:
+    """Number of independent sets (including the empty set), n <= ~20."""
+    nodes = list(graph.nodes)
+    n = len(nodes)
+    if n > 22:
+        raise ValueError(f"brute force limited to 22 nodes, got {n}")
+    index = {v: i for i, v in enumerate(nodes)}
+    nbr_masks = [0] * n
+    for u, v in graph.edges():
+        nbr_masks[index[u]] |= 1 << index[v]
+        nbr_masks[index[v]] |= 1 << index[u]
+    count = 0
+    for mask in range(1 << n):
+        ok = True
+        m = mask
+        while m:
+            i = (m & -m).bit_length() - 1
+            if nbr_masks[i] & mask:
+                ok = False
+                break
+            m &= m - 1
+        count += ok
+    return count

@@ -1,0 +1,63 @@
+"""Unit tests for complexity shape helpers."""
+
+import pytest
+
+from repro.analysis import (
+    fit_loglinear,
+    growth_ratio,
+    log_w,
+    poly_log_log,
+    predicted_bar_yehuda_rounds,
+    predicted_theorem1_rounds,
+)
+
+
+def test_log_w_values():
+    assert log_w(2.0) == 1.0
+    assert log_w(1024.0) == 10.0
+    assert log_w(0.5) == 1.0  # clamped
+
+
+def test_predicted_theorem1():
+    assert predicted_theorem1_rounds(10, 0.5) == 20
+
+
+def test_predicted_bar_yehuda():
+    assert predicted_bar_yehuda_rounds(10, 1024) == 100
+
+
+def test_poly_log_log_grows_slowly():
+    assert poly_log_log(10 ** 9) < 30
+    assert poly_log_log(10 ** 9) > poly_log_log(100)
+
+
+def test_fit_loglinear_recovers_slope():
+    xs = [2, 4, 8, 16, 32]
+    ys = [3 + 2 * i for i in range(1, 6)]  # y = 3 + 2 log2 x
+    a, b = fit_loglinear(xs, ys)
+    assert a == pytest.approx(3.0)
+    assert b == pytest.approx(2.0)
+
+
+def test_fit_loglinear_flat_series():
+    a, b = fit_loglinear([1, 10, 100], [7, 7, 7])
+    assert a == pytest.approx(7.0)
+    assert b == pytest.approx(0.0)
+
+
+def test_fit_loglinear_degenerate_x():
+    a, b = fit_loglinear([5, 5, 5], [1, 2, 3])
+    assert b == 0.0
+    assert a == pytest.approx(2.0)
+
+
+def test_fit_loglinear_needs_two_points():
+    with pytest.raises(ValueError):
+        fit_loglinear([1], [1])
+
+
+def test_growth_ratio():
+    assert growth_ratio([2, 4, 8]) == 4.0
+    assert growth_ratio([0.5, 1.0]) == 1.0  # min clamped to 1
+    with pytest.raises(ValueError):
+        growth_ratio([])

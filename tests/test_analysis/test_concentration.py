@@ -1,0 +1,86 @@
+"""Unit tests for the §3 concentration bounds."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    azuma_bound,
+    bernstein_bound,
+    chernoff_bound,
+    proposition4_tail,
+    theorem11_failure_bound,
+)
+
+
+class TestChernoff:
+    def test_formula(self):
+        # ε=1, μ=30: 2 exp(-30/3).
+        assert chernoff_bound(30, 1.0) == pytest.approx(2 * math.exp(-10))
+
+    def test_capped_at_one(self):
+        assert chernoff_bound(0.1, 0.5) == 1.0
+
+    def test_monotone_in_mu(self):
+        assert chernoff_bound(100, 0.5) < chernoff_bound(50, 0.5)
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            chernoff_bound(10, 1.5)
+        with pytest.raises(ValueError):
+            chernoff_bound(-1, 0.5)
+
+
+class TestBernstein:
+    def test_formula(self):
+        # t=6, M=1, Var=3: 2 exp(-18/(2+3)).
+        assert bernstein_bound(6, 1, 3) == pytest.approx(2 * math.exp(-18 / 5))
+
+    def test_zero_variance_zero_m(self):
+        assert bernstein_bound(1.0, 0.0, 0.0) == 0.0
+        assert bernstein_bound(0.0, 0.0, 0.0) == 1.0
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            bernstein_bound(-1, 1, 1)
+
+
+class TestAzuma:
+    def test_formula(self):
+        # t=4, increments all 1, N=8: exp(-16/16).
+        assert azuma_bound(4, [1] * 8) == pytest.approx(math.exp(-1))
+
+    def test_no_increments(self):
+        assert azuma_bound(1.0, []) == 0.0
+        assert azuma_bound(0.0, []) == 1.0
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            azuma_bound(-0.1, [1])
+
+
+class TestPaperSpecificBounds:
+    def test_theorem11_bound(self):
+        assert theorem11_failure_bound(2560, 9) == pytest.approx(math.exp(-1))
+
+    def test_theorem11_decays_in_n(self):
+        assert theorem11_failure_bound(10_000, 5) < theorem11_failure_bound(1_000, 5)
+
+    def test_theorem11_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            theorem11_failure_bound(0, 3)
+
+    def test_theorem11_whp_regime(self):
+        # Δ <= n/log n makes the bound ~ exp(-log n / 512)-ish: shrinking.
+        n = 10 ** 6
+        delta = n // int(math.log(n))
+        assert theorem11_failure_bound(n, delta) < 1.0
+
+    def test_proposition4_tail(self):
+        # k=128, M0=1, t=k/4=32: exp(-1024/1024) = e^-1 — the exp(-k/128)
+        # of Theorem 11's proof.
+        assert proposition4_tail(128, 1.0, 0.5, 32.0) == pytest.approx(math.exp(-1))
+
+    def test_proposition4_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            proposition4_tail(0, 1.0, 0.5, 1.0)

@@ -1,0 +1,46 @@
+"""The Theorem 2 default inner constant must be empirically conservative."""
+
+from repro.analysis.inner_constant import estimate_inner_constant
+from repro.core.theorem2 import DEFAULT_INNER_CONSTANT
+from repro.graphs import (
+    gnp,
+    random_regular,
+    skewed_heavy_set,
+    uniform_weights,
+)
+
+
+def _battery():
+    """A spread of degree regimes and weight skews."""
+    return [
+        uniform_weights(gnp(120, 0.1, seed=1), 1, 50, seed=2),
+        uniform_weights(gnp(200, 0.04, seed=3), 1, 10, seed=4),
+        skewed_heavy_set(random_regular(200, 40, seed=5), fraction=0.02,
+                         heavy=1e6, seed=6),
+        uniform_weights(random_regular(150, 10, seed=7), 1, 100, seed=8),
+    ]
+
+
+def test_default_constant_is_conservative():
+    estimate = estimate_inner_constant(_battery(), trials_per_instance=3,
+                                       seed=11)
+    assert estimate.trials == 12
+    assert estimate.supports(DEFAULT_INNER_CONSTANT), (
+        f"implied c = {estimate.implied_c:.2f} exceeds the configured "
+        f"{DEFAULT_INNER_CONSTANT}"
+    )
+
+
+def test_fractions_positive_and_recorded():
+    estimate = estimate_inner_constant(_battery()[:1], trials_per_instance=2,
+                                       seed=12)
+    assert len(estimate.fractions) == 2
+    assert estimate.worst_fraction > 0
+
+
+def test_implied_c_inf_when_zero():
+    from repro.analysis.inner_constant import InnerConstantEstimate
+
+    est = InnerConstantEstimate(fractions=(0.0,), trials=1)
+    assert est.implied_c == float("inf")
+    assert not est.supports(8.0)

@@ -1,0 +1,112 @@
+"""Unit tests for trial statistics."""
+
+import pytest
+
+from repro.analysis import run_trials, summarize_trials, wilson_interval
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize_trials([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == 2.5
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.median == 2.5
+        assert s.std > 0
+
+    def test_single_value(self):
+        s = summarize_trials([5.0])
+        assert s.std == 0.0
+        assert s.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_trials([])
+
+    def test_as_row_length(self):
+        assert len(summarize_trials([1.0, 2.0]).as_row()) == 6
+
+
+class TestWilson:
+    def test_all_successes(self):
+        lo, hi = wilson_interval(10, 10)
+        assert hi == 1.0
+        assert 0.65 < lo < 1.0
+
+    def test_no_successes(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0
+        assert hi < 0.35
+
+    def test_half(self):
+        lo, hi = wilson_interval(50, 100)
+        assert lo < 0.5 < hi
+
+    def test_interval_narrows_with_trials(self):
+        lo1, hi1 = wilson_interval(5, 10)
+        lo2, hi2 = wilson_interval(500, 1000)
+        assert (hi2 - lo2) < (hi1 - lo1)
+
+    def test_domain_checks(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+
+class TestRunTrials:
+    def test_distinct_seeds(self):
+        seeds = run_trials(lambda s: s, 8, seed=1)
+        assert len(set(seeds)) == 8
+
+    def test_reproducible(self):
+        a = run_trials(lambda s: s, 5, seed=2)
+        b = run_trials(lambda s: s, 5, seed=2)
+        assert a == b
+
+    def test_different_master_seeds(self):
+        a = run_trials(lambda s: s, 5, seed=2)
+        b = run_trials(lambda s: s, 5, seed=3)
+        assert a != b
+
+
+class TestTraffic:
+    def _trace(self):
+        from repro.graphs import path
+        from repro.simulator import Trace, run
+        from tests.test_simulator.test_runner import CountRounds
+
+        t = Trace()
+        run(path(4), lambda: CountRounds(3), trace=t)
+        return t
+
+    def test_bits_per_round(self):
+        from repro.analysis import bits_per_round
+
+        rounds = bits_per_round(self._trace())
+        assert len(rounds) == 3  # broadcasts in rounds 0..2
+        assert all(rt.messages == 6 for rt in rounds)  # 2m = 6 per round
+        assert all(rt.bits > 0 for rt in rounds)
+
+    def test_messages_per_node(self):
+        from repro.analysis import messages_per_node
+
+        per_node = messages_per_node(self._trace())
+        assert per_node[0] == 3   # endpoint: 1 neighbour x 3 rounds
+        assert per_node[1] == 6   # interior: 2 neighbours x 3 rounds
+
+    def test_busiest_round(self):
+        from repro.analysis import bits_per_round, busiest_round
+
+        t = self._trace()
+        assert busiest_round(t).bits == max(rt.bits for rt in bits_per_round(t))
+
+    def test_busiest_round_empty_trace(self):
+        import pytest as _pytest
+
+        from repro.analysis import busiest_round
+        from repro.simulator import Trace
+
+        with _pytest.raises(ValueError):
+            busiest_round(Trace())

@@ -1,0 +1,135 @@
+"""Smoke tests for the E1–E13 experiment suite at reduced sizes.
+
+Each experiment must run, produce rows, and report its headline finding
+as true — these are the inequalities the paper proves, so a false finding
+is a regression, not noise (sizes/trials here are small but the bounds are
+worst-case or extremely-high-probability at these scales).
+"""
+
+import pytest
+
+from repro.bench import (
+    ALL_EXPERIMENTS,
+    experiment_e1_good_nodes,
+    experiment_e2_sparsify,
+    experiment_e3_boosting,
+    experiment_e4_theorem1,
+    experiment_e5_speedup,
+    experiment_e6_arboricity,
+    experiment_e7_ranking,
+    experiment_e8_sequential_view,
+    experiment_e9_lower_bound,
+    experiment_e10_ablations,
+    experiment_e11_coloring_diameter,
+    experiment_e12_ranking_variance,
+)
+
+
+def test_registry_complete():
+    assert set(ALL_EXPERIMENTS) == {f"E{i}" for i in range(1, 14)}
+
+
+def test_e1_bound_always_holds():
+    rep = experiment_e1_good_nodes(sizes=(60,), trials=2)
+    assert rep.rows
+    assert rep.findings["bound_always_holds"]
+
+
+def test_e2_sparsification_shape():
+    rep = experiment_e2_sparsify(sizes=(200,), trials=2)
+    assert rep.rows
+    assert rep.findings["delta_h_is_O_log_n"]
+
+
+def test_e3_boosting():
+    rep = experiment_e3_boosting(n=70, eps_values=(1.0, 0.5))
+    assert rep.findings["stack_property_holds"]
+    assert rep.findings["remark_bound_holds"]
+
+
+def test_e4_theorem1_certified():
+    rep = experiment_e4_theorem1(n=40, eps_values=(0.5,), trials=2)
+    assert rep.findings["all_certificates_hold"]
+
+
+def test_e5_speedup_shape():
+    rep = experiment_e5_speedup(n=120, scales=(1, 100, 100000))
+    assert rep.findings["baseline_grows_with_W"]
+    assert rep.findings["theorem2_flat_in_W"]
+
+
+def test_e6_arboricity():
+    rep = experiment_e6_arboricity(hub_degrees=(30,), n=150)
+    assert rep.rows
+    assert rep.findings["arboricity_algorithm_nontrivial"]
+    row = rep.rows[0]
+    assert row["alpha"] < row["delta"]
+
+
+def test_e7_ranking():
+    rep = experiment_e7_ranking(n=300, degrees=(5,), trials=5)
+    assert rep.findings["boosted_bound_holds"]
+    # At n=300, d=5 the failure bound is exp(-300/1536); every trial passes.
+    assert rep.rows[0]["success_rate"] == "5/5"
+
+
+def test_e8_sequential_view():
+    rep = experiment_e8_sequential_view(trials=800)
+    assert rep.findings["tv_within_noise"]
+
+
+def test_e9_lower_bound():
+    rep = experiment_e9_lower_bound(cycle_sizes=(12, 24))
+    assert rep.findings["all_reductions_correct"]
+    for row in rep.rows:
+        assert row["mis_size"] >= row["n0"] // 3
+
+
+def test_e10_ablations():
+    rep = experiment_e10_ablations(n=150)
+    assert rep.findings["weight_term_needed"]
+    assert len(rep.rows) >= 10
+
+
+@pytest.mark.parametrize("name", sorted(ALL_EXPERIMENTS))
+def test_reports_render(name):
+    # Rendering never touches the algorithms again; build a tiny report.
+    from repro.bench import ExperimentReport
+
+    rep = ExperimentReport(name, "render check")
+    rep.add_row(value=1)
+    assert name in rep.render()
+
+
+def test_e11_coloring_diameter():
+    rep = experiment_e11_coloring_diameter(lengths=(10, 30))
+    assert rep.findings["coloring_rounds_grow_with_diameter"]
+    assert rep.findings["theorem2_diameter_independent"]
+
+
+def test_e12_ranking_variance():
+    rep = experiment_e12_ranking_variance(n_leaves=120, trials=600)
+    assert rep.findings["no_concentration"]
+    assert rep.findings["sparsified_always_ok"]
+
+
+def test_e13_message_complexity():
+    from repro.bench import experiment_e13_message_complexity
+
+    rep = experiment_e13_message_complexity(sizes=(80, 160))
+    assert rep.findings["messages_per_edge_bounded"]
+    assert all("thm2_msgs" in row for row in rep.rows)
+
+
+def test_deep_presets_reference_real_parameters():
+    import inspect
+
+    from repro.bench import ALL_EXPERIMENTS, DEEP_PRESETS, deep_kwargs
+
+    assert set(DEEP_PRESETS) == set(ALL_EXPERIMENTS)
+    for name, kwargs in DEEP_PRESETS.items():
+        params = inspect.signature(ALL_EXPERIMENTS[name]).parameters
+        unknown = set(kwargs) - set(params)
+        assert not unknown, f"{name}: unknown preset parameters {unknown}"
+    assert deep_kwargs("E1")["trials"] == 5
+    assert deep_kwargs("nonexistent") == {}

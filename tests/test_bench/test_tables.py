@@ -1,0 +1,72 @@
+"""Unit tests for table rendering and the experiment report type."""
+
+from repro.bench import ExperimentReport, format_row_dicts, format_table, timed
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("bb")
+        # All rows render at equal width.
+        assert len(set(len(ln) for ln in lines)) == 1
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[3.14159], [0.0001], [12345.6]])
+        assert "3.142" in out
+        assert "0.0001" in out
+        assert "1.23e+04" in out
+
+    def test_bool_formatting(self):
+        out = format_table(["ok"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_zero(self):
+        assert "0" in format_table(["z"], [[0.0]])
+
+
+class TestRowDicts:
+    def test_empty(self):
+        assert format_row_dicts([]) == "(no rows)"
+
+    def test_uses_first_row_keys(self):
+        out = format_row_dicts([{"n": 1, "m": 2}, {"n": 3, "m": 4}])
+        assert out.splitlines()[0].split() == ["n", "m"]
+
+    def test_missing_keys_blank(self):
+        out = format_row_dicts([{"n": 1, "m": 2}, {"n": 3}])
+        assert "3" in out
+
+
+class TestExperimentReport:
+    def test_render_contains_everything(self):
+        rep = ExperimentReport("EX", "demo experiment")
+        rep.add_row(n=10, rounds=3)
+        rep.findings["ok"] = True
+        text = rep.render()
+        assert "EX" in text
+        assert "demo experiment" in text
+        assert "rounds" in text
+        assert "ok: True" in text
+
+    def test_timed(self):
+        with timed() as t:
+            sum(range(1000))
+        assert t.seconds >= 0.0
+
+
+class TestReportJson:
+    def test_roundtrip(self):
+        rep = ExperimentReport("EX", "demo")
+        rep.add_row(n=10, fraction=0.25, holds=True)
+        rep.findings["bound_always_holds"] = True
+        back = ExperimentReport.from_json(rep.to_json())
+        assert back.experiment == "EX"
+        assert back.rows == rep.rows
+        assert back.findings == rep.findings
+
+    def test_missing_fields_default(self):
+        back = ExperimentReport.from_json('{"experiment": "E", "description": "d"}')
+        assert back.rows == []
+        assert back.findings == {}

@@ -1,0 +1,181 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, parse_graph_spec, parse_weight_spec
+from repro.graphs import WeightedGraph
+
+
+class TestGraphSpecs:
+    def test_gnp(self):
+        g = parse_graph_spec("gnp:50,0.1", seed=1)
+        assert g.n == 50
+
+    def test_regular(self):
+        g = parse_graph_spec("regular:20,4", seed=1)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_tree(self):
+        g = parse_graph_spec("tree:30", seed=1)
+        assert g.m == 29
+
+    def test_grid(self):
+        assert parse_graph_spec("grid:3,4", seed=None).n == 12
+
+    def test_cycle_and_path(self):
+        assert parse_graph_spec("cycle:7", seed=None).m == 7
+        assert parse_graph_spec("path:7", seed=None).m == 6
+
+    def test_geometric(self):
+        assert parse_graph_spec("geometric:40,0.2", seed=2).n == 40
+
+    def test_caterpillar(self):
+        assert parse_graph_spec("caterpillar:5,2", seed=None).n == 15
+
+    def test_file(self, tmp_path):
+        from repro.graphs import gnp
+        from repro.graphs.io import save
+
+        g = gnp(10, 0.3, seed=3)
+        p = tmp_path / "g.wg"
+        save(g, p)
+        assert parse_graph_spec(f"file:{p}", seed=None) == g
+
+    def test_unknown_kind(self):
+        with pytest.raises(SystemExit, match="unknown graph kind"):
+            parse_graph_spec("torus:3", seed=None)
+
+    def test_bad_args(self):
+        with pytest.raises(SystemExit, match="bad graph spec"):
+            parse_graph_spec("gnp:abc", seed=None)
+
+
+class TestWeightSpecs:
+    @pytest.fixture
+    def g(self) -> WeightedGraph:
+        return parse_graph_spec("cycle:20", seed=None)
+
+    def test_unit(self, g):
+        assert parse_weight_spec("unit", g, seed=1).total_weight() == 20
+
+    def test_uniform(self, g):
+        w = parse_weight_spec("uniform:5,6", g, seed=1)
+        assert all(5 <= w.weight(v) < 6 for v in w.nodes)
+
+    def test_integers(self, g):
+        w = parse_weight_spec("integers:9", g, seed=1)
+        assert all(1 <= w.weight(v) <= 9 for v in w.nodes)
+
+    def test_skewed(self, g):
+        w = parse_weight_spec("skewed:0.1,100", g, seed=1)
+        assert w.max_weight() == 100
+
+    def test_degree(self, g):
+        w = parse_weight_spec("degree", g, seed=None)
+        assert all(w.weight(v) == 3.0 for v in w.nodes)
+
+    def test_keep(self, g):
+        assert parse_weight_spec("keep", g, seed=None) is g
+
+    def test_unknown(self, g):
+        with pytest.raises(SystemExit, match="unknown weight scheme"):
+            parse_weight_spec("zipf", g, seed=None)
+
+
+class TestCommands:
+    def test_run_text_output(self, capsys):
+        rc = main(["run", "--algorithm", "thm8", "--graph", "gnp:60,0.1",
+                   "--weights", "uniform:1,10", "--seed", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rounds:" in out
+        assert "independent_set_weight:" in out
+
+    def test_run_json_output(self, capsys):
+        rc = main(["run", "--algorithm", "ranking", "--graph", "cycle:15",
+                   "--weights", "unit", "--json", "--show-set"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["algorithm"] == "ranking"
+        assert payload["rounds"] == 1
+        assert isinstance(payload["independent_set"], list)
+
+    @pytest.mark.parametrize("algo", ["thm1", "thm2", "thm9", "bar-yehuda",
+                                      "mis-luby", "mis-det"])
+    def test_run_all_algorithms(self, capsys, algo):
+        rc = main(["run", "--algorithm", algo, "--graph", "gnp:40,0.1",
+                   "--weights", "integers:50", "--seed", "5", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["independent_set_size"] >= 1
+
+    def test_info(self, capsys):
+        rc = main(["info", "--graph", "grid:4,5", "--weights", "unit"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "n: 20" in out
+        assert "arboricity: 2" in out
+
+    def test_info_skips_arboricity_when_large(self, capsys):
+        rc = main(["info", "--graph", "grid:4,5", "--arboricity-limit", "5"])
+        assert rc == 0
+        assert "arboricity" not in capsys.readouterr().out
+
+    def test_experiments_unknown_name(self):
+        with pytest.raises(SystemExit, match="unknown experiments"):
+            main(["experiments", "E99"])
+
+    def test_experiments_named(self, capsys):
+        rc = main(["experiments", "E3"])
+        assert rc == 0
+        assert "Theorem 10" in capsys.readouterr().out
+
+
+class TestVerifyCommand:
+    def test_verify_small_uses_exact(self, capsys):
+        rc = main(["verify", "--algorithm", "thm1", "--graph", "gnp:35,0.15",
+                   "--weights", "uniform:1,10", "--eps", "0.5", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "exact OPT" in out
+        assert "HOLDS" in out
+
+    def test_verify_large_falls_back_to_fraction(self, capsys):
+        rc = main(["verify", "--algorithm", "thm2", "--graph", "gnp:150,0.05",
+                   "--weights", "integers:50", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "too large for exact" in out
+        assert "HOLDS" in out
+
+    def test_verify_exact_limit_flag(self, capsys):
+        rc = main(["verify", "--algorithm", "thm8", "--graph", "gnp:35,0.15",
+                   "--weights", "unit", "--exact-limit", "10"])
+        assert rc == 0
+        assert "too large" in capsys.readouterr().out
+
+    def test_experiments_json_dir(self, capsys, tmp_path):
+        rc = main(["experiments", "E3", "--json-dir", str(tmp_path)])
+        assert rc == 0
+        saved = (tmp_path / "E3.json").read_text()
+        from repro.bench import ExperimentReport
+
+        rep = ExperimentReport.from_json(saved)
+        assert rep.experiment == "E3"
+        assert rep.findings["stack_property_holds"]
+
+    def test_verify_reports_violation_with_exit_code(self, capsys, tmp_path):
+        # One-round ranking ignores weights; on a heavy-hub star it misses
+        # the hub for seed 0 and cannot meet a (1+eps)Δ certificate.
+        from repro.graphs import star
+        from repro.graphs.io import save
+
+        g = star(5).with_weights({0: 1000.0, **{i: 1.0 for i in range(1, 6)}})
+        p = tmp_path / "hub.wg"
+        save(g, p)
+        rc = main(["verify", "--algorithm", "ranking", "--graph", f"file:{p}",
+                   "--weights", "keep", "--eps", "0.5", "--seed", "0"])
+        assert rc == 1
+        assert "VIOLATED" in capsys.readouterr().out

@@ -1,0 +1,197 @@
+"""Tests for the (Δ+1)-colouring package and the §8 pipeline."""
+
+import pytest
+
+from repro.coloring import (
+    best_color_class,
+    distributed_color_class_maxis,
+    greedy_coloring,
+    random_coloring,
+    verify_coloring,
+)
+from repro.core.verify import is_independent
+from repro.exceptions import VerificationError
+from repro.graphs import (
+    complete,
+    cycle,
+    empty,
+    gnp,
+    grid_2d,
+    path,
+    star,
+    uniform_weights,
+)
+
+
+class TestGreedyColoring:
+    def test_proper_and_bounded(self):
+        g = gnp(60, 0.15, seed=1)
+        colors = greedy_coloring(g)
+        verify_coloring(g, colors, max_colors=g.max_degree + 1)
+
+    def test_bipartite_two_colors(self):
+        colors = greedy_coloring(path(10))
+        assert len(set(colors.values())) == 2
+
+    def test_complete_needs_n(self):
+        colors = greedy_coloring(complete(6))
+        assert len(set(colors.values())) == 6
+
+    def test_custom_order(self):
+        g = star(4)
+        colors = greedy_coloring(g, order=[1, 2, 3, 4, 0])
+        assert colors[0] == 1  # hub coloured last, leaves all 0
+
+
+class TestVerifyColoring:
+    def test_rejects_monochromatic_edge(self):
+        with pytest.raises(VerificationError, match="monochromatic"):
+            verify_coloring(path(2), {0: 1, 1: 1})
+
+    def test_rejects_missing_node(self):
+        with pytest.raises(VerificationError, match="without colour"):
+            verify_coloring(path(2), {0: 1})
+
+    def test_rejects_too_many_colors(self):
+        with pytest.raises(VerificationError, match="allowed"):
+            verify_coloring(empty(3), {0: 0, 1: 1, 2: 2}, max_colors=2)
+
+
+class TestRandomColoring:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_proper_delta_plus_one(self, seed):
+        g = gnp(80, 0.1, seed=seed)
+        res = random_coloring(g, seed=seed + 10)
+        verify_coloring(g, res.colors, max_colors=g.max_degree + 1)
+
+    def test_palette_is_per_node_degree(self):
+        g = star(12)
+        res = random_coloring(g, seed=1)
+        # Leaves have degree 1: colours in {0, 1}; hub in {0..12}.
+        for leaf in range(1, 13):
+            assert res.colors[leaf] in (0, 1)
+
+    def test_rounds_logarithmic(self):
+        g = gnp(400, 0.02, seed=2)
+        res = random_coloring(g, seed=3)
+        assert res.rounds <= 60
+
+    def test_reproducible(self):
+        g = cycle(30)
+        a = random_coloring(g, seed=7)
+        b = random_coloring(g, seed=7)
+        assert a.colors == b.colors
+
+    def test_empty_and_isolated(self):
+        assert random_coloring(empty(0)).colors == {}
+        res = random_coloring(empty(4), seed=1)
+        assert res.colors == {0: 0, 1: 0, 2: 0, 3: 0}
+
+    def test_color_classes_partition(self):
+        g = gnp(50, 0.1, seed=4)
+        res = random_coloring(g, seed=5)
+        classes = res.color_classes()
+        all_nodes = set()
+        for c, members in classes.items():
+            assert is_independent(g, members)
+            all_nodes |= members
+        assert all_nodes == set(g.nodes)
+
+
+class TestColorClassMaxIS:
+    def test_best_class_reference(self):
+        g = path(4).with_weights({0: 1, 1: 10, 2: 1, 3: 10})
+        colors = {0: 0, 1: 1, 2: 0, 3: 1}
+        chosen, weight = best_color_class(g, colors)
+        assert chosen == frozenset({1, 3})
+        assert weight == 20
+
+    def test_distributed_matches_reference(self):
+        g = uniform_weights(grid_2d(4, 5), 1, 9, seed=6)
+        colors = greedy_coloring(g)
+        res = distributed_color_class_maxis(g, colors)
+        ref_set, ref_w = best_color_class(g, colors)
+        assert res.independent_set == ref_set
+        assert res.weight(g) == pytest.approx(ref_w)
+
+    def test_delta_plus_one_approximation(self):
+        # Heaviest class >= w(V)/#colors >= w(V)/(Δ+1).
+        g = uniform_weights(gnp(40, 0.15, seed=7), 1, 20, seed=8)
+        from repro.graphs import connected_components
+
+        comp = max(connected_components(g), key=len)
+        g, _ = g.induced_subgraph(comp).relabeled()
+        colors = greedy_coloring(g)
+        res = distributed_color_class_maxis(g, colors)
+        assert res.weight(g) + 1e-9 >= g.total_weight() / (g.max_degree + 1)
+
+    def test_rounds_grow_with_diameter(self):
+        wide = uniform_weights(grid_2d(2, 8), 1, 5, seed=9)
+        long = uniform_weights(grid_2d(2, 40), 1, 5, seed=10)
+        res_wide = distributed_color_class_maxis(wide, greedy_coloring(wide))
+        res_long = distributed_color_class_maxis(long, greedy_coloring(long))
+        assert res_long.rounds > 3 * res_wide.rounds
+
+    def test_rejects_improper_coloring(self):
+        with pytest.raises(VerificationError):
+            distributed_color_class_maxis(path(2), {0: 0, 1: 0})
+
+    def test_output_independent(self):
+        g = uniform_weights(grid_2d(3, 6), 1, 5, seed=11)
+        res = distributed_color_class_maxis(g, greedy_coloring(g))
+        assert is_independent(g, res.independent_set)
+
+
+class TestPipelinedColorClass:
+    def test_matches_naive_and_reference(self):
+        from repro.coloring import pipelined_color_class_maxis
+
+        g = uniform_weights(grid_2d(4, 6), 1, 9, seed=21)
+        colors = greedy_coloring(g)
+        fast = pipelined_color_class_maxis(g, colors)
+        naive = distributed_color_class_maxis(g, colors)
+        ref_set, ref_w = best_color_class(g, colors)
+        assert fast.independent_set == naive.independent_set == ref_set
+        assert fast.weight(g) == pytest.approx(ref_w)
+
+    def test_beats_naive_with_many_colors(self):
+        from repro.coloring import pipelined_color_class_maxis
+        from repro.graphs import connected_components
+
+        g = gnp(100, 0.08, seed=22)
+        comp = max(connected_components(g), key=len)
+        g, _ = g.induced_subgraph(comp).relabeled()
+        g = uniform_weights(g, 1, 10, seed=23)
+        colors = greedy_coloring(g)
+        fast = pipelined_color_class_maxis(g, colors)
+        naive = distributed_color_class_maxis(g, colors)
+        if fast.metadata["num_colors"] >= 4:
+            assert fast.rounds < naive.rounds
+
+    def test_pipeline_rounds_near_depth_plus_colors(self):
+        from repro.coloring import pipelined_color_class_maxis
+
+        g = uniform_weights(grid_2d(2, 30), 1, 5, seed=24)
+        colors = greedy_coloring(g)
+        res = pipelined_color_class_maxis(g, colors)
+        depth = res.metadata["tree_depth"]
+        c = res.metadata["num_colors"]
+        assert res.metadata["pipeline_rounds"] <= depth + c + 4
+
+    def test_class_weights_exact(self):
+        from repro.coloring import pipelined_color_class_maxis
+
+        g = uniform_weights(grid_2d(3, 5), 1, 9, seed=25)
+        colors = greedy_coloring(g)
+        res = pipelined_color_class_maxis(g, colors)
+        for c, total in res.metadata["class_weights"].items():
+            expected = sum(g.weight(v) for v in g.nodes if colors[v] == c)
+            assert total == pytest.approx(expected)
+
+    def test_rejects_improper_coloring(self):
+        from repro.coloring import pipelined_color_class_maxis
+        from repro.exceptions import VerificationError
+        from repro.graphs import path
+
+        with pytest.raises(VerificationError):
+            pipelined_color_class_maxis(path(2), {0: 0, 1: 0})

@@ -1,0 +1,94 @@
+"""Tests for the baselines: Bar-Yehuda et al. [8] and centralized greedy."""
+
+import pytest
+
+from repro.core import (
+    bar_yehuda_maxis,
+    exact_max_weight_is,
+    greedy_maxis,
+    is_independent,
+    mis_baseline,
+)
+from repro.graphs import empty, gnp, integer_weights, path, star, uniform_weights
+
+
+class TestBarYehuda:
+    def test_output_independent(self):
+        g = integer_weights(gnp(80, 0.1, seed=1), 100, seed=2)
+        res = bar_yehuda_maxis(g, seed=3)
+        assert is_independent(g, res.independent_set)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_delta_approximation(self, seed):
+        g = integer_weights(gnp(40, 0.15, seed=seed), 50, seed=seed + 4)
+        _, opt = exact_max_weight_is(g)
+        res = bar_yehuda_maxis(g, seed=seed)
+        # The reconstruction's practical factor: within 2Δ of OPT always,
+        # and empirically much closer.
+        assert res.weight(g) * 2 * max(1, g.max_degree) + 1e-9 >= opt
+
+    def test_rounds_grow_with_log_w(self):
+        g10 = integer_weights(gnp(80, 0.1, seed=5), 10, seed=6)
+        g6 = g10.with_weights({v: g10.weight(v) * 10 ** 5 for v in g10.nodes})
+        r10 = bar_yehuda_maxis(g10, seed=7)
+        r6 = bar_yehuda_maxis(g6, seed=7)
+        assert r6.metadata["log_w_levels"] > r10.metadata["log_w_levels"]
+        assert r6.rounds > r10.rounds
+
+    def test_consumes_all_weight(self):
+        g = integer_weights(gnp(50, 0.15, seed=8), 30, seed=9)
+        res = bar_yehuda_maxis(g, seed=10)
+        assert res.metadata["residual_weight_left"] == 0.0
+
+    def test_stack_property(self):
+        g = integer_weights(gnp(50, 0.15, seed=8), 30, seed=9)
+        res = bar_yehuda_maxis(g, seed=10)
+        assert res.weight(g) + 1e-9 >= res.metadata["stack_value"]
+
+    def test_empty_and_zero_weight(self):
+        assert bar_yehuda_maxis(empty(0)).independent_set == frozenset()
+        g = path(3).with_weights({0: 0, 1: 0, 2: 0})
+        assert bar_yehuda_maxis(g).independent_set == frozenset()
+
+    def test_fractional_weights_cleanup_level(self):
+        g = path(4).with_weights({0: 0.25, 1: 0.5, 2: 0.25, 3: 0.5})
+        res = bar_yehuda_maxis(g, seed=11)
+        assert is_independent(g, res.independent_set)
+        assert res.weight(g) > 0
+
+
+class TestGreedy:
+    def test_picks_heaviest_first(self):
+        g = star(4).with_weights({0: 10, 1: 1, 2: 1, 3: 1, 4: 1})
+        assert greedy_maxis(g) == frozenset({0})
+
+    def test_leaves_beat_light_hub(self):
+        g = star(4).with_weights({0: 2, 1: 3, 2: 3, 3: 3, 4: 3})
+        assert greedy_maxis(g) == frozenset({1, 2, 3, 4})
+
+    def test_skips_zero_weight(self):
+        g = path(3).with_weights({0: 0, 1: 1, 2: 0})
+        assert greedy_maxis(g) == frozenset({1})
+
+    def test_delta_approximation(self):
+        for seed in range(4):
+            g = uniform_weights(gnp(35, 0.2, seed=seed), 1, 10, seed=seed + 12)
+            _, opt = exact_max_weight_is(g)
+            got = g.total_weight(greedy_maxis(g))
+            assert got * max(1, g.max_degree) + 1e-9 >= opt
+
+
+class TestMISBaseline:
+    def test_unweighted_delta_approx(self):
+        g = gnp(40, 0.15, seed=13)
+        _, opt = exact_max_weight_is(g)
+        res = mis_baseline(g, seed=14)
+        assert res.size * (g.max_degree + 1) >= opt  # MIS >= n/(Δ+1) >= OPT/(Δ+1)
+
+    def test_weighted_can_be_terrible(self):
+        # A star where the hub carries all the weight: an MIS that picks
+        # the leaves gets weight 5 vs OPT 1000 — the motivating failure.
+        g = star(5).with_weights({0: 1000.0, **{i: 1.0 for i in range(1, 6)}})
+        res = mis_baseline(g, seed=0)
+        if 0 not in res.independent_set:
+            assert res.weight(g) == 5.0

@@ -1,0 +1,143 @@
+"""Tests for Theorem 10 (Algorithm 1 boosting) and Proposition 2."""
+
+import pytest
+
+from repro.core import (
+    boost,
+    certify_fraction_bound,
+    good_nodes_approx,
+    is_independent,
+    phases_for,
+)
+from repro.graphs import empty, gnp, skewed_heavy_set, uniform_weights
+
+
+def make_inner(**kwargs):
+    # Phases run on small residual subgraphs; pin the knowledge bound so
+    # the CONGEST budget reflects the original network (as the paper's
+    # pipelines do).
+    kwargs.setdefault("n_bound", 1024)
+
+    def inner(graph, *, seed=None):
+        return good_nodes_approx(graph, seed=seed, **kwargs)
+
+    return inner
+
+
+@pytest.fixture
+def graph():
+    return uniform_weights(gnp(70, 0.1, seed=1), 1, 30, seed=2)
+
+
+class TestPhasesFor:
+    def test_values(self):
+        assert phases_for(4.0, 1.0) == 4
+        assert phases_for(4.0, 0.5) == 8
+        assert phases_for(1.0, 3.0) == 1  # never below one phase
+
+    def test_rejects_nonpositive_eps(self):
+        with pytest.raises(ValueError):
+            phases_for(4.0, 0.0)
+        with pytest.raises(ValueError):
+            phases_for(4.0, -1.0)
+
+
+class TestBoost:
+    def test_output_independent(self, graph):
+        res = boost(graph, make_inner(), eps=0.5, c=8.0, seed=3)
+        assert is_independent(graph, res.independent_set)
+
+    def test_stack_property(self, graph):
+        res = boost(graph, make_inner(), eps=0.5, c=8.0, seed=3)
+        assert res.weight(graph) + 1e-9 >= res.metadata["stack_value"]
+
+    def test_remark_bound(self, graph):
+        # w(I) >= w(V)/((1+ε)(Δ+1)) — the Remark after Lemma 6.
+        eps = 0.5
+        res = boost(graph, make_inner(), eps=eps, c=8.0, seed=3)
+        cert = certify_fraction_bound(
+            graph, res.independent_set, (1 + eps) * (graph.max_degree + 1)
+        )
+        assert cert.holds
+
+    def test_phase_override(self, graph):
+        res = boost(graph, make_inner(), eps=0.5, c=8.0, phases=2, seed=3)
+        assert res.metadata["phases_requested"] == 2
+        assert res.metadata["phases_executed"] <= 2
+
+    def test_early_exit_when_weight_exhausted(self, graph):
+        res = boost(graph, make_inner(), eps=0.01, c=8.0, seed=3)
+        # t* = 800 phases requested, but residual weight empties long before.
+        assert res.metadata["phases_executed"] < res.metadata["phases_requested"]
+        assert res.metadata["residual_weight_left"] == 0.0
+
+    def test_rounds_accumulate_phases(self, graph):
+        res = boost(graph, make_inner(), eps=0.5, c=8.0, seed=3)
+        inner_rounds = sum(p["inner_rounds"] for p in res.metadata["phase_log"])
+        k = res.metadata["phases_executed"]
+        # inner rounds + 1 reduction round per push + 1 round per pop.
+        assert res.rounds == inner_rounds + 2 * k
+
+    def test_phase_log_fractions(self, graph):
+        res = boost(graph, make_inner(), eps=0.5, c=8.0, seed=3)
+        delta = graph.max_degree
+        for entry in res.metadata["phase_log"]:
+            # Inner guarantee: pushed value >= active_weight / (4(Δ+1)).
+            assert entry["pushed_value"] + 1e-9 >= entry["active_weight"] / (
+                4.0 * (delta + 1)
+            )
+
+    def test_empty_graph(self):
+        res = boost(empty(0), make_inner(), eps=0.5, c=8.0)
+        assert res.independent_set == frozenset()
+
+    def test_zero_weight_graph(self):
+        g = empty(5).with_weights({v: 0.0 for v in range(5)})
+        res = boost(g, make_inner(), eps=0.5, c=8.0)
+        assert res.metadata["phases_executed"] == 0
+
+    def test_skewed_weights_still_bounded(self):
+        g = skewed_heavy_set(gnp(60, 0.12, seed=4), fraction=0.05, seed=5)
+        eps = 1.0
+        res = boost(g, make_inner(), eps=eps, c=8.0, seed=6)
+        cert = certify_fraction_bound(
+            g, res.independent_set, (1 + eps) * (g.max_degree + 1)
+        )
+        assert cert.holds
+
+    def test_reproducible(self, graph):
+        a = boost(graph, make_inner(), eps=0.5, c=8.0, seed=9)
+        b = boost(graph, make_inner(), eps=0.5, c=8.0, seed=9)
+        assert a.independent_set == b.independent_set
+
+
+class TestAdaptiveBoost:
+    def test_adaptive_preserves_remark_bound(self):
+        g = uniform_weights(gnp(60, 0.12, seed=20), 1, 30, seed=21)
+        eps = 0.5
+        res = boost(g, make_inner(), eps=eps, c=8.0, adaptive=True, seed=22)
+        cert = certify_fraction_bound(
+            g, res.independent_set, (1 + eps) * (g.max_degree + 1)
+        )
+        assert cert.holds
+
+    def test_adaptive_preserves_opt_guarantee(self):
+        from repro.core import exact_max_weight_is
+
+        g = uniform_weights(gnp(35, 0.2, seed=23), 1, 20, seed=24)
+        eps = 0.5
+        res = boost(g, make_inner(), eps=eps, c=8.0, adaptive=True, seed=25)
+        _, opt = exact_max_weight_is(g)
+        assert res.weight(g) + 1e-9 >= opt / ((1 + eps) * max(1, g.max_degree))
+
+    def test_adaptive_never_more_phases(self):
+        g = skewed_heavy_set(gnp(60, 0.12, seed=26), fraction=0.03,
+                             heavy=1e5, seed=27)
+        fixed = boost(g, make_inner(), eps=0.25, c=8.0, seed=28)
+        adaptive = boost(g, make_inner(), eps=0.25, c=8.0, adaptive=True, seed=28)
+        assert adaptive.metadata["phases_executed"] <= fixed.metadata["phases_executed"]
+
+    def test_adaptive_flag_recorded(self):
+        g = uniform_weights(gnp(20, 0.2, seed=29), seed=30)
+        res = boost(g, make_inner(), eps=1.0, c=8.0, adaptive=True)
+        assert res.metadata["adaptive"] is True

@@ -1,0 +1,87 @@
+"""Tests for the one-round distributed (maximal) independence check."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import is_independent, is_maximal_independent_set
+from repro.core.distributed_verify import distributed_independence_check
+from repro.graphs import WeightedGraph, cycle, empty, gnp, path, star
+from repro.mis import greedy_mis, luby_mis
+
+
+class TestIndependence:
+    def test_accepts_valid_set(self):
+        g = cycle(8)
+        ok, metrics = distributed_independence_check(g, {0, 2, 4})
+        assert ok
+        assert metrics.rounds == 1
+
+    def test_rejects_adjacent_pair(self):
+        ok, _ = distributed_independence_check(path(4), {1, 2})
+        assert not ok
+
+    def test_empty_set_accepted(self):
+        ok, _ = distributed_independence_check(cycle(5), set())
+        assert ok
+
+    def test_empty_graph(self):
+        ok, metrics = distributed_independence_check(empty(0), set())
+        assert ok and metrics.rounds == 0
+
+
+class TestMaximality:
+    def test_accepts_mis(self):
+        g = gnp(60, 0.1, seed=1)
+        mis = greedy_mis(g)
+        ok, _ = distributed_independence_check(g, mis, maximality=True)
+        assert ok
+
+    def test_rejects_non_maximal(self):
+        ok, _ = distributed_independence_check(path(5), {0}, maximality=True)
+        assert not ok
+
+    def test_isolated_nonmember_rejected(self):
+        ok, _ = distributed_independence_check(empty(3), {0}, maximality=True)
+        assert not ok
+
+    def test_star_cases(self):
+        g = star(4)
+        assert distributed_independence_check(g, {0}, maximality=True)[0]
+        assert distributed_independence_check(g, set(range(1, 5)),
+                                              maximality=True)[0]
+        assert not distributed_independence_check(g, {0, 1})[0]
+
+
+@st.composite
+def graph_and_subset(draw):
+    n = draw(st.integers(min_value=1, max_value=14))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=30)) if possible else []
+    subset = draw(st.sets(st.integers(0, n - 1)))
+    return WeightedGraph.from_edges(range(n), edges), subset
+
+
+@given(graph_and_subset())
+@settings(max_examples=80, deadline=None)
+def test_matches_centralized_verdicts(case):
+    g, subset = case
+    dist_ind, _ = distributed_independence_check(g, subset)
+    assert dist_ind == is_independent(g, subset)
+    dist_max, _ = distributed_independence_check(g, subset, maximality=True)
+    assert dist_max == is_maximal_independent_set(g, subset)
+
+
+def test_pipeline_outputs_self_verify():
+    from repro.core import theorem2_maxis
+    from repro.graphs import uniform_weights
+
+    g = uniform_weights(gnp(80, 0.1, seed=2), 1, 20, seed=3)
+    res = theorem2_maxis(g, 0.5, seed=4)
+    ok, metrics = distributed_independence_check(g, res.independent_set)
+    assert ok
+    assert metrics.rounds == 1
+
+    mis = luby_mis(g, seed=5)
+    ok, _ = distributed_independence_check(g, mis.independent_set, maximality=True)
+    assert ok

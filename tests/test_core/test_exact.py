@@ -1,0 +1,121 @@
+"""Unit tests for the exact MaxWIS branch-and-bound solver."""
+
+import pytest
+
+from repro.core import exact_max_is_size, exact_max_weight_is, is_independent
+from repro.exceptions import SolverLimitError
+from repro.graphs import (
+    complete,
+    cycle,
+    disjoint_union,
+    empty,
+    gnp,
+    path,
+    star,
+    uniform_weights,
+)
+
+
+class TestKnownOptima:
+    def test_path_unweighted(self):
+        s, w = exact_max_weight_is(path(5))
+        assert w == 3
+        assert s == frozenset({0, 2, 4})
+
+    def test_cycle_unweighted(self):
+        _, w = exact_max_weight_is(cycle(7))
+        assert w == 3  # floor(7/2)
+
+    def test_complete(self):
+        g = complete(8).with_weights({v: float(v + 1) for v in range(8)})
+        s, w = exact_max_weight_is(g)
+        assert s == frozenset({7})
+        assert w == 8
+
+    def test_star_weighted_hub(self):
+        g = star(4).with_weights({0: 100, 1: 1, 2: 1, 3: 1, 4: 1})
+        s, w = exact_max_weight_is(g)
+        assert s == frozenset({0})
+        assert w == 100
+
+    def test_star_weighted_leaves(self):
+        g = star(4).with_weights({0: 3, 1: 1, 2: 1, 3: 1, 4: 1})
+        _, w = exact_max_weight_is(g)
+        assert w == 4
+
+    def test_empty_graph(self):
+        s, w = exact_max_weight_is(empty(0))
+        assert s == frozenset() and w == 0
+
+    def test_edgeless_takes_all(self):
+        s, w = exact_max_weight_is(empty(5))
+        assert len(s) == 5 and w == 5
+
+    def test_zero_weights(self):
+        g = path(3).with_weights({0: 0, 1: 0, 2: 0})
+        _, w = exact_max_weight_is(g)
+        assert w == 0
+
+    def test_weighted_path_prefers_middle(self):
+        g = path(3).with_weights({0: 1, 1: 5, 2: 1})
+        s, w = exact_max_weight_is(g)
+        assert s == frozenset({1})
+        assert w == 5
+
+    def test_components_solved_independently(self):
+        g = disjoint_union([cycle(5), path(4)])
+        _, w = exact_max_weight_is(g)
+        assert w == 2 + 2
+
+
+class TestSolverBehaviour:
+    def test_limit_enforced(self):
+        with pytest.raises(SolverLimitError):
+            exact_max_weight_is(empty(500))
+
+    def test_limit_override(self):
+        _, w = exact_max_weight_is(empty(500), limit_nodes=600)
+        assert w == 500
+
+    def test_output_is_independent(self):
+        g = uniform_weights(gnp(28, 0.25, seed=3), 1, 9, seed=4)
+        s, w = exact_max_weight_is(g)
+        assert is_independent(g, s)
+        assert abs(g.total_weight(s) - w) < 1e-9
+
+    def test_dominates_any_greedy(self):
+        from repro.core import greedy_maxis
+
+        for seed in range(5):
+            g = uniform_weights(gnp(24, 0.3, seed=seed), 1, 10, seed=seed + 50)
+            _, opt = exact_max_weight_is(g)
+            assert opt + 1e-9 >= g.total_weight(greedy_maxis(g))
+
+    def test_exact_max_is_size(self):
+        assert exact_max_is_size(cycle(8)) == 4
+        assert exact_max_is_size(complete(5)) == 1
+
+
+class TestMaxWeightClique:
+    def test_clique_in_complete_graph_is_everything(self):
+        from repro.core import exact_max_weight_clique
+
+        g = complete(6).with_weights({v: 2.0 for v in range(6)})
+        s, w = exact_max_weight_clique(g)
+        assert s == frozenset(range(6))
+        assert w == 12.0
+
+    def test_triangle_plus_pendant(self):
+        from repro.core import exact_max_weight_clique
+        from repro.graphs import WeightedGraph
+
+        g = WeightedGraph.from_edges(range(4), [(0, 1), (1, 2), (0, 2), (2, 3)])
+        s, w = exact_max_weight_clique(g)
+        assert s == frozenset({0, 1, 2})
+
+    def test_edgeless_picks_heaviest_node(self):
+        from repro.core import exact_max_weight_clique
+
+        g = empty(4).with_weights({0: 1, 1: 5, 2: 2, 3: 3})
+        s, w = exact_max_weight_clique(g)
+        assert s == frozenset({1}) and w == 5

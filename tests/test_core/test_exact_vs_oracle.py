@@ -1,0 +1,56 @@
+"""The exact solver against a brute-force bitmask oracle."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import exact_max_weight_is
+from repro.graphs import WeightedGraph, complement, gnp, uniform_weights
+from tests.oracle import brute_force_max_weight_is, count_independent_sets
+
+
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize("p", [0.15, 0.4, 0.7])
+def test_solver_matches_oracle_random(seed, p):
+    g = uniform_weights(gnp(14, p, seed=seed), 1, 20, seed=seed + 100)
+    _, fast = exact_max_weight_is(g)
+    _, slow = brute_force_max_weight_is(g)
+    assert fast == pytest.approx(slow)
+
+
+@st.composite
+def tiny_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=25)) if possible else []
+    weights = {v: float(draw(st.integers(0, 30))) for v in range(n)}
+    return WeightedGraph.from_edges(range(n), edges, weights)
+
+
+@given(tiny_graphs())
+@settings(max_examples=80, deadline=None)
+def test_solver_matches_oracle_hypothesis(g):
+    _, fast = exact_max_weight_is(g)
+    _, slow = brute_force_max_weight_is(g)
+    assert abs(fast - slow) < 1e-9
+
+
+@given(tiny_graphs())
+@settings(max_examples=30, deadline=None)
+def test_clique_complement_duality(g):
+    """MaxWIS(G) equals the max-weight clique of the complement: check by
+    solving MaxWIS on the double complement."""
+    _, a = exact_max_weight_is(g)
+    _, b = exact_max_weight_is(complement(complement(g)))
+    assert abs(a - b) < 1e-9
+
+
+def test_independent_set_counts_sane():
+    from repro.graphs import cycle, path
+
+    # Known values: IS counts (incl. empty) of P_n follow Fibonacci.
+    assert count_independent_sets(path(4)) == 8
+    assert count_independent_sets(path(5)) == 13
+    # C_n: Lucas numbers.
+    assert count_independent_sets(cycle(5)) == 11
+    assert count_independent_sets(cycle(6)) == 18

@@ -1,0 +1,113 @@
+"""Tests for Theorem 8 (good nodes)."""
+
+import pytest
+
+from repro.core import (
+    certify_fraction_bound,
+    good_node_set,
+    good_nodes_approx,
+    is_independent,
+)
+from repro.graphs import (
+    complete,
+    empty,
+    gnp,
+    path,
+    skewed_heavy_set,
+    star,
+    uniform_weights,
+)
+
+
+class TestGoodNodeSet:
+    def test_unit_weights_everyone_good_on_regular(self):
+        # On a cycle with unit weights: sum over N+ is 3, δ = 2, threshold
+        # 3/6 = 0.5 <= 1 — every node is good.
+        from repro.graphs import cycle
+
+        assert good_node_set(cycle(8)) == frozenset(range(8))
+
+    def test_heavy_node_is_good(self):
+        g = star(4).with_weights({0: 100, 1: 1, 2: 1, 3: 1, 4: 1})
+        good = good_node_set(g)
+        assert 0 in good
+        # Leaves: w=1 vs (1+100)/(2*(4+1)) = 10.1 -> bad.
+        assert good == frozenset({0})
+
+    def test_isolated_node_always_good(self):
+        g = empty(3)
+        assert good_node_set(g) == frozenset({0, 1, 2})
+
+    def test_zero_weights_all_good(self):
+        g = path(3).with_weights({0: 0, 1: 0, 2: 0})
+        assert good_node_set(g) == frozenset({0, 1, 2})
+
+    def test_distributed_matches_centralized(self):
+        from repro.simulator import run
+        from repro.core import GoodNodesProtocol
+
+        g = uniform_weights(gnp(50, 0.1, seed=1), 1, 20, seed=2)
+        res = run(g, GoodNodesProtocol, seed=3)
+        distributed = frozenset(v for v, out in res.outputs.items() if out)
+        assert distributed == good_node_set(g)
+        assert res.metrics.rounds == 1
+
+    def test_good_nodes_carry_half_the_weight(self):
+        # The first inequality of Lemma 1: w(bad) <= w(V)/2.
+        for seed in range(5):
+            g = uniform_weights(gnp(60, 0.1, seed=seed), 1, 50, seed=seed + 9)
+            good = good_node_set(g)
+            assert g.total_weight(good) >= g.total_weight() / 2 - 1e-9
+
+
+class TestTheorem8EndToEnd:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_holds_uniform(self, seed):
+        g = uniform_weights(gnp(70, 0.08, seed=seed), 1, 100, seed=seed + 1)
+        res = good_nodes_approx(g, seed=seed)
+        cert = certify_fraction_bound(g, res.independent_set,
+                                      4.0 * (g.max_degree + 1))
+        assert cert.holds
+
+    def test_bound_holds_skewed(self):
+        g = skewed_heavy_set(gnp(80, 0.1, seed=5), fraction=0.05, seed=6)
+        res = good_nodes_approx(g, seed=7)
+        cert = certify_fraction_bound(g, res.independent_set,
+                                      4.0 * (g.max_degree + 1))
+        assert cert.holds
+
+    def test_output_independent(self):
+        g = uniform_weights(gnp(60, 0.12, seed=8), seed=9)
+        res = good_nodes_approx(g, seed=10)
+        assert is_independent(g, res.independent_set)
+
+    def test_round_cost_is_mis_plus_constant(self):
+        g = uniform_weights(gnp(60, 0.12, seed=8), seed=9)
+        res = good_nodes_approx(g, seed=10)
+        # 1 round of degree/weight exchange + 1 flag round + MIS rounds.
+        assert res.rounds == res.metadata["mis_rounds"] + 2
+
+    def test_complete_graph_picks_heaviest_ish(self):
+        g = complete(10).with_weights({v: float(v + 1) for v in range(10)})
+        res = good_nodes_approx(g, seed=11)
+        assert len(res.independent_set) == 1
+        # The single pick must be a good node, hence weight >= w(V)/(2(Δ+1)).
+        v = next(iter(res.independent_set))
+        assert g.weight(v) >= g.total_weight() / (2 * 10)
+
+    def test_empty_graph(self):
+        res = good_nodes_approx(empty(0))
+        assert res.independent_set == frozenset()
+        assert res.rounds == 0
+
+    def test_deterministic_blackbox(self):
+        g = uniform_weights(gnp(40, 0.15, seed=12), seed=13)
+        a = good_nodes_approx(g, mis="deterministic", seed=1)
+        b = good_nodes_approx(g, mis="deterministic", seed=2)
+        assert a.independent_set == b.independent_set
+
+    def test_metadata(self):
+        g = uniform_weights(gnp(30, 0.2, seed=14), seed=15)
+        res = good_nodes_approx(g, seed=16)
+        assert res.metadata["good_nodes"] >= 1
+        assert res.metadata["guarantee_denominator"] == 4.0 * (g.max_degree + 1)

@@ -1,0 +1,84 @@
+"""Tests for the LOCAL-model gossip-and-solve algorithm."""
+
+import pytest
+
+from repro.core import exact_max_weight_is, local_exact_maxis
+from repro.exceptions import BandwidthExceeded, GraphError
+from repro.graphs import (
+    complete,
+    connected_components,
+    cycle,
+    disjoint_union,
+    gnp,
+    grid_2d,
+    path,
+    star,
+    uniform_weights,
+)
+from repro.simulator import BandwidthPolicy
+
+
+def connected_weighted(n, p, seed):
+    g = uniform_weights(gnp(n, p, seed=seed), 1, 10, seed=seed + 1)
+    comp = max(connected_components(g), key=len)
+    sub, _ = g.induced_subgraph(comp).relabeled()
+    return sub
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_exact_solver(self, seed):
+        g = connected_weighted(25, 0.18, seed)
+        res = local_exact_maxis(g)
+        _, opt = exact_max_weight_is(g)
+        assert res.weight(g) == pytest.approx(opt)
+
+    def test_weighted_star(self):
+        g = star(5).with_weights({0: 100, **{i: 1.0 for i in range(1, 6)}})
+        res = local_exact_maxis(g)
+        assert res.independent_set == frozenset({0})
+
+    def test_cycle(self):
+        res = local_exact_maxis(cycle(9))
+        assert res.size == 4
+
+    def test_complete(self):
+        res = local_exact_maxis(complete(8))
+        assert res.size == 1
+
+    def test_consistency_every_node_agrees(self):
+        # All nodes solve the same instance, so the output is a single
+        # independent set, not a patchwork.
+        from repro.core import assert_independent
+
+        g = connected_weighted(30, 0.15, 9)
+        res = local_exact_maxis(g)
+        assert_independent(g, res.independent_set)
+
+
+class TestModelBehaviour:
+    def test_rounds_near_eccentricity(self):
+        g = path(20)
+        res = local_exact_maxis(g)
+        # gossip stabilises after ~ecc rounds (+2 detection/weight rounds).
+        assert res.rounds <= 20 + 3
+
+    def test_messages_blow_past_congest(self):
+        g = connected_weighted(30, 0.15, 4)
+        with pytest.raises(BandwidthExceeded):
+            local_exact_maxis(g, policy=BandwidthPolicy.congest())
+
+    def test_audit_mode_counts_violations(self):
+        g = connected_weighted(25, 0.18, 5)
+        res = local_exact_maxis(g, policy=BandwidthPolicy.congest(strict=False))
+        assert len(res.metrics.violations) > 0
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            local_exact_maxis(disjoint_union([path(2), path(2)]))
+
+    def test_grid(self):
+        g = uniform_weights(grid_2d(4, 5), 1, 5, seed=6)
+        res = local_exact_maxis(g)
+        _, opt = exact_max_weight_is(g)
+        assert res.weight(g) == pytest.approx(opt)

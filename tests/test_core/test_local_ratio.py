@@ -1,0 +1,117 @@
+"""Unit tests for the local-ratio machinery (§4.3)."""
+
+import pytest
+
+from repro.core import (
+    StackFrame,
+    apply_reduction,
+    clip_nonnegative,
+    is_independent,
+    pop_stage,
+    stack_value,
+)
+from repro.graphs import cycle, path, star
+
+
+class TestApplyReduction:
+    def test_members_drop_to_zero(self):
+        g = path(3)
+        w = {0: 5.0, 1: 3.0, 2: 4.0}
+        new_w, frame = apply_reduction(g, w, frozenset({0}))
+        assert new_w[0] == 0.0
+        assert new_w[1] == -2.0  # 3 - 5
+        assert new_w[2] == 4.0
+
+    def test_frame_records_residuals(self):
+        g = path(3)
+        w = {0: 5.0, 1: 3.0, 2: 4.0}
+        _, frame = apply_reduction(g, w, frozenset({0, 2}))
+        assert frame.residual_weights == {0: 5.0, 2: 4.0}
+        assert frame.value == 9.0
+
+    def test_reduction_uses_pushed_weight_not_own(self):
+        g = star(3)
+        w = {0: 10.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        new_w, _ = apply_reduction(g, w, frozenset({0}))
+        assert new_w == {0: 0.0, 1: -9.0, 2: -9.0, 3: -9.0}
+
+    def test_multiple_pushers_accumulate(self):
+        g = path(3)
+        w = {0: 2.0, 1: 5.0, 2: 3.0}
+        new_w, _ = apply_reduction(g, w, frozenset({0, 2}))
+        assert new_w[1] == 0.0  # 5 - 2 - 3
+
+    def test_original_weights_untouched(self):
+        g = path(2)
+        w = {0: 1.0, 1: 1.0}
+        apply_reduction(g, w, frozenset({0}))
+        assert w == {0: 1.0, 1: 1.0}
+
+
+def test_clip_nonnegative():
+    assert clip_nonnegative({0: -1.0, 1: 0.0, 2: 2.5}) == {0: 0.0, 1: 0.0, 2: 2.5}
+
+
+class TestPopStage:
+    def test_pop_reverse_priority(self):
+        g = path(3)
+        early = StackFrame(frozenset({0}), {0: 1.0})
+        late = StackFrame(frozenset({1}), {1: 1.0})
+        # Later frames pop first: 1 enters, then 0 is blocked.
+        assert pop_stage(g, [early, late]) == frozenset({1})
+
+    def test_pop_merges_compatible_frames(self):
+        g = path(5)
+        f1 = StackFrame(frozenset({0}), {0: 1.0})
+        f2 = StackFrame(frozenset({4}), {4: 1.0})
+        f3 = StackFrame(frozenset({2}), {2: 1.0})
+        assert pop_stage(g, [f1, f2, f3]) == frozenset({0, 2, 4})
+
+    def test_pop_output_always_independent(self):
+        g = cycle(6)
+        frames = [
+            StackFrame(frozenset({0, 2}), {0: 1.0, 2: 1.0}),
+            StackFrame(frozenset({1, 4}), {1: 1.0, 4: 1.0}),
+            StackFrame(frozenset({3, 5}), {3: 1.0, 5: 1.0}),
+        ]
+        result = pop_stage(g, frames)
+        assert is_independent(g, result)
+
+    def test_pop_empty_stack(self):
+        assert pop_stage(path(3), []) == frozenset()
+
+
+def test_stack_value_sums_frames():
+    frames = [
+        StackFrame(frozenset({0}), {0: 2.0}),
+        StackFrame(frozenset({1, 2}), {1: 3.0, 2: 4.0}),
+    ]
+    assert stack_value(frames) == 9.0
+    assert stack_value([]) == 0.0
+
+
+class TestStackProperty:
+    """Proposition 2 on hand-built frame sequences: w(I) >= Σ w_i(I_i)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_push_sequences(self, seed):
+        import numpy as np
+
+        from repro.graphs import gnp, uniform_weights
+        from repro.mis import random_order_mis
+
+        rng = np.random.default_rng(seed)
+        g = uniform_weights(gnp(40, 0.12, seed=seed), 1, 10, seed=seed + 1)
+        weights = g.weights
+        frames = []
+        for phase in range(4):
+            positive = [v for v, w in weights.items() if w > 0]
+            if not positive:
+                break
+            sub = g.induced_subgraph(positive)
+            chosen = random_order_mis(sub, seed=int(rng.integers(1 << 30)))
+            weights, frame = apply_reduction(g, weights, chosen)
+            weights = clip_nonnegative(weights)
+            frames.append(frame)
+        result = pop_stage(g, frames)
+        assert g.total_weight(result) + 1e-9 >= stack_value(frames)

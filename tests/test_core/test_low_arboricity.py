@@ -1,0 +1,104 @@
+"""End-to-end tests for Theorem 3 / Theorem 12 (Algorithm 6)."""
+
+import pytest
+
+from repro.core import (
+    certify_ratio,
+    exact_max_weight_is,
+    is_independent,
+    low_arboricity_maxis,
+    theorem1_maxis,
+)
+from repro.graphs import (
+    caterpillar,
+    empty,
+    gnp,
+    grid_2d,
+    planted_heavy_hub,
+    random_tree,
+    uniform_weights,
+)
+
+
+class TestApproximationGuarantee:
+    def test_certified_on_tree(self):
+        eps = 0.5
+        g = uniform_weights(random_tree(50, seed=1), 1, 20, seed=2)
+        _, opt = exact_max_weight_is(g)
+        res = low_arboricity_maxis(g, eps, seed=3)
+        # α = 1: factor 8(1+ε) = 12.
+        cert = certify_ratio(g, res.independent_set, 8 * (1 + eps), opt=opt)
+        assert cert.holds
+        assert res.metadata["alpha"] == 1
+
+    def test_certified_on_grid(self):
+        eps = 0.5
+        g = uniform_weights(grid_2d(6, 8), 1, 10, seed=4)
+        _, opt = exact_max_weight_is(g)
+        res = low_arboricity_maxis(g, eps, seed=5)
+        cert = certify_ratio(
+            g, res.independent_set, 8 * (1 + eps) * res.metadata["alpha"], opt=opt
+        )
+        assert cert.holds
+
+    def test_output_independent(self):
+        g = uniform_weights(planted_heavy_hub(120, 40, 2.0 / 120, seed=6), seed=7)
+        res = low_arboricity_maxis(g, 0.5, seed=8)
+        assert is_independent(g, res.independent_set)
+
+    def test_beats_delta_guarantee_on_caterpillar(self):
+        # Caterpillar: α = 1 but Δ = legs + 2; the arboricity guarantee
+        # 8(1+ε) is independent of Δ.
+        g = uniform_weights(caterpillar(25, 20), 1, 10, seed=9)
+        eps = 0.5
+        assert 8 * (1 + eps) * 1 < (1 + eps) * g.max_degree
+        res = low_arboricity_maxis(g, eps, seed=10)
+        _, opt = exact_max_weight_is(g, limit_nodes=600)
+        assert res.weight(g) + 1e-9 >= opt / (8 * (1 + eps))
+
+
+class TestAlgorithmMechanics:
+    def test_graph_empties_within_log_n_phases(self):
+        g = uniform_weights(gnp(100, 4.0 / 100, seed=11), 1, 5, seed=12)
+        res = low_arboricity_maxis(g, 0.5, seed=13)
+        assert res.metadata["residual_weight_left"] == 0.0
+        assert res.metadata["phases_executed"] <= res.metadata["phases_requested"]
+
+    def test_alpha_computed_when_omitted(self):
+        g = uniform_weights(random_tree(30, seed=14), seed=15)
+        res = low_arboricity_maxis(g, 0.5, seed=16)
+        assert res.metadata["alpha"] == 1
+
+    def test_alpha_override_respected(self):
+        g = uniform_weights(random_tree(30, seed=14), seed=15)
+        res = low_arboricity_maxis(g, 0.5, alpha=3, seed=16)
+        assert res.metadata["threshold"] == 12
+
+    def test_threshold_factor_ablation(self):
+        g = uniform_weights(caterpillar(15, 5), 1, 10, seed=17)
+        res = low_arboricity_maxis(g, 0.5, threshold_factor=8, seed=18)
+        assert res.metadata["threshold"] == 8 * res.metadata["alpha"]
+        assert is_independent(g, res.independent_set)
+
+    def test_stack_property(self):
+        g = uniform_weights(grid_2d(7, 7), 1, 9, seed=19)
+        res = low_arboricity_maxis(g, 0.5, seed=20)
+        assert res.weight(g) + 1e-9 >= res.metadata["stack_value"]
+
+    def test_custom_inner_algorithm(self):
+        def inner(graph, eps, *, seed=None, n_bound=None):
+            return theorem1_maxis(graph, eps, seed=seed, n_bound=n_bound)
+
+        g = uniform_weights(random_tree(40, seed=21), 1, 8, seed=22)
+        res = low_arboricity_maxis(g, 0.5, inner=inner, seed=23)
+        assert is_independent(g, res.independent_set)
+        assert res.weight(g) > 0
+
+    def test_empty_graph(self):
+        assert low_arboricity_maxis(empty(0), 0.5).independent_set == frozenset()
+
+    def test_phase_log_shrinks(self):
+        g = uniform_weights(gnp(120, 5.0 / 120, seed=24), 1, 5, seed=25)
+        res = low_arboricity_maxis(g, 0.5, seed=26)
+        counts = [p["active_nodes"] for p in res.metadata["phase_log"]]
+        assert all(b < a for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,144 @@
+"""Tests for §5: the ranking algorithm, its sequential views, Theorem 5."""
+
+import pytest
+
+from repro.core import (
+    boppana_is,
+    is_independent,
+    low_degree_maxis,
+    seq_boppana,
+    seq_boppana0,
+    seq_boppana_trajectory,
+    theorem11_threshold_degree,
+)
+from repro.graphs import complete, cycle, empty, gnp, path, random_regular, star
+
+
+class TestBoppanaDistributed:
+    def test_output_independent(self):
+        g = gnp(100, 0.08, seed=1)
+        res = boppana_is(g, seed=2)
+        assert is_independent(g, res.independent_set)
+
+    def test_one_round(self):
+        g = gnp(50, 0.1, seed=3)
+        res = boppana_is(g, seed=4)
+        assert res.rounds == 1
+
+    def test_isolated_nodes_always_join(self):
+        res = boppana_is(empty(4), seed=5)
+        assert res.independent_set == frozenset(range(4))
+
+    def test_complete_graph_picks_exactly_one(self):
+        res = boppana_is(complete(20), seed=6)
+        assert len(res.independent_set) == 1
+
+    def test_not_necessarily_maximal(self):
+        # Over several seeds on a long path, at least one run is non-maximal
+        # (that is exactly why Theorem 5 needs boosting).
+        from repro.core import is_maximal_independent_set
+
+        g = path(60)
+        maximal = [
+            is_maximal_independent_set(g, boppana_is(g, seed=s).independent_set)
+            for s in range(10)
+        ]
+        assert not all(maximal)
+
+    def test_expected_size_near_n_over_delta_plus_1(self):
+        # E|I| >= n/(Δ+1); with 30 trials the mean is comfortably above half that.
+        g = random_regular(300, 6, seed=7)
+        sizes = [boppana_is(g, seed=s).size for s in range(30)]
+        assert sum(sizes) / len(sizes) >= 300 / 7 * 0.8
+
+    def test_rank_messages_fit_congest(self):
+        g = gnp(60, 0.1, seed=8)
+        res = boppana_is(g, c=1, seed=9)  # strict CONGEST by default: no raise
+        assert res.metrics.max_message_bits > 0
+
+
+class TestSequentialViews:
+    @pytest.mark.parametrize("fn", [seq_boppana, seq_boppana0])
+    def test_output_independent(self, fn):
+        g = gnp(60, 0.1, seed=10)
+        assert is_independent(g, fn(g, seed=11))
+
+    @pytest.mark.parametrize("fn", [seq_boppana, seq_boppana0])
+    def test_reproducible(self, fn):
+        g = gnp(40, 0.15, seed=12)
+        assert fn(g, seed=13) == fn(g, seed=13)
+
+    def test_seq_views_agree_in_distribution(self):
+        # Coarse check: mean sizes of the two sequential views agree within
+        # a few percent over many trials (they are exactly equidistributed).
+        g = gnp(40, 0.2, seed=14)
+        a = sum(len(seq_boppana(g, seed=s)) for s in range(300)) / 300
+        b = sum(len(seq_boppana0(g, seed=s)) for s in range(300)) / 300
+        assert abs(a - b) < 0.6
+
+    def test_trajectory_consistency(self):
+        g = gnp(50, 0.1, seed=15)
+        traj = seq_boppana_trajectory(g, seed=16)
+        assert len(traj.order) == g.n
+        assert sum(traj.increments) == len(traj.independent_set)
+        assert traj.sizes()[-1] == len(traj.independent_set)
+        assert is_independent(g, traj.independent_set)
+
+    def test_trajectory_probabilities_monotone(self):
+        g = gnp(50, 0.1, seed=17)
+        traj = seq_boppana_trajectory(g, seed=18)
+        probs = traj.join_probabilities
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+        assert probs[0] == 1.0
+
+    def test_trajectory_probability_lower_bound(self):
+        # Pr[join at step t] >= 1 - (Δ+1)t/n — the §5 counting argument.
+        g = random_regular(120, 5, seed=19)
+        traj = seq_boppana_trajectory(g, seed=20)
+        for t, p in enumerate(traj.join_probabilities):
+            assert p + 1e-9 >= 1.0 - (g.max_degree + 1) * t / g.n
+
+
+class TestTheorem11Threshold:
+    def test_threshold_value(self):
+        assert theorem11_threshold_degree(25600, 0.5 ** (1 / 1)) == pytest.approx(
+            25600 / (256 * 0.6931471805599453) - 1
+        )
+
+    def test_threshold_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            theorem11_threshold_degree(100, 0.0)
+        with pytest.raises(ValueError):
+            theorem11_threshold_degree(100, 1.0)
+
+
+class TestTheorem5:
+    def test_size_bound_low_degree(self):
+        eps = 0.5
+        g = random_regular(400, 5, seed=21)
+        res = low_degree_maxis(g, eps, seed=22)
+        assert res.size >= g.n / ((1 + eps) * (g.max_degree + 1))
+
+    def test_output_independent(self):
+        g = gnp(200, 0.02, seed=23)
+        res = low_degree_maxis(g, 0.5, seed=24)
+        assert is_independent(g, res.independent_set)
+
+    def test_weights_ignored(self):
+        g = gnp(100, 0.05, seed=25).with_weights(
+            {v: float(v) for v in range(100)}
+        )
+        res = low_degree_maxis(g, 0.5, seed=26)
+        assert res.metadata["theorem"] == 5
+        assert res.size >= 1
+
+    def test_rounds_scale_with_inverse_eps(self):
+        g = random_regular(200, 4, seed=27)
+        fine = low_degree_maxis(g, 0.1, seed=28)
+        coarse = low_degree_maxis(g, 2.0, seed=28)
+        assert fine.metadata["phases_requested"] > coarse.metadata["phases_requested"]
+
+    def test_star_and_edge_cases(self):
+        assert low_degree_maxis(empty(0), 0.5).independent_set == frozenset()
+        res = low_degree_maxis(star(5), 0.5, seed=29)
+        assert is_independent(star(5), res.independent_set)

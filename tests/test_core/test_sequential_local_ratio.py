@@ -1,0 +1,86 @@
+"""Tests for the §2.2 sequential local-ratio algorithm and Theorem 6."""
+
+import pytest
+
+from repro.core import (
+    exact_max_weight_is,
+    is_independent,
+    sequential_local_ratio_maxis,
+    theorem6_holds,
+)
+from repro.graphs import complete, cycle, empty, gnp, path, star, uniform_weights
+
+
+class TestSequentialLocalRatio:
+    def test_output_independent(self):
+        g = uniform_weights(gnp(40, 0.15, seed=1), 1, 10, seed=2)
+        assert is_independent(g, sequential_local_ratio_maxis(g))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_delta_approximation_worst_case(self, seed):
+        """§2.2: the pick order is *arbitrary* and Δ-approximation must
+        still hold — try several adversarial-ish orders per instance."""
+        g = uniform_weights(gnp(28, 0.2, seed=seed), 1, 10, seed=seed + 30)
+        _, opt = exact_max_weight_is(g)
+        delta = max(1, g.max_degree)
+        for order in (None, list(reversed(g.nodes)),
+                      sorted(g.nodes, key=g.weight),
+                      sorted(g.nodes, key=g.weight, reverse=True)):
+            chosen = sequential_local_ratio_maxis(g, order=order)
+            assert g.total_weight(chosen) * delta + 1e-9 >= opt
+
+    def test_star_with_heavy_hub(self):
+        g = star(5).with_weights({0: 100, **{i: 1.0 for i in range(1, 6)}})
+        # Scanning hub first: push hub (reduces leaves to negative), pop hub.
+        assert sequential_local_ratio_maxis(g, order=[0, 1, 2, 3, 4, 5]) == frozenset({0})
+
+    def test_star_leaves_first(self):
+        g = star(5).with_weights({0: 100, **{i: 1.0 for i in range(1, 6)}})
+        # Leaves pushed first (5 weight), hub residual 95 pushed later:
+        # pop yields the hub (later frames pop first).
+        chosen = sequential_local_ratio_maxis(g, order=[1, 2, 3, 4, 5, 0])
+        assert chosen == frozenset({0})
+        # Δ-approx check: w=100 vs OPT=100.
+        assert g.total_weight(chosen) == 100
+
+    def test_skips_zero_weight(self):
+        g = path(3).with_weights({0: 0, 1: 1, 2: 0})
+        assert sequential_local_ratio_maxis(g) == frozenset({1})
+
+    def test_empty_graphs(self):
+        assert sequential_local_ratio_maxis(empty(0)) == frozenset()
+        assert sequential_local_ratio_maxis(empty(4)) == frozenset(range(4))
+
+    def test_complete_graph_picks_one(self):
+        g = complete(8).with_weights({v: float(v + 1) for v in range(8)})
+        chosen = sequential_local_ratio_maxis(g)
+        assert len(chosen) == 1
+
+
+class TestTheorem6:
+    def test_holds_on_simple_split(self):
+        g = path(4).with_weights({0: 2, 1: 2, 2: 2, 3: 2})
+        w1 = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        w2 = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        assert theorem6_holds(g, w1, w2, frozenset({0, 2}))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_holds_on_random_splits(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        g = uniform_weights(gnp(16, 0.3, seed=seed), 1, 10, seed=seed + 40)
+        split = {v: float(rng.uniform(0, 1)) for v in g.nodes}
+        w1 = {v: g.weight(v) * split[v] for v in g.nodes}
+        w2 = {v: g.weight(v) * (1 - split[v]) for v in g.nodes}
+        # Any independent set; take a greedy one.
+        from repro.mis import random_order_mis
+
+        chosen = random_order_mis(g, seed=seed)
+        assert theorem6_holds(g, w1, w2, chosen)
+
+    def test_zero_weight_side_is_vacuous(self):
+        g = cycle(5)
+        w1 = {v: 1.0 for v in g.nodes}
+        w2 = {v: 0.0 for v in g.nodes}
+        assert theorem6_holds(g, w1, w2, frozenset({0, 2}))

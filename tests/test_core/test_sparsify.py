@@ -1,0 +1,126 @@
+"""Tests for Theorem 9 (weighted sparsification)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    is_independent,
+    sample_subgraph,
+    sampling_probabilities,
+    sparsified_approx,
+)
+from repro.graphs import (
+    complete,
+    empty,
+    gnp,
+    random_regular,
+    skewed_heavy_set,
+    star,
+    uniform_weights,
+)
+
+
+class TestSamplingProbabilities:
+    def test_isolated_nodes_probability_one(self):
+        probs = sampling_probabilities(empty(4))
+        assert probs == {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+
+    def test_probabilities_in_unit_interval(self):
+        g = uniform_weights(gnp(60, 0.2, seed=1), 1, 100, seed=2)
+        probs = sampling_probabilities(g)
+        assert all(0 < p <= 1 for p in probs.values())
+
+    def test_low_degree_graphs_sample_everything(self):
+        # λ log n / δ >= 1 when δ <= λ log n.
+        from repro.graphs import cycle
+
+        probs = sampling_probabilities(cycle(64))
+        assert all(p == 1.0 for p in probs.values())
+
+    def test_heavy_node_boosted(self):
+        g = skewed_heavy_set(random_regular(200, 50, seed=3), fraction=0.01,
+                             heavy=1e9, seed=4)
+        probs = sampling_probabilities(g)
+        heavy_nodes = [v for v in g.nodes if g.weight(v) > 1]
+        # A node carrying essentially all neighbourhood weight gets p = 1
+        # (w(v)/wmax(v) is Θ(1), times λ log n >> 1).
+        assert all(probs[v] == 1.0 for v in heavy_nodes)
+
+    def test_uniform_only_ignores_weights(self):
+        g = skewed_heavy_set(random_regular(200, 50, seed=3), fraction=0.01,
+                             heavy=1e9, seed=4)
+        probs = sampling_probabilities(g, uniform_only=True)
+        values = set(round(p, 12) for p in probs.values())
+        assert len(values) == 1  # regular graph: identical p everywhere
+
+    def test_distributed_matches_centralized(self):
+        g = uniform_weights(gnp(50, 0.3, seed=5), 1, 10, seed=6)
+        outcome = sample_subgraph(g, seed=7)
+        expected = sampling_probabilities(g)
+        assert outcome.probabilities == pytest.approx(expected)
+
+    def test_zero_weights_fall_back_to_degree_term(self):
+        g = star(5).with_weights({v: 0.0 for v in range(6)})
+        probs = sampling_probabilities(g)
+        assert all(0 < p <= 1 for p in probs.values())
+
+
+class TestSampledSubgraph:
+    def test_lemma3_max_degree_logarithmic(self):
+        # Δ = 60 >> log n; the sample's degree collapses to O(log n).
+        g = random_regular(400, 60, seed=8)
+        outcome = sample_subgraph(g, seed=9)
+        assert outcome.subgraph.max_degree <= 10 * math.log(400)
+
+    def test_lemma5_weight_preserved(self):
+        g = skewed_heavy_set(random_regular(300, 40, seed=10), fraction=0.02,
+                             heavy=1e6, seed=11)
+        outcome = sample_subgraph(g, seed=12)
+        target = min(
+            g.total_weight(),
+            g.total_weight() * math.log(300) / g.max_degree,
+        )
+        assert outcome.subgraph.total_weight() >= target / 8.0
+
+    def test_sampling_reproducible(self):
+        g = uniform_weights(gnp(80, 0.2, seed=13), seed=14)
+        a = sample_subgraph(g, seed=15)
+        b = sample_subgraph(g, seed=15)
+        assert a.subgraph == b.subgraph
+
+    def test_rounds_are_constant(self):
+        g = uniform_weights(gnp(80, 0.2, seed=13), seed=14)
+        outcome = sample_subgraph(g, seed=15)
+        assert outcome.metrics.rounds == 2
+
+
+class TestTheorem9EndToEnd:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_weight_fraction_bound(self, seed):
+        g = uniform_weights(gnp(150, 0.15, seed=seed), 1, 50, seed=seed + 20)
+        res = sparsified_approx(g, seed=seed)
+        # Theorem 9: w(I) >= w(V)/(cΔ); check the conservative c = 8.
+        assert res.weight(g) >= g.total_weight() / (8 * max(1, g.max_degree))
+
+    def test_output_independent(self):
+        g = uniform_weights(gnp(100, 0.2, seed=30), seed=31)
+        res = sparsified_approx(g, seed=32)
+        assert is_independent(g, res.independent_set)
+
+    def test_metadata_records_sampling(self):
+        g = uniform_weights(gnp(100, 0.2, seed=30), seed=31)
+        res = sparsified_approx(g, seed=32)
+        md = res.metadata
+        assert md["sampled_nodes"] <= g.n
+        assert md["sampled_weight"] <= g.total_weight() + 1e-9
+        assert md["lambda"] > 0
+
+    def test_empty_graph(self):
+        res = sparsified_approx(empty(0))
+        assert res.independent_set == frozenset()
+
+    def test_complete_graph(self):
+        g = complete(30).with_weights({v: float(v + 1) for v in range(30)})
+        res = sparsified_approx(g, seed=33)
+        assert len(res.independent_set) == 1

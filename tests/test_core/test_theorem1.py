@@ -1,0 +1,79 @@
+"""End-to-end tests for Theorem 1: deterministic (1+ε)Δ-approximation."""
+
+import pytest
+
+from repro.core import certify_ratio, exact_max_weight_is, is_independent, theorem1_maxis
+from repro.graphs import empty, gnp, path, star, uniform_weights
+
+
+class TestApproximationGuarantee:
+    @pytest.mark.parametrize("eps", [1.0, 0.5, 0.25])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_certified_against_opt(self, eps, seed):
+        g = uniform_weights(gnp(45, 0.12, seed=seed), 1, 25, seed=seed + 7)
+        _, opt = exact_max_weight_is(g)
+        res = theorem1_maxis(g, eps, seed=seed)
+        cert = certify_ratio(
+            g, res.independent_set, (1 + eps) * max(1, g.max_degree), opt=opt
+        )
+        assert cert.holds
+
+    def test_remark_fraction_bound(self):
+        g = uniform_weights(gnp(60, 0.1, seed=3), 1, 40, seed=4)
+        eps = 0.5
+        res = theorem1_maxis(g, eps, seed=5)
+        assert res.weight(g) + 1e-9 >= g.total_weight() / (
+            (1 + eps) * (g.max_degree + 1)
+        )
+
+    def test_output_independent(self):
+        g = uniform_weights(gnp(60, 0.1, seed=3), seed=4)
+        res = theorem1_maxis(g, 0.5, seed=5)
+        assert is_independent(g, res.independent_set)
+
+
+class TestDeterminism:
+    def test_fully_deterministic_with_det_blackbox(self):
+        g = uniform_weights(gnp(50, 0.12, seed=6), 1, 10, seed=7)
+        a = theorem1_maxis(g, 0.5, seed=1)
+        b = theorem1_maxis(g, 0.5, seed=99)
+        assert a.independent_set == b.independent_set
+        assert a.rounds == b.rounds
+
+    def test_randomized_blackbox_varies(self):
+        g = uniform_weights(gnp(50, 0.12, seed=6), 1, 10, seed=7)
+        sets = {
+            theorem1_maxis(g, 0.5, mis="luby", seed=s).independent_set
+            for s in range(5)
+        }
+        assert len(sets) >= 1  # may coincide, but must all be valid
+        for s in sets:
+            assert is_independent(g, s)
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        res = theorem1_maxis(empty(0), 0.5)
+        assert res.independent_set == frozenset()
+
+    def test_single_node(self):
+        res = theorem1_maxis(path(1), 0.5)
+        assert res.independent_set == frozenset({0})
+
+    def test_edgeless(self):
+        res = theorem1_maxis(empty(6), 0.5)
+        assert res.independent_set == frozenset(range(6))
+
+    def test_star_heavy_hub(self):
+        g = star(6).with_weights({0: 1000, **{i: 1.0 for i in range(1, 7)}})
+        res = theorem1_maxis(g, 0.25, seed=1)
+        assert 0 in res.independent_set
+
+    def test_metadata(self):
+        g = uniform_weights(gnp(30, 0.15, seed=8), seed=9)
+        res = theorem1_maxis(g, 0.5, seed=10)
+        assert res.metadata["theorem"] == 1
+        assert res.metadata["delta"] == g.max_degree
+        assert res.metadata["guarantee_factor"] == pytest.approx(
+            1.5 * g.max_degree
+        )

@@ -1,0 +1,75 @@
+"""Tests for the certified OPT upper bounds."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import exact_max_weight_is
+from repro.core.upper_bounds import (
+    clique_cover_upper_bound,
+    greedy_clique_cover,
+    opt_upper_bound,
+)
+from repro.graphs import WeightedGraph, complete, cycle, empty, gnp, path, uniform_weights
+
+
+class TestCliqueCover:
+    def test_cover_is_partition_of_cliques(self):
+        g = gnp(40, 0.3, seed=1)
+        cover = greedy_clique_cover(g)
+        seen = set()
+        for clique in cover:
+            assert not (clique & seen)
+            seen |= clique
+            for u in clique:
+                for v in clique:
+                    if u < v:
+                        assert g.has_edge(u, v)
+        assert seen == set(g.nodes)
+
+    def test_complete_graph_single_clique(self):
+        assert len(greedy_clique_cover(complete(7))) == 1
+
+    def test_edgeless_all_singletons(self):
+        assert len(greedy_clique_cover(empty(5))) == 5
+
+    def test_path_cover_size(self):
+        # P4 covers with 2 edges.
+        assert len(greedy_clique_cover(path(4))) == 2
+
+
+class TestUpperBound:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("p", [0.2, 0.5])
+    def test_dominates_exact_opt(self, seed, p):
+        g = uniform_weights(gnp(30, p, seed=seed), 1, 10, seed=seed + 60)
+        _, opt = exact_max_weight_is(g)
+        assert clique_cover_upper_bound(g) + 1e-9 >= opt
+        assert opt_upper_bound(g) + 1e-9 >= opt
+
+    def test_never_exceeds_total_weight(self):
+        g = uniform_weights(gnp(50, 0.1, seed=2), 1, 10, seed=3)
+        assert opt_upper_bound(g) <= g.total_weight() + 1e-9
+
+    def test_tight_on_complete_graph(self):
+        g = complete(10).with_weights({v: float(v + 1) for v in range(10)})
+        assert clique_cover_upper_bound(g) == 10.0  # exactly OPT
+
+    def test_beats_trivial_on_dense(self):
+        g = uniform_weights(gnp(40, 0.5, seed=4), 1, 10, seed=5)
+        assert clique_cover_upper_bound(g) < g.total_weight()
+
+    def test_empty_graph(self):
+        assert opt_upper_bound(empty(0)) == 0.0
+
+    @given(st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_dominance_hypothesis(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 18))
+        g = gnp(n, 0.4, seed=seed)
+        g = g.with_weights({v: float(rng.integers(0, 20)) for v in g.nodes})
+        _, opt = exact_max_weight_is(g)
+        assert opt_upper_bound(g) + 1e-9 >= opt

@@ -1,0 +1,145 @@
+"""Unit tests for output certification."""
+
+import pytest
+
+from repro.core import (
+    assert_independent,
+    assert_maximal_independent_set,
+    certify_fraction_bound,
+    certify_ratio,
+    is_independent,
+    is_maximal_independent_set,
+)
+from repro.exceptions import VerificationError
+from repro.graphs import cycle, empty, path, star
+
+
+class TestIndependence:
+    def test_is_independent_true(self):
+        assert is_independent(path(4), {0, 2})
+        assert is_independent(path(4), set())
+
+    def test_is_independent_false(self):
+        assert not is_independent(path(4), {0, 1})
+
+    def test_unknown_node(self):
+        assert not is_independent(path(3), {7})
+
+    def test_assert_passes(self):
+        assert_independent(cycle(6), {0, 2, 4})
+
+    def test_assert_raises_with_edge(self):
+        with pytest.raises(VerificationError, match="edge"):
+            assert_independent(cycle(6), {0, 1})
+
+    def test_assert_raises_unknown_node(self):
+        with pytest.raises(VerificationError, match="not in graph"):
+            assert_independent(cycle(6), {42})
+
+
+class TestMaximality:
+    def test_maximal_true(self):
+        assert is_maximal_independent_set(path(4), {0, 2})
+        assert is_maximal_independent_set(star(4), {0})
+
+    def test_independent_but_not_maximal(self):
+        assert not is_maximal_independent_set(path(5), {0})
+        with pytest.raises(VerificationError, match="not maximal"):
+            assert_maximal_independent_set(path(5), {0})
+
+    def test_not_independent_not_maximal(self):
+        assert not is_maximal_independent_set(path(3), {0, 1})
+
+    def test_empty_graph(self):
+        assert is_maximal_independent_set(empty(0), set())
+        assert_maximal_independent_set(empty(3), {0, 1, 2})
+
+
+class TestCertificates:
+    def test_fraction_bound_holds(self):
+        g = path(3).with_weights({0: 5, 1: 1, 2: 5})
+        cert = certify_fraction_bound(g, frozenset({0, 2}), denominator=2.0)
+        assert cert.holds
+        assert cert.achieved == 10
+        assert cert.required == 5.5
+        assert bool(cert)
+
+    def test_fraction_bound_fails(self):
+        g = path(3).with_weights({0: 5, 1: 1, 2: 5})
+        cert = certify_fraction_bound(g, frozenset({1}), denominator=2.0)
+        assert not cert.holds
+
+    def test_fraction_bound_checks_independence(self):
+        with pytest.raises(VerificationError):
+            certify_fraction_bound(path(3), frozenset({0, 1}), 2.0)
+
+    def test_ratio_with_explicit_opt(self):
+        g = path(3)
+        cert = certify_ratio(g, frozenset({0, 2}), factor=1.0, opt=2.0)
+        assert cert.holds
+        assert "OPT" in cert.reference
+
+    def test_ratio_computes_opt_when_missing(self):
+        g = path(4).with_weights({0: 1, 1: 10, 2: 1, 3: 10})
+        cert = certify_ratio(g, frozenset({1, 3}), factor=1.0)
+        assert cert.holds  # {1,3} IS the optimum here
+
+    def test_ratio_fails_for_bad_set(self):
+        g = path(4).with_weights({0: 1, 1: 10, 2: 1, 3: 10})
+        cert = certify_ratio(g, frozenset({0}), factor=1.5)
+        assert not cert.holds
+
+
+class TestCertifyResult:
+    def test_dispatch_small_instance_uses_opt(self):
+        from repro.core import certify_result, theorem1_maxis
+        from repro.graphs import gnp, uniform_weights
+
+        g = uniform_weights(gnp(30, 0.15, seed=50), 1, 10, seed=51)
+        res = theorem1_maxis(g, 0.5, seed=52)
+        cert = certify_result(g, res)
+        assert cert.holds
+        assert "OPT" in cert.reference
+
+    def test_dispatch_large_instance_uses_fraction(self):
+        from repro.core import certify_result, theorem2_maxis
+        from repro.graphs import gnp, uniform_weights
+
+        g = uniform_weights(gnp(200, 0.05, seed=53), 1, 10, seed=54)
+        res = theorem2_maxis(g, 0.5, seed=55)
+        cert = certify_result(g, res)
+        assert cert.holds
+        assert "w(V)" in cert.reference
+
+    def test_explicit_opt_passthrough(self):
+        from repro.core import certify_result, exact_max_weight_is, theorem1_maxis
+        from repro.graphs import gnp, uniform_weights
+
+        g = uniform_weights(gnp(25, 0.2, seed=56), 1, 10, seed=57)
+        _, opt = exact_max_weight_is(g)
+        res = theorem1_maxis(g, 1.0, seed=58)
+        assert certify_result(g, res, opt=opt).holds
+
+    def test_missing_metadata_raises(self):
+        from repro.core import certify_result
+        from repro.exceptions import VerificationError
+        from repro.graphs import path
+        from repro.results import AlgorithmResult
+        from repro.simulator.metrics import RunMetrics
+
+        bare = AlgorithmResult(frozenset({0}), RunMetrics(), {})
+        with pytest.raises(VerificationError):
+            certify_result(path(2), bare)
+
+    def test_theorem3_large_requires_opt(self):
+        from repro.core import certify_result, low_arboricity_maxis
+        from repro.exceptions import VerificationError
+        from repro.graphs import random_tree, uniform_weights
+
+        g = uniform_weights(random_tree(200, seed=59), 1, 10, seed=60)
+        res = low_arboricity_maxis(g, 0.5, alpha=1, seed=61)
+        with pytest.raises(VerificationError, match="pass opt"):
+            certify_result(g, res)
+        # With an upper bound on OPT (w(V)) the conservative check runs.
+        cert = certify_result(g, res, opt=g.total_weight(res.independent_set))
+        assert cert.holds

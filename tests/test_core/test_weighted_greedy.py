@@ -1,0 +1,92 @@
+"""Tests for the distributed heaviest-first greedy."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.core import (
+    exact_max_weight_is,
+    greedy_chain_graph,
+    greedy_maxis,
+    is_independent,
+    is_maximal_independent_set,
+    weighted_greedy_maxis,
+)
+from repro.graphs import WeightedGraph, empty, gnp, star, uniform_weights
+
+
+class TestEquivalenceWithSequential:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_sequential_greedy(self, seed):
+        g = uniform_weights(gnp(50, 0.12, seed=seed), 1, 40, seed=seed + 7)
+        res = weighted_greedy_maxis(g)
+        assert res.independent_set == greedy_maxis(g)
+
+    @given(st.integers(0, 2 ** 16))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_sequential_hypothesis(self, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 25))
+        g = gnp(n, 0.3, seed=seed)
+        g = g.with_weights({v: float(rng.integers(1, 15)) for v in g.nodes})
+        assert weighted_greedy_maxis(g).independent_set == greedy_maxis(g)
+
+    def test_seed_independent(self):
+        g = uniform_weights(gnp(40, 0.15, seed=1), 1, 10, seed=2)
+        a = weighted_greedy_maxis(g, seed=1)
+        b = weighted_greedy_maxis(g, seed=999)
+        assert a.independent_set == b.independent_set
+
+
+class TestGuarantees:
+    def test_output_maximal(self):
+        g = uniform_weights(gnp(60, 0.1, seed=3), 1, 20, seed=4)
+        res = weighted_greedy_maxis(g)
+        assert is_maximal_independent_set(g, res.independent_set)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_delta_approximation(self, seed):
+        g = uniform_weights(gnp(30, 0.2, seed=seed), 1, 10, seed=seed + 9)
+        _, opt = exact_max_weight_is(g)
+        res = weighted_greedy_maxis(g)
+        assert res.weight(g) * max(1, g.max_degree) + 1e-9 >= opt
+
+    def test_heavy_hub_star(self):
+        g = star(6).with_weights({0: 100, **{i: 1.0 for i in range(1, 7)}})
+        assert weighted_greedy_maxis(g).independent_set == frozenset({0})
+
+
+class TestRoundComplexity:
+    def test_adversarial_chain_is_sequential(self):
+        chain = greedy_chain_graph(80)
+        res = weighted_greedy_maxis(chain)
+        assert res.rounds >= 80  # Θ(n): one decision per phase down the chain
+
+    def test_random_instances_fast(self):
+        g = uniform_weights(gnp(200, 0.05, seed=5), 1, 100, seed=6)
+        res = weighted_greedy_maxis(g)
+        assert res.rounds <= 40  # longest decreasing chain is short w.h.p.
+
+    def test_chain_graph_shape(self):
+        chain = greedy_chain_graph(10)
+        assert chain.m == 9
+        weights = [chain.weight(v) for v in chain.nodes]
+        assert weights == sorted(weights, reverse=True)
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        assert weighted_greedy_maxis(empty(0)).independent_set == frozenset()
+
+    def test_edgeless(self):
+        res = weighted_greedy_maxis(empty(5))
+        assert res.independent_set == frozenset(range(5))
+        assert res.rounds <= 1
+
+    def test_equal_weights_tiebreak_by_id(self):
+        g = WeightedGraph.from_edges([0, 1, 2], [(0, 1), (1, 2)],
+                                     {0: 5.0, 1: 5.0, 2: 5.0})
+        # Ties go to the smaller id: 0 joins, then 2.
+        assert weighted_greedy_maxis(g).independent_set == frozenset({0, 2})

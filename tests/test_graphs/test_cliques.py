@@ -1,0 +1,73 @@
+"""Unit tests for the §7 cycle-of-cliques construction."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import cycle_of_cliques
+from repro.graphs.properties import is_connected
+
+
+class TestConstruction:
+    def test_node_and_edge_counts(self):
+        inst = cycle_of_cliques(5, 4)
+        g = inst.graph
+        assert g.n == 20
+        # Per clique: C(4,2)=6 internal; per adjacent pair: 16 biclique.
+        assert g.m == 5 * 6 + 5 * 16
+
+    def test_uniform_degree(self):
+        inst = cycle_of_cliques(6, 3)
+        g = inst.graph
+        # Own clique (n1-1) + two neighbouring cliques (2*n1).
+        assert all(g.degree(v) == 3 * 3 - 1 for v in g.nodes)
+
+    def test_connected(self):
+        assert is_connected(cycle_of_cliques(4, 3).graph)
+
+    def test_minimum_sizes_rejected(self):
+        with pytest.raises(GraphError):
+            cycle_of_cliques(2, 3)
+        with pytest.raises(GraphError):
+            cycle_of_cliques(4, 0)
+
+    def test_single_node_cliques_give_plain_cycle(self):
+        inst = cycle_of_cliques(7, 1)
+        g = inst.graph
+        assert g.n == 7
+        assert g.m == 7
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+
+class TestBookkeeping:
+    def test_clique_index(self):
+        inst = cycle_of_cliques(4, 5)
+        assert inst.clique_index(0) == 0
+        assert inst.clique_index(4) == 0
+        assert inst.clique_index(5) == 1
+        assert inst.clique_index(19) == 3
+
+    def test_members(self):
+        inst = cycle_of_cliques(4, 5)
+        assert inst.members(2) == (10, 11, 12, 13, 14)
+
+    def test_members_out_of_range(self):
+        with pytest.raises(GraphError):
+            cycle_of_cliques(4, 5).members(4)
+
+    def test_adjacency_rule(self):
+        inst = cycle_of_cliques(5, 2)
+        g = inst.graph
+        # Same clique: adjacent.
+        assert g.has_edge(0, 1)
+        # Consecutive cliques: adjacent (biclique).
+        assert g.has_edge(1, 2)
+        # Wrap-around cliques 0 and 4: adjacent.
+        assert g.has_edge(0, 8)
+        # Cliques 0 and 2: not adjacent.
+        assert not g.has_edge(0, 4)
+
+    def test_projection_of_independent_set(self):
+        inst = cycle_of_cliques(6, 3)
+        # One node from cliques 0, 2, 4 — independent in C1.
+        chosen = [inst.members(0)[0], inst.members(2)[1], inst.members(4)[2]]
+        assert inst.project_independent_set(chosen) == frozenset({0, 2, 4})

@@ -1,0 +1,233 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    caterpillar,
+    complete,
+    connected_components,
+    cycle,
+    disjoint_union,
+    empty,
+    gnp,
+    grid_2d,
+    is_connected,
+    path,
+    planted_heavy_hub,
+    random_bipartite,
+    random_regular,
+    random_tree,
+    star,
+    union_of_random_forests,
+)
+
+
+class TestDeterministicGenerators:
+    def test_cycle(self):
+        g = cycle(5)
+        assert g.n == 5 and g.m == 5
+        assert all(g.degree(v) == 2 for v in g.nodes)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle(2)
+
+    def test_path(self):
+        g = path(5)
+        assert g.m == 4
+        assert g.degree(0) == 1 and g.degree(2) == 2
+
+    def test_path_single_node(self):
+        assert path(1).n == 1 and path(1).m == 0
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.m == 15
+        assert g.max_degree == 5
+
+    def test_star(self):
+        g = star(7)
+        assert g.n == 8
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+    def test_empty(self):
+        assert empty(4).m == 0
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert g.max_degree == 4  # interior nodes of a 3x4 grid
+        assert is_connected(g)
+
+    def test_caterpillar(self):
+        g = caterpillar(5, 3)
+        assert g.n == 5 + 15
+        assert g.m == 4 + 15
+        assert is_connected(g)
+        # Interior spine nodes: 2 spine edges + 3 legs.
+        assert g.degree(2) == 5
+
+
+class TestRandomGenerators:
+    def test_gnp_reproducible(self):
+        a = gnp(50, 0.1, seed=3)
+        b = gnp(50, 0.1, seed=3)
+        assert a == b
+
+    def test_gnp_different_seeds_differ(self):
+        assert gnp(50, 0.2, seed=3) != gnp(50, 0.2, seed=4)
+
+    def test_gnp_extremes(self):
+        assert gnp(20, 0.0, seed=1).m == 0
+        assert gnp(6, 1.0, seed=1).m == 15
+
+    def test_gnp_bad_p(self):
+        with pytest.raises(GraphError):
+            gnp(10, 1.5)
+
+    def test_gnp_edge_count_plausible(self):
+        n, p = 200, 0.05
+        g = gnp(n, p, seed=5)
+        expected = p * n * (n - 1) / 2
+        assert 0.6 * expected < g.m < 1.4 * expected
+
+    def test_gnp_valid_edges(self):
+        g = gnp(30, 0.3, seed=8)
+        for u, v in g.edges():
+            assert 0 <= u < v < 30
+
+    def test_random_regular(self):
+        g = random_regular(30, 4, seed=2)
+        assert all(g.degree(v) == 4 for v in g.nodes)
+
+    def test_random_regular_odd_product_rejected(self):
+        with pytest.raises(GraphError):
+            random_regular(5, 3)
+
+    def test_random_regular_d_too_big(self):
+        with pytest.raises(GraphError):
+            random_regular(4, 4)
+
+    def test_random_tree_is_tree(self):
+        g = random_tree(40, seed=6)
+        assert g.m == 39
+        assert is_connected(g)
+
+    def test_random_tree_tiny(self):
+        assert random_tree(1).n == 1
+        assert random_tree(2).m == 1
+
+    def test_union_of_forests_arboricity_bounded(self):
+        from repro.graphs import arboricity
+
+        g = union_of_random_forests(40, 3, seed=4)
+        assert arboricity(g) <= 3
+
+    def test_random_bipartite_no_internal_edges(self):
+        g = random_bipartite(10, 12, 0.4, seed=3)
+        for u, v in g.edges():
+            assert (u < 10) != (v < 10)
+
+    def test_planted_heavy_hub(self):
+        g = planted_heavy_hub(100, 50, 1.0 / 100, seed=9)
+        assert g.degree(0) >= 50
+
+    def test_generator_accepts_generator_object(self):
+        rng = np.random.default_rng(5)
+        g = gnp(30, 0.2, seed=rng)
+        assert g.n == 30
+
+
+class TestDisjointUnion:
+    def test_union_counts(self):
+        g = disjoint_union([path(3), cycle(4)])
+        assert g.n == 7
+        assert g.m == 2 + 4
+        assert len(connected_components(g)) == 2
+
+    def test_union_preserves_weights(self):
+        a = path(2).with_weights({0: 5, 1: 6})
+        g = disjoint_union([a, a])
+        assert g.total_weight() == 22
+
+
+class TestPowerLaw:
+    def test_basic_shape(self):
+        from repro.graphs import power_law
+
+        g = power_law(400, seed=1)
+        assert g.n == 400
+        assert g.max_degree <= 20 + 1  # truncated at sqrt(n) (+1 parity fix)
+
+    def test_reproducible(self):
+        from repro.graphs import power_law
+
+        assert power_law(100, seed=2) == power_law(100, seed=2)
+
+    def test_heavier_tail_with_smaller_exponent(self):
+        from repro.graphs import power_law
+
+        heavy = power_law(800, exponent=2.0, seed=3)
+        light = power_law(800, exponent=3.5, seed=3)
+        assert heavy.m > light.m
+
+    def test_rejects_bad_params(self):
+        import pytest as _pytest
+
+        from repro.exceptions import GraphError
+        from repro.graphs import power_law
+
+        with _pytest.raises(GraphError):
+            power_law(1)
+        with _pytest.raises(GraphError):
+            power_law(10, exponent=1.0)
+
+    def test_min_degree_respected_roughly(self):
+        from repro.graphs import power_law
+
+        g = power_law(300, min_degree=2, seed=4)
+        # Erasure drops a few edges; average degree stays close to the target.
+        assert 2 * g.m / g.n >= 1.5
+
+
+class TestBarabasiAlbert:
+    def test_shape(self):
+        from repro.graphs import barabasi_albert, is_connected
+
+        g = barabasi_albert(200, 3, seed=1)
+        assert g.n == 200
+        assert is_connected(g)
+        # Roughly m_edges per newcomer plus the seed clique.
+        assert 3 * 190 <= g.m <= 3 * 200 + 10
+
+    def test_hubs_grow(self):
+        from repro.graphs import barabasi_albert
+
+        g = barabasi_albert(600, 2, seed=2)
+        assert g.max_degree >= 20  # preferential attachment concentrates
+
+    def test_low_arboricity(self):
+        from repro.graphs import arboricity, barabasi_albert
+
+        g = barabasi_albert(300, 2, seed=3)
+        assert arboricity(g) <= 4
+
+    def test_reproducible(self):
+        from repro.graphs import barabasi_albert
+
+        assert barabasi_albert(80, 2, seed=4) == barabasi_albert(80, 2, seed=4)
+
+    def test_rejects_bad_params(self):
+        import pytest as _pytest
+
+        from repro.exceptions import GraphError
+        from repro.graphs import barabasi_albert
+
+        with _pytest.raises(GraphError):
+            barabasi_albert(3, 3)
+        with _pytest.raises(GraphError):
+            barabasi_albert(10, 0)

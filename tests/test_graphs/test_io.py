@@ -1,0 +1,61 @@
+"""Unit tests for graph serialization."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graphs import gnp, uniform_weights
+from repro.graphs.io import dumps, from_json, load, loads, save, to_json
+
+
+@pytest.fixture
+def sample():
+    return uniform_weights(gnp(20, 0.2, seed=1), 1, 5, seed=2)
+
+
+def test_text_roundtrip(sample):
+    assert loads(dumps(sample)) == sample
+
+
+def test_file_roundtrip(sample, tmp_path):
+    p = tmp_path / "g.wg"
+    save(sample, p)
+    assert load(p) == sample
+
+
+def test_json_roundtrip(sample):
+    assert from_json(to_json(sample)) == sample
+
+
+def test_loads_ignores_comments_and_blanks(sample):
+    text = "# header comment\n\n" + dumps(sample)
+    assert loads(text) == sample
+
+
+def test_loads_empty_rejected():
+    with pytest.raises(GraphFormatError):
+        loads("")
+
+
+def test_loads_bad_header():
+    with pytest.raises(GraphFormatError):
+        loads("abc def")
+
+
+def test_loads_wrong_line_count():
+    with pytest.raises(GraphFormatError):
+        loads("2 1\n0 1.0\n1 1.0\n0 1\n0 1")
+
+
+def test_loads_bad_node_line():
+    with pytest.raises(GraphFormatError):
+        loads("1 0\n0 1.0 extra")
+
+
+def test_loads_bad_edge_line():
+    with pytest.raises(GraphFormatError):
+        loads("2 1\n0 1.0\n1 1.0\n0")
+
+
+def test_from_json_malformed():
+    with pytest.raises(GraphFormatError):
+        from_json('{"nodes": "oops"}')

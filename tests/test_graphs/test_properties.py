@@ -1,0 +1,108 @@
+"""Unit tests for structural property helpers."""
+
+import pytest
+
+from repro.graphs import (
+    average_degree,
+    bfs_distances,
+    complete,
+    connected_components,
+    cycle,
+    degree_histogram,
+    diameter,
+    disjoint_union,
+    empty,
+    grid_2d,
+    is_connected,
+    path,
+    star,
+    summarize,
+)
+
+
+def test_degree_histogram_star():
+    hist = degree_histogram(star(5))
+    assert hist == {5: 1, 1: 5}
+
+
+def test_average_degree():
+    assert average_degree(cycle(10)) == 2.0
+    assert average_degree(empty(4)) == 0.0
+    assert average_degree(empty(0)) == 0.0
+
+
+def test_connected_components():
+    g = disjoint_union([path(3), cycle(4), empty(2)])
+    comps = connected_components(g)
+    sizes = sorted(len(c) for c in comps)
+    assert sizes == [1, 1, 3, 4]
+
+
+def test_is_connected():
+    assert is_connected(cycle(5))
+    assert not is_connected(disjoint_union([path(2), path(2)]))
+    assert is_connected(empty(0))
+    assert is_connected(empty(1))
+
+
+def test_bfs_distances_path():
+    d = bfs_distances(path(5), 0)
+    assert d == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+
+def test_bfs_distances_unreachable():
+    g = disjoint_union([path(2), path(2)])
+    d = bfs_distances(g, 0)
+    assert set(d) == {0, 1}
+
+
+def test_diameter_values():
+    assert diameter(path(5)) == 4
+    assert diameter(cycle(6)) == 3
+    assert diameter(complete(4)) == 1
+    assert diameter(grid_2d(3, 3)) == 4
+
+
+def test_diameter_disconnected_raises():
+    with pytest.raises(ValueError):
+        diameter(disjoint_union([path(2), path(2)]))
+    with pytest.raises(ValueError):
+        diameter(empty(0))
+
+
+def test_summarize():
+    g = cycle(6).with_weights({v: 2.0 for v in range(6)})
+    s = summarize(g)
+    assert s.n == 6
+    assert s.m == 6
+    assert s.max_degree == 2
+    assert s.total_weight == 12.0
+    assert s.max_weight == 2.0
+    assert s.components == 1
+    assert len(s.as_row()) == 7
+
+
+class TestComplement:
+    def test_path_complement(self):
+        from repro.graphs import complement
+
+        g = complement(path(3))
+        assert g.m == 1
+        assert g.has_edge(0, 2)
+
+    def test_involution(self):
+        from repro.graphs import complement, gnp
+
+        g = gnp(20, 0.3, seed=1).with_weights({v: float(v) for v in range(20)})
+        assert complement(complement(g)) == g
+
+    def test_edge_count(self):
+        from repro.graphs import complement, gnp
+
+        g = gnp(15, 0.4, seed=2)
+        assert g.m + complement(g).m == 15 * 14 // 2
+
+    def test_complete_complement_empty(self):
+        from repro.graphs import complement
+
+        assert complement(complete(6)).m == 0

@@ -1,0 +1,161 @@
+"""Unit tests for the WeightedGraph data structure."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import WeightedGraph, complete, path
+
+
+class TestConstruction:
+    def test_from_edges_basic(self):
+        g = WeightedGraph.from_edges([0, 1, 2], [(0, 1), (1, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.neighbors(1) == (0, 2)
+
+    def test_from_edges_default_unit_weights(self):
+        g = WeightedGraph.from_edges([0, 1], [(0, 1)])
+        assert g.weight(0) == 1.0
+        assert g.weight(1) == 1.0
+
+    def test_from_edges_with_weights(self):
+        g = WeightedGraph.from_edges([0, 1], [(0, 1)], {0: 2.5, 1: 0.5})
+        assert g.weight(0) == 2.5
+        assert g.total_weight() == 3.0
+
+    def test_duplicate_edges_collapse(self):
+        g = WeightedGraph.from_edges([0, 1], [(0, 1), (0, 1), (1, 0)])
+        assert g.m == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            WeightedGraph.from_edges([0, 1], [(0, 0)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(GraphError, match="unknown node"):
+            WeightedGraph.from_edges([0, 1], [(0, 5)])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError, match="negative or NaN"):
+            WeightedGraph.from_edges([0], [], {0: -1.0})
+
+    def test_asymmetric_adjacency_rejected(self):
+        with pytest.raises(GraphError, match="asymmetric"):
+            WeightedGraph({0: [1], 1: []})
+
+    def test_empty_graph(self):
+        g = WeightedGraph.empty(5)
+        assert g.n == 5
+        assert g.m == 0
+        assert g.max_degree == 0
+
+    def test_zero_node_graph(self):
+        g = WeightedGraph.empty(0)
+        assert g.n == 0
+        assert g.nodes == ()
+        assert g.max_degree == 0
+        assert g.max_weight() == 0.0
+
+    def test_noncontiguous_ids(self):
+        g = WeightedGraph.from_edges([3, 10, 42], [(3, 42)])
+        assert g.nodes == (3, 10, 42)
+        assert g.degree(10) == 0
+
+
+class TestAccessors:
+    def test_edges_sorted_unique(self):
+        g = complete(4)
+        edges = list(g.edges())
+        assert edges == [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+
+    def test_inclusive_neighbors(self):
+        g = path(3)
+        assert g.inclusive_neighbors(1) == (0, 1, 2)
+        assert g.inclusive_neighbors(0) == (0, 1)
+
+    def test_degree_and_max_degree(self):
+        g = path(4)
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+        assert g.max_degree == 2
+
+    def test_has_edge(self):
+        g = path(3)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+
+    def test_weighted_degree(self):
+        g = path(3).with_weights({0: 1, 1: 10, 2: 100})
+        assert g.weighted_degree(1) == 101
+        assert g.weighted_degree(0) == 10
+
+    def test_total_weight_subset(self):
+        g = path(3).with_weights({0: 1, 1: 10, 2: 100})
+        assert g.total_weight([0, 2]) == 101
+        assert g.total_weight() == 111
+
+    def test_max_weight(self):
+        g = path(3).with_weights({0: 1, 1: 10, 2: 100})
+        assert g.max_weight() == 100
+
+    def test_contains_len_iter(self):
+        g = path(3)
+        assert 2 in g
+        assert 5 not in g
+        assert len(g) == 3
+        assert list(g) == [0, 1, 2]
+
+    def test_not_hashable(self):
+        with pytest.raises(TypeError):
+            hash(path(2))
+
+    def test_repr(self):
+        assert "n=3" in repr(path(3))
+
+
+class TestDerivedGraphs:
+    def test_induced_subgraph_keeps_ids_weights(self):
+        g = path(4).with_weights({0: 1, 1: 2, 2: 3, 3: 4})
+        h = g.induced_subgraph([1, 2, 3])
+        assert h.nodes == (1, 2, 3)
+        assert h.weight(3) == 4
+        assert h.m == 2
+
+    def test_induced_subgraph_drops_cross_edges(self):
+        g = path(4)
+        h = g.induced_subgraph([0, 2])
+        assert h.m == 0
+
+    def test_induced_subgraph_unknown_node(self):
+        with pytest.raises(GraphError):
+            path(3).induced_subgraph([0, 9])
+
+    def test_with_weights_does_not_mutate(self):
+        g = path(2)
+        h = g.with_weights({0: 5, 1: 6})
+        assert g.weight(0) == 1.0
+        assert h.weight(0) == 5.0
+        assert h.m == g.m
+
+    def test_with_unit_weights(self):
+        g = path(2).with_weights({0: 5, 1: 6})
+        assert g.with_unit_weights().total_weight() == 2.0
+
+    def test_relabeled(self):
+        g = WeightedGraph.from_edges([5, 9], [(5, 9)], {5: 1.5, 9: 2.5})
+        h, mapping = g.relabeled()
+        assert h.nodes == (0, 1)
+        assert mapping == {5: 0, 9: 1}
+        assert h.weight(mapping[9]) == 2.5
+
+    def test_networkx_roundtrip(self):
+        g = path(5).with_weights({i: float(i + 1) for i in range(5)})
+        back = WeightedGraph.from_networkx(g.to_networkx())
+        assert back == g
+
+    def test_equality(self):
+        assert path(3) == path(3)
+        assert path(3) != path(3).with_weights({0: 2, 1: 1, 2: 1})
+        assert path(3) != complete(3)
+        assert (path(3) == 42) is False

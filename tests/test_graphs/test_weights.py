@@ -1,0 +1,92 @@
+"""Unit tests for weight-assignment schemes."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    cycle,
+    degree_proportional_weights,
+    exponential_weights,
+    gnp,
+    integer_weights,
+    path,
+    polynomial_weights,
+    skewed_heavy_set,
+    star,
+    uniform_weights,
+    unit_weights,
+)
+
+
+def test_unit_weights():
+    g = unit_weights(path(3).with_weights({0: 7, 1: 8, 2: 9}))
+    assert g.total_weight() == 3.0
+
+
+def test_uniform_weights_range():
+    g = uniform_weights(cycle(50), 2.0, 3.0, seed=1)
+    assert all(2.0 <= g.weight(v) < 3.0 for v in g.nodes)
+
+
+def test_uniform_weights_reproducible():
+    a = uniform_weights(cycle(10), seed=4)
+    b = uniform_weights(cycle(10), seed=4)
+    assert a == b
+
+
+def test_integer_weights_integral_in_range():
+    g = integer_weights(cycle(60), 17, seed=2)
+    for v in g.nodes:
+        w = g.weight(v)
+        assert w == int(w)
+        assert 1 <= w <= 17
+
+
+def test_integer_weights_bad_wmax():
+    with pytest.raises(GraphError):
+        integer_weights(cycle(3), 0)
+
+
+def test_polynomial_weights_scale():
+    g = polynomial_weights(cycle(10), exponent=2.0, seed=3)
+    assert g.max_weight() <= 100
+    assert g.max_weight() >= 1
+
+
+def test_exponential_weights_positive():
+    g = exponential_weights(cycle(40), seed=5)
+    assert all(g.weight(v) > 0 for v in g.nodes)
+
+
+def test_degree_proportional():
+    g = degree_proportional_weights(star(5))
+    assert g.weight(0) == 6.0  # hub degree 5 + offset 1
+    assert g.weight(1) == 2.0
+
+
+def test_skewed_heavy_set_counts():
+    g = skewed_heavy_set(gnp(100, 0.05, seed=6), fraction=0.05,
+                         heavy=1000.0, light=1.0, seed=7)
+    heavy = [v for v in g.nodes if g.weight(v) == 1000.0]
+    light = [v for v in g.nodes if g.weight(v) == 1.0]
+    assert len(heavy) == 5
+    assert len(heavy) + len(light) == 100
+
+
+def test_skewed_heavy_set_bad_fraction():
+    with pytest.raises(GraphError):
+        skewed_heavy_set(cycle(5), fraction=0.0)
+
+
+def test_schemes_preserve_topology():
+    g = gnp(30, 0.2, seed=8)
+    for scheme in (
+        unit_weights(g),
+        uniform_weights(g, seed=1),
+        integer_weights(g, 10, seed=1),
+        exponential_weights(g, seed=1),
+        degree_proportional_weights(g),
+        skewed_heavy_set(g, seed=1),
+    ):
+        assert scheme.m == g.m
+        assert scheme.nodes == g.nodes

@@ -1,0 +1,75 @@
+"""CONGEST conformance: every distributed algorithm in the library runs
+under the strict O(log n)-bit policy, and message sizes actually scale
+logarithmically."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    boppana_is,
+    good_nodes_approx,
+    low_degree_maxis,
+    sparsified_approx,
+    theorem1_maxis,
+    theorem2_maxis,
+    weighted_greedy_maxis,
+)
+from repro.mis import coloring_mis
+from repro.graphs import gnp, integer_weights, uniform_weights
+from repro.mis import ghaffari_mis, local_minima_mis, luby_mis
+from repro.simulator import BandwidthPolicy
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return integer_weights(gnp(120, 0.08, seed=300), 1000, seed=301)
+
+
+STRICT = BandwidthPolicy.congest(factor=32, strict=True)
+
+def _h_partition_result(g):
+    from repro.primitives import h_partition
+
+    part = h_partition(g, alpha=8, policy=STRICT)
+
+    class _Shim:
+        metrics = part.metrics
+
+    return _Shim()
+
+
+DISTRIBUTED = {
+    "luby": lambda g: luby_mis(g, seed=1, policy=STRICT),
+    "ghaffari": lambda g: ghaffari_mis(g, seed=2, policy=STRICT),
+    "det-mis": lambda g: local_minima_mis(g, policy=STRICT),
+    "coloring-mis": lambda g: coloring_mis(g, seed=9, policy=STRICT),
+    "weighted-greedy": lambda g: weighted_greedy_maxis(g, policy=STRICT),
+    "boppana": lambda g: boppana_is(g, seed=3, policy=STRICT),
+    "thm8": lambda g: good_nodes_approx(g, seed=4, policy=STRICT),
+    "thm9": lambda g: sparsified_approx(g, seed=5, policy=STRICT),
+    "thm1": lambda g: theorem1_maxis(g, 0.5, seed=6, policy=STRICT),
+    "thm2": lambda g: theorem2_maxis(g, 0.5, seed=7, policy=STRICT),
+    "thm5": lambda g: low_degree_maxis(g, 0.5, seed=8, policy=STRICT),
+    "h-partition": _h_partition_result,
+}
+
+
+@pytest.mark.parametrize("name", sorted(DISTRIBUTED))
+def test_runs_under_strict_congest(graph, name):
+    # Strict mode raises on any over-budget message; completing is the test.
+    res = DISTRIBUTED[name](graph)
+    assert not res.metrics.violations
+
+
+@pytest.mark.parametrize("name", ["luby", "boppana", "thm8"])
+def test_message_sizes_logarithmic(name):
+    """Max message bits grow like log n, not like n."""
+    sizes = []
+    for n in (64, 256, 1024):
+        g = uniform_weights(gnp(n, 8.0 / n, seed=n), 1, 50, seed=n + 1)
+        res = DISTRIBUTED[name](g)
+        sizes.append(res.metrics.max_message_bits)
+    # 16x more nodes: message size grows by far less than 4x.
+    assert sizes[-1] <= 4 * sizes[0]
+    assert sizes[-1] <= 32 * math.log2(2048)

@@ -1,0 +1,26 @@
+"""Whole-suite reproducibility and failure-rate stress checks."""
+
+from repro.bench import experiment_e3_boosting
+from repro.core import certify_fraction_bound, theorem2_maxis
+from repro.graphs import gnp, uniform_weights
+
+
+def test_experiment_reports_are_deterministic():
+    a = experiment_e3_boosting(n=70, eps_values=(1.0, 0.5))
+    b = experiment_e3_boosting(n=70, eps_values=(1.0, 0.5))
+    assert a.rows == b.rows
+    assert a.findings == b.findings
+
+
+def test_theorem2_zero_failures_over_many_seeds():
+    """The w.h.p. guarantee in practice: 50 independent runs on one
+    instance, zero certificate violations."""
+    eps = 0.5
+    g = uniform_weights(gnp(120, 0.08, seed=500), 1, 50, seed=501)
+    denominator = (1 + eps) * (g.max_degree + 1)
+    failures = 0
+    for seed in range(50):
+        res = theorem2_maxis(g, eps, seed=seed)
+        if not certify_fraction_bound(g, res.independent_set, denominator).holds:
+            failures += 1
+    assert failures == 0

@@ -1,0 +1,108 @@
+"""Failure injection: broken black boxes, hostile inputs, misuse.
+
+A production library must fail loudly on contract violations, and its
+verification layer must catch cheating components — these tests inject
+each failure mode and assert the reaction.
+"""
+
+import pytest
+
+from repro.core import (
+    boost,
+    certify_fraction_bound,
+    certify_ratio,
+    is_independent,
+)
+from repro.exceptions import (
+    BandwidthExceeded,
+    GraphError,
+    RoundLimitExceeded,
+    SolverLimitError,
+    VerificationError,
+)
+from repro.graphs import WeightedGraph, empty, gnp, path, uniform_weights
+from repro.results import AlgorithmResult
+from repro.simulator.metrics import RunMetrics
+
+
+class TestCheatingInnerAlgorithms:
+    """Boosting with a broken inner black box."""
+
+    @pytest.fixture
+    def graph(self):
+        return uniform_weights(gnp(40, 0.15, seed=1), 1, 10, seed=2)
+
+    def test_lazy_inner_still_independent(self, graph):
+        """An inner algorithm that returns nothing: output is the empty
+        set (a valid IS), and the run terminates."""
+
+        def lazy(g, *, seed=None):
+            return AlgorithmResult(frozenset(), RunMetrics(), {})
+
+        res = boost(graph, lazy, eps=0.5, c=8.0, phases=3)
+        assert res.independent_set == frozenset()
+        # All phases executed (nothing reduced the weights).
+        assert res.metadata["phases_executed"] == 3
+
+    def test_greedy_cheat_inner_keeps_stack_property(self, graph):
+        """Even a 'cheating' inner that grabs one arbitrary node per phase
+        keeps the machinery sound: output independent, stack property holds."""
+
+        def single_node(g, *, seed=None):
+            heaviest = max(g.nodes, key=lambda v: (g.weight(v), v))
+            return AlgorithmResult(frozenset({heaviest}), RunMetrics(), {})
+
+        res = boost(graph, single_node, eps=0.5, c=8.0, phases=10)
+        assert is_independent(graph, res.independent_set)
+        assert res.weight(graph) + 1e-9 >= res.metadata["stack_value"]
+
+    def test_non_independent_inner_is_caught_by_certification(self, graph):
+        """If an inner returned a dependent set, downstream certification
+        must refuse it (the pipelines trust their black boxes; the
+        verification layer is the safety net)."""
+        u, v = next(iter(graph.edges()))
+        with pytest.raises(VerificationError):
+            certify_fraction_bound(graph, frozenset({u, v}), 2.0)
+        with pytest.raises(VerificationError):
+            certify_ratio(graph, frozenset({u, v}), 2.0, opt=1.0)
+
+
+class TestHostileInputs:
+    def test_nan_weight_rejected(self):
+        with pytest.raises((GraphError, ValueError)):
+            WeightedGraph.from_edges([0], [], {0: float("nan")})
+        # NaN is not < 0; the constructor must still not accept it silently
+        # as a usable weight for comparisons... document: NaN propagates
+        # into verification where any bound check fails loudly.
+
+    def test_infinite_weight_flows_to_certification(self):
+        g = path(2).with_weights({0: float("inf"), 1: 1.0})
+        cert = certify_fraction_bound(g, frozenset({0}), 2.0)
+        assert cert.holds  # inf >= inf/2
+
+    def test_solver_limit(self):
+        with pytest.raises(SolverLimitError):
+            from repro.core import exact_max_weight_is
+
+            exact_max_weight_is(empty(10_000))
+
+    def test_round_limit_reports_unhalted(self):
+        from repro.simulator import NodeAlgorithm, run
+
+        class Stubborn(NodeAlgorithm):
+            def on_round(self, ctx, inbox):
+                pass
+
+        with pytest.raises(RoundLimitExceeded) as exc:
+            run(path(3), Stubborn, max_rounds=5)
+        assert exc.value.unhalted == 3
+
+    def test_tiny_bandwidth_kills_protocols(self):
+        from repro.core import good_nodes_approx
+        from repro.simulator import BandwidthPolicy
+
+        g = uniform_weights(gnp(30, 0.2, seed=3), 1, 10, seed=4)
+        # factor=1 => 5-6 bits per message: the (degree, weight) exchange
+        # cannot fit and must raise, not silently truncate.
+        with pytest.raises(BandwidthExceeded):
+            good_nodes_approx(g, seed=5, policy=BandwidthPolicy.congest(factor=1))

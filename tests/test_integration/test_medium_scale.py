@@ -1,0 +1,52 @@
+"""Medium-scale end-to-end runs (n in the low thousands).
+
+These guard against accidental quadratic blow-ups in the simulator or the
+pipelines — each run must finish quickly and still satisfy its bound.
+"""
+
+import pytest
+
+from repro.core import (
+    boppana_is,
+    certify_fraction_bound,
+    low_degree_maxis,
+    theorem2_maxis,
+)
+from repro.graphs import gnp, random_regular, uniform_weights
+from repro.mis import luby_mis
+from repro.core.verify import assert_maximal_independent_set
+
+
+@pytest.fixture(scope="module")
+def big_graph():
+    return uniform_weights(gnp(2000, 8.0 / 2000, seed=1), 1, 100, seed=2)
+
+
+def test_luby_at_n2000(big_graph):
+    res = luby_mis(big_graph, seed=3)
+    assert_maximal_independent_set(big_graph, res.independent_set)
+    assert res.rounds <= 30
+
+
+def test_theorem2_at_n2000(big_graph):
+    eps = 0.5
+    res = theorem2_maxis(big_graph, eps, seed=4)
+    cert = certify_fraction_bound(
+        big_graph, res.independent_set,
+        (1 + eps) * (big_graph.max_degree + 1),
+    )
+    assert cert.holds
+
+
+def test_theorem5_at_n3000():
+    g = random_regular(3000, 6, seed=5)
+    eps = 0.5
+    res = low_degree_maxis(g, eps, seed=6)
+    assert res.size >= g.n / ((1 + eps) * 7)
+
+
+def test_ranking_at_n5000():
+    g = random_regular(5000, 8, seed=7)
+    res = boppana_is(g, seed=8)
+    assert res.rounds == 1
+    assert res.size >= 5000 / (8 * 9)

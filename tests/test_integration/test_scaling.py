@@ -1,0 +1,48 @@
+"""Round-complexity scaling shapes on moderate sizes.
+
+These are the slow-ish sanity checks behind the complexity claims: MIS
+rounds grow (at most) logarithmically; the sparsified pipeline's rounds
+are insensitive to Δ growth; the ranking algorithm is always one round.
+"""
+
+import math
+
+import pytest
+
+from repro.core import boppana_is, sparsified_approx
+from repro.graphs import gnp, random_regular, skewed_heavy_set
+from repro.mis import luby_mis
+
+
+class TestLubyScaling:
+    def test_rounds_grow_sublinearly(self):
+        rounds = []
+        for n in (100, 400, 1600):
+            g = gnp(n, 8.0 / n, seed=n)
+            rounds.append(luby_mis(g, seed=1).rounds)
+        # 16x more nodes: rounds should grow by far less than 4x.
+        assert rounds[-1] <= 4 * rounds[0]
+        assert rounds[-1] <= 12 * math.log2(1600)
+
+    def test_rounds_do_not_explode_with_density(self):
+        sparse = luby_mis(gnp(300, 4.0 / 300, seed=1), seed=2)
+        dense = luby_mis(gnp(300, 40.0 / 300, seed=1), seed=2)
+        assert dense.rounds <= 3 * sparse.rounds + 10
+
+
+class TestSparsifiedScaling:
+    def test_rounds_flat_in_delta(self):
+        """The whole point of Theorem 9: Δ grows, rounds don't."""
+        rounds = []
+        for d in (20, 40, 80):
+            g = skewed_heavy_set(random_regular(400, d, seed=d), fraction=0.02,
+                                 seed=d + 1)
+            rounds.append(sparsified_approx(g, seed=3).rounds)
+        assert max(rounds) <= 2.0 * min(rounds) + 10
+
+
+class TestRankingScaling:
+    @pytest.mark.parametrize("n", [100, 1000])
+    def test_always_one_round(self, n):
+        g = random_regular(n, 6, seed=n)
+        assert boppana_is(g, seed=1).rounds == 1

@@ -1,0 +1,124 @@
+"""Cross-module integration: every headline theorem inequality, end to end,
+on shared realistic instances."""
+
+import pytest
+
+from repro.core import (
+    bar_yehuda_maxis,
+    boppana_is,
+    certify_fraction_bound,
+    exact_max_weight_is,
+    good_nodes_approx,
+    greedy_maxis,
+    low_arboricity_maxis,
+    low_degree_maxis,
+    sparsified_approx,
+    theorem1_maxis,
+    theorem2_maxis,
+)
+from repro.graphs import (
+    arboricity,
+    caterpillar,
+    gnp,
+    integer_weights,
+    random_regular,
+    uniform_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = uniform_weights(gnp(50, 0.12, seed=100), 1, 30, seed=101)
+    _, opt = exact_max_weight_is(g)
+    return g, opt
+
+
+class TestAllAlgorithmsOnOneInstance:
+    """Every algorithm in the library, certified on the same graph."""
+
+    def test_theorem8(self, instance):
+        g, _ = instance
+        res = good_nodes_approx(g, seed=1)
+        assert certify_fraction_bound(g, res.independent_set,
+                                      4 * (g.max_degree + 1)).holds
+
+    def test_theorem9(self, instance):
+        g, _ = instance
+        res = sparsified_approx(g, seed=2)
+        assert certify_fraction_bound(g, res.independent_set,
+                                      8 * g.max_degree).holds
+
+    def test_theorem1(self, instance):
+        g, opt = instance
+        res = theorem1_maxis(g, 0.5, seed=3)
+        assert res.weight(g) + 1e-9 >= opt / (1.5 * g.max_degree)
+
+    def test_theorem2(self, instance):
+        g, opt = instance
+        res = theorem2_maxis(g, 0.5, seed=4)
+        assert res.weight(g) + 1e-9 >= opt / (1.5 * g.max_degree)
+
+    def test_theorem3(self, instance):
+        g, opt = instance
+        alpha = arboricity(g)
+        res = low_arboricity_maxis(g, 0.5, alpha=alpha, seed=5)
+        assert res.weight(g) + 1e-9 >= opt / (8 * 1.5 * alpha)
+
+    def test_baseline(self, instance):
+        g, opt = instance
+        res = bar_yehuda_maxis(g, seed=6)
+        assert res.weight(g) * 2 * g.max_degree + 1e-9 >= opt
+
+    def test_greedy(self, instance):
+        g, opt = instance
+        assert g.total_weight(greedy_maxis(g)) * g.max_degree + 1e-9 >= opt
+
+
+class TestGuaranteeOrdering:
+    """The paper's narrative: better guarantees cost more rounds (or more
+    approximation), and the guarantees nest as claimed."""
+
+    def test_arboricity_beats_delta_on_trees(self):
+        g = uniform_weights(caterpillar(30, 15), 1, 10, seed=200)
+        eps = 0.5
+        alpha = arboricity(g)
+        assert 8 * (1 + eps) * alpha < (1 + eps) * g.max_degree
+
+    def test_eps_tightens_weight(self):
+        # Smaller ε never hurts the guarantee; measured weights should not
+        # collapse as ε shrinks (same seed, more phases).
+        g = uniform_weights(gnp(80, 0.1, seed=201), 1, 20, seed=202)
+        loose = theorem1_maxis(g, 2.0, seed=7)
+        tight = theorem1_maxis(g, 0.1, seed=7)
+        assert tight.weight(g) >= 0.8 * loose.weight(g)
+
+    def test_theorem5_matches_mis_quality_cheaply(self):
+        g = random_regular(300, 4, seed=203)
+        res = low_degree_maxis(g, 0.5, seed=8)
+        # n/((1+ε)(Δ+1)) with ε=.5, Δ=4: 40 nodes minimum.
+        assert res.size >= 300 / (1.5 * 5)
+        # And it used O(1/ε) rounds: far fewer than n.
+        assert res.rounds < 100
+
+    def test_single_ranking_round_weaker_than_boosted(self):
+        g = random_regular(300, 4, seed=204)
+        one = boppana_is(g, seed=9)
+        boosted = low_degree_maxis(g, 0.5, seed=9)
+        assert boosted.size >= one.size
+
+
+class TestWeightScaleInvariance:
+    def test_theorem2_invariant_under_scaling(self):
+        g = integer_weights(gnp(90, 0.1, seed=205), 10, seed=206)
+        scaled = g.with_weights({v: g.weight(v) * 10 ** 6 for v in g.nodes})
+        a = theorem2_maxis(g, 0.5, seed=10)
+        b = theorem2_maxis(scaled, 0.5, seed=10)
+        assert a.independent_set == b.independent_set
+        assert a.rounds == b.rounds
+
+    def test_baseline_not_invariant(self):
+        g = integer_weights(gnp(90, 0.1, seed=205), 10, seed=206)
+        scaled = g.with_weights({v: g.weight(v) * 10 ** 6 for v in g.nodes})
+        a = bar_yehuda_maxis(g, seed=11)
+        b = bar_yehuda_maxis(scaled, seed=11)
+        assert b.rounds > a.rounds

@@ -1,0 +1,66 @@
+"""Unit tests for cycle gap analysis."""
+
+import pytest
+
+from repro.lowerbound import components_after_removal, gap_lengths, max_gap
+
+
+class TestGapLengths:
+    def test_empty_set(self):
+        assert gap_lengths(10, []) == [10]
+        assert max_gap(10, []) == 10
+
+    def test_single_member(self):
+        assert gap_lengths(10, [3]) == [9]
+
+    def test_evenly_spread(self):
+        assert sorted(gap_lengths(9, [0, 3, 6])) == [2, 2, 2]
+
+    def test_adjacent_members(self):
+        # Members 0 and 1: gap 0 between them, 8 after 1 (n=10).
+        assert sorted(gap_lengths(10, [0, 1])) == [0, 8]
+
+    def test_gaps_sum_invariant(self):
+        members = [0, 2, 3, 7]
+        gaps = gap_lengths(12, members)
+        assert sum(gaps) + len(members) == 12
+
+    def test_out_of_range_member(self):
+        with pytest.raises(ValueError):
+            gap_lengths(5, [7])
+
+    def test_duplicates_ignored(self):
+        assert gap_lengths(6, [1, 1, 4]) == gap_lengths(6, [1, 4])
+
+
+class TestComponentsAfterRemoval:
+    def test_remove_nothing(self):
+        comps = components_after_removal(5, [])
+        assert comps == [list(range(5))]
+
+    def test_remove_everything(self):
+        assert components_after_removal(4, [0, 1, 2, 3]) == []
+
+    def test_single_removal_yields_path(self):
+        comps = components_after_removal(5, [2])
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1, 3, 4]
+
+    def test_two_removals_split(self):
+        comps = components_after_removal(8, [1, 5])
+        assert sorted(len(c) for c in comps) == [3, 3]
+
+    def test_wrap_around_merge(self):
+        comps = components_after_removal(8, [3])
+        # 4..7 wraps into 0..2.
+        assert len(comps) == 1
+        assert comps[0] == [4, 5, 6, 7, 0, 1, 2]
+
+    def test_components_are_cycle_paths(self):
+        comps = components_after_removal(20, [0, 5, 6, 13])
+        flat = [v for c in comps for v in c]
+        assert len(flat) == len(set(flat)) == 16
+        for comp in comps:
+            # Consecutive along the cycle.
+            for a, b in zip(comp, comp[1:]):
+                assert (b - a) % 20 == 1

@@ -1,0 +1,40 @@
+"""Unit tests for log* arithmetic."""
+
+import math
+
+from repro.lowerbound import iterated_log, log_star, tower
+
+
+def test_log_star_known_values():
+    assert log_star(1) == 0
+    assert log_star(2) == 1
+    assert log_star(4) == 2
+    assert log_star(16) == 3
+    assert log_star(65536) == 4
+    assert log_star(2 ** 65536 if False else float(2) ** 100) == 5
+
+
+def test_log_star_monotone():
+    values = [log_star(n) for n in (2, 10, 100, 10_000, 10 ** 9, 10 ** 18)]
+    assert values == sorted(values)
+
+
+def test_log_star_grows_absurdly_slowly():
+    assert log_star(10 ** 80) <= 5
+
+
+def test_iterated_log():
+    assert iterated_log(256, 0) == 256
+    assert iterated_log(256, 1) == 8
+    assert iterated_log(256, 2) == 3
+    assert math.isinf(iterated_log(-1, 1))
+
+
+def test_tower_inverts_log_star():
+    for h in range(1, 5):
+        t = tower(h)
+        assert log_star(t) == h
+
+
+def test_tower_saturates():
+    assert tower(7) == float("inf")

@@ -1,0 +1,77 @@
+"""Tests for Algorithm 7 (RandMIS) — the Theorem 4 reduction."""
+
+import pytest
+
+from repro.core import boppana_is, is_maximal_independent_set, theorem2_maxis
+from repro.graphs import cycle
+from repro.lowerbound import rand_mis
+from repro.results import AlgorithmResult
+from repro.simulator.metrics import RunMetrics
+
+
+def ranking_inner(graph, seed=None):
+    return boppana_is(graph, seed=seed)
+
+
+class TestRandMIS:
+    @pytest.mark.parametrize("n0", [5, 12, 25])
+    def test_produces_maximal_independent_set(self, n0):
+        outcome = rand_mis(n0, ranking_inner, seed=1)
+        assert is_maximal_independent_set(cycle(n0), outcome.mis)
+
+    def test_projection_contains_only_clique_hits(self):
+        outcome = rand_mis(10, ranking_inner, seed=2)
+        assert outcome.projected <= outcome.mis
+
+    def test_default_clique_size(self):
+        outcome = rand_mis(8, ranking_inner, seed=3)
+        assert outcome.n1 == 16
+
+    def test_explicit_clique_size(self):
+        outcome = rand_mis(8, ranking_inner, n1=5, seed=3)
+        assert outcome.n1 == 5
+
+    def test_gap_accounting(self):
+        outcome = rand_mis(15, ranking_inner, seed=4)
+        assert sum(outcome.gaps) + len(outcome.projected) == 15
+
+    def test_effective_rounds_split(self):
+        outcome = rand_mis(15, ranking_inner, seed=4)
+        assert outcome.effective_rounds == outcome.inner_rounds + outcome.fill_rounds
+        assert outcome.inner_rounds == 1  # ranking is one round
+
+    def test_gaps_bounded_by_fill(self):
+        outcome = rand_mis(20, ranking_inner, seed=5)
+        # Components of C \ J are exactly the gaps minus the I-neighbours.
+        assert outcome.fill_rounds <= max(outcome.gaps, default=0)
+
+    def test_reproducible(self):
+        a = rand_mis(10, ranking_inner, seed=6)
+        b = rand_mis(10, ranking_inner, seed=6)
+        assert a.mis == b.mis
+
+    def test_empty_inner_set_still_correct(self):
+        def lazy_inner(graph, seed=None):
+            return AlgorithmResult(frozenset(), RunMetrics(rounds=0), {})
+
+        outcome = rand_mis(9, lazy_inner, seed=7)
+        assert is_maximal_independent_set(cycle(9), outcome.mis)
+        # Whole cycle is one gap: the fill pays ~n0 rounds.
+        assert outcome.fill_rounds == 9
+
+    def test_checks_inner_independence(self):
+        from repro.exceptions import VerificationError
+
+        def cheating_inner(graph, seed=None):
+            # Two adjacent nodes of the first clique.
+            return AlgorithmResult(frozenset({0, 1}), RunMetrics(), {})
+
+        with pytest.raises(VerificationError):
+            rand_mis(6, cheating_inner, seed=8)
+
+    def test_works_with_full_theorem2_inner(self):
+        def inner(graph, seed=None):
+            return theorem2_maxis(graph.with_unit_weights(), 1.0, seed=seed)
+
+        outcome = rand_mis(6, inner, n1=4, seed=9)
+        assert is_maximal_independent_set(cycle(6), outcome.mis)

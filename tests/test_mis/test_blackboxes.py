@@ -1,0 +1,100 @@
+"""Correctness tests for the three distributed MIS black boxes.
+
+Every black box must return a *maximal independent set* on every input —
+that is the contract the paper's compositions rely on.
+"""
+
+import pytest
+
+from repro.core.verify import assert_maximal_independent_set
+from repro.graphs import complete, cycle, empty, gnp, path, star
+from repro.mis import coloring_mis, ghaffari_mis, local_minima_mis, luby_mis
+
+BLACKBOXES = {
+    "luby": luby_mis,
+    "ghaffari": ghaffari_mis,
+    "deterministic": local_minima_mis,
+    "coloring": coloring_mis,
+}
+
+
+@pytest.mark.parametrize("name", sorted(BLACKBOXES))
+class TestMISContract:
+    def test_mis_on_gnp(self, name):
+        g = gnp(80, 0.08, seed=1)
+        res = BLACKBOXES[name](g, seed=2)
+        assert_maximal_independent_set(g, res.independent_set)
+
+    def test_mis_on_cycle(self, name):
+        g = cycle(21)
+        res = BLACKBOXES[name](g, seed=3)
+        assert_maximal_independent_set(g, res.independent_set)
+
+    def test_mis_on_complete(self, name):
+        g = complete(12)
+        res = BLACKBOXES[name](g, seed=4)
+        assert len(res.independent_set) == 1
+
+    def test_mis_on_star(self, name):
+        g = star(9)
+        res = BLACKBOXES[name](g, seed=5)
+        # Either the hub alone or all the leaves.
+        assert res.independent_set in (frozenset({0}), frozenset(range(1, 10)))
+
+    def test_isolated_nodes_always_in(self, name):
+        g = empty(6)
+        res = BLACKBOXES[name](g, seed=6)
+        assert res.independent_set == frozenset(range(6))
+        assert res.rounds <= 1
+
+    def test_empty_graph(self, name):
+        res = BLACKBOXES[name](empty(0), seed=0)
+        assert res.independent_set == frozenset()
+        assert res.rounds == 0
+
+    def test_single_node(self, name):
+        res = BLACKBOXES[name](path(1), seed=0)
+        assert res.independent_set == frozenset({0})
+
+    def test_metrics_populated(self, name):
+        g = gnp(40, 0.1, seed=7)
+        res = BLACKBOXES[name](g, seed=8)
+        assert res.rounds >= 1
+        assert res.messages > 0
+        assert res.metadata["algorithm"]
+
+
+class TestRandomizedBehaviour:
+    def test_luby_reproducible(self):
+        g = gnp(60, 0.1, seed=1)
+        a = luby_mis(g, seed=5)
+        b = luby_mis(g, seed=5)
+        assert a.independent_set == b.independent_set
+
+    def test_luby_seed_sensitivity(self):
+        g = gnp(60, 0.1, seed=1)
+        sets = {luby_mis(g, seed=s).independent_set for s in range(6)}
+        assert len(sets) > 1
+
+    def test_luby_logarithmic_rounds(self):
+        # Round counts stay far below n on a large sparse graph.
+        g = gnp(500, 0.01, seed=2)
+        res = luby_mis(g, seed=3)
+        assert res.rounds <= 40
+
+    def test_ghaffari_terminates_quickly_on_low_degree(self):
+        g = cycle(200)
+        res = ghaffari_mis(g, seed=4)
+        assert res.rounds <= 120
+        assert_maximal_independent_set(g, res.independent_set)
+
+    def test_deterministic_is_seed_independent(self):
+        g = gnp(50, 0.1, seed=9)
+        a = local_minima_mis(g, seed=1)
+        b = local_minima_mis(g, seed=999)
+        assert a.independent_set == b.independent_set
+
+    def test_deterministic_smallest_id_always_in(self):
+        g = gnp(50, 0.15, seed=10)
+        res = local_minima_mis(g)
+        assert min(g.nodes) in res.independent_set

@@ -1,0 +1,48 @@
+"""Unit tests for the MIS black-box registry and driver."""
+
+import pytest
+
+from repro.graphs import gnp
+from repro.mis import (
+    MIS_BLACKBOXES,
+    get_mis_blackbox,
+    luby_mis,
+)
+from repro.mis.interface import _default_round_limit
+
+
+def test_registry_contains_all_three():
+    assert set(MIS_BLACKBOXES) == {"luby", "ghaffari", "deterministic", "coloring"}
+
+
+def test_get_by_name():
+    assert get_mis_blackbox("luby") is luby_mis
+
+
+def test_get_passthrough_callable():
+    fn = lambda g, **kw: None  # noqa: E731
+    assert get_mis_blackbox(fn) is fn
+
+
+def test_get_unknown_name():
+    with pytest.raises(KeyError, match="unknown MIS black box"):
+        get_mis_blackbox("nope")
+
+
+def test_round_limits_scale():
+    assert _default_round_limit(10, deterministic=True) == 104
+    assert _default_round_limit(1024, deterministic=False) > _default_round_limit(
+        4, deterministic=False
+    )
+
+
+def test_custom_n_bound_respected():
+    g = gnp(20, 0.2, seed=1)
+    res = luby_mis(g, seed=2, n_bound=10_000)
+    assert res.metadata["n_bound"] == 10_000
+
+
+def test_result_weight_helper():
+    g = gnp(20, 0.2, seed=1).with_weights({v: 2.0 for v in range(20)})
+    res = luby_mis(g, seed=2)
+    assert res.weight(g) == 2.0 * res.size

@@ -1,0 +1,42 @@
+"""Unit tests for the centralized MIS routines."""
+
+from repro.core.verify import assert_maximal_independent_set
+from repro.graphs import cycle, empty, gnp, path, star
+from repro.mis import greedy_mis, random_order_mis
+
+
+def test_greedy_mis_default_order_path():
+    # Scanning 0,1,2,3 on a path picks 0 and 2 (3 is blocked by 2).
+    assert greedy_mis(path(4)) == frozenset({0, 2})
+
+
+def test_greedy_mis_explicit_order():
+    assert greedy_mis(path(4), order=[1, 3, 0, 2]) == frozenset({1, 3})
+
+
+def test_greedy_mis_is_maximal():
+    g = gnp(70, 0.1, seed=1)
+    assert_maximal_independent_set(g, greedy_mis(g))
+
+
+def test_greedy_mis_star_hub_first():
+    assert greedy_mis(star(5), order=[0, 1, 2, 3, 4, 5]) == frozenset({0})
+
+
+def test_greedy_mis_empty():
+    assert greedy_mis(empty(0)) == frozenset()
+    assert greedy_mis(empty(3)) == frozenset({0, 1, 2})
+
+
+def test_random_order_mis_maximal_and_reproducible():
+    g = cycle(30)
+    a = random_order_mis(g, seed=7)
+    b = random_order_mis(g, seed=7)
+    assert a == b
+    assert_maximal_independent_set(g, a)
+
+
+def test_random_order_mis_varies_with_seed():
+    g = gnp(50, 0.1, seed=2)
+    sets = {random_order_mis(g, seed=s) for s in range(8)}
+    assert len(sets) > 1

@@ -1,0 +1,114 @@
+"""Tests for the BFS tree / convergecast / flood primitives."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    bfs_distances,
+    complete,
+    cycle,
+    disjoint_union,
+    gnp,
+    grid_2d,
+    path,
+    star,
+    uniform_weights,
+)
+from repro.primitives import AGGREGATIONS, bfs_tree, flood_value
+
+
+def connected_gnp(n, p, seed):
+    from repro.graphs import connected_components
+
+    g = gnp(n, p, seed=seed)
+    comp = max(connected_components(g), key=len)
+    sub, _ = g.induced_subgraph(comp).relabeled()
+    return sub
+
+
+class TestBFSTree:
+    def test_levels_are_bfs_distances(self):
+        g = connected_gnp(60, 0.1, seed=1)
+        res = bfs_tree(g, 0)
+        assert res.level == bfs_distances(g, 0)
+
+    def test_parents_form_tree_toward_root(self):
+        g = grid_2d(5, 5)
+        res = bfs_tree(g, 0)
+        for v, p in res.parent.items():
+            assert res.level[p] == res.level[v] - 1
+            assert g.has_edge(v, p)
+        assert len(res.parent) == g.n - 1
+
+    def test_aggregate_sum_is_total_weight(self):
+        g = uniform_weights(grid_2d(4, 6), 1, 9, seed=2)
+        res = bfs_tree(g, 0)
+        assert res.aggregate == pytest.approx(g.total_weight())
+
+    def test_aggregate_max(self):
+        g = path(7).with_weights({i: float(i) for i in range(7)})
+        res = bfs_tree(g, 3, op="max")
+        assert res.aggregate == 6.0
+
+    def test_aggregate_min(self):
+        g = path(7).with_weights({i: float(i + 1) for i in range(7)})
+        res = bfs_tree(g, 0, op="min")
+        assert res.aggregate == 1.0
+
+    def test_custom_values(self):
+        g = cycle(10)
+        res = bfs_tree(g, 0, values={v: 1.0 for v in g.nodes})
+        assert res.aggregate == 10.0
+
+    def test_rounds_scale_with_depth(self):
+        shallow = bfs_tree(star(20), 0)
+        deep = bfs_tree(path(40), 0)
+        assert deep.depth == 39
+        assert shallow.depth == 1
+        assert deep.metrics.rounds > shallow.metrics.rounds
+        # ~2*depth + O(1).
+        assert deep.metrics.rounds <= 2 * deep.depth + 6
+
+    def test_single_node(self):
+        g = path(1)
+        res = bfs_tree(g, 0)
+        assert res.aggregate == 1.0
+        assert res.depth == 0
+
+    def test_complete_graph_depth_one(self):
+        res = bfs_tree(complete(8), 3)
+        assert res.depth == 1
+        assert all(p == 3 for p in res.parent.values())
+
+    def test_unknown_root(self):
+        with pytest.raises(GraphError):
+            bfs_tree(path(3), 9)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError, match="connected"):
+            bfs_tree(disjoint_union([path(2), path(2)]), 0)
+
+    def test_unknown_op(self):
+        with pytest.raises(ValueError, match="aggregation"):
+            bfs_tree(path(3), 0, op="median")
+
+    def test_all_registered_ops(self):
+        assert set(AGGREGATIONS) == {"sum", "max", "min"}
+
+
+class TestFlood:
+    def test_everyone_receives(self):
+        g = grid_2d(4, 4)
+        outputs, metrics = flood_value(g, 0, "hello")
+        assert all(v == "hello" for v in outputs.values())
+
+    def test_rounds_equal_eccentricity(self):
+        g = path(30)
+        _, metrics = flood_value(g, 0, 1)
+        assert metrics.rounds == 29
+        _, metrics = flood_value(g, 15, 1)
+        assert metrics.rounds == 15
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(GraphError):
+            flood_value(disjoint_union([path(2), path(2)]), 0, 1)

@@ -1,0 +1,94 @@
+"""Tests for the distributed H-partition."""
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    arboricity,
+    barabasi_albert,
+    caterpillar,
+    complete,
+    cycle,
+    empty,
+    gnp,
+    grid_2d,
+    random_tree,
+)
+from repro.primitives.h_partition import h_partition
+
+
+class TestLevels:
+    def test_tree_single_level(self):
+        # Every tree node has degree <= ... no: stars have high degree.
+        # A path peels entirely at level 0 with threshold 4.
+        p = h_partition(cycle(20), alpha=2)
+        assert p.num_levels == 1
+        assert all(lvl == 0 for lvl in p.levels.values())
+
+    def test_all_nodes_assigned(self):
+        g = gnp(100, 0.08, seed=1)
+        p = h_partition(g, alpha=arboricity(g))
+        assert set(p.levels) == set(g.nodes)
+
+    def test_logarithmically_many_levels(self):
+        g = barabasi_albert(500, 2, seed=2)
+        p = h_partition(g, alpha=arboricity(g))
+        assert p.num_levels <= 2 * math.ceil(math.log2(500)) + 2
+
+    def test_geometric_decay(self):
+        # Proposition 5: at most half the active nodes survive each level.
+        g = gnp(300, 0.05, seed=3)
+        alpha = arboricity(g)
+        p = h_partition(g, alpha=alpha)
+        counts = {}
+        for lvl in p.levels.values():
+            counts[lvl] = counts.get(lvl, 0) + 1
+        remaining = g.n
+        for lvl in sorted(counts):
+            assert counts[lvl] >= remaining / 2 - 1e-9
+            remaining -= counts[lvl]
+
+    def test_empty_and_complete(self):
+        assert h_partition(empty(0)).num_levels == 0
+        p = h_partition(complete(10), alpha=5)
+        assert p.num_levels == 1  # threshold 20 >= degree 9
+
+
+class TestOrientation:
+    @pytest.mark.parametrize("maker,alpha", [
+        (lambda: grid_2d(8, 8), 2),
+        (lambda: random_tree(60, seed=4), 1),
+        (lambda: caterpillar(20, 10), 1),
+        (lambda: barabasi_albert(200, 2, seed=5), None),
+    ])
+    def test_out_degree_bounded(self, maker, alpha):
+        g = maker()
+        p = h_partition(g, alpha=alpha)
+        orient = p.orientation(g)
+        assert max((len(o) for o in orient.values()), default=0) <= p.threshold
+
+    def test_orientation_covers_every_edge_once(self):
+        g = gnp(60, 0.1, seed=6)
+        p = h_partition(g, alpha=arboricity(g))
+        orient = p.orientation(g)
+        directed = [(u, v) for u, outs in orient.items() for v in outs]
+        assert len(directed) == g.m
+        assert {tuple(sorted(e)) for e in directed} == set(g.edges())
+
+
+class TestParameters:
+    def test_factor_below_two_rejected(self):
+        with pytest.raises(GraphError):
+            h_partition(cycle(5), alpha=1, factor=1)
+
+    def test_alpha_computed_when_omitted(self):
+        p = h_partition(random_tree(40, seed=7))
+        assert p.threshold == 4  # 4 * alpha(tree) = 4
+
+    def test_rounds_equal_levels(self):
+        g = barabasi_albert(300, 2, seed=8)
+        p = h_partition(g, alpha=2)
+        # level k assigned in round k; rounds = deepest level.
+        assert p.metrics.rounds == p.num_levels - 1

@@ -1,0 +1,66 @@
+"""Property-based tests: algorithm outputs are valid on arbitrary graphs."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    exact_max_weight_is,
+    good_nodes_approx,
+    is_independent,
+    is_maximal_independent_set,
+    seq_boppana0,
+    theorem1_maxis,
+)
+from repro.graphs import WeightedGraph
+from repro.mis import greedy_mis, luby_mis
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes: int = 14):
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=30)) if possible else []
+    weights = {
+        v: float(draw(st.integers(min_value=0, max_value=50)))
+        for v in range(n)
+    }
+    return WeightedGraph.from_edges(range(n), edges, weights)
+
+
+@given(weighted_graphs(), st.integers(0, 2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_luby_always_maximal(g, seed):
+    res = luby_mis(g, seed=seed)
+    assert is_maximal_independent_set(g, res.independent_set) or g.n == 0
+
+
+@given(weighted_graphs(), st.integers(0, 2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_seq_boppana0_always_independent(g, seed):
+    assert is_independent(g, seq_boppana0(g, seed=seed))
+
+
+@given(weighted_graphs(), st.integers(0, 2 ** 16))
+@settings(max_examples=30, deadline=None)
+def test_theorem8_bound_universal(g, seed):
+    """Lemma 1 is worst-case: it must hold on EVERY graph and seed."""
+    res = good_nodes_approx(g, seed=seed, n_bound=1024)
+    achieved = res.weight(g)
+    assert achieved + 1e-9 >= g.total_weight() / (4 * (g.max_degree + 1))
+
+
+@given(weighted_graphs(), st.integers(0, 2 ** 16))
+@settings(max_examples=20, deadline=None)
+def test_theorem1_vs_exact_universal(g, seed):
+    """(1+ε)Δ certified against the exact optimum on arbitrary inputs."""
+    eps = 0.5
+    res = theorem1_maxis(g, eps, mis="luby", seed=seed, n_bound=1024)
+    _, opt = exact_max_weight_is(g)
+    assert res.weight(g) + 1e-9 >= opt / ((1 + eps) * max(1, g.max_degree))
+
+
+@given(weighted_graphs())
+@settings(max_examples=40, deadline=None)
+def test_exact_dominates_greedy_mis(g):
+    _, opt = exact_max_weight_is(g)
+    assert opt + 1e-9 >= g.total_weight(greedy_mis(g))

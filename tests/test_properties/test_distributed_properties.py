@@ -1,0 +1,70 @@
+"""Property-based tests for the distributed primitives and colouring."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.coloring import random_coloring, verify_coloring
+from repro.graphs import WeightedGraph, bfs_distances, connected_components
+from repro.primitives import bfs_tree, flood_value
+
+
+@st.composite
+def connected_graphs(draw, max_nodes: int = 18):
+    """Random connected graphs: a random tree plus random extra edges."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    # Random tree via random parent for each non-root node.
+    edges = set()
+    for v in range(1, n):
+        p = draw(st.integers(min_value=0, max_value=v - 1))
+        edges.add((p, v))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    extra = draw(st.lists(st.sampled_from(possible), unique=True, max_size=20))
+    edges.update(extra)
+    weights = {v: float(draw(st.integers(min_value=0, max_value=20)))
+               for v in range(n)}
+    return WeightedGraph.from_edges(range(n), sorted(edges), weights)
+
+
+@given(connected_graphs(), st.integers(0, 17))
+@settings(max_examples=50, deadline=None)
+def test_bfs_levels_match_reference(g, root_pick):
+    root = g.nodes[root_pick % g.n]
+    res = bfs_tree(g, root, n_bound=4096)
+    assert res.level == bfs_distances(g, root)
+
+
+@given(connected_graphs(), st.integers(0, 17))
+@settings(max_examples=50, deadline=None)
+def test_bfs_sum_aggregate_exact(g, root_pick):
+    root = g.nodes[root_pick % g.n]
+    res = bfs_tree(g, root, n_bound=4096)
+    assert abs(res.aggregate - g.total_weight()) < 1e-9
+
+
+@given(connected_graphs(), st.integers(0, 17))
+@settings(max_examples=40, deadline=None)
+def test_bfs_tree_spans(g, root_pick):
+    root = g.nodes[root_pick % g.n]
+    res = bfs_tree(g, root, n_bound=4096)
+    # Parent pointers + root cover all nodes and form a connected tree.
+    tree_edges = [(v, p) for v, p in res.parent.items()]
+    tree = WeightedGraph.from_edges(g.nodes, tree_edges)
+    assert len(connected_components(tree)) == 1
+    assert tree.m == g.n - 1
+
+
+@given(connected_graphs(), st.integers(0, 17))
+@settings(max_examples=40, deadline=None)
+def test_flood_reaches_everyone(g, root_pick):
+    root = g.nodes[root_pick % g.n]
+    outputs, metrics = flood_value(g, root, 7, n_bound=4096)
+    assert all(v == 7 for v in outputs.values())
+    ecc = max(bfs_distances(g, root).values())
+    assert metrics.rounds == ecc
+
+
+@given(connected_graphs(), st.integers(0, 2 ** 16))
+@settings(max_examples=40, deadline=None)
+def test_random_coloring_always_proper(g, seed):
+    res = random_coloring(g, seed=seed)
+    verify_coloring(g, res.colors, max_colors=g.max_degree + 1)

@@ -1,0 +1,80 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs import WeightedGraph, arboricity, degeneracy, nash_williams_lower_bound
+from repro.graphs.io import dumps, from_json, loads, to_json
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 24):
+    """Random small weighted graphs with arbitrary (valid) structure."""
+    n = draw(st.integers(min_value=0, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=60)) if possible else []
+    weights = {
+        v: draw(st.floats(min_value=0, max_value=1000, allow_nan=False))
+        for v in range(n)
+    }
+    return WeightedGraph.from_edges(range(n), edges, weights)
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_handshake_lemma(g):
+    assert sum(g.degree(v) for v in g.nodes) == 2 * g.m
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_adjacency_symmetry(g):
+    for u, v in g.edges():
+        assert g.has_edge(u, v) and g.has_edge(v, u)
+        assert u in g.neighbors(v) and v in g.neighbors(u)
+
+
+@given(graphs(), st.sets(st.integers(0, 23)))
+@settings(max_examples=60, deadline=None)
+def test_induced_subgraph_is_restriction(g, keep):
+    keep = keep & set(g.nodes)
+    h = g.induced_subgraph(keep)
+    assert set(h.nodes) == keep
+    for u, v in h.edges():
+        assert g.has_edge(u, v)
+    for u, v in g.edges():
+        if u in keep and v in keep:
+            assert h.has_edge(u, v)
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_text_serialization_roundtrip(g):
+    assert loads(dumps(g)) == g
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_json_serialization_roundtrip(g):
+    assert from_json(to_json(g)) == g
+
+
+@given(graphs(max_nodes=16))
+@settings(max_examples=30, deadline=None)
+def test_arboricity_sandwich(g):
+    a = arboricity(g)
+    d = degeneracy(g)
+    assert nash_williams_lower_bound(g) <= a
+    assert a <= max(d, 0 if g.m == 0 else 1)
+    if g.m > 0:
+        assert d <= 2 * a - 1
+
+
+@given(graphs(max_nodes=14))
+@settings(max_examples=30, deadline=None)
+def test_arboricity_witness_is_valid_partition(g):
+    a, forests = arboricity(g, return_witness=True)
+    assert len(forests) == a
+    covered = [e for f in forests for e in f]
+    assert len(covered) == g.m
+    assert set(covered) == set(g.edges())

@@ -1,0 +1,91 @@
+"""Property-based tests of the local-ratio invariants (§4.3).
+
+These check the *worst-case* statements of the paper on arbitrary small
+graphs and arbitrary independent-set push sequences — exactly the sets of
+inputs Proposition 2 and Theorem 6 quantify over.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import (
+    apply_reduction,
+    clip_nonnegative,
+    is_independent,
+    pop_stage,
+    stack_value,
+)
+from repro.graphs import WeightedGraph
+from repro.mis import greedy_mis
+
+
+@st.composite
+def weighted_graphs(draw, max_nodes: int = 16):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=40)) if possible else []
+    weights = {
+        v: draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+        for v in range(n)
+    }
+    return WeightedGraph.from_edges(range(n), edges, weights)
+
+
+@st.composite
+def graph_with_push_sequence(draw):
+    """A graph plus 1-4 phases of (greedy MIS of a random positive subset)."""
+    g = draw(weighted_graphs())
+    orders = draw(
+        st.lists(st.permutations(list(g.nodes)), min_size=1, max_size=4)
+    )
+    return g, orders
+
+
+@given(graph_with_push_sequence())
+@settings(max_examples=80, deadline=None)
+def test_stack_property_proposition2(case):
+    """w(I) >= Σ_i w_i(I_i) for ANY sequence of independent pushes."""
+    g, orders = case
+    weights = g.weights
+    frames = []
+    for order in orders:
+        positive = [v for v in order if weights[v] > 0]
+        if not positive:
+            break
+        sub = g.induced_subgraph(positive)
+        pushed = greedy_mis(sub, order=positive)
+        weights, frame = apply_reduction(g, weights, pushed)
+        weights = clip_nonnegative(weights)
+        frames.append(frame)
+    result = pop_stage(g, frames)
+    assert is_independent(g, result)
+    assert g.total_weight(result) + 1e-6 >= stack_value(frames)
+
+
+@given(graph_with_push_sequence())
+@settings(max_examples=60, deadline=None)
+def test_reduction_conserves_or_decreases_positive_mass(case):
+    """Each reduction removes at least the pushed value from the graph."""
+    g, orders = case
+    weights = g.weights
+    for order in orders:
+        positive = [v for v in order if weights[v] > 0]
+        if not positive:
+            break
+        before = sum(w for w in weights.values() if w > 0)
+        sub = g.induced_subgraph(positive)
+        pushed = greedy_mis(sub, order=positive)
+        weights, frame = apply_reduction(g, weights, pushed)
+        weights = clip_nonnegative(weights)
+        after = sum(weights.values())
+        assert after <= before - frame.value + 1e-6
+
+
+@given(weighted_graphs())
+@settings(max_examples=60, deadline=None)
+def test_pushed_nodes_zeroed(g):
+    weights = g.weights
+    pushed = greedy_mis(g)
+    new_w, _ = apply_reduction(g, weights, pushed)
+    for v in pushed:
+        assert new_w[v] == 0.0

@@ -1,0 +1,82 @@
+"""Property-based tests of the simulator's delivery semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs import WeightedGraph
+from repro.simulator import BandwidthPolicy, NodeAlgorithm, run
+
+
+@st.composite
+def graphs(draw, max_nodes: int = 16):
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=40)) if possible else []
+    return WeightedGraph.from_edges(range(n), edges)
+
+
+class EchoIds(NodeAlgorithm):
+    """Round 0: broadcast own id.  Round 1: halt with sorted senders."""
+
+    def on_start(self, ctx):
+        ctx.broadcast(ctx.node_id)
+
+    def on_round(self, ctx, inbox):
+        ctx.halt(tuple(sorted(inbox)))
+
+
+class TwoHop(NodeAlgorithm):
+    """Learn the 2-ball: forward the neighbour list once."""
+
+    def on_start(self, ctx):
+        ctx.broadcast(None)
+
+    def on_round(self, ctx, inbox):
+        if ctx.round_index == 1:
+            ctx.broadcast(tuple(sorted(inbox)))
+        else:
+            two_hop = set()
+            for nbrs in inbox.values():
+                two_hop.update(nbrs)
+            ctx.halt(tuple(sorted(two_hop)))
+
+
+@given(graphs())
+@settings(max_examples=50, deadline=None)
+def test_delivery_matches_adjacency(g):
+    res = run(g, EchoIds, policy=BandwidthPolicy.local())
+    for v in g.nodes:
+        assert res.outputs[v] == g.neighbors(v)
+
+
+@given(graphs())
+@settings(max_examples=50, deadline=None)
+def test_message_count_is_2m_per_broadcast_round(g):
+    res = run(g, EchoIds, policy=BandwidthPolicy.local())
+    assert res.metrics.messages == 2 * g.m
+
+
+@given(graphs())
+@settings(max_examples=40, deadline=None)
+def test_two_hop_forwarding(g):
+    res = run(g, TwoHop, policy=BandwidthPolicy.local())
+    for v in g.nodes:
+        expected = set()
+        for u in g.neighbors(v):
+            expected.update(g.neighbors(u))
+        assert set(res.outputs[v]) == expected
+
+
+@given(graphs(), st.integers(0, 2 ** 16))
+@settings(max_examples=30, deadline=None)
+def test_runs_are_deterministic_under_seed(g, seed):
+    class RandomHalt(NodeAlgorithm):
+        def on_start(self, ctx):
+            ctx.halt(float(ctx.rng.random()))
+
+        def on_round(self, ctx, inbox):  # pragma: no cover
+            pass
+
+    a = run(g, RandomHalt, seed=seed)
+    b = run(g, RandomHalt, seed=seed)
+    assert a.outputs == b.outputs

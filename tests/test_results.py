@@ -1,0 +1,44 @@
+"""Unit tests for the shared AlgorithmResult type."""
+
+from repro.graphs import path
+from repro.results import AlgorithmResult
+from repro.simulator.metrics import RunMetrics
+
+
+def make(ind=frozenset({0, 2}), rounds=5, messages=9):
+    return AlgorithmResult(
+        independent_set=ind,
+        metrics=RunMetrics(rounds=rounds, messages=messages, total_bits=100,
+                           max_message_bits=20),
+        metadata={"algorithm": "test"},
+    )
+
+
+def test_accessors():
+    res = make()
+    assert res.rounds == 5
+    assert res.messages == 9
+    assert res.size == 2
+
+
+def test_weight_uses_graph():
+    g = path(3).with_weights({0: 1.5, 1: 7.0, 2: 2.5})
+    assert make().weight(g) == 4.0
+
+
+def test_with_metadata_copies():
+    res = make()
+    extended = res.with_metadata(extra=42)
+    assert extended.metadata["extra"] == 42
+    assert extended.metadata["algorithm"] == "test"
+    assert "extra" not in res.metadata
+    assert extended.independent_set is res.independent_set
+
+
+def test_frozen():
+    import dataclasses
+
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        make().independent_set = frozenset()  # type: ignore[misc]

@@ -1,0 +1,74 @@
+"""Unit tests for NodeContext in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.simulator.context import NodeContext
+
+
+@pytest.fixture
+def ctx() -> NodeContext:
+    return NodeContext(
+        node_id=0,
+        neighbors=(1, 2),
+        weight=3.5,
+        rng=np.random.default_rng(0),
+        n_bound=16,
+    )
+
+
+def test_exposed_knowledge(ctx):
+    assert ctx.node_id == 0
+    assert ctx.neighbors == (1, 2)
+    assert ctx.degree == 2
+    assert ctx.weight == 3.5
+    assert ctx.n_bound == 16
+    assert ctx.round_index == 0
+
+
+def test_send_queues_payload(ctx):
+    ctx.send(1, (1, 2))
+    assert ctx._drain_outbox() == {1: (1, 2)}
+    # Drained: outbox empty again.
+    assert ctx._drain_outbox() == {}
+
+
+def test_broadcast_sends_to_all(ctx):
+    ctx.broadcast("m")
+    assert ctx._drain_outbox() == {1: "m", 2: "m"}
+
+
+def test_send_invalid_target(ctx):
+    with pytest.raises(ProtocolError):
+        ctx.send(9, "m")
+
+
+def test_send_twice_same_target(ctx):
+    ctx.send(1, "a")
+    with pytest.raises(ProtocolError):
+        ctx.send(1, "b")
+
+
+def test_send_invalid_payload_type(ctx):
+    with pytest.raises(ProtocolError):
+        ctx.send(1, {"bad": 1})
+
+
+def test_halt_records_output(ctx):
+    assert not ctx.halted
+    ctx.halt("done")
+    assert ctx.halted
+    assert ctx.output == "done"
+
+
+def test_send_after_halt_rejected(ctx):
+    ctx.halt(None)
+    with pytest.raises(ProtocolError):
+        ctx.send(1, "late")
+
+
+def test_advance_round(ctx):
+    ctx._advance_round()
+    ctx._advance_round()
+    assert ctx.round_index == 2

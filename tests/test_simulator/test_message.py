@@ -1,0 +1,65 @@
+"""Unit tests for payload bit accounting."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.simulator import payload_bits, validate_payload
+
+
+class TestPayloadBits:
+    def test_none_and_bool(self):
+        assert payload_bits(None) == 1
+        assert payload_bits(True) == 1
+        assert payload_bits(False) == 1
+
+    def test_small_ints(self):
+        assert payload_bits(0) == 2  # sign + 1 magnitude bit
+        assert payload_bits(1) == 2
+        assert payload_bits(2) == 3
+
+    def test_int_growth_is_logarithmic(self):
+        assert payload_bits(2 ** 20) == 1 + 21
+        assert payload_bits(2 ** 40) == 1 + 41
+
+    def test_negative_int(self):
+        assert payload_bits(-5) == payload_bits(5)
+
+    def test_float(self):
+        assert payload_bits(3.14) == 64
+
+    def test_str(self):
+        assert payload_bits("ab") == 8 + 16
+        assert payload_bits("") == 8  # length prefix
+
+    def test_tuple_framing(self):
+        assert payload_bits((True, False)) == 8 + (2 + 1) + (2 + 1)
+        assert payload_bits([]) == 8
+
+    def test_nested(self):
+        inner = 8 + (2 + 2)          # (1,)
+        assert payload_bits(((1,),)) == 8 + 2 + inner
+
+    def test_unsupported_type(self):
+        with pytest.raises(ProtocolError, match="unsupported"):
+            payload_bits({"a": 1})
+
+
+class TestValidatePayload:
+    def test_scalars_ok(self):
+        for p in (None, True, 7, 2.5, "x"):
+            validate_payload(p)
+
+    def test_sequences_ok(self):
+        validate_payload((1, (2, "a"), [None]))
+
+    def test_dict_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_payload({"k": 1})
+
+    def test_set_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_payload({1, 2})
+
+    def test_nested_bad_element(self):
+        with pytest.raises(ProtocolError):
+            validate_payload((1, object()))

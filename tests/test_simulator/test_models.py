@@ -1,0 +1,42 @@
+"""Unit tests for communication models and bandwidth policies."""
+
+from repro.simulator import BandwidthPolicy, CommunicationModel
+
+
+def test_local_is_unbounded():
+    assert BandwidthPolicy.local().budget_bits(10 ** 6) == -1
+
+
+def test_congest_budget_scales_with_log_n():
+    p = BandwidthPolicy.congest(factor=32)
+    assert p.budget_bits(2 ** 10) == 32 * 10
+    assert p.budget_bits(2 ** 20) == 32 * 20
+
+
+def test_congest_budget_word_floor():
+    # Tiny networks still admit one 8-bit-log word (weights are doubles).
+    p = BandwidthPolicy.congest(factor=4)
+    assert p.budget_bits(1) == 32
+    assert p.budget_bits(2) == 32
+    assert p.budget_bits(2 ** 8) == 32
+    assert p.budget_bits(2 ** 9) == 36
+
+
+def test_default_policy_is_strict_congest():
+    p = BandwidthPolicy()
+    assert p.model is CommunicationModel.CONGEST
+    assert p.strict
+
+
+def test_congest_constructor_options():
+    p = BandwidthPolicy.congest(factor=8, strict=False)
+    assert p.factor == 8
+    assert not p.strict
+
+
+def test_policy_is_frozen():
+    import dataclasses
+    import pytest
+
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        BandwidthPolicy().factor = 1  # type: ignore[misc]

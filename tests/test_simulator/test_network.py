@@ -1,0 +1,57 @@
+"""Unit tests for Network and metric plumbing."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import path
+from repro.simulator import Network, RunMetrics, default_n_bound
+from repro.simulator.metrics import BandwidthViolation
+
+
+class TestNetwork:
+    def test_default_bound_powers_of_two(self):
+        assert default_n_bound(1) == 2
+        assert default_n_bound(2) == 2
+        assert default_n_bound(3) == 4
+        assert default_n_bound(1000) == 1024
+
+    def test_of_wraps_graph(self):
+        net = Network.of(path(5))
+        assert net.n_bound == 8
+        assert net.graph.n == 5
+
+    def test_of_rejects_small_bound(self):
+        with pytest.raises(GraphError):
+            Network.of(path(5), n_bound=3)
+
+
+class TestRunMetrics:
+    def test_record_message(self):
+        m = RunMetrics()
+        m.record_message(10)
+        m.record_message(30)
+        assert m.messages == 2
+        assert m.total_bits == 40
+        assert m.max_message_bits == 30
+
+    def test_merge_adds_rounds_and_traffic(self):
+        a = RunMetrics(rounds=3, messages=5, total_bits=50, max_message_bits=20)
+        b = RunMetrics(rounds=2, messages=1, total_bits=9, max_message_bits=9,
+                       violations=[BandwidthViolation(0, 1, 2, 99, 10)])
+        c = a.merge(b)
+        assert c.rounds == 5
+        assert c.messages == 6
+        assert c.total_bits == 59
+        assert c.max_message_bits == 20
+        assert len(c.violations) == 1
+        # merge does not mutate inputs
+        assert a.rounds == 3 and b.rounds == 2
+
+    def test_add_rounds(self):
+        m = RunMetrics(rounds=1)
+        m.add_rounds(4)
+        assert m.rounds == 5
+
+    def test_as_tuple(self):
+        m = RunMetrics(rounds=1, messages=2, total_bits=3, max_message_bits=4)
+        assert m.as_tuple() == (1, 2, 3, 4, 0)

@@ -1,0 +1,234 @@
+"""Integration-level tests of the synchronous runner."""
+
+from typing import Any, Mapping
+
+import pytest
+
+from repro.exceptions import BandwidthExceeded, ProtocolError, RoundLimitExceeded
+from repro.graphs import cycle, empty, path, star
+from repro.simulator import (
+    BandwidthPolicy,
+    Network,
+    NodeAlgorithm,
+    NodeContext,
+    Trace,
+    run,
+)
+
+
+class HaltImmediately(NodeAlgorithm):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.halt(ctx.node_id)
+
+    def on_round(self, ctx, inbox):  # pragma: no cover
+        raise AssertionError("should never run a round")
+
+
+class EchoNeighborSum(NodeAlgorithm):
+    """Round 1: receive ids broadcast at start; output their sum."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast(ctx.node_id)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        ctx.halt(sum(inbox.values()))
+
+
+class CountRounds(NodeAlgorithm):
+    def __init__(self, rounds: int):
+        self._target = rounds
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast(0)
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        if ctx.round_index >= self._target:
+            ctx.halt(ctx.round_index)
+        else:
+            ctx.broadcast(0)
+
+
+class NeverHalt(NodeAlgorithm):
+    def on_round(self, ctx, inbox):
+        pass
+
+
+class BigTalker(NodeAlgorithm):
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast("x" * 10_000)
+
+    def on_round(self, ctx, inbox):
+        ctx.halt(None)
+
+
+class TestBasics:
+    def test_zero_round_halt(self):
+        res = run(path(3), HaltImmediately)
+        assert res.metrics.rounds == 0
+        assert res.outputs == {0: 0, 1: 1, 2: 2}
+
+    def test_one_round_exchange(self):
+        res = run(path(3), EchoNeighborSum)
+        assert res.metrics.rounds == 1
+        assert res.outputs == {0: 1, 1: 0 + 2, 2: 1}
+
+    def test_round_counting(self):
+        res = run(cycle(4), lambda: CountRounds(5))
+        assert res.metrics.rounds == 5
+        assert all(v == 5 for v in res.outputs.values())
+
+    def test_message_accounting(self):
+        res = run(path(3), EchoNeighborSum)
+        # start broadcasts: degree sum = 2m = 4 messages.
+        assert res.metrics.messages == 4
+        assert res.metrics.total_bits > 0
+        assert res.metrics.max_message_bits >= 2
+
+    def test_empty_graph_zero_nodes(self):
+        res = run(empty(0), HaltImmediately)
+        assert res.outputs == {}
+
+    def test_round_limit(self):
+        with pytest.raises(RoundLimitExceeded):
+            run(path(2), NeverHalt, max_rounds=10)
+
+    def test_reproducible_with_seed(self):
+        class RandomOutput(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.halt(float(ctx.rng.random()))
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                pass
+
+        a = run(cycle(5), RandomOutput, seed=42)
+        b = run(cycle(5), RandomOutput, seed=42)
+        c = run(cycle(5), RandomOutput, seed=43)
+        assert a.outputs == b.outputs
+        assert a.outputs != c.outputs
+
+    def test_per_node_streams_differ(self):
+        class RandomOutput(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.halt(float(ctx.rng.random()))
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                pass
+
+        res = run(cycle(5), RandomOutput, seed=1)
+        assert len(set(res.outputs.values())) == 5
+
+
+class TestBandwidth:
+    def test_strict_congest_raises(self):
+        with pytest.raises(BandwidthExceeded):
+            run(path(2), BigTalker)
+
+    def test_audit_mode_records(self):
+        res = run(path(2), BigTalker, policy=BandwidthPolicy.congest(strict=False))
+        assert len(res.metrics.violations) == 2
+        v = res.metrics.violations[0]
+        assert v.bits == 8 + 80_000  # length prefix + body
+        assert v.budget == 32 * 8
+        assert v.round_index == 0
+
+    def test_local_model_allows_big_messages(self):
+        res = run(path(2), BigTalker, policy=BandwidthPolicy.local())
+        assert not res.metrics.violations
+
+    def test_n_bound_default_power_of_two(self):
+        res = run(path(5), HaltImmediately)
+        assert res.n_bound == 8
+
+    def test_explicit_n_bound(self):
+        res = run(Network.of(path(5), n_bound=1000), HaltImmediately)
+        assert res.n_bound == 1000
+
+
+class TestProtocolViolations:
+    def test_send_to_non_neighbor(self):
+        class BadSender(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.send(2, "hi")  # 0 and 2 not adjacent in P3
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(None)
+
+        with pytest.raises(ProtocolError, match="non-neighbour"):
+            run(path(3), BadSender)
+
+    def test_double_send_same_round(self):
+        class DoubleSender(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.degree:
+                    ctx.send(ctx.neighbors[0], 1)
+                    ctx.send(ctx.neighbors[0], 2)
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                ctx.halt(None)
+
+        with pytest.raises(ProtocolError, match="twice"):
+            run(path(2), DoubleSender)
+
+    def test_send_after_halt(self):
+        class HaltThenSend(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.halt(None)
+                ctx.broadcast("late")
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                pass
+
+        with pytest.raises(ProtocolError, match="after halting"):
+            run(path(2), HaltThenSend)
+
+    def test_double_halt(self):
+        class DoubleHalt(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.halt(1)
+                ctx.halt(2)
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                pass
+
+        with pytest.raises(ProtocolError, match="halted twice"):
+            run(path(2), DoubleHalt)
+
+
+class TestDelivery:
+    def test_messages_to_halted_nodes_dropped(self):
+        class Hub(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.halt("early")
+
+            def on_round(self, ctx, inbox):
+                # Leaves send to the (halted) hub; nothing comes back.
+                if ctx.round_index == 1:
+                    ctx.broadcast("ping")
+                else:
+                    ctx.halt(len(inbox))
+
+        res = run(star(3), Hub)
+        assert res.outputs[0] == "early"
+        assert all(res.outputs[v] == 0 for v in (1, 2, 3))
+
+    def test_halting_round_messages_still_delivered(self):
+        class LastWords(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.broadcast("bye")
+                    ctx.halt(None)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(list(inbox.values()))
+
+        res = run(path(2), LastWords)
+        assert res.outputs[1] == ["bye"]
+
+    def test_trace_records_sends_and_halts(self):
+        trace = Trace()
+        run(path(3), EchoNeighborSum, trace=trace)
+        assert len(trace.events_of("send")) == 4
+        assert len(trace.events_of("halt")) == 3
+        assert trace.events_of("halt", node=1)[0].round_index == 1

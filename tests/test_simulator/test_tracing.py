@@ -1,0 +1,55 @@
+"""Unit tests for the trace facility."""
+
+from repro.simulator import Trace, TraceEvent
+
+
+def test_record_and_filter():
+    t = Trace()
+    t.record(0, "send", 1, (2, 10))
+    t.record(1, "halt", 1, True)
+    t.record(1, "send", 2, (1, 5))
+    assert len(t) == 3
+    assert len(t.events_of("send")) == 2
+    assert len(t.events_of("send", node=2)) == 1
+    assert t.events_of("halt")[0].detail is True
+
+
+def test_max_events_cap():
+    t = Trace(max_events=2)
+    for i in range(5):
+        t.record(i, "send", 0)
+    assert len(t) == 2
+
+
+def test_event_is_frozen():
+    import dataclasses
+
+    import pytest
+
+    e = TraceEvent(0, "send", 1)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        e.node = 5  # type: ignore[misc]
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert Trace().render_timeline() == "(no events)"
+
+    def test_renders_rounds_and_halts(self):
+        from repro.graphs import path
+        from repro.simulator import run
+        from tests.test_simulator.test_runner import EchoNeighborSum
+
+        t = Trace()
+        run(path(3), EchoNeighborSum, trace=t)
+        text = t.render_timeline()
+        assert "round 0:" in text
+        assert "msgs" in text
+        assert "halted:" in text
+
+    def test_truncation(self):
+        t = Trace()
+        for r in range(10):
+            t.record(r, "send", 0, (1, 8))
+        text = t.render_timeline(max_rounds=3)
+        assert "more rounds" in text
