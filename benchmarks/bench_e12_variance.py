@@ -1,4 +1,13 @@
-"""E12 — weighted ranking's variance blow-up (the [17] caveat in §1)."""
+"""E12 — weighted ranking's variance blow-up (the [17] caveat in §1).
+
+This is the repo's flagship seed sweep (2000 ranking trials on one star),
+so it doubles as the batch-engine benchmark: the batched driver runs the
+same experiment with worker processes and reports the wall-clock speedup
+over the serial path.
+"""
+
+import os
+import time
 
 import pytest
 
@@ -19,6 +28,29 @@ def test_e12_report(benchmark, report_sink):
     assert report.findings["expectation_met_on_average"]
     assert report.findings["no_concentration"]
     assert report.findings["sparsified_always_ok"]
+
+
+@pytest.mark.experiment("E12")
+def test_e12_report_batched(benchmark, report_sink):
+    """Same sweep through the batch engine: identical findings, and the
+    parallel wall-clock is reported against a serial reference run."""
+    jobs = min(4, os.cpu_count() or 1)
+    t0 = time.perf_counter()
+    serial = experiment_e12_ranking_variance(n_leaves=200, trials=2000)
+    serial_seconds = time.perf_counter() - t0
+    report = benchmark.pedantic(
+        experiment_e12_ranking_variance,
+        kwargs={"n_leaves": 200, "trials": 2000, "n_jobs": jobs},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.rows == serial.rows
+    assert report.findings == serial.findings
+    batched_seconds = benchmark.stats.stats.mean
+    print(f"\nE12 sweep: serial {serial_seconds:.2f}s, "
+          f"n_jobs={jobs} {batched_seconds:.2f}s "
+          f"(speedup x{serial_seconds / max(batched_seconds, 1e-9):.2f})")
 
 
 def test_ranking_on_star_throughput(benchmark):

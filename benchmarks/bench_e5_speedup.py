@@ -25,6 +25,27 @@ def test_e5_report(benchmark, report_sink):
     assert report.findings["theorem2_flat_in_W"]
 
 
+@pytest.mark.experiment("E5")
+def test_e5_report_batched(benchmark, report_sink, tmp_path):
+    """The W-grid through the batch engine with a warm-cache second run:
+    findings match the serial path and the rerun is fully memoized."""
+    kwargs = {"n": 300, "scales": (1, 100, 10_000, 1_000_000)}
+    cache = str(tmp_path / "e5-cache")
+    serial = experiment_e5_speedup(**kwargs)
+    report = benchmark.pedantic(
+        experiment_e5_speedup,
+        kwargs={**kwargs, "n_jobs": 2, "cache_dir": cache},
+        iterations=1,
+        rounds=1,
+    )
+    report_sink(report)
+    assert report.rows == serial.rows
+    assert report.findings == serial.findings
+    # Warm rerun: every job must come from the cache, and nothing changes.
+    rerun = experiment_e5_speedup(**kwargs, n_jobs=2, cache_dir=cache)
+    assert rerun.rows == report.rows
+
+
 @pytest.fixture(scope="module")
 def big_w_graph():
     return integer_weights(gnp(250, 12.0 / 250, seed=1), 10 ** 6, seed=2)

@@ -25,10 +25,21 @@ class RoundTraffic:
     bits: int
 
 
+def _wire_events(trace: Trace):
+    """Everything that crossed the wire: deliveries and drops alike.
+
+    A message to a receiver that halted the same round is traced ``"drop"``
+    rather than ``"send"``, but it was transmitted (and charged), so
+    traffic views count both — keeping these totals equal to the
+    ``RunMetrics`` charges.
+    """
+    return trace.events_of("send") + trace.events_of("drop")
+
+
 def bits_per_round(trace: Trace) -> List[RoundTraffic]:
     """Per-round message and bit totals, in round order."""
     acc: Dict[int, List[int]] = {}
-    for e in trace.events_of("send"):
+    for e in _wire_events(trace):
         entry = acc.setdefault(e.round_index, [0, 0])
         entry[0] += 1
         entry[1] += e.detail[1]
@@ -41,7 +52,7 @@ def bits_per_round(trace: Trace) -> List[RoundTraffic]:
 def messages_per_node(trace: Trace) -> Dict[int, int]:
     """How many messages each node sent over the whole run."""
     out: Dict[int, int] = {}
-    for e in trace.events_of("send"):
+    for e in _wire_events(trace):
         out[e.node] = out.get(e.node, 0) + 1
     return out
 

@@ -17,7 +17,7 @@ from repro.bench.experiments import (
     experiment_e13_message_complexity,
 )
 from repro.bench.deep import DEEP_PRESETS, deep_kwargs
-from repro.bench.harness import ExperimentReport, timed
+from repro.bench.harness import ExperimentReport, timed, to_native
 from repro.bench.tables import format_row_dicts, format_table
 
 __all__ = [
@@ -26,6 +26,7 @@ __all__ = [
     "deep_kwargs",
     "ExperimentReport",
     "timed",
+    "to_native",
     "format_table",
     "format_row_dicts",
     "experiment_e1_good_nodes",

@@ -44,6 +44,27 @@ from repro.graphs import (
 )
 from repro.lowerbound.reduction import rand_mis
 from repro.lowerbound.gaps import max_gap
+from repro.simulator.batch import BatchJob, BatchResult, batch_run
+
+
+def _sweep(jobs: List[BatchJob], n_jobs: int,
+           cache_dir: Optional[str]) -> BatchResult:
+    """Run an experiment's seed sweep through the batch engine.
+
+    Every job carries an explicit seed (the experiments derive them the
+    same way they always did), so results are identical to the old inline
+    loops for any ``n_jobs``.  A failed trial would silently skew the
+    statistics, so failures abort the experiment loudly.
+    """
+    result = batch_run(jobs, n_jobs=n_jobs, cache_dir=cache_dir)
+    if result.failures:
+        first = result.failures[0]
+        raise RuntimeError(
+            f"{len(result.failures)}/{result.jobs} sweep jobs failed; "
+            f"first: job {first.index} ({first.algorithm}, seed {first.seed}): "
+            f"{first.error}"
+        )
+    return result
 
 __all__ = [
     "experiment_e1_good_nodes",
@@ -267,6 +288,8 @@ def experiment_e5_speedup(
     scales: Sequence[int] = (1, 100, 10_000, 1_000_000),
     eps: float = 0.5,
     seed: int = 55,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentReport:
     """E5: baseline rounds grow like log W; Theorem 2 rounds are flat in W.
 
@@ -274,30 +297,43 @@ def experiment_e5_speedup(
     isolates the W-dependence exactly: Theorem 2's pipeline is invariant
     under weight scaling (same seed → same execution), while the baseline's
     scale sweep pays one MIS per weight level, i.e. Θ(log W) of them.
+
+    The per-scale runs are independent, so the whole grid goes through the
+    batch engine (``n_jobs``/``cache_dir`` as in
+    :func:`repro.simulator.batch.batch_run`).
     """
     report = ExperimentReport(
         "E5", "Theorem 2 vs [8] — rounds vs W: MIS·log W baseline against "
               "the W-independent sparsified pipeline"
     )
     base = integer_weights(gnp(n, 12.0 / n, seed=seed), 10, seed=seed + 1)
+    graphs = [
+        base.with_weights({v: base.weight(v) * s for v in base.nodes})
+        for s in scales
+    ]
+    jobs: List[BatchJob] = []
+    for g in graphs:
+        jobs.append(BatchJob(g, "bar-yehuda", seed=seed + 10, label="baseline"))
+        jobs.append(BatchJob(g, "thm2", seed=seed + 20,
+                             params={"eps": eps}, label="theorem2"))
+    sweep = _sweep(jobs, n_jobs, cache_dir)
+
     base_rounds: List[float] = []
     fast_rounds: List[float] = []
     w_values: List[float] = []
-    for s in scales:
-        g = base.with_weights({v: base.weight(v) * s for v in base.nodes})
+    for i, g in enumerate(graphs):
+        baseline, fast = sweep.outcomes[2 * i], sweep.outcomes[2 * i + 1]
         w_values.append(g.max_weight())
-        baseline = bar_yehuda_maxis(g, seed=seed + 10)
-        fast = theorem2_maxis(g, eps, seed=seed + 20)
-        base_rounds.append(baseline.rounds)
-        fast_rounds.append(fast.rounds)
+        base_rounds.append(baseline.metrics.rounds)
+        fast_rounds.append(fast.metrics.rounds)
         report.add_row(
             W=int(g.max_weight()),
             log2_W=round(log_w(g.max_weight()), 1),
-            baseline_rounds=baseline.rounds,
-            theorem2_rounds=fast.rounds,
-            speedup=round(baseline.rounds / max(1, fast.rounds), 2),
-            baseline_weight=round(baseline.weight(g), 1),
-            theorem2_weight=round(fast.weight(g), 1),
+            baseline_rounds=baseline.metrics.rounds,
+            theorem2_rounds=fast.metrics.rounds,
+            speedup=round(baseline.metrics.rounds / max(1, fast.metrics.rounds), 2),
+            baseline_weight=round(baseline.weight, 1),
+            theorem2_weight=round(fast.weight, 1),
         )
     _, base_slope = fit_loglinear(w_values, base_rounds)
     _, fast_slope = fit_loglinear(w_values, fast_rounds)
@@ -373,24 +409,35 @@ def experiment_e7_ranking(
     eps: float = 0.5,
     trials: int = 10,
     seed: int = 77,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentReport:
     """E7: |I| >= n/(8(Δ+1)) across trials; boosting reaches
-    n/((1+ε)(Δ+1)); failure rate far below the exp(−n/256(Δ+1)) budget."""
+    n/((1+ε)(Δ+1)); failure rate far below the exp(−n/256(Δ+1)) budget.
+
+    The per-degree trial loops are a seed sweep and run through the batch
+    engine; per-trial seeds are derived exactly as the old inline loop did.
+    """
     report = ExperimentReport(
         "E7", "Theorems 5/11 — ranking: size >= n/(8(Δ+1)) w.h.p.; boosted "
               "to n/((1+ε)(Δ+1)) in O(1/ε) rounds"
     )
     ss = np.random.SeedSequence(seed)
+    jobs: List[BatchJob] = []
     for d in degrees:
-        target = n / (8.0 * (d + 1))
-        successes = 0
-        sizes: List[float] = []
         for trial_seed in ss.spawn(trials):
             rng_seed = int(trial_seed.generate_state(1)[0])
             g = random_regular(n, d, seed=rng_seed)
-            res = boppana_is(g, seed=rng_seed)
-            sizes.append(res.size)
-            if res.size >= target:
+            jobs.append(BatchJob(g, "ranking", seed=rng_seed, label=f"d={d}"))
+    sweep = _sweep(jobs, n_jobs, cache_dir)
+    for j, d in enumerate(degrees):
+        target = n / (8.0 * (d + 1))
+        successes = 0
+        sizes: List[float] = []
+        for outcome in sweep.outcomes[j * trials:(j + 1) * trials]:
+            size = len(outcome.independent_set)
+            sizes.append(size)
+            if size >= target:
                 successes += 1
         lo, hi = wilson_interval(successes, trials)
         report.add_row(
@@ -616,6 +663,8 @@ def experiment_e12_ranking_variance(
     heavy: float = 1e6,
     trials: int = 2000,
     seed: int = 122,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentReport:
     """E12: on a heavy-hub star, one-round ranking achieves its expected
     weight w(V)/(Δ+1) *in expectation* but almost never in any single run
@@ -639,22 +688,32 @@ def experiment_e12_ranking_variance(
     # with probability 1/(n_leaves+1); each leaf beats the hub w.p. 1/2.
     exact_expectation = heavy / (n_leaves + 1) + n_leaves / 2.0
 
+    # Both trial loops are pure seed sweeps over the one fixed star: route
+    # them through the batch engine as a single job list (ranking trials
+    # first, then the sparsified contrast runs), with per-trial seeds
+    # derived exactly as the old inline loops derived them.
     ss = np.random.SeedSequence(seed)
+    sparsified_trials = 20  # sparsified runs are slower; a handful suffices
+    jobs: List[BatchJob] = [
+        BatchJob(g, "ranking",
+                 seed=int(trial_seed.generate_state(1)[0]), label="ranking")
+        for trial_seed in ss.spawn(trials)
+    ] + [
+        BatchJob(g, "thm9",
+                 seed=int(trial_seed.generate_state(1)[0]), label="sparsified")
+        for trial_seed in ss.spawn(sparsified_trials)
+    ]
+    sweep = _sweep(jobs, n_jobs, cache_dir)
+
     ranking_weights: List[float] = []
     hub_joined = 0
     sparsified_ok = 0
-    for trial_seed in ss.spawn(trials):
-        rng_seed = int(trial_seed.generate_state(1)[0])
-        chosen = boppana_is(g, seed=rng_seed).independent_set
-        if 0 in chosen:
+    for outcome in sweep.outcomes[:trials]:
+        if 0 in outcome.independent_set:
             hub_joined += 1
-        ranking_weights.append(g.total_weight(chosen))
-    # Sparsified runs are slower; a handful suffices for the contrast.
-    sparsified_trials = 20
-    for trial_seed in ss.spawn(sparsified_trials):
-        rng_seed = int(trial_seed.generate_state(1)[0])
-        res = sparsified_approx(g, seed=rng_seed)
-        if res.weight(g) >= g.total_weight() / (8 * g.max_degree):
+        ranking_weights.append(outcome.weight)
+    for outcome in sweep.outcomes[trials:]:
+        if outcome.weight >= g.total_weight() / (8 * g.max_degree):
             sparsified_ok += 1
 
     mean_w = sum(ranking_weights) / len(ranking_weights)

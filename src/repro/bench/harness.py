@@ -15,9 +15,29 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+import numpy as np
+
 from repro.bench.tables import format_row_dicts
 
-__all__ = ["ExperimentReport", "timed"]
+__all__ = ["ExperimentReport", "timed", "to_native"]
+
+
+def to_native(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays to native Python values.
+
+    Reports must round-trip through JSON faithfully; a stray ``np.float64``
+    would otherwise only survive serialisation as a string.  Tuples become
+    lists (what JSON would do anyway), so equality holds across the trip.
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [to_native(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {to_native(k): to_native(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_native(v) for v in value]
+    return value
 
 
 @dataclass
@@ -30,7 +50,11 @@ class ExperimentReport:
     findings: Dict[str, Any] = field(default_factory=dict)
 
     def add_row(self, **row: Any) -> None:
-        self.rows.append(row)
+        self.rows.append({k: to_native(v) for k, v in row.items()})
+
+    def add_finding(self, key: str, value: Any) -> None:
+        """Record a headline finding, coerced to JSON-native types."""
+        self.findings[key] = to_native(value)
 
     def render(self) -> str:
         header = f"== {self.experiment}: {self.description} =="
@@ -46,13 +70,19 @@ class ExperimentReport:
         print(self.render())
 
     def to_json(self) -> str:
-        """Serialize to JSON (rows and findings must be JSON-compatible)."""
+        """Serialize to JSON.
+
+        Rows are coerced at :meth:`add_row` time; findings are coerced
+        here because experiments assign ``report.findings`` directly.  No
+        ``default=`` fallback: anything still unserialisable should fail
+        loudly rather than silently become a string.
+        """
         return json.dumps({
             "experiment": self.experiment,
             "description": self.description,
             "rows": self.rows,
-            "findings": self.findings,
-        }, indent=2, default=str)
+            "findings": to_native(self.findings),
+        }, indent=2)
 
     @staticmethod
     def from_json(text: str) -> "ExperimentReport":
@@ -67,12 +97,21 @@ class ExperimentReport:
 
 
 class timed:
-    """Context manager measuring wall-clock seconds (for report rows)."""
+    """Context manager measuring wall-clock seconds (for report rows).
+
+    Safe to re-enter: one instance can time several ``with`` blocks (even
+    nested — starts are kept on a stack), and ``seconds`` always reflects
+    the most recently *finished* block.  Elapsed time is recorded even when
+    the body raises, so error paths still report how long they took.
+    """
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._starts: List[float] = []
 
     def __enter__(self) -> "timed":
-        self._start = time.perf_counter()
-        self.seconds = 0.0
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc) -> None:
-        self.seconds = time.perf_counter() - self._start
+        self.seconds = time.perf_counter() - self._starts.pop()

@@ -1,10 +1,12 @@
 """Command-line interface.
 
-Three subcommands::
+Subcommands::
 
     python -m repro run --algorithm thm2 --graph gnp:300,0.04 \\
         --weights uniform:1,100 --eps 0.5 --seed 7
-    python -m repro experiments E1 E5 E9
+    python -m repro sweep --algorithm ranking --graph gnp:100,0.05 \\
+        --seeds 32 --jobs 4 --cache .sweep-cache --json
+    python -m repro experiments E1 E5 E9 --jobs 4
     python -m repro info --graph grid:10,20 --weights integers:1000
 
 Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
@@ -158,6 +160,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    import inspect
     from pathlib import Path
 
     from repro.bench import ALL_EXPERIMENTS
@@ -172,7 +175,14 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     for name in names:
         kwargs = deep_kwargs(name) if args.deep else {}
-        report = ALL_EXPERIMENTS[name](**kwargs)
+        fn = ALL_EXPERIMENTS[name]
+        # Seed-sweep experiments accept batch-engine knobs; the rest don't.
+        accepted = inspect.signature(fn).parameters
+        if "n_jobs" in accepted:
+            kwargs.setdefault("n_jobs", args.jobs)
+        if "cache_dir" in accepted and args.cache is not None:
+            kwargs.setdefault("cache_dir", args.cache)
+        report = fn(**kwargs)
         print(report.render())
         print()
         if args.json_dir:
@@ -180,6 +190,37 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             out.mkdir(parents=True, exist_ok=True)
             (out / f"{name}.json").write_text(report.to_json())
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Seed sweep of one algorithm on one instance via the batch engine."""
+    from repro.simulator.batch import BatchJob, batch_run
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    graph = parse_graph_spec(args.graph, args.seed)
+    graph = parse_weight_spec(args.weights, graph, None if args.seed is None
+                              else args.seed + 1)
+    params = {"eps": args.eps} if args.algorithm in ("thm1", "thm2", "thm3",
+                                                     "thm5") else {}
+    jobs = [BatchJob(graph, args.algorithm, params=dict(params))
+            for _ in range(args.seeds)]
+    try:
+        result = batch_run(jobs, master_seed=args.seed, n_jobs=args.jobs,
+                           cache_dir=args.cache)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    payload = result.summary()
+    payload["algorithm"] = args.algorithm
+    payload["graph"] = {"n": graph.n, "m": graph.m,
+                        "max_degree": graph.max_degree}
+    payload["master_seed"] = args.seed
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 1 if result.failures else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -271,7 +312,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write each report as <dir>/<id>.json")
     p_exp.add_argument("--deep", action="store_true",
                        help="use the deep-sweep presets (slower, wider)")
+    p_exp.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for seed-sweep experiments")
+    p_exp.add_argument("--cache", default=None, metavar="DIR",
+                       help="on-disk result cache for sweep jobs")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run one algorithm over many derived seeds in parallel"
+    )
+    p_sweep.add_argument("--algorithm", choices=sorted(_algorithms()),
+                         default="ranking")
+    p_sweep.add_argument("--graph", default="gnp:100,0.05", help="graph spec")
+    p_sweep.add_argument("--weights", default="uniform:1,20", help="weight spec")
+    p_sweep.add_argument("--eps", type=float, default=0.5)
+    p_sweep.add_argument("--seed", type=int, default=0,
+                         help="master seed; per-job seeds are derived from it")
+    p_sweep.add_argument("--seeds", type=int, default=10, metavar="N",
+                         help="number of derived-seed jobs")
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process)")
+    p_sweep.add_argument("--cache", default=None, metavar="DIR",
+                         help="on-disk result cache")
+    p_sweep.add_argument("--json", action="store_true", help="JSON output")
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_verify = sub.add_parser(
         "verify", help="run an algorithm and certify its guarantee"

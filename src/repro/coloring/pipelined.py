@@ -131,7 +131,12 @@ def pipelined_color_class_maxis(
     best = min(c for c in range(num_colors) if sums[c] == max(sums))
     _, flood_metrics = flood_value(graph, root, best, policy=policy, n_bound=bound)
 
-    metrics = tree.metrics.merge(pipeline.metrics).merge(flood_metrics)
+    # The BFS-tree build overlaps the pipelined aggregation in the standard
+    # schedule (leaves start reporting as soon as their subtree is wired),
+    # which is what makes the protocol Θ(D + C) instead of Θ(2D + C):
+    # compose those two phases in parallel.  The announcement flood only
+    # starts after the root knows the winner, so it stays sequential.
+    metrics = tree.metrics.merge_parallel(pipeline.metrics).merge(flood_metrics)
     chosen = frozenset(v for v in graph.nodes if colors[v] == best)
     return AlgorithmResult(
         independent_set=chosen,
@@ -141,7 +146,9 @@ def pipelined_color_class_maxis(
             "num_colors": num_colors,
             "winning_color": best,
             "tree_depth": tree.depth,
+            "tree_rounds": tree.metrics.rounds,
             "pipeline_rounds": pipeline.metrics.rounds,
+            "flood_rounds": flood_metrics.rounds,
             "class_weights": {c: sums[c] for c in range(num_colors)},
         },
     )

@@ -190,6 +190,23 @@ class WeightedGraph:
         """Same topology, all weights set to 1 (the unweighted view)."""
         return WeightedGraph(self._adj, {v: 1.0 for v in self._adj}, _skip_validation=True)
 
+    def fingerprint(self) -> str:
+        """Content hash of the graph (topology + weights), hex sha256.
+
+        Two graphs compare equal iff their fingerprints match, so the
+        batch engine can key its on-disk result cache by this string.
+        Weights are hashed via ``repr(float)`` (shortest round-trippable
+        form), so the hash is stable across processes and sessions.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for v in self.nodes:
+            h.update(f"n{v}:{self._weights[v]!r};".encode())
+        for u, v in self.edges():
+            h.update(f"e{u},{v};".encode())
+        return h.hexdigest()
+
     def relabeled(self) -> Tuple["WeightedGraph", Dict[int, int]]:
         """Relabel nodes to ``0..n-1``; returns ``(graph, old_id -> new_id)``."""
         mapping = {old: new for new, old in enumerate(self.nodes)}

@@ -2,6 +2,14 @@
 accounting, per-node private randomness, and exact round metrics."""
 
 from repro.simulator.algorithm import NodeAlgorithm
+from repro.simulator.batch import (
+    BatchJob,
+    BatchResult,
+    JobOutcome,
+    algorithm_registry,
+    batch_run,
+    derive_job_seeds,
+)
 from repro.simulator.context import NodeContext
 from repro.simulator.message import payload_bits, validate_payload
 from repro.simulator.metrics import BandwidthViolation, RunMetrics
@@ -13,6 +21,12 @@ from repro.simulator.tracing import Trace, TraceEvent
 
 __all__ = [
     "NodeAlgorithm",
+    "BatchJob",
+    "BatchResult",
+    "JobOutcome",
+    "algorithm_registry",
+    "batch_run",
+    "derive_job_seeds",
     "NodeContext",
     "payload_bits",
     "validate_payload",

@@ -1,0 +1,480 @@
+"""Batch-execution engine: fan ``(graph, algorithm, seed)`` jobs out.
+
+The experiments in DESIGN.md validate w.h.p. claims over seed sweeps —
+hundreds of independent simulator runs that the rest of the codebase used
+to execute one at a time.  This module runs such a sweep across worker
+processes while keeping the three properties the test-suite depends on:
+
+* **Determinism.** Per-job seeds are derived up front from one master
+  :class:`numpy.random.SeedSequence` (``SeedSequence(master).spawn(k)``,
+  one 32-bit word per child), so the result of a sweep depends only on
+  the master seed and the job list — never on worker scheduling.  With
+  ``n_jobs=1`` jobs run in-process through the *same* code path, so the
+  parallel and serial paths are bit-for-bit identical.
+* **Failure isolation.** A job that raises is captured as a failed
+  :class:`JobOutcome` (error string preserved); the sweep always returns
+  one outcome per job.
+* **Memoization.** With ``cache_dir`` set, completed jobs are written to
+  disk as JSON keyed by ``sha256(graph fingerprint | algorithm name |
+  seed | bandwidth policy | params)``; re-running a sweep only pays for
+  jobs it has not seen.  Failed jobs are never cached.
+
+Algorithms are usually named (see :func:`algorithm_registry`) so that
+workers resolve the callable on their side of the process boundary; a
+job may also carry a picklable callable directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.metrics import RunMetrics
+from repro.simulator.models import BandwidthPolicy
+
+__all__ = [
+    "BatchJob",
+    "JobOutcome",
+    "BatchResult",
+    "batch_run",
+    "derive_job_seeds",
+    "algorithm_registry",
+]
+
+AlgorithmFn = Callable[..., Any]  # (graph, *, seed, ...) -> AlgorithmResult
+
+
+# --------------------------------------------------------------------- #
+# algorithm registry
+# --------------------------------------------------------------------- #
+
+def algorithm_registry() -> Dict[str, AlgorithmFn]:
+    """Named algorithm wrappers with the uniform batch signature.
+
+    Every entry is called as ``fn(graph, seed=..., policy=..., **params)``.
+    Imports are local so that importing the simulator package never pulls
+    in the whole algorithm stack.
+    """
+    from repro.core import (
+        bar_yehuda_maxis,
+        boppana_is,
+        good_nodes_approx,
+        low_arboricity_maxis,
+        low_degree_maxis,
+        sparsified_approx,
+        theorem1_maxis,
+        theorem2_maxis,
+        weighted_greedy_maxis,
+    )
+    from repro.mis import ghaffari_mis, local_minima_mis, luby_mis
+
+    def thm1(g, *, seed=None, policy=None, eps=0.5, **kw):
+        return theorem1_maxis(g, eps, seed=seed, policy=policy, **kw)
+
+    def thm2(g, *, seed=None, policy=None, eps=0.5, **kw):
+        return theorem2_maxis(g, eps, seed=seed, policy=policy, **kw)
+
+    def thm3(g, *, seed=None, policy=None, eps=0.5, **kw):
+        # low_arboricity_maxis manages bandwidth internally; no policy knob.
+        return low_arboricity_maxis(g, eps, seed=seed, **kw)
+
+    def thm5(g, *, seed=None, policy=None, eps=0.5, **kw):
+        return low_degree_maxis(g, eps, seed=seed, policy=policy, **kw)
+
+    def thm8(g, *, seed=None, policy=None, **kw):
+        return good_nodes_approx(g, seed=seed, policy=policy, **kw)
+
+    def thm9(g, *, seed=None, policy=None, **kw):
+        return sparsified_approx(g, seed=seed, policy=policy, **kw)
+
+    def ranking(g, *, seed=None, policy=None, **kw):
+        return boppana_is(g, seed=seed, policy=policy, **kw)
+
+    def bar_yehuda(g, *, seed=None, policy=None, **kw):
+        return bar_yehuda_maxis(g, seed=seed, policy=policy, **kw)
+
+    def weighted_greedy(g, *, seed=None, policy=None, **kw):
+        return weighted_greedy_maxis(g, seed=seed, policy=policy, **kw)
+
+    def mis_luby(g, *, seed=None, policy=None, **kw):
+        return luby_mis(g, seed=seed, **kw)
+
+    def mis_ghaffari(g, *, seed=None, policy=None, **kw):
+        return ghaffari_mis(g, seed=seed, **kw)
+
+    def mis_det(g, *, seed=None, policy=None, **kw):
+        return local_minima_mis(g, seed=seed, **kw)
+
+    return {
+        "thm1": thm1,
+        "thm2": thm2,
+        "thm3": thm3,
+        "thm5": thm5,
+        "thm8": thm8,
+        "thm9": thm9,
+        "ranking": ranking,
+        "bar-yehuda": bar_yehuda,
+        "weighted-greedy": weighted_greedy,
+        "mis-luby": mis_luby,
+        "mis-ghaffari": mis_ghaffari,
+        "mis-det": mis_det,
+    }
+
+
+# --------------------------------------------------------------------- #
+# job / outcome / result types
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One unit of work: run ``algorithm`` on ``graph`` with one seed.
+
+    ``algorithm`` is a registry name (resolved inside the worker) or a
+    picklable callable with signature ``fn(graph, seed=..., **params)``.
+    ``seed=None`` means "derive from the master seed by job position";
+    an explicit int is used verbatim, which lets experiments route their
+    existing per-trial seeds through the engine unchanged.
+    """
+
+    graph: WeightedGraph
+    algorithm: Union[str, AlgorithmFn]
+    seed: Optional[int] = None
+    params: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    @property
+    def algorithm_name(self) -> str:
+        if isinstance(self.algorithm, str):
+            return self.algorithm
+        fn = self.algorithm
+        return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Result of one job: either a solution or a captured failure."""
+
+    index: int
+    algorithm: str
+    seed: int
+    ok: bool
+    independent_set: Tuple[int, ...] = ()
+    weight: float = 0.0
+    metrics: Optional[RunMetrics] = None
+    error: str = ""
+    cached: bool = False
+    seconds: float = 0.0
+    label: str = ""
+
+    def signature(self) -> Tuple[Any, ...]:
+        """Everything deterministic about the outcome (no wall-clock, no
+        cache provenance) — what the n_jobs=1 vs n_jobs=4 test compares."""
+        return (
+            self.index,
+            self.algorithm,
+            self.seed,
+            self.ok,
+            self.independent_set,
+            self.weight,
+            self.metrics.as_tuple() if self.metrics is not None else None,
+            self.error,
+        )
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "ok": self.ok,
+            "independent_set": list(self.independent_set),
+            "weight": self.weight,
+            "metrics": None if self.metrics is None else self.metrics.to_dict(),
+            "error": self.error,
+            "seconds": self.seconds,
+            "label": self.label,
+        }
+
+    @staticmethod
+    def from_doc(doc: Dict[str, Any], *, index: int, cached: bool) -> "JobOutcome":
+        metrics = doc.get("metrics")
+        return JobOutcome(
+            index=index,
+            algorithm=doc["algorithm"],
+            seed=int(doc["seed"]),
+            ok=bool(doc["ok"]),
+            independent_set=tuple(int(v) for v in doc.get("independent_set", [])),
+            weight=float(doc.get("weight", 0.0)),
+            metrics=None if metrics is None else RunMetrics.from_dict(metrics),
+            error=str(doc.get("error", "")),
+            cached=cached,
+            seconds=float(doc.get("seconds", 0.0)),
+            label=str(doc.get("label", "")),
+        )
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Aggregate of a sweep: one :class:`JobOutcome` per submitted job."""
+
+    outcomes: Tuple[JobOutcome, ...]
+    master_seed: Optional[int] = None
+
+    @property
+    def jobs(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> Tuple[JobOutcome, ...]:
+        return tuple(o for o in self.outcomes if o.ok)
+
+    @property
+    def failures(self) -> Tuple[JobOutcome, ...]:
+        return tuple(o for o in self.outcomes if not o.ok)
+
+    @property
+    def cached_jobs(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def mean_rounds(self) -> float:
+        done = [o for o in self.completed if o.metrics is not None]
+        if not done:
+            return 0.0
+        return sum(o.metrics.rounds for o in done) / len(done)
+
+    @property
+    def max_rounds(self) -> int:
+        done = [o for o in self.completed if o.metrics is not None]
+        return max((o.metrics.rounds for o in done), default=0)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(o.metrics.total_bits for o in self.completed
+                   if o.metrics is not None)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(o.metrics.messages for o in self.completed
+                   if o.metrics is not None)
+
+    def metrics_parallel(self) -> RunMetrics:
+        """All completed jobs composed as concurrent executions: the
+        sweep's rounds are the slowest job's, traffic adds."""
+        merged = RunMetrics()
+        for o in self.completed:
+            if o.metrics is not None:
+                merged = merged.merge_parallel(o.metrics)
+        return merged
+
+    def signature(self) -> Tuple[Tuple[Any, ...], ...]:
+        return tuple(o.signature() for o in self.outcomes)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly headline numbers (what the CLI prints)."""
+        return {
+            "jobs": self.jobs,
+            "ok": len(self.completed),
+            "failed": len(self.failures),
+            "cached": self.cached_jobs,
+            "mean_rounds": self.mean_rounds,
+            "max_rounds": self.max_rounds,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+            "mean_weight": (
+                sum(o.weight for o in self.completed) / len(self.completed)
+                if self.completed else 0.0
+            ),
+            "errors": [
+                {"index": o.index, "seed": o.seed, "error": o.error}
+                for o in self.failures
+            ],
+        }
+
+
+# --------------------------------------------------------------------- #
+# seeding and cache keys
+# --------------------------------------------------------------------- #
+
+def derive_job_seeds(master_seed: Optional[int], count: int) -> List[int]:
+    """``count`` independent 32-bit seeds from one master seed.
+
+    Children of ``SeedSequence(master_seed)`` in spawn order; job ``i``
+    always gets child ``i``, so the mapping is independent of how many
+    workers run the sweep.
+    """
+    children = np.random.SeedSequence(master_seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def _policy_key(policy: Optional[BandwidthPolicy]) -> str:
+    if policy is None:
+        return "default"
+    model = getattr(policy.model, "name", str(policy.model))
+    return f"{model}:{policy.factor}:{int(policy.strict)}"
+
+
+def job_cache_key(job: BatchJob, seed: int,
+                  policy: Optional[BandwidthPolicy]) -> str:
+    """Hex digest identifying a job for the on-disk cache."""
+    doc = {
+        "fingerprint": job.graph.fingerprint(),
+        "algorithm": job.algorithm_name,
+        "seed": seed,
+        "policy": _policy_key(policy),
+        "params": job.params,
+    }
+    blob = json.dumps(doc, sort_keys=True, default=repr)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"{key}.json")
+
+
+def _cache_load(cache_dir: str, key: str, index: int) -> Optional[JobOutcome]:
+    path = _cache_path(cache_dir, key)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    try:
+        return JobOutcome.from_doc(doc["outcome"], index=index, cached=True)
+    except (KeyError, TypeError, ValueError):
+        return None  # corrupt entry: recompute and overwrite
+
+
+def _cache_store(cache_dir: str, key: str, outcome: JobOutcome) -> None:
+    path = _cache_path(cache_dir, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    doc = {"key": key, "outcome": outcome.to_doc()}
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+    os.replace(tmp, path)  # atomic on POSIX: concurrent sweeps never see partial files
+
+
+# --------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------- #
+
+def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) -> JobOutcome:
+    """Run one job; top-level so ProcessPoolExecutor can pickle it."""
+    index, job, seed, policy = payload
+    start = time.perf_counter()
+    try:
+        if isinstance(job.algorithm, str):
+            registry = algorithm_registry()
+            if job.algorithm not in registry:
+                raise KeyError(
+                    f"unknown algorithm {job.algorithm!r}; "
+                    f"known: {sorted(registry)}"
+                )
+            fn = registry[job.algorithm]
+            result = fn(job.graph, seed=seed, policy=policy, **job.params)
+        else:
+            result = job.algorithm(job.graph, seed=seed, **job.params)
+        chosen = tuple(sorted(result.independent_set))
+        return JobOutcome(
+            index=index,
+            algorithm=job.algorithm_name,
+            seed=seed,
+            ok=True,
+            independent_set=chosen,
+            weight=job.graph.total_weight(chosen),
+            metrics=result.metrics,
+            seconds=time.perf_counter() - start,
+            label=job.label,
+        )
+    except Exception as exc:  # noqa: BLE001 — one bad job must not kill the sweep
+        return JobOutcome(
+            index=index,
+            algorithm=job.algorithm_name,
+            seed=seed,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            seconds=time.perf_counter() - start,
+            label=job.label,
+        )
+
+
+def batch_run(
+    jobs: Sequence[BatchJob],
+    *,
+    master_seed: Optional[int] = 0,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    policy: Optional[BandwidthPolicy] = None,
+) -> BatchResult:
+    """Run a sweep of jobs, optionally across processes and with a cache.
+
+    Args:
+        jobs: the sweep.  Jobs with ``seed=None`` get a seed derived from
+            ``master_seed`` by position (see :func:`derive_job_seeds`).
+        master_seed: root of the per-job seed derivation.
+        n_jobs: worker processes; ``1`` runs everything in-process (the
+            deterministic fallback used by tests), identical results either way.
+        cache_dir: directory of the JSON memo cache; ``None`` disables it.
+        policy: bandwidth policy forwarded to named algorithms and mixed
+            into the cache key.
+
+    Returns:
+        A :class:`BatchResult` with one outcome per job, in job order.
+    """
+    jobs = list(jobs)
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if cache_dir is not None:
+        # Fail before paying for the sweep, not when storing its results.
+        try:
+            os.makedirs(cache_dir, exist_ok=True)
+        except (OSError, FileExistsError) as exc:
+            raise ValueError(f"cache_dir {cache_dir!r} is not a usable "
+                             f"directory: {exc}") from exc
+        if not os.path.isdir(cache_dir):
+            raise ValueError(f"cache_dir {cache_dir!r} exists and is not a "
+                             f"directory")
+    derived = derive_job_seeds(master_seed, len(jobs)) if jobs else []
+    seeds = [job.seed if job.seed is not None else derived[i]
+             for i, job in enumerate(jobs)]
+
+    outcomes: Dict[int, JobOutcome] = {}
+    pending: List[Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]] = []
+    keys: Dict[int, str] = {}
+    for i, (job, seed) in enumerate(zip(jobs, seeds)):
+        if cache_dir is not None:
+            keys[i] = job_cache_key(job, seed, policy)
+            hit = _cache_load(cache_dir, keys[i], i)
+            if hit is not None:
+                outcomes[i] = replace(hit, label=job.label)
+                continue
+        pending.append((i, job, seed, policy))
+
+    if pending:
+        if n_jobs == 1 or len(pending) == 1:
+            fresh = map(_execute_job, pending)
+        else:
+            workers = min(n_jobs, len(pending))
+            # Chunk the dispatch: sweeps are typically thousands of
+            # millisecond-sized jobs, where one IPC round-trip per job
+            # would eat the parallel win.
+            chunksize = max(1, len(pending) // (workers * 8))
+            executor = ProcessPoolExecutor(max_workers=workers)
+            try:
+                fresh = list(executor.map(_execute_job, pending,
+                                          chunksize=chunksize))
+            finally:
+                executor.shutdown()
+        for outcome in fresh:
+            outcomes[outcome.index] = outcome
+            if cache_dir is not None and outcome.ok:
+                _cache_store(cache_dir, keys[outcome.index], outcome)
+
+    ordered = tuple(outcomes[i] for i in range(len(jobs)))
+    return BatchResult(outcomes=ordered, master_seed=master_seed)

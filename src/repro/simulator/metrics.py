@@ -2,13 +2,16 @@
 
 Round counts are the headline (Theorems 1–5 are round-complexity claims);
 message counts, total bits, and the largest single message are recorded so
-CONGEST conformance is auditable after the fact.
+CONGEST conformance is auditable after the fact.  Messages addressed to a
+node that halted in the same round are still *charged* (they were put on
+the wire) but never delivered; they are counted separately so audits can
+reconcile ``total_bits == delivered bits + dropped_bits``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Any, Dict, List, Tuple
 
 __all__ = ["BandwidthViolation", "RunMetrics"]
 
@@ -32,6 +35,8 @@ class RunMetrics:
     messages: int = 0
     total_bits: int = 0
     max_message_bits: int = 0
+    dropped_messages: int = 0
+    dropped_bits: int = 0
     violations: List[BandwidthViolation] = field(default_factory=list)
 
     def record_message(self, bits: int) -> None:
@@ -40,13 +45,50 @@ class RunMetrics:
         if bits > self.max_message_bits:
             self.max_message_bits = bits
 
+    def record_drop(self, bits: int) -> None:
+        """Charge a message whose receiver halted before delivery."""
+        self.dropped_messages += 1
+        self.dropped_bits += bits
+
+    @property
+    def delivered_bits(self) -> int:
+        """Bits that actually reached a receiver: charged minus dropped."""
+        return self.total_bits - self.dropped_bits
+
     def merge(self, other: "RunMetrics") -> "RunMetrics":
-        """Sequential composition: rounds add, traffic adds."""
+        """Sequential composition: rounds add, traffic adds.
+
+        Use for phases that run one after another on the wire (phase 2
+        starts only after phase 1 halted).  For phases that overlap in
+        time, use :meth:`merge_parallel`.
+        """
         merged = RunMetrics(
             rounds=self.rounds + other.rounds,
             messages=self.messages + other.messages,
             total_bits=self.total_bits + other.total_bits,
             max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            dropped_messages=self.dropped_messages + other.dropped_messages,
+            dropped_bits=self.dropped_bits + other.dropped_bits,
+            violations=self.violations + other.violations,
+        )
+        return merged
+
+    def merge_parallel(self, other: "RunMetrics") -> "RunMetrics":
+        """Concurrent composition: rounds take the max, traffic adds.
+
+        Use when the two executions overlap in time — e.g. sub-protocols
+        scheduled in the same rounds, or independent jobs of a batch sweep
+        running side by side.  Traffic still adds (every message crosses
+        the wire exactly once) but wall-clock rounds are dominated by the
+        slower execution, not the sum.
+        """
+        merged = RunMetrics(
+            rounds=max(self.rounds, other.rounds),
+            messages=self.messages + other.messages,
+            total_bits=self.total_bits + other.total_bits,
+            max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            dropped_messages=self.dropped_messages + other.dropped_messages,
+            dropped_bits=self.dropped_bits + other.dropped_bits,
             violations=self.violations + other.violations,
         )
         return merged
@@ -55,6 +97,37 @@ class RunMetrics:
         """Charge ``k`` extra rounds (inter-phase coordination steps)."""
         self.rounds += k
 
-    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+    def as_tuple(self) -> Tuple[int, int, int, int, int, int, int]:
         return (self.rounds, self.messages, self.total_bits,
-                self.max_message_bits, len(self.violations))
+                self.max_message_bits, self.dropped_messages,
+                self.dropped_bits, len(self.violations))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (used by the batch engine's disk cache)."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_bits": self.total_bits,
+            "max_message_bits": self.max_message_bits,
+            "dropped_messages": self.dropped_messages,
+            "dropped_bits": self.dropped_bits,
+            "violations": [
+                [v.round_index, v.sender, v.receiver, v.bits, v.budget]
+                for v in self.violations
+            ],
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "RunMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return RunMetrics(
+            rounds=int(doc.get("rounds", 0)),
+            messages=int(doc.get("messages", 0)),
+            total_bits=int(doc.get("total_bits", 0)),
+            max_message_bits=int(doc.get("max_message_bits", 0)),
+            dropped_messages=int(doc.get("dropped_messages", 0)),
+            dropped_bits=int(doc.get("dropped_bits", 0)),
+            violations=[
+                BandwidthViolation(*entry) for entry in doc.get("violations", [])
+            ],
+        )

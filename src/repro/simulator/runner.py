@@ -122,9 +122,15 @@ def run(
                         BandwidthViolation(round_index, v, to, bits, budget)
                     )
                 metrics.record_message(bits)
-                if trace is not None:
-                    trace.record(round_index, "send", v, (to, bits))
-                if not contexts[to].halted:
+                if contexts[to].halted:
+                    # Receiver halted this very round: the message was put
+                    # on the wire (and charged above) but is never read.
+                    metrics.record_drop(bits)
+                    if trace is not None:
+                        trace.record(round_index, "drop", v, (to, bits))
+                else:
+                    if trace is not None:
+                        trace.record(round_index, "send", v, (to, bits))
                     if codec_check:
                         payload = decode_payload(encode_payload(payload))
                     in_flight.setdefault(to, {})[v] = payload

@@ -13,7 +13,7 @@ class TraceEvent:
     """One recorded simulator event."""
 
     round_index: int
-    kind: str           # "send" | "halt" | "round"
+    kind: str           # "send" | "drop" | "halt" | "round"
     node: int
     detail: Any = None
 
@@ -61,9 +61,12 @@ class Trace:
                 break
             events = by_round[r]
             sends = [e for e in events if e.kind == "send"]
+            drops = [e for e in events if e.kind == "drop"]
             halts = [e for e in events if e.kind == "halt"]
             bits = sum(e.detail[1] for e in sends)
             parts = [f"round {r}:", f"{len(sends)} msgs ({bits} bits)"]
+            if drops:
+                parts.append(f"{len(drops)} dropped")
             if halts:
                 ids = ", ".join(str(e.node) for e in halts[:8])
                 more = "..." if len(halts) > 8 else ""

@@ -102,6 +102,29 @@ class TestTraffic:
         t = self._trace()
         assert busiest_round(t).bits == max(rt.bits for rt in bits_per_round(t))
 
+    def test_totals_match_metrics_even_with_drops(self):
+        from repro.analysis import bits_per_round, messages_per_node
+        from repro.graphs import star
+        from repro.simulator import NodeAlgorithm, Trace, run
+
+        class Hub(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.halt("early")
+
+            def on_round(self, ctx, inbox):
+                if ctx.round_index == 1:
+                    ctx.broadcast("ping")  # addressed to the halted hub
+                else:
+                    ctx.halt(len(inbox))
+
+        t = Trace()
+        res = run(star(3), Hub, trace=t)
+        assert res.metrics.dropped_messages == 3
+        # Traffic views count dropped sends too: totals equal the charges.
+        assert sum(rt.bits for rt in bits_per_round(t)) == res.metrics.total_bits
+        assert sum(messages_per_node(t).values()) == res.metrics.messages
+
     def test_busiest_round_empty_trace(self):
         import pytest as _pytest
 

@@ -113,6 +113,27 @@ def test_e12_ranking_variance():
     assert rep.findings["sparsified_always_ok"]
 
 
+def test_e12_batched_matches_serial(tmp_path):
+    kwargs = dict(n_leaves=60, trials=80, seed=122)
+    serial = experiment_e12_ranking_variance(**kwargs)
+    cache = str(tmp_path / "cache")
+    batched = experiment_e12_ranking_variance(**kwargs, n_jobs=2,
+                                              cache_dir=cache)
+    assert batched.rows == serial.rows
+    assert batched.findings == serial.findings
+    # Warm cache: rerun hits only memoized jobs and is still identical.
+    warm = experiment_e12_ranking_variance(**kwargs, n_jobs=2, cache_dir=cache)
+    assert warm.rows == serial.rows
+
+
+def test_e7_batched_matches_serial():
+    kwargs = dict(n=200, degrees=(4, 8), trials=4, seed=77)
+    serial = experiment_e7_ranking(**kwargs)
+    batched = experiment_e7_ranking(**kwargs, n_jobs=3)
+    assert batched.rows == serial.rows
+    assert batched.findings == serial.findings
+
+
 def test_e13_message_complexity():
     from repro.bench import experiment_e13_message_complexity
 

@@ -1,0 +1,91 @@
+"""Regression tests for ExperimentReport JSON fidelity and ``timed``."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import ExperimentReport, timed, to_native
+
+
+class TestNumpyCoercion:
+    def test_to_native_scalars(self):
+        assert to_native(np.int64(3)) == 3
+        assert type(to_native(np.int64(3))) is int
+        assert type(to_native(np.float64(2.5))) is float
+        assert type(to_native(np.bool_(True))) is bool
+
+    def test_to_native_nested(self):
+        doc = {"a": [np.int32(1), (np.float64(2.0),)],
+               "b": {"c": np.bool_(False)},
+               "d": np.array([1.5, 2.5])}
+        native = to_native(doc)
+        assert native == {"a": [1, [2.0]], "b": {"c": False}, "d": [1.5, 2.5]}
+        assert type(native["a"][0]) is int
+
+    def test_add_row_coerces(self):
+        r = ExperimentReport("EX", "numpy rows")
+        r.add_row(n=np.int64(10), slope=np.float64(1.25), ok=np.bool_(True))
+        row = r.rows[0]
+        assert type(row["n"]) is int
+        assert type(row["slope"]) is float
+        assert type(row["ok"]) is bool
+
+    def test_json_round_trip_is_faithful(self):
+        r = ExperimentReport("EX", "round trip")
+        r.add_row(n=np.int64(10), slope=np.float64(0.5))
+        r.findings["grows"] = np.bool_(True)
+        r.findings["slope"] = round(np.float64(1.234567), 3)
+        back = ExperimentReport.from_json(r.to_json())
+        assert back.rows == [{"n": 10, "slope": 0.5}]
+        # The old default=str path turned these into "True" / "1.235".
+        assert back.findings == {"grows": True, "slope": 1.235}
+        assert type(back.findings["grows"]) is bool
+
+    def test_unserialisable_values_fail_loudly(self):
+        r = ExperimentReport("EX", "no silent stringification")
+        r.findings["bad"] = object()
+        with pytest.raises(TypeError):
+            r.to_json()
+
+    def test_add_finding_coerces(self):
+        r = ExperimentReport("EX", "findings")
+        r.add_finding("count", np.int64(7))
+        assert type(r.findings["count"]) is int
+        json.dumps(r.findings)
+
+
+class TestTimed:
+    def test_basic_measurement(self):
+        with timed() as t:
+            pass
+        assert t.seconds >= 0.0
+
+    def test_records_elapsed_on_exception(self):
+        t = timed()
+        with pytest.raises(ValueError):
+            with t:
+                raise ValueError("body failed")
+        assert t.seconds > 0.0
+
+    def test_reentry_measures_each_block(self):
+        t = timed()
+        with t:
+            pass
+        assert t.seconds >= 0.0
+        with t:
+            sum(range(10_000))
+        # The second block was re-measured from its own start time, so the
+        # result is a sane per-block duration, not time since block one.
+        assert 0.0 < t.seconds < 60.0
+        assert not t._starts  # no leaked start times
+
+    def test_nesting_is_safe(self):
+        t = timed()
+        with t:
+            with t:
+                pass
+            inner = t.seconds
+        outer = t.seconds
+        # Inner block finished first and was not clobbered by the outer start.
+        assert outer >= inner >= 0.0

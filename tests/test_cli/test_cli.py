@@ -132,6 +132,36 @@ class TestCommands:
         assert rc == 0
         assert "Theorem 10" in capsys.readouterr().out
 
+    def test_experiments_with_jobs_flag(self, capsys):
+        rc = main(["experiments", "E5", "--jobs", "2"])
+        assert rc == 0
+        assert "Theorem 2" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_sweep_json(self, capsys):
+        rc = main(["sweep", "--algorithm", "ranking", "--graph", "gnp:50,0.08",
+                   "--weights", "uniform:1,20", "--seeds", "5", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["jobs"] == 5
+        assert payload["ok"] == 5
+        assert payload["failed"] == 0
+        assert payload["mean_rounds"] >= 1.0
+
+    def test_sweep_cold_then_warm_cache(self, capsys, tmp_path):
+        argv = ["sweep", "--algorithm", "ranking", "--graph", "cycle:20",
+                "--weights", "unit", "--seeds", "4", "--jobs", "2",
+                "--cache", str(tmp_path / "cache"), "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["cached"] == 0
+        assert main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["cached"] == 4
+        assert warm["total_bits"] == cold["total_bits"]
+        assert warm["mean_weight"] == cold["mean_weight"]
+
 
 class TestVerifyCommand:
     def test_verify_small_uses_exact(self, capsys):

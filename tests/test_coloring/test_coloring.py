@@ -168,6 +168,20 @@ class TestPipelinedColorClass:
         if fast.metadata["num_colors"] >= 4:
             assert fast.rounds < naive.rounds
 
+    def test_tree_build_overlaps_pipeline(self):
+        """The tree build and the pipelined aggregation run concurrently,
+        so total rounds are max(tree, pipeline) + flood — not the sum."""
+        from repro.coloring import pipelined_color_class_maxis
+
+        g = uniform_weights(grid_2d(2, 30), 1, 5, seed=26)
+        colors = greedy_coloring(g)
+        res = pipelined_color_class_maxis(g, colors)
+        md = res.metadata
+        expected = max(md["tree_rounds"], md["pipeline_rounds"]) + md["flood_rounds"]
+        assert res.rounds == expected
+        assert res.rounds < (md["tree_rounds"] + md["pipeline_rounds"]
+                             + md["flood_rounds"])
+
     def test_pipeline_rounds_near_depth_plus_colors(self):
         from repro.coloring import pipelined_color_class_maxis
 

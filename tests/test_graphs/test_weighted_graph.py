@@ -159,3 +159,14 @@ class TestDerivedGraphs:
         assert path(3) != path(3).with_weights({0: 2, 1: 1, 2: 1})
         assert path(3) != complete(3)
         assert (path(3) == 42) is False
+
+    def test_fingerprint_tracks_equality(self):
+        assert path(3).fingerprint() == path(3).fingerprint()
+        assert len(path(3).fingerprint()) == 64  # hex sha256
+        assert (path(3).fingerprint()
+                != path(3).with_weights({0: 2, 1: 1, 2: 1}).fingerprint())
+        assert path(3).fingerprint() != complete(3).fingerprint()
+        # Edgeless graphs with different node sets must differ too.
+        from repro.graphs import empty
+
+        assert empty(2).fingerprint() != empty(3).fingerprint()

@@ -1,0 +1,158 @@
+"""Tests for the batch-execution engine (simulator/batch.py)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core import assert_independent
+from repro.graphs import gnp, star, uniform_weights
+from repro.simulator import (
+    BatchJob,
+    batch_run,
+    derive_job_seeds,
+)
+from repro.simulator.batch import algorithm_registry, job_cache_key
+from repro.simulator.models import BandwidthPolicy
+
+
+def _fail_on_even_seed(graph, seed=None, **params):
+    """Module-level (hence picklable) algorithm that fails half the time."""
+    if seed % 2 == 0:
+        raise RuntimeError(f"planted failure for seed {seed}")
+    from repro.core import boppana_is
+
+    return boppana_is(graph, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_weights(gnp(50, 0.08, seed=3), 1, 20, seed=4)
+
+
+class TestSeedDerivation:
+    def test_deterministic_and_distinct(self):
+        a = derive_job_seeds(7, 16)
+        assert a == derive_job_seeds(7, 16)
+        assert len(set(a)) == 16
+
+    def test_prefix_stable(self):
+        # Job i's seed does not depend on how many jobs follow it.
+        assert derive_job_seeds(7, 16)[:4] == derive_job_seeds(7, 4)
+
+    def test_explicit_seed_wins(self, graph):
+        res = batch_run([BatchJob(graph, "ranking", seed=123)], master_seed=0)
+        assert res.outcomes[0].seed == 123
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, graph):
+        jobs = [BatchJob(graph, "ranking") for _ in range(8)]
+        serial = batch_run(jobs, master_seed=42, n_jobs=1)
+        parallel = batch_run(jobs, master_seed=42, n_jobs=4)
+        assert serial.signature() == parallel.signature()
+        assert serial.total_bits == parallel.total_bits
+        assert serial.mean_rounds == parallel.mean_rounds
+
+    def test_outputs_are_valid_solutions(self, graph):
+        res = batch_run([BatchJob(graph, "ranking") for _ in range(4)],
+                        master_seed=1, n_jobs=2)
+        for outcome in res.outcomes:
+            assert outcome.ok
+            assert_independent(graph, set(outcome.independent_set))
+            assert outcome.weight == pytest.approx(
+                graph.total_weight(outcome.independent_set)
+            )
+
+    def test_master_seed_changes_results(self, graph):
+        jobs = [BatchJob(graph, "ranking") for _ in range(6)]
+        a = batch_run(jobs, master_seed=1)
+        b = batch_run(jobs, master_seed=2)
+        assert [o.seed for o in a.outcomes] != [o.seed for o in b.outcomes]
+
+
+class TestFailureCapture:
+    def test_one_crash_does_not_kill_the_sweep(self, graph):
+        jobs = [BatchJob(graph, _fail_on_even_seed, seed=s, label=f"s{s}")
+                for s in (1, 2, 3, 4)]
+        res = batch_run(jobs, n_jobs=2)
+        assert res.jobs == 4
+        assert len(res.failures) == 2
+        assert len(res.completed) == 2
+        failed = {o.seed for o in res.failures}
+        assert failed == {2, 4}
+        assert "planted failure" in res.failures[0].error
+        assert res.failures[0].label in ("s2", "s4")
+
+    def test_unknown_algorithm_is_captured(self, graph):
+        res = batch_run([BatchJob(graph, "no-such-algorithm")])
+        assert not res.outcomes[0].ok
+        assert "no-such-algorithm" in res.outcomes[0].error
+
+    def test_summary_lists_errors(self, graph):
+        res = batch_run([BatchJob(graph, _fail_on_even_seed, seed=2)])
+        summary = res.summary()
+        assert summary["failed"] == 1
+        assert summary["errors"][0]["seed"] == 2
+        json.dumps(summary)  # must be JSON-clean for the CLI
+
+
+class TestCache:
+    def test_warm_cache_skips_completed_jobs(self, graph, tmp_path):
+        jobs = [BatchJob(graph, "ranking") for _ in range(5)]
+        cache = str(tmp_path / "cache")
+        cold = batch_run(jobs, master_seed=9, cache_dir=cache)
+        assert cold.cached_jobs == 0
+        warm = batch_run(jobs, master_seed=9, cache_dir=cache)
+        assert warm.cached_jobs == 5
+        assert warm.signature() == cold.signature()
+
+    def test_cache_key_separates_seeds_and_policies(self, graph):
+        job = BatchJob(graph, "ranking")
+        assert job_cache_key(job, 1, None) != job_cache_key(job, 2, None)
+        assert (job_cache_key(job, 1, None)
+                != job_cache_key(job, 1, BandwidthPolicy.local()))
+
+    def test_cache_key_separates_graphs(self, tmp_path):
+        a = uniform_weights(star(6), 1, 5, seed=1)
+        b = a.with_weights({v: a.weight(v) + 1 for v in a.nodes})
+        job_a, job_b = BatchJob(a, "ranking"), BatchJob(b, "ranking")
+        assert job_cache_key(job_a, 3, None) != job_cache_key(job_b, 3, None)
+
+    def test_failures_are_not_cached(self, graph, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = [BatchJob(graph, _fail_on_even_seed, seed=2)]
+        batch_run(jobs, cache_dir=cache)
+        rerun = batch_run(jobs, cache_dir=cache)
+        assert rerun.cached_jobs == 0  # failed job was recomputed
+        assert not rerun.outcomes[0].ok
+
+    def test_corrupt_entry_is_recomputed(self, graph, tmp_path):
+        cache = str(tmp_path / "cache")
+        jobs = [BatchJob(graph, "ranking", seed=5)]
+        first = batch_run(jobs, cache_dir=cache)
+        entries = os.listdir(cache)
+        assert len(entries) == 1
+        with open(os.path.join(cache, entries[0]), "w") as fh:
+            fh.write("{ not json")
+        again = batch_run(jobs, cache_dir=cache)
+        assert again.cached_jobs == 0
+        assert again.signature() == first.signature()
+
+
+class TestAggregates:
+    def test_result_statistics(self, graph):
+        res = batch_run([BatchJob(graph, "ranking") for _ in range(3)],
+                        master_seed=5)
+        rounds = [o.metrics.rounds for o in res.outcomes]
+        assert res.mean_rounds == pytest.approx(sum(rounds) / 3)
+        assert res.max_rounds == max(rounds)
+        assert res.total_bits == sum(o.metrics.total_bits for o in res.outcomes)
+        merged = res.metrics_parallel()
+        assert merged.rounds == max(rounds)      # sweep runs side by side
+        assert merged.total_bits == res.total_bits
+
+    def test_registry_covers_cli_algorithms(self):
+        from repro.cli import _algorithms
+
+        assert set(algorithm_registry()) == set(_algorithms())

@@ -47,11 +47,48 @@ class TestRunMetrics:
         # merge does not mutate inputs
         assert a.rounds == 3 and b.rounds == 2
 
+    def test_merge_parallel_takes_max_rounds(self):
+        a = RunMetrics(rounds=7, messages=5, total_bits=50, max_message_bits=20)
+        b = RunMetrics(rounds=2, messages=1, total_bits=9, max_message_bits=9,
+                       violations=[BandwidthViolation(0, 1, 2, 99, 10)])
+        c = a.merge_parallel(b)
+        assert c.rounds == 7          # concurrent phases: slowest dominates
+        assert c.messages == 6        # traffic still adds
+        assert c.total_bits == 59
+        assert c.max_message_bits == 20
+        assert len(c.violations) == 1
+        assert a.rounds == 7 and b.rounds == 2  # inputs unchanged
+
+    def test_record_drop_reconciles_bits(self):
+        m = RunMetrics()
+        m.record_message(10)
+        m.record_message(30)
+        m.record_drop(30)
+        assert m.dropped_messages == 1
+        assert m.dropped_bits == 30
+        assert m.total_bits == 40           # drops stay charged
+        assert m.delivered_bits == 10       # charged == delivered + dropped
+
+    def test_merge_accumulates_drops(self):
+        a = RunMetrics(rounds=1, dropped_messages=2, dropped_bits=16)
+        b = RunMetrics(rounds=1, dropped_messages=1, dropped_bits=8)
+        assert a.merge(b).dropped_messages == 3
+        assert a.merge(b).dropped_bits == 24
+        assert a.merge_parallel(b).dropped_bits == 24
+
     def test_add_rounds(self):
         m = RunMetrics(rounds=1)
         m.add_rounds(4)
         assert m.rounds == 5
 
     def test_as_tuple(self):
-        m = RunMetrics(rounds=1, messages=2, total_bits=3, max_message_bits=4)
-        assert m.as_tuple() == (1, 2, 3, 4, 0)
+        m = RunMetrics(rounds=1, messages=2, total_bits=3, max_message_bits=4,
+                       dropped_messages=1, dropped_bits=2)
+        assert m.as_tuple() == (1, 2, 3, 4, 1, 2, 0)
+
+    def test_dict_round_trip(self):
+        m = RunMetrics(rounds=2, messages=3, total_bits=30, max_message_bits=16,
+                       dropped_messages=1, dropped_bits=8,
+                       violations=[BandwidthViolation(1, 0, 2, 99, 10)])
+        back = RunMetrics.from_dict(m.to_dict())
+        assert back == m

@@ -213,6 +213,47 @@ class TestDelivery:
         assert res.outputs[0] == "early"
         assert all(res.outputs[v] == 0 for v in (1, 2, 3))
 
+    def test_drops_are_counted_and_traced(self):
+        class Hub(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.halt("early")
+
+            def on_round(self, ctx, inbox):
+                if ctx.round_index == 1:
+                    ctx.broadcast("ping")
+                else:
+                    ctx.halt(len(inbox))
+
+        trace = Trace()
+        res = run(star(3), Hub, trace=trace)
+        m = res.metrics
+        # Three leaves each ping the already-halted hub exactly once.
+        assert m.dropped_messages == 3
+        assert m.messages == 3                      # drops stay charged
+        assert m.dropped_bits == m.total_bits
+        assert m.delivered_bits == 0                # charged == delivered + dropped
+        drops = trace.events_of("drop")
+        assert len(drops) == 3
+        assert all(e.detail[0] == 0 for e in drops)  # all addressed to the hub
+        assert trace.events_of("send") == []
+
+    def test_delivered_messages_are_not_drops(self):
+        class LastWords(NodeAlgorithm):
+            def on_start(self, ctx):
+                if ctx.node_id == 0:
+                    ctx.broadcast("bye")
+                    ctx.halt(None)
+
+            def on_round(self, ctx, inbox):
+                ctx.halt(list(inbox.values()))
+
+        res = run(path(2), LastWords)
+        # Node 0 halts in round 0 but its message still arrives in round 1:
+        # delivery happened, so nothing is dropped.
+        assert res.metrics.dropped_messages == 0
+        assert res.metrics.delivered_bits == res.metrics.total_bits
+
     def test_halting_round_messages_still_delivered(self):
         class LastWords(NodeAlgorithm):
             def on_start(self, ctx):
