@@ -15,26 +15,13 @@ bench:
 
 # Tiny batched sweep exercising the parallel path on every CI run:
 # a cold run must compute all jobs, the warm rerun must serve every one
-# of them from the cache with identical aggregate traffic.
-BENCH_SMOKE_CACHE := .bench-smoke-cache
-BENCH_SMOKE_ARGS  := sweep --algorithm ranking --graph gnp:60,0.08 \
-	--weights uniform:1,20 --seeds 6 --jobs 2 \
-	--cache $(BENCH_SMOKE_CACHE) --json
-
+# of them from the cache with identical aggregate traffic, and the
+# --emit-metrics JSONL must round-trip through the sweep aggregator.
+# All scratch state lives in a tempdir cleaned up even on failure —
+# see benchmarks/smoke_check.py.
 bench-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 bench-smoke:
-	rm -rf $(BENCH_SMOKE_CACHE)
-	$(PYTHON) -m repro $(BENCH_SMOKE_ARGS) > .bench-smoke-cold.json
-	$(PYTHON) -m repro $(BENCH_SMOKE_ARGS) > .bench-smoke-warm.json
-	$(PYTHON) -c "import json; \
-	cold = json.load(open('.bench-smoke-cold.json')); \
-	warm = json.load(open('.bench-smoke-warm.json')); \
-	assert cold['failed'] == warm['failed'] == 0, (cold, warm); \
-	assert cold['cached'] == 0, cold; \
-	assert warm['cached'] == warm['jobs'], warm; \
-	assert warm['total_bits'] == cold['total_bits'], (cold, warm); \
-	print('bench-smoke ok:', warm['jobs'], 'jobs, warm run fully cached')"
-	rm -rf $(BENCH_SMOKE_CACHE) .bench-smoke-cold.json .bench-smoke-warm.json
+	$(PYTHON) benchmarks/smoke_check.py
 
 # Regenerate every experiment table (E1..E13) to stdout.
 experiments:

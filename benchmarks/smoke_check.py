@@ -1,0 +1,83 @@
+"""Failure-safe `make bench-smoke` driver.
+
+Runs a tiny batched sweep twice through the real CLI — a cold run that
+must compute every job and a warm rerun that must serve every job from
+the on-disk cache with identical aggregate traffic — then round-trips
+the ``--emit-metrics`` JSONL through the sweep aggregator.  All scratch
+state (cache directory, JSON captures, metrics stream) lives in a
+temporary directory and is removed in a ``finally`` block, so an
+assertion failure cannot leave ``.bench-smoke-*`` litter behind for the
+next run to trip over.
+
+Run as ``python benchmarks/smoke_check.py`` (the Makefile sets
+``PYTHONPATH=src``); exits non-zero with the offending payloads printed
+on any violated invariant.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SWEEP_ARGS = [
+    "sweep",
+    "--algorithm", "ranking",
+    "--graph", "gnp:60,0.08",
+    "--weights", "uniform:1,20",
+    "--seeds", "6",
+    "--jobs", "2",
+    "--json",
+]
+
+
+def _run_sweep(cache_dir: str, emit_path: str) -> dict:
+    cmd = [sys.executable, "-m", "repro", *SWEEP_ARGS,
+           "--cache", cache_dir, "--emit-metrics", emit_path]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise AssertionError(
+            f"sweep failed (rc={proc.returncode}):\n{proc.stdout}\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout)
+
+
+def main() -> int:
+    scratch = tempfile.mkdtemp(prefix="bench-smoke-")
+    try:
+        cache = os.path.join(scratch, "cache")
+        cold_metrics = os.path.join(scratch, "cold.jsonl")
+        warm_metrics = os.path.join(scratch, "warm.jsonl")
+
+        cold = _run_sweep(cache, cold_metrics)
+        warm = _run_sweep(cache, warm_metrics)
+
+        assert cold["failed"] == warm["failed"] == 0, (cold, warm)
+        assert cold["cached"] == 0, cold
+        assert warm["cached"] == warm["jobs"], warm
+        assert warm["total_bits"] == cold["total_bits"], (cold, warm)
+
+        # The per-job JSONL stream must aggregate back into the same cell
+        # shape the summary reports (PYTHONPATH=src puts repro in reach).
+        from repro.obs import aggregate_jsonl
+
+        for path, summary in ((cold_metrics, cold), (warm_metrics, warm)):
+            cells = aggregate_jsonl(path)
+            assert len(cells) == 1, cells
+            (cell,) = cells.values()
+            assert cell["jobs"] == summary["jobs"], (cell, summary)
+            assert cell["failed"] == 0, cell
+            assert cell["p50_rounds"] <= cell["p95_rounds"], cell
+
+        print(f"bench-smoke ok: {warm['jobs']} jobs, warm run fully cached, "
+              f"emit-metrics round-trip aggregated")
+        return 0
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

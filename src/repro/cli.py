@@ -7,6 +7,8 @@ Subcommands::
     python -m repro sweep --algorithm ranking --graph gnp:100,0.05 \\
         --seeds 32 --jobs 4 --cache .sweep-cache --json
     python -m repro experiments E1 E5 E9 --jobs 4
+    python -m repro run --algorithm thm1 --record trace.jsonl --phases
+    python -m repro inspect trace.jsonl --format chrome-trace
     python -m repro info --graph grid:10,20 --weights integers:1000
 
 Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
@@ -134,7 +136,33 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = parse_weight_spec(args.weights, graph, None if args.seed is None
                               else args.seed + 1)
     algorithms = _algorithms()
-    result = algorithms[args.algorithm](graph, args.eps, args.seed)
+
+    if args.record is not None:
+        from repro.obs import JsonlStreamSink
+        from repro.simulator.instrument import install_sink
+
+        with JsonlStreamSink(args.record) as sink:
+            sink.write({
+                "type": "meta",
+                "algorithm": args.algorithm,
+                "graph_spec": args.graph,
+                "weights_spec": args.weights,
+                "eps": args.eps,
+                "seed": args.seed,
+                "n": graph.n,
+                "m": graph.m,
+            })
+            with install_sink(sink):
+                result = algorithms[args.algorithm](graph, args.eps, args.seed)
+            sink.write({
+                "type": "result",
+                "algorithm": args.algorithm,
+                "independent_set_size": result.size,
+                "independent_set_weight": result.weight(graph),
+                "metrics": result.metrics.to_dict(),
+            })
+    else:
+        result = algorithms[args.algorithm](graph, args.eps, args.seed)
 
     from repro.core import assert_independent
 
@@ -156,6 +184,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         for key, value in payload.items():
             print(f"{key}: {value}")
+    if args.phases:
+        from repro.obs import render_phase_table
+
+        if result.metrics.span is None:
+            print("(no span tree recorded: algorithm is not instrumented)")
+        else:
+            print()
+            print(render_phase_table(result.metrics.span))
     return 0
 
 
@@ -171,24 +207,33 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         raise SystemExit(
             f"unknown experiments {unknown}; known: {sorted(ALL_EXPERIMENTS)}"
         )
+    from contextlib import ExitStack
+
     from repro.bench.deep import deep_kwargs
 
-    for name in names:
-        kwargs = deep_kwargs(name) if args.deep else {}
-        fn = ALL_EXPERIMENTS[name]
-        # Seed-sweep experiments accept batch-engine knobs; the rest don't.
-        accepted = inspect.signature(fn).parameters
-        if "n_jobs" in accepted:
-            kwargs.setdefault("n_jobs", args.jobs)
-        if "cache_dir" in accepted and args.cache is not None:
-            kwargs.setdefault("cache_dir", args.cache)
-        report = fn(**kwargs)
-        print(report.render())
-        print()
-        if args.json_dir:
-            out = Path(args.json_dir)
-            out.mkdir(parents=True, exist_ok=True)
-            (out / f"{name}.json").write_text(report.to_json())
+    with ExitStack() as stack:
+        if args.emit_metrics is not None:
+            from repro.obs import JsonlStreamSink
+            from repro.simulator.instrument import install_outcome_emitter
+
+            sink = stack.enter_context(JsonlStreamSink(args.emit_metrics))
+            stack.enter_context(install_outcome_emitter(sink.write))
+        for name in names:
+            kwargs = deep_kwargs(name) if args.deep else {}
+            fn = ALL_EXPERIMENTS[name]
+            # Seed-sweep experiments accept batch-engine knobs; the rest don't.
+            accepted = inspect.signature(fn).parameters
+            if "n_jobs" in accepted:
+                kwargs.setdefault("n_jobs", args.jobs)
+            if "cache_dir" in accepted and args.cache is not None:
+                kwargs.setdefault("cache_dir", args.cache)
+            report = fn(**kwargs)
+            print(report.render())
+            print()
+            if args.json_dir:
+                out = Path(args.json_dir)
+                out.mkdir(parents=True, exist_ok=True)
+                (out / f"{name}.json").write_text(report.to_json())
     return 0
 
 
@@ -206,8 +251,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     jobs = [BatchJob(graph, args.algorithm, params=dict(params))
             for _ in range(args.seeds)]
     try:
-        result = batch_run(jobs, master_seed=args.seed, n_jobs=args.jobs,
-                           cache_dir=args.cache)
+        if args.emit_metrics is not None:
+            from repro.obs import JsonlStreamSink
+            from repro.simulator.instrument import install_outcome_emitter
+
+            with JsonlStreamSink(args.emit_metrics) as sink:
+                with install_outcome_emitter(sink.write):
+                    result = batch_run(jobs, master_seed=args.seed,
+                                       n_jobs=args.jobs, cache_dir=args.cache)
+        else:
+            result = batch_run(jobs, master_seed=args.seed, n_jobs=args.jobs,
+                               cache_dir=args.cache)
     except ValueError as exc:
         raise SystemExit(str(exc))
     payload = result.summary()
@@ -221,6 +275,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for key, value in payload.items():
             print(f"{key}: {value}")
     return 1 if result.failures else 0
+
+
+def _find_span(records: List[dict]) -> Optional[dict]:
+    """Latest span tree in a recording: a final ``result`` record wins,
+    otherwise the last per-job record that carried one."""
+    span = None
+    for doc in records:
+        if doc.get("type") in ("result", "job"):
+            candidate = (doc.get("metrics") or {}).get("span")
+            if candidate is not None:
+                span = candidate
+    return span
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    """Render a recorded JSONL trace (``run --record`` / ``--emit-metrics``)."""
+    from repro.obs import (
+        aggregate_jobs,
+        chrome_trace,
+        read_jsonl,
+        render_cells,
+        render_phase_table,
+        render_round_timeline,
+        rows_from_events,
+    )
+    from repro.simulator.metrics import SpanNode
+
+    records = read_jsonl(args.path)
+    if not records:
+        raise SystemExit(f"{args.path}: no records")
+
+    if args.format == "timeline":
+        rows = rows_from_events(records)
+        if not rows:
+            raise SystemExit(
+                f"{args.path}: no per-round events (recorded without a sink?)"
+            )
+        print(render_round_timeline(rows, max_rounds=args.max_rounds))
+        return 0
+
+    if args.format in ("phases", "chrome-trace"):
+        span_doc = _find_span(records)
+        if span_doc is None:
+            raise SystemExit(
+                f"{args.path}: no span tree recorded "
+                "(algorithm not instrumented, or metrics record missing)"
+            )
+        span = SpanNode.from_dict(span_doc)
+        if args.format == "phases":
+            print(render_phase_table(span))
+        else:
+            print(json.dumps(chrome_trace(span), indent=2))
+        return 0
+
+    # format == "sweep": aggregate per-job records into p50/p95 cells.
+    job_docs = [doc for doc in records if doc.get("type") == "job"]
+    if not job_docs:
+        raise SystemExit(f"{args.path}: no per-job records to aggregate")
+    cells = aggregate_jobs(job_docs)
+    if args.json:
+        print(json.dumps([cells[key] for key in sorted(cells)], indent=2))
+    else:
+        print(render_cells(cells))
+    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -304,6 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", action="store_true", help="JSON output")
     p_run.add_argument("--show-set", action="store_true",
                        help="include the chosen node ids")
+    p_run.add_argument("--record", default=None, metavar="PATH",
+                       help="stream simulator events + metrics to a JSONL "
+                            "file (inspect with `repro inspect`)")
+    p_run.add_argument("--phases", action="store_true",
+                       help="print the per-phase span table after the run")
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiments", help="run E1–E13 experiment reports")
@@ -316,6 +439,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for seed-sweep experiments")
     p_exp.add_argument("--cache", default=None, metavar="DIR",
                        help="on-disk result cache for sweep jobs")
+    p_exp.add_argument("--emit-metrics", default=None, metavar="PATH",
+                       help="append one JSONL record per sweep job")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_sweep = sub.add_parser(
@@ -335,7 +460,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--cache", default=None, metavar="DIR",
                          help="on-disk result cache")
     p_sweep.add_argument("--json", action="store_true", help="JSON output")
+    p_sweep.add_argument("--emit-metrics", default=None, metavar="PATH",
+                         help="write one JSONL record per job (aggregate "
+                              "with `repro inspect --format sweep`)")
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="render a recorded JSONL trace or metrics stream"
+    )
+    p_inspect.add_argument("path", help="JSONL file from `run --record` or "
+                                        "`sweep --emit-metrics`")
+    p_inspect.add_argument("--format",
+                           choices=["timeline", "phases", "chrome-trace",
+                                    "sweep"],
+                           default="phases",
+                           help="timeline: per-round traffic; phases: span "
+                                "table; chrome-trace: chrome://tracing JSON; "
+                                "sweep: p50/p95 cells from per-job records")
+    p_inspect.add_argument("--max-rounds", type=int, default=100,
+                           help="timeline row cap")
+    p_inspect.add_argument("--json", action="store_true",
+                           help="JSON output (sweep format only)")
+    p_inspect.set_defaults(func=_cmd_inspect)
 
     p_verify = sub.add_parser(
         "verify", help="run an algorithm and certify its guarantee"

@@ -21,6 +21,7 @@ from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence
 
 from repro.coloring.greedy import verify_coloring
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs.spans import span
 from repro.primitives.bfs import bfs_tree, flood_value
 from repro.results import AlgorithmResult
 from repro.simulator.algorithm import NodeAlgorithm
@@ -115,32 +116,37 @@ def pipelined_color_class_maxis(
         root = min(graph.nodes)
     num_colors = max(colors[v] for v in graph.nodes) + 1
 
-    tree = bfs_tree(graph, root, policy=policy, n_bound=n_bound)
-    children: Dict[int, List[int]] = {}
-    for v, p in tree.parent.items():
-        children.setdefault(p, []).append(v)
+    with span("color-class-pipelined") as sp:
+        tree = bfs_tree(graph, root, policy=policy, n_bound=n_bound)
+        children: Dict[int, List[int]] = {}
+        for v, p in tree.parent.items():
+            children.setdefault(p, []).append(v)
+        sp.add(tree.metrics, name="bfs-tree")
 
-    bound = Network.of(graph, n_bound).n_bound
-    pipeline = run(
-        Network.of(graph, bound),
-        lambda: PipelinedClassSums(tree.parent, children, colors, num_colors),
-        policy=policy,
-        seed=0,
-    )
-    sums = pipeline.outputs[root]
-    best = min(c for c in range(num_colors) if sums[c] == max(sums))
-    _, flood_metrics = flood_value(graph, root, best, policy=policy, n_bound=bound)
+        bound = Network.of(graph, n_bound).n_bound
+        pipeline = run(
+            Network.of(graph, bound),
+            lambda: PipelinedClassSums(tree.parent, children, colors, num_colors),
+            policy=policy,
+            seed=0,
+        )
+        # The BFS-tree build overlaps the pipelined aggregation in the
+        # standard schedule (leaves start reporting as soon as their
+        # subtree is wired), which is what makes the protocol Θ(D + C)
+        # instead of Θ(2D + C): compose those two phases in parallel.
+        sp.add_parallel(pipeline.metrics, name="pipelined-sums")
 
-    # The BFS-tree build overlaps the pipelined aggregation in the standard
-    # schedule (leaves start reporting as soon as their subtree is wired),
-    # which is what makes the protocol Θ(D + C) instead of Θ(2D + C):
-    # compose those two phases in parallel.  The announcement flood only
-    # starts after the root knows the winner, so it stays sequential.
-    metrics = tree.metrics.merge_parallel(pipeline.metrics).merge(flood_metrics)
+        sums = pipeline.outputs[root]
+        best = min(c for c in range(num_colors) if sums[c] == max(sums))
+        # The announcement flood only starts after the root knows the
+        # winner, so it stays sequential.
+        _, flood_metrics = flood_value(graph, root, best, policy=policy,
+                                       n_bound=bound)
+        sp.add(flood_metrics, name="announce-flood")
     chosen = frozenset(v for v in graph.nodes if colors[v] == best)
     return AlgorithmResult(
         independent_set=chosen,
-        metrics=metrics,
+        metrics=sp.metrics(),
         metadata={
             "algorithm": "color-class-pipelined",
             "num_colors": num_colors,

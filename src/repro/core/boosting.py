@@ -27,8 +27,8 @@ from repro.core.local_ratio import (
     stack_value,
 )
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs.spans import span
 from repro.results import AlgorithmResult
-from repro.simulator.metrics import RunMetrics
 
 __all__ = ["InnerApprox", "boost", "phases_for"]
 
@@ -83,44 +83,49 @@ def boost(
     )
 
     weights: Dict[int, float] = graph.weights
-    metrics = RunMetrics()
     stack: List[StackFrame] = []
     phase_log: List[Dict[str, Any]] = []
 
-    for i in range(t):
-        positive = [v for v, w in weights.items() if w > 0]
-        if not positive:
-            break
-        if adaptive and sum(weights[v] for v in positive) <= stop_threshold:
-            break
-        residual_graph = graph.induced_subgraph(positive).with_weights(
-            {v: weights[v] for v in positive}
-        )
-        result = inner(residual_graph, seed=phase_seeds[i])
-        metrics = metrics.merge(result.metrics)
+    with span("boost") as sp:
+        for i in range(t):
+            positive = [v for v, w in weights.items() if w > 0]
+            if not positive:
+                break
+            if adaptive and sum(weights[v] for v in positive) <= stop_threshold:
+                break
+            residual_graph = graph.induced_subgraph(positive).with_weights(
+                {v: weights[v] for v in positive}
+            )
+            with span(f"push[{i}]") as ph:
+                result = inner(residual_graph, seed=phase_seeds[i])
+                ph.add(result.metrics)
+                weights, frame = apply_reduction(
+                    graph, weights, result.independent_set
+                )
+                weights = clip_nonnegative(weights)
+                stack.append(frame)
+                # Members of I_i broadcast their pushed weight.
+                ph.add_rounds(1, name="reduce-broadcast")
+            sp.add(ph.metrics())
 
-        weights, frame = apply_reduction(graph, weights, result.independent_set)
-        weights = clip_nonnegative(weights)
-        stack.append(frame)
-        metrics.add_rounds(1)  # members of I_i broadcast their pushed weight
+            residual_total = residual_graph.total_weight()
+            phase_log.append({
+                "phase": i,
+                "active_nodes": residual_graph.n,
+                "active_weight": residual_total,
+                "pushed_nodes": len(frame.independent_set),
+                "pushed_value": frame.value,
+                "inner_fraction": (frame.value / residual_total) if residual_total > 0 else 1.0,
+                "inner_rounds": result.rounds,
+            })
 
-        residual_total = residual_graph.total_weight()
-        phase_log.append({
-            "phase": i,
-            "active_nodes": residual_graph.n,
-            "active_weight": residual_total,
-            "pushed_nodes": len(frame.independent_set),
-            "pushed_value": frame.value,
-            "inner_fraction": (frame.value / residual_total) if residual_total > 0 else 1.0,
-            "inner_rounds": result.rounds,
-        })
-
-    independent_set = pop_stage(graph, stack)
-    metrics.add_rounds(len(stack))  # one conflict-announcement round per pop
+        independent_set = pop_stage(graph, stack)
+        # One conflict-announcement round per pop phase.
+        sp.add_rounds(len(stack), name="pop")
 
     return AlgorithmResult(
         independent_set=independent_set,
-        metrics=metrics,
+        metrics=sp.metrics(),
         metadata={
             "phases_requested": t,
             "phases_executed": len(stack),

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mis.interface import MISBlackBox, get_mis_blackbox
+from repro.obs.spans import span
 from repro.results import AlgorithmResult
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.context import NodeContext
@@ -82,26 +83,27 @@ def good_nodes_approx(
     seed_flags, seed_mis = ss.spawn(2)
 
     network = Network.of(graph, n_bound)
-    flag_run = run(network, GoodNodesProtocol, policy=policy, seed=seed_flags)
-    good = frozenset(v for v, is_good in flag_run.outputs.items() if is_good)
+    with span("good-nodes") as sp:
+        flag_run = run(network, GoodNodesProtocol, policy=policy, seed=seed_flags)
+        good = frozenset(v for v, is_good in flag_run.outputs.items() if is_good)
+        sp.add(flag_run.metrics, name="flag-exchange")
+        # One extra round: good nodes announce their status so each learns
+        # its good neighbours before the MIS starts.
+        sp.add_rounds(1, name="announce-good")
 
-    # One extra round: good nodes announce their status so each learns its
-    # good neighbours before the MIS starts.
-    flag_run.metrics.add_rounds(1)
-
-    subgraph = graph.induced_subgraph(good)
-    blackbox = get_mis_blackbox(mis)
-    mis_result = blackbox(
-        subgraph,
-        seed=seed_mis,
-        policy=policy,
-        n_bound=network.n_bound,
-        max_rounds=max_rounds,
-    )
-    metrics = flag_run.metrics.merge(mis_result.metrics)
+        subgraph = graph.induced_subgraph(good)
+        blackbox = get_mis_blackbox(mis)
+        mis_result = blackbox(
+            subgraph,
+            seed=seed_mis,
+            policy=policy,
+            n_bound=network.n_bound,
+            max_rounds=max_rounds,
+        )
+        sp.add(mis_result.metrics)
     return AlgorithmResult(
         independent_set=mis_result.independent_set,
-        metrics=metrics,
+        metrics=sp.metrics(),
         metadata={
             "good_nodes": len(good),
             "mis_rounds": mis_result.rounds,

@@ -30,6 +30,7 @@ import numpy as np
 from repro.core.good_nodes import good_nodes_approx
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mis.interface import MISBlackBox
+from repro.obs.spans import span
 from repro.results import AlgorithmResult
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.context import NodeContext
@@ -172,31 +173,33 @@ def sparsified_approx(
     ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     seed_sample, seed_inner = ss.spawn(2)
 
-    outcome = sample_subgraph(
-        graph,
-        lamb=lamb,
-        uniform_only=uniform_only,
-        seed=seed_sample,
-        policy=policy,
-        n_bound=n_bound,
-    )
-    h = outcome.subgraph
-    # Membership flags travel one extra round so each H-node knows its
-    # H-neighbours before Theorem 8 starts on the subgraph.
-    outcome.metrics.add_rounds(1)
+    with span("sparsified") as sp:
+        outcome = sample_subgraph(
+            graph,
+            lamb=lamb,
+            uniform_only=uniform_only,
+            seed=seed_sample,
+            policy=policy,
+            n_bound=n_bound,
+        )
+        h = outcome.subgraph
+        sp.add(outcome.metrics, name="sample-H")
+        # Membership flags travel one extra round so each H-node knows its
+        # H-neighbours before Theorem 8 starts on the subgraph.
+        sp.add_rounds(1, name="announce-membership")
 
-    inner = good_nodes_approx(
-        h,
-        mis=mis,
-        seed=seed_inner,
-        policy=policy,
-        n_bound=Network.of(graph, n_bound).n_bound,
-        max_rounds=max_rounds,
-    )
-    metrics = outcome.metrics.merge(inner.metrics)
+        inner = good_nodes_approx(
+            h,
+            mis=mis,
+            seed=seed_inner,
+            policy=policy,
+            n_bound=Network.of(graph, n_bound).n_bound,
+            max_rounds=max_rounds,
+        )
+        sp.add(inner.metrics)
     return AlgorithmResult(
         independent_set=inner.independent_set,
-        metrics=metrics,
+        metrics=sp.metrics(),
         metadata={
             "sampled_nodes": h.n,
             "sampled_max_degree": h.max_degree,

@@ -17,6 +17,7 @@ from repro.core.boosting import boost
 from repro.core.sparsify import DEFAULT_LAMBDA, sparsified_approx
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.mis.interface import MISBlackBox
+from repro.obs.spans import span
 from repro.results import AlgorithmResult
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.models import BandwidthPolicy
@@ -66,6 +67,10 @@ def theorem2_maxis(
             n_bound=bound,
         )
 
-    result = boost(graph, inner, eps=eps, c=c, phases=phases, seed=seed)
+    with span("theorem2") as sp:
+        result = boost(graph, inner, eps=eps, c=c, phases=phases, seed=seed)
+        sp.add(result.metrics)
+    result = AlgorithmResult(result.independent_set, sp.metrics(),
+                             result.metadata)
     return result.with_metadata(theorem=2, delta=delta,
                                 guarantee_factor=(1.0 + eps) * max(delta, 1))

@@ -21,6 +21,7 @@ from typing import Any, Dict, Mapping, Optional, Union
 import numpy as np
 
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs.spans import span
 from repro.results import AlgorithmResult
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.context import NodeContext
@@ -90,20 +91,22 @@ def coloring_mis(
     seed_color, seed_sweep = ss.spawn(2)
 
     network = Network.of(graph, n_bound)
-    coloring = random_coloring(graph, seed=seed_color, policy=policy,
-                               n_bound=network.n_bound, max_rounds=max_rounds)
-    sweep = run(
-        network,
-        lambda: ColorSweepMIS(coloring.colors),
-        policy=policy,
-        seed=seed_sweep,
-        max_rounds=max_rounds or 100_000,
-    )
+    with span("mis[ColorSweepMIS]") as sp:
+        coloring = random_coloring(graph, seed=seed_color, policy=policy,
+                                   n_bound=network.n_bound, max_rounds=max_rounds)
+        sp.add(coloring.metrics, name="random-coloring")
+        sweep = run(
+            network,
+            lambda: ColorSweepMIS(coloring.colors),
+            policy=policy,
+            seed=seed_sweep,
+            max_rounds=max_rounds or 100_000,
+        )
+        sp.add(sweep.metrics, name="color-sweep")
     mis = frozenset(v for v, out in sweep.outputs.items() if out)
-    metrics = coloring.metrics.merge(sweep.metrics)
     return AlgorithmResult(
         independent_set=mis,
-        metrics=metrics,
+        metrics=sp.metrics(),
         metadata={
             "algorithm": "ColorSweepMIS",
             "n_bound": network.n_bound,

@@ -10,6 +10,7 @@ that swap is itself an experiment (E10d).
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Dict, Optional, Type, Union
 
 import numpy as np
@@ -19,6 +20,7 @@ from repro.mis.coloring_based import coloring_mis
 from repro.mis.deterministic import LocalMinimaMIS
 from repro.mis.ghaffari import GhaffariMIS
 from repro.mis.luby import LubyMIS
+from repro.obs.spans import leaf_metrics
 from repro.results import AlgorithmResult
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.models import BandwidthPolicy
@@ -64,6 +66,7 @@ def run_mis(
         return AlgorithmResult(frozenset(), RunMetrics(), {"algorithm": algorithm_cls.__name__})
     network = Network.of(graph, n_bound)
     limit = max_rounds if max_rounds is not None else _default_round_limit(graph.n, deterministic)
+    start = time.perf_counter()
     result = run(
         network,
         algorithm_cls,
@@ -74,7 +77,8 @@ def run_mis(
     mis = frozenset(v for v, out in result.outputs.items() if out)
     return AlgorithmResult(
         independent_set=mis,
-        metrics=result.metrics,
+        metrics=leaf_metrics(result.metrics, f"mis[{algorithm_cls.__name__}]",
+                             wall_seconds=time.perf_counter() - start),
         metadata={"algorithm": algorithm_cls.__name__, "n_bound": result.n_bound},
     )
 

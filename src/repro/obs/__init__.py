@@ -1,0 +1,72 @@
+"""Structured observability: sinks, phase spans, export, aggregation.
+
+The simulator's theorems are claims about rounds and bits; this package
+makes those quantities *inspectable* instead of flat end-of-run totals:
+
+* **Sinks** (:mod:`repro.obs.sinks`) plug into the runner's event stream
+  — ring buffer, per-round time series, streaming JSONL, null — via the
+  hooks in :mod:`repro.simulator.instrument`.
+* **Spans** (:mod:`repro.obs.spans`) attribute a composed algorithm's
+  rounds/messages/bits to named phases, preserving sequential vs.
+  parallel composition; the tree rides on ``RunMetrics.span``.
+* **Export** (:mod:`repro.obs.export`) renders recordings as round
+  timelines, per-phase tables, or Chrome-trace JSON (``repro inspect``).
+* **Aggregation** (:mod:`repro.obs.aggregate`) folds per-job sweep
+  records into p50/p95 rounds/bits/wall-clock per (graph, algorithm).
+
+See ``docs/observability.md`` for the guided tour.
+"""
+
+from repro.obs.aggregate import (
+    aggregate_jobs,
+    aggregate_jsonl,
+    percentile,
+    read_jsonl,
+    render_cells,
+)
+from repro.obs.export import (
+    chrome_trace,
+    phase_rows,
+    render_phase_table,
+    render_round_timeline,
+    rows_from_events,
+)
+from repro.obs.sinks import (
+    JsonlStreamSink,
+    MultiSink,
+    NullSink,
+    RingBufferSink,
+    RoundSeriesSink,
+)
+from repro.obs.spans import check_span, span, unattributed_rounds
+from repro.simulator.instrument import (
+    RoundProfile,
+    install_outcome_emitter,
+    install_sink,
+)
+from repro.simulator.metrics import SpanNode
+
+__all__ = [
+    "aggregate_jobs",
+    "aggregate_jsonl",
+    "percentile",
+    "read_jsonl",
+    "render_cells",
+    "chrome_trace",
+    "phase_rows",
+    "render_phase_table",
+    "render_round_timeline",
+    "rows_from_events",
+    "JsonlStreamSink",
+    "MultiSink",
+    "NullSink",
+    "RingBufferSink",
+    "RoundSeriesSink",
+    "check_span",
+    "span",
+    "unattributed_rounds",
+    "RoundProfile",
+    "install_outcome_emitter",
+    "install_sink",
+    "SpanNode",
+]

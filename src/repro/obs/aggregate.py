@@ -1,0 +1,146 @@
+"""Sweep-level metrics aggregation: per-job records → p50/p95 summaries.
+
+The batch engine (``repro sweep --emit-metrics PATH``, or any experiment
+run with an ambient outcome emitter installed) writes one JSON record per
+job.  This module turns those records — live dicts or a JSONL file —
+into per-``(graph, algorithm)`` cells with p50/p95 rounds, bits, and
+wall-clock, which is the level at which the paper's w.h.p. round claims
+are actually checked.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "percentile",
+    "cell_key",
+    "aggregate_jobs",
+    "read_jsonl",
+    "aggregate_jsonl",
+    "render_cells",
+]
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) of a list.
+
+    Implemented directly (rather than via numpy) so aggregation works on
+    whatever plain-python lists the JSONL round-trip produces.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def cell_key(doc: Dict[str, Any]) -> Tuple[str, str]:
+    """Group a job record into its ``(graph, algorithm)`` cell.
+
+    The graph component prefers the fingerprint the batch engine attached
+    at emit time, falling back to the job label (experiments use labels to
+    name instances) and finally the empty string.
+    """
+    graph = doc.get("graph") or {}
+    gid = str(graph.get("fingerprint") or doc.get("label") or "")
+    return (gid, str(doc.get("algorithm", "")))
+
+
+def aggregate_jobs(
+    docs: Iterable[Dict[str, Any]],
+) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    """Fold per-job records into per-cell p50/p95 summaries.
+
+    Only records with ``ok`` true contribute to the percentiles; failures
+    are counted per cell so a sweep with crashes cannot masquerade as a
+    clean one.  Accepts a whole recording: records without an
+    ``algorithm`` field (metadata lines, events) are skipped.
+    """
+    cells: Dict[Tuple[str, str], Dict[str, List[float]]] = {}
+    failures: Dict[Tuple[str, str], int] = {}
+    for doc in docs:
+        if "algorithm" not in doc:
+            continue
+        key = cell_key(doc)
+        if not doc.get("ok", False):
+            failures[key] = failures.get(key, 0) + 1
+            cells.setdefault(key, {"rounds": [], "bits": [], "seconds": [],
+                                   "weight": []})
+            continue
+        bucket = cells.setdefault(key, {"rounds": [], "bits": [],
+                                        "seconds": [], "weight": []})
+        metrics = doc.get("metrics") or {}
+        bucket["rounds"].append(float(metrics.get("rounds", 0)))
+        bucket["bits"].append(float(metrics.get("total_bits", 0)))
+        bucket["seconds"].append(float(doc.get("seconds", 0.0)))
+        bucket["weight"].append(float(doc.get("weight", 0.0)))
+
+    out: Dict[Tuple[str, str], Dict[str, Any]] = {}
+    for key, bucket in cells.items():
+        ok = len(bucket["rounds"])
+        out[key] = {
+            "graph": key[0],
+            "algorithm": key[1],
+            "jobs": ok + failures.get(key, 0),
+            "ok": ok,
+            "failed": failures.get(key, 0),
+            "p50_rounds": percentile(bucket["rounds"], 50),
+            "p95_rounds": percentile(bucket["rounds"], 95),
+            "p50_bits": percentile(bucket["bits"], 50),
+            "p95_bits": percentile(bucket["bits"], 95),
+            "p50_seconds": percentile(bucket["seconds"], 50),
+            "p95_seconds": percentile(bucket["seconds"], 95),
+            "mean_weight": (sum(bucket["weight"]) / ok) if ok else 0.0,
+        }
+    return out
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """All records of a JSONL file (blank lines skipped)."""
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def aggregate_jsonl(path: str) -> Dict[Tuple[str, str], Dict[str, Any]]:
+    """Round-trip an ``--emit-metrics`` file into p50/p95 cell summaries."""
+    return aggregate_jobs(read_jsonl(path))
+
+
+def render_cells(
+    cells: Dict[Tuple[str, str], Dict[str, Any]],
+    graph_chars: Optional[int] = 12,
+) -> str:
+    """Cell summaries as a text table (graph ids abbreviated)."""
+    if not cells:
+        return "(no job records)"
+    lines = []
+    header = (f"{'graph':<{graph_chars}}  {'algorithm':<16}  {'jobs':>5}  "
+              f"{'ok':>4}  {'p50 rounds':>10}  {'p95 rounds':>10}  "
+              f"{'p50 bits':>12}  {'p95 bits':>12}  {'p50 s':>8}  {'p95 s':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for key in sorted(cells):
+        c = cells[key]
+        gid = c["graph"][:graph_chars] if graph_chars else c["graph"]
+        lines.append(
+            f"{gid:<{graph_chars}}  {c['algorithm']:<16}  {c['jobs']:>5}  "
+            f"{c['ok']:>4}  {c['p50_rounds']:>10.1f}  {c['p95_rounds']:>10.1f}  "
+            f"{c['p50_bits']:>12.0f}  {c['p95_bits']:>12.0f}  "
+            f"{c['p50_seconds']:>8.4f}  {c['p95_seconds']:>8.4f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,172 @@
+"""Render recorded observability data for humans and trace viewers.
+
+Three views of the same run:
+
+* :func:`chrome_trace` — the span tree as Chrome-trace JSON ("X"
+  complete events), openable in Perfetto / ``chrome://tracing``.  The
+  timebase is *simulated rounds* (1 round = 1 trace microsecond), since
+  that is the unit the paper's theorems are stated in; wall-clock seconds
+  ride along in each event's ``args``.
+* :func:`render_phase_table` — the span tree as an indented text table
+  with per-phase rounds, share of the total, messages, and bits.
+* :func:`render_round_timeline` — per-round rows (from a
+  :class:`~repro.obs.sinks.RoundSeriesSink` or recorded event stream)
+  as a compact text timeline, drops and wall-clock included.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.simulator.metrics import SpanNode
+
+__all__ = [
+    "chrome_trace",
+    "phase_rows",
+    "render_phase_table",
+    "rows_from_events",
+    "render_round_timeline",
+]
+
+# One simulated round maps to this many Chrome-trace "microseconds".
+_ROUND_TICKS = 1
+
+
+def chrome_trace(span: SpanNode, *, pid: int = 0) -> Dict[str, Any]:
+    """Lay the span tree out on a round-number timeline.
+
+    Sequential children start where the previous sibling ended; parallel
+    children start where the previous sibling *started*.  Children are
+    drawn one track (``tid``) below their parent, so nesting survives
+    viewers that stack overlapping slices.
+    """
+    events: List[Dict[str, Any]] = []
+
+    def emit(node: SpanNode, start: int, depth: int) -> None:
+        events.append({
+            "name": node.name,
+            "ph": "X",
+            "ts": start * _ROUND_TICKS,
+            "dur": max(node.rounds, 0) * _ROUND_TICKS,
+            "pid": pid,
+            "tid": depth,
+            "args": {
+                "rounds": node.rounds,
+                "messages": node.messages,
+                "total_bits": node.total_bits,
+                "dropped_messages": node.dropped_messages,
+                "dropped_bits": node.dropped_bits,
+                "wall_seconds": node.wall_seconds,
+                "mode": node.mode,
+            },
+        })
+        cursor = start
+        prev_start = start
+        for child in node.children:
+            child_start = prev_start if child.mode == "par" else cursor
+            emit(child, child_start, depth + 1)
+            prev_start = child_start
+            cursor = max(cursor, child_start + child.rounds)
+
+    emit(span, 0, 0)
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "metadata": {"timebase": f"1 round = {_ROUND_TICKS} us"},
+    }
+
+
+def phase_rows(span: SpanNode) -> List[Dict[str, Any]]:
+    """Flatten the tree into table rows (depth-first, indented names)."""
+    total_rounds = max(span.rounds, 1)
+    rows = []
+    for node, depth in span.walk():
+        rows.append({
+            "phase": "  " * depth + node.name,
+            "mode": node.mode if depth else "-",
+            "rounds": node.rounds,
+            "share": f"{100.0 * node.rounds / total_rounds:.1f}%",
+            "messages": node.messages,
+            "bits": node.total_bits,
+            "dropped": node.dropped_messages,
+            "wall_s": f"{node.wall_seconds:.4f}" if node.wall_seconds else "-",
+        })
+    return rows
+
+
+def _format_rows(rows: List[Dict[str, Any]]) -> str:
+    if not rows:
+        return "(empty)"
+    cols = list(rows[0].keys())
+    widths = {c: max(len(c), *(len(str(r[c])) for r in rows)) for c in cols}
+    header = "  ".join(c.ljust(widths[c]) for c in cols)
+    sep = "  ".join("-" * widths[c] for c in cols)
+    body = [
+        "  ".join(str(r[c]).ljust(widths[c]) for c in cols) for r in rows
+    ]
+    return "\n".join([header, sep] + body)
+
+
+def render_phase_table(span: SpanNode) -> str:
+    """The span tree as an indented per-phase text table."""
+    return _format_rows(phase_rows(span))
+
+
+def rows_from_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate recorded JSONL records into per-round rows.
+
+    Accepts the record dicts written by
+    :class:`~repro.obs.sinks.JsonlStreamSink` (``type`` = ``"event"`` or
+    ``"round_profile"``); unknown types are ignored, so a whole recording
+    can be passed verbatim.
+    """
+    rows: Dict[int, Dict[str, Any]] = {}
+
+    def row(r: int) -> Dict[str, Any]:
+        return rows.setdefault(r, {
+            "round": r, "messages": 0, "bits": 0, "drops": 0,
+            "dropped_bits": 0, "halts": 0,
+            "compute_seconds": 0.0, "delivery_seconds": 0.0,
+        })
+
+    for rec in events:
+        kind = rec.get("type")
+        if kind == "event":
+            e_kind = rec.get("kind")
+            r = row(int(rec.get("round", 0)))
+            if e_kind == "send":
+                r["messages"] += 1
+                r["bits"] += int(rec["detail"][1])
+            elif e_kind == "drop":
+                r["drops"] += 1
+                r["dropped_bits"] += int(rec["detail"][1])
+                r["bits"] += int(rec["detail"][1])
+            elif e_kind == "halt":
+                r["halts"] += 1
+        elif kind == "round_profile":
+            r = row(int(rec.get("round", 0)))
+            r["compute_seconds"] += float(rec.get("compute_seconds", 0.0))
+            r["delivery_seconds"] += float(rec.get("delivery_seconds", 0.0))
+    return [rows[r] for r in sorted(rows)]
+
+
+def render_round_timeline(rows: List[Dict[str, Any]],
+                          max_rounds: Optional[int] = 100) -> str:
+    """Per-round rows as a compact text timeline."""
+    lines = []
+    for row in rows:
+        if max_rounds is not None and len(lines) >= max_rounds:
+            lines.append(f"... ({len(rows) - max_rounds} more rounds)")
+            break
+        parts = [f"round {row['round']}:",
+                 f"{row['messages']} msgs ({row['bits']} bits)"]
+        if row.get("drops"):
+            parts.append(f"{row['drops']} dropped")
+        if row.get("halts"):
+            parts.append(f"{row['halts']} halted")
+        wall = row.get("compute_seconds", 0.0) + row.get("delivery_seconds", 0.0)
+        if wall:
+            parts.append(f"[{1e3 * row['compute_seconds']:.2f}ms compute, "
+                         f"{1e3 * row['delivery_seconds']:.2f}ms delivery]")
+        lines.append("  ".join(parts))
+    return "\n".join(lines) if lines else "(no rounds)"

@@ -1,0 +1,209 @@
+"""Span-based phase attribution for composed algorithms.
+
+The paper's pipelines compose sub-protocols — good-nodes flags, an MIS
+black box, ``t`` boosting phases, a pop stage — and a bare
+:class:`~repro.simulator.metrics.RunMetrics` merge forgets *which* phase
+spent the rounds.  A :class:`span` is a tiny accumulator that algorithms
+wrap around their composition code: every sub-result added to it becomes
+a named child of the phase tree, and the finished tree travels on
+``RunMetrics.span`` (so it survives pickling to batch workers and the
+JSON disk cache).
+
+Usage pattern::
+
+    with span("boost") as sp:
+        for i in range(t):
+            result = inner(residual, seed=...)
+            sp.add(result.metrics, name=f"push[{i}]")
+            sp.add_rounds(1, name="reduce-broadcast")
+        sp.add_rounds(len(stack), name="pop")
+    metrics = sp.metrics()          # RunMetrics with the span tree attached
+
+Attribution rules (what keeps phases summing to ``RunMetrics.rounds``):
+
+* ``add(m)`` folds ``m`` into the span sequentially (``merge``);
+  ``add(m, parallel=True)`` overlaps it with everything before it
+  (``merge_parallel``), and the child is marked ``mode="par"``.
+* If ``m`` already carries a span tree (the callee was instrumented), the
+  tree is adopted as the child — nested instrumentation composes without
+  double counting, because a callee's tree arrives only via its returned
+  metrics, never through an ambient registry.  A ``name`` differing from
+  the adopted tree's own wraps it in a named node.
+* An uninstrumented ``m`` becomes a leaf child named ``name`` (or
+  ``"(run)"``), so a span's totals *always* equal the fold of its
+  children — :func:`check_span` asserts exactly that.
+* ``add_rounds(k, name=...)`` charges coordination rounds that have no
+  simulator run behind them (announcement/pop rounds) as a leaf child.
+* :func:`leaf_metrics` names a single bare simulator run without the
+  ceremony of a one-child span.
+
+Spans never consult global state, so they are deterministic, thread-safe,
+and worker-process-safe by construction; only ``wall_seconds`` (measured
+over the ``with`` block) varies between identical runs, and it is excluded
+from ``RunMetrics.as_tuple()`` determinism signatures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import List, Optional
+
+from repro.simulator.metrics import RunMetrics, SpanNode
+
+__all__ = ["span", "leaf_metrics", "check_span", "unattributed_rounds"]
+
+
+def _node_from(metrics: RunMetrics, name: str, *, wall_seconds: float = 0.0,
+               mode: str = "seq",
+               children: tuple = ()) -> SpanNode:
+    return SpanNode(
+        name=name,
+        rounds=metrics.rounds,
+        messages=metrics.messages,
+        total_bits=metrics.total_bits,
+        dropped_messages=metrics.dropped_messages,
+        dropped_bits=metrics.dropped_bits,
+        wall_seconds=wall_seconds,
+        mode=mode,
+        children=children,
+    )
+
+
+def leaf_metrics(metrics: RunMetrics, name: str,
+                 wall_seconds: float = 0.0) -> RunMetrics:
+    """A copy of ``metrics`` carrying a single named leaf span.
+
+    For algorithms whose whole cost is one simulator run (the MIS black
+    boxes): callers adopting the result see one leaf, not a one-child
+    wrapper tree.
+    """
+    return RunMetrics(
+        rounds=metrics.rounds,
+        messages=metrics.messages,
+        total_bits=metrics.total_bits,
+        max_message_bits=metrics.max_message_bits,
+        dropped_messages=metrics.dropped_messages,
+        dropped_bits=metrics.dropped_bits,
+        violations=list(metrics.violations),
+        span=_node_from(metrics, name, wall_seconds=wall_seconds),
+    )
+
+
+class span:
+    """Accumulate a named phase's metrics and children (see module doc)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._children: List[SpanNode] = []
+        self._acc = RunMetrics()
+        self._start: Optional[float] = None
+        self._wall = 0.0
+        self.node: Optional[SpanNode] = None
+
+    def __enter__(self) -> "span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self._start is not None:
+            self._wall = time.perf_counter() - self._start
+        self.node = self._build()
+
+    def add(self, metrics: RunMetrics, *, name: Optional[str] = None,
+            parallel: bool = False) -> None:
+        """Fold a sub-result's metrics into this span (see module doc)."""
+        self._acc = (self._acc.merge_parallel(metrics) if parallel
+                     else self._acc.merge(metrics))
+        mode = "par" if parallel else "seq"
+        child = metrics.span
+        if child is None:
+            child = _node_from(metrics, name or "(run)", mode=mode)
+        elif name is not None and name != child.name:
+            child = _node_from(metrics, name, wall_seconds=child.wall_seconds,
+                               mode=mode, children=(child,))
+        else:
+            child = replace(child, mode=mode)
+        self._children.append(child)
+
+    def add_parallel(self, metrics: RunMetrics, *,
+                     name: Optional[str] = None) -> None:
+        """``add(..., parallel=True)`` — overlaps the preceding phases."""
+        self.add(metrics, name=name, parallel=True)
+
+    def add_rounds(self, k: int, *, name: str = "(coordination)") -> None:
+        """Charge ``k`` communication-only rounds as a leaf child."""
+        if k <= 0:
+            return
+        self._acc.add_rounds(k)
+        self._children.append(SpanNode(name=name, rounds=k))
+
+    def _build(self) -> SpanNode:
+        return _node_from(self._acc, self.name, wall_seconds=self._wall,
+                          children=tuple(self._children))
+
+    def metrics(self) -> RunMetrics:
+        """The accumulated :class:`RunMetrics`, span tree attached."""
+        m = self._acc
+        return RunMetrics(
+            rounds=m.rounds,
+            messages=m.messages,
+            total_bits=m.total_bits,
+            max_message_bits=m.max_message_bits,
+            dropped_messages=m.dropped_messages,
+            dropped_bits=m.dropped_bits,
+            violations=list(m.violations),
+            span=self.node if self.node is not None else self._build(),
+        )
+
+
+def _fold_children(node: SpanNode) -> RunMetrics:
+    """Replay the children's seq/par schedule; the parent's totals should
+    match when every contribution went through a child."""
+    acc = RunMetrics()
+    cursor = 0          # end of the sequential schedule so far
+    prev_start = 0      # where the previous sibling started
+    messages = bits = drops = drop_bits = 0
+    for child in node.children:
+        start = prev_start if child.mode == "par" else cursor
+        prev_start = start
+        cursor = max(cursor, start + child.rounds)
+        messages += child.messages
+        bits += child.total_bits
+        drops += child.dropped_messages
+        drop_bits += child.dropped_bits
+    acc.rounds = cursor
+    acc.messages = messages
+    acc.total_bits = bits
+    acc.dropped_messages = drops
+    acc.dropped_bits = drop_bits
+    return acc
+
+
+def unattributed_rounds(node: SpanNode) -> int:
+    """Rounds of ``node`` not covered by its children (0 for leaves and
+    for fully instrumented spans)."""
+    if not node.children:
+        return 0
+    return node.rounds - _fold_children(node).rounds
+
+
+def check_span(node: SpanNode) -> None:
+    """Assert the attribution invariant on a whole tree.
+
+    Every non-leaf node's totals must equal the fold of its children under
+    their declared seq/par schedule — i.e. phase rounds sum (and parallel
+    phases max) back to the parent, with nothing lost or double counted.
+    Raises ``AssertionError`` with the offending span's name otherwise.
+    """
+    for sub, _depth in node.walk():
+        if not sub.children:
+            continue
+        fold = _fold_children(sub)
+        got = (sub.rounds, sub.messages, sub.total_bits,
+               sub.dropped_messages, sub.dropped_bits)
+        want = (fold.rounds, fold.messages, fold.total_bits,
+                fold.dropped_messages, fold.dropped_bits)
+        assert got == want, (
+            f"span {sub.name!r}: totals {got} != children fold {want}"
+        )

@@ -11,8 +11,13 @@ from repro.simulator.batch import (
     derive_job_seeds,
 )
 from repro.simulator.context import NodeContext
+from repro.simulator.instrument import (
+    RoundProfile,
+    install_outcome_emitter,
+    install_sink,
+)
 from repro.simulator.message import payload_bits, validate_payload
-from repro.simulator.metrics import BandwidthViolation, RunMetrics
+from repro.simulator.metrics import BandwidthViolation, RunMetrics, SpanNode
 from repro.simulator.models import BandwidthPolicy, CommunicationModel
 from repro.simulator.network import Network, default_n_bound
 from repro.simulator.randomness import derive_seed, spawn_node_rngs
@@ -28,10 +33,14 @@ __all__ = [
     "batch_run",
     "derive_job_seeds",
     "NodeContext",
+    "RoundProfile",
+    "install_outcome_emitter",
+    "install_sink",
     "payload_bits",
     "validate_payload",
     "BandwidthViolation",
     "RunMetrics",
+    "SpanNode",
     "BandwidthPolicy",
     "CommunicationModel",
     "Network",

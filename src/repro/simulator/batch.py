@@ -37,6 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.instrument import outcome_emitters
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.models import BandwidthPolicy
 
@@ -276,6 +277,19 @@ class BatchResult:
     def signature(self) -> Tuple[Tuple[Any, ...], ...]:
         return tuple(o.signature() for o in self.outcomes)
 
+    def cells(self) -> List[Dict[str, Any]]:
+        """Per-(label, algorithm) p50/p95 summaries of the sweep.
+
+        Labels carry the instance identity in multi-instance sweeps (the
+        experiments name jobs per graph); a single-instance sweep
+        collapses to one cell per algorithm.
+        """
+        from repro.obs.aggregate import aggregate_jobs
+
+        docs = [{"label": o.label, **o.to_doc()} for o in self.outcomes]
+        aggregated = aggregate_jobs(docs)
+        return [aggregated[key] for key in sorted(aggregated)]
+
     def summary(self) -> Dict[str, Any]:
         """JSON-friendly headline numbers (what the CLI prints)."""
         return {
@@ -291,6 +305,7 @@ class BatchResult:
                 sum(o.weight for o in self.completed) / len(self.completed)
                 if self.completed else 0.0
             ),
+            "cells": self.cells(),
             "errors": [
                 {"index": o.index, "seed": o.seed, "error": o.error}
                 for o in self.failures
@@ -477,4 +492,26 @@ def batch_run(
                 _cache_store(cache_dir, keys[outcome.index], outcome)
 
     ordered = tuple(outcomes[i] for i in range(len(jobs)))
+
+    # Offer each outcome — span tree, timing, and instance identity
+    # included — to ambiently installed emitters (repro sweep/experiments
+    # --emit-metrics write them as per-job JSONL records).
+    emitters = outcome_emitters()
+    if emitters:
+        for job, outcome in zip(jobs, ordered):
+            doc = {
+                "type": "job",
+                "index": outcome.index,
+                "graph": {
+                    "n": job.graph.n,
+                    "m": job.graph.m,
+                    "max_degree": job.graph.max_degree,
+                    "fingerprint": job.graph.fingerprint(),
+                },
+                **outcome.to_doc(),
+                "cached": outcome.cached,
+            }
+            for emit in emitters:
+                emit(doc)
+
     return BatchResult(outcomes=ordered, master_seed=master_seed)

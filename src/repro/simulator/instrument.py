@@ -1,0 +1,118 @@
+"""Ambient instrumentation hooks for the simulator.
+
+The runner reports its events to *event sinks*.  A sink is anything with
+
+    ``record(round_index: int, kind: str, node: int, detail=None)``
+
+(so the legacy :class:`repro.simulator.tracing.Trace` is itself a sink)
+plus, optionally,
+
+    ``on_round_profile(profile: RoundProfile)``
+
+to receive per-round wall-clock and traffic aggregates.  Concrete sinks —
+ring buffer, round time-series, streaming JSONL, null — live in
+:mod:`repro.obs.sinks`; this module only holds the minimal registry so the
+runner never has to import the observability layer (which imports the
+simulator back).
+
+Sinks can be passed to :func:`repro.simulator.runner.run` directly, or
+installed *ambiently* with :func:`install_sink`: every ``run()`` started
+inside the ``with`` block reports to the installed sink.  Ambient
+installation is how the CLI records composed algorithms (``theorem1`` runs
+many inner protocols the CLI never sees) without threading a sink through
+every algorithm signature.  The registry is per-process: batch workers
+start with an empty one.
+
+:func:`install_outcome_emitter` is the analogous ambient hook for the
+batch engine — each finished :class:`~repro.simulator.batch.JobOutcome`
+is offered to the installed emitters as a JSON-compatible dict (what
+``repro sweep --emit-metrics`` writes).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Tuple
+
+__all__ = [
+    "RoundProfile",
+    "install_sink",
+    "ambient_sinks",
+    "gather_sinks",
+    "install_outcome_emitter",
+    "outcome_emitters",
+]
+
+
+@dataclass(frozen=True)
+class RoundProfile:
+    """Wall-clock and traffic aggregates of one simulated round.
+
+    ``compute_seconds`` is the time spent inside node programs
+    (``on_start``/``on_round``); ``delivery_seconds`` is the time the
+    runner spent draining outboxes, charging bandwidth, and codec-checking
+    payloads.  Traffic counters are this round's deltas, not run totals.
+    """
+
+    round_index: int
+    compute_seconds: float
+    delivery_seconds: float
+    messages: int
+    bits: int
+    drops: int
+    halts: int
+    active_nodes: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "round": self.round_index,
+            "compute_seconds": self.compute_seconds,
+            "delivery_seconds": self.delivery_seconds,
+            "messages": self.messages,
+            "bits": self.bits,
+            "drops": self.drops,
+            "halts": self.halts,
+            "active_nodes": self.active_nodes,
+        }
+
+
+_SINKS: List[Any] = []
+_EMITTERS: List[Callable[[Dict[str, Any]], None]] = []
+
+
+@contextmanager
+def install_sink(sink: Any) -> Iterator[Any]:
+    """Route every ``run()`` inside the block to ``sink`` (re-entrant)."""
+    _SINKS.append(sink)
+    try:
+        yield sink
+    finally:
+        _SINKS.remove(sink)
+
+
+def ambient_sinks() -> Tuple[Any, ...]:
+    """The currently installed ambient sinks (innermost last)."""
+    return tuple(_SINKS)
+
+
+def gather_sinks(*explicit: Any) -> Tuple[Any, ...]:
+    """Explicit sinks (``trace=``/``sink=`` args, ``None`` skipped) plus
+    the ambient ones — what one ``run()`` call should report to."""
+    return tuple(s for s in explicit if s is not None) + tuple(_SINKS)
+
+
+@contextmanager
+def install_outcome_emitter(
+    emitter: Callable[[Dict[str, Any]], None],
+) -> Iterator[Callable[[Dict[str, Any]], None]]:
+    """Offer every batch job outcome inside the block to ``emitter``."""
+    _EMITTERS.append(emitter)
+    try:
+        yield emitter
+    finally:
+        _EMITTERS.remove(emitter)
+
+
+def outcome_emitters() -> Tuple[Callable[[Dict[str, Any]], None], ...]:
+    return tuple(_EMITTERS)

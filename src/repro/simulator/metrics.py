@@ -11,9 +11,9 @@ reconcile ``total_bits == delivered bits + dropped_bits``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["BandwidthViolation", "RunMetrics"]
+__all__ = ["BandwidthViolation", "SpanNode", "RunMetrics"]
 
 
 @dataclass(frozen=True)
@@ -27,6 +27,66 @@ class BandwidthViolation:
     budget: int
 
 
+@dataclass(frozen=True)
+class SpanNode:
+    """One node of a phase-attribution tree.
+
+    A span names a phase of a composed algorithm and carries the share of
+    the run's cost attributed to it.  ``mode`` says how the span composes
+    with its *preceding sibling*: ``"seq"`` starts after the previous
+    sibling finished (rounds add), ``"par"`` starts alongside it (rounds
+    overlap, traffic still adds) — mirroring
+    :meth:`RunMetrics.merge` / :meth:`RunMetrics.merge_parallel`.
+
+    Invariant kept by :class:`repro.obs.spans.span`: a node either has no
+    children (a leaf phase) or its totals equal the ordered fold of its
+    children, so phase rounds always sum back to ``RunMetrics.rounds``.
+    """
+
+    name: str
+    rounds: int = 0
+    messages: int = 0
+    total_bits: int = 0
+    dropped_messages: int = 0
+    dropped_bits: int = 0
+    wall_seconds: float = 0.0
+    mode: str = "seq"
+    children: Tuple["SpanNode", ...] = ()
+
+    def walk(self, depth: int = 0) -> Iterator[Tuple["SpanNode", int]]:
+        """Depth-first (self, depth) traversal."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_bits": self.total_bits,
+            "dropped_messages": self.dropped_messages,
+            "dropped_bits": self.dropped_bits,
+            "wall_seconds": self.wall_seconds,
+            "mode": self.mode,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @staticmethod
+    def from_dict(doc: Dict[str, Any]) -> "SpanNode":
+        return SpanNode(
+            name=str(doc.get("name", "")),
+            rounds=int(doc.get("rounds", 0)),
+            messages=int(doc.get("messages", 0)),
+            total_bits=int(doc.get("total_bits", 0)),
+            dropped_messages=int(doc.get("dropped_messages", 0)),
+            dropped_bits=int(doc.get("dropped_bits", 0)),
+            wall_seconds=float(doc.get("wall_seconds", 0.0)),
+            mode=str(doc.get("mode", "seq")),
+            children=tuple(SpanNode.from_dict(c) for c in doc.get("children", [])),
+        )
+
+
 @dataclass
 class RunMetrics:
     """Aggregate statistics of one simulation run."""
@@ -38,6 +98,10 @@ class RunMetrics:
     dropped_messages: int = 0
     dropped_bits: int = 0
     violations: List[BandwidthViolation] = field(default_factory=list)
+    # Phase-attribution tree, attached by instrumented algorithms (see
+    # repro.obs.spans).  Deliberately excluded from as_tuple(): the tree
+    # carries wall-clock seconds, which are not deterministic.
+    span: Optional[SpanNode] = None
 
     def record_message(self, bits: int) -> None:
         self.messages += 1
@@ -61,6 +125,10 @@ class RunMetrics:
         Use for phases that run one after another on the wire (phase 2
         starts only after phase 1 halted).  For phases that overlap in
         time, use :meth:`merge_parallel`.
+
+        The merged metrics carry no span tree: attribution across a merge
+        is rebuilt by :class:`repro.obs.spans.span`, which knows the phase
+        names; a bare merge cannot.
         """
         merged = RunMetrics(
             rounds=self.rounds + other.rounds,
@@ -115,6 +183,7 @@ class RunMetrics:
                 [v.round_index, v.sender, v.receiver, v.bits, v.budget]
                 for v in self.violations
             ],
+            **({"span": self.span.to_dict()} if self.span is not None else {}),
         }
 
     @staticmethod
@@ -130,4 +199,6 @@ class RunMetrics:
             violations=[
                 BandwidthViolation(*entry) for entry in doc.get("violations", [])
             ],
+            span=(SpanNode.from_dict(doc["span"])
+                  if doc.get("span") is not None else None),
         )

@@ -9,6 +9,7 @@ message against the :class:`~repro.simulator.models.BandwidthPolicy`.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Union
 
@@ -19,6 +20,7 @@ from repro.graphs.weighted_graph import WeightedGraph
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.context import NodeContext
 from repro.simulator.codec import decode_payload, encode_payload
+from repro.simulator.instrument import RoundProfile, gather_sinks
 from repro.simulator.message import payload_bits
 from repro.simulator.metrics import BandwidthViolation, RunMetrics
 from repro.simulator.models import BandwidthPolicy
@@ -56,6 +58,7 @@ def run(
     seed: Union[int, None, np.random.SeedSequence] = None,
     max_rounds: int = 100_000,
     trace: Optional[Trace] = None,
+    sink: Optional[Any] = None,
     codec_check: bool = False,
 ) -> RunResult:
     """Run a distributed algorithm to completion.
@@ -70,6 +73,11 @@ def run(
         max_rounds: safety limit; exceeding it raises
             :class:`~repro.exceptions.RoundLimitExceeded`.
         trace: optional :class:`Trace` to record sends and halts.
+        sink: optional extra event sink (see
+            :mod:`repro.simulator.instrument`); sinks installed ambiently
+            with :func:`~repro.simulator.instrument.install_sink` receive
+            events too.  Sinks exposing ``on_round_profile`` additionally
+            get per-round compute/delivery wall-clock profiles.
         codec_check: round-trip every payload through the real binary
             codec (:mod:`repro.simulator.codec`) before delivery, so
             receivers see exactly what would arrive on the wire (lists
@@ -105,6 +113,11 @@ def run(
     active = set()
     in_flight: Dict[int, Dict[int, Any]] = {}
 
+    sinks = gather_sinks(trace, sink)
+    has_sinks = bool(sinks)
+    profiled = tuple(s for s in sinks
+                     if getattr(s, "on_round_profile", None) is not None)
+
     def collect(round_index: int, senders) -> None:
         """Drain outboxes into next round's inboxes, charging bandwidth.
 
@@ -126,24 +139,49 @@ def run(
                     # Receiver halted this very round: the message was put
                     # on the wire (and charged above) but is never read.
                     metrics.record_drop(bits)
-                    if trace is not None:
-                        trace.record(round_index, "drop", v, (to, bits))
+                    if has_sinks:
+                        for s in sinks:
+                            s.record(round_index, "drop", v, (to, bits))
                 else:
-                    if trace is not None:
-                        trace.record(round_index, "send", v, (to, bits))
+                    if has_sinks:
+                        for s in sinks:
+                            s.record(round_index, "send", v, (to, bits))
                     if codec_check:
                         payload = decode_payload(encode_payload(payload))
                     in_flight.setdefault(to, {})[v] = payload
 
+    def profile(round_index: int, t_start: float, t_compute: float,
+                msgs0: int, bits0: int, drops0: int, halts: int,
+                executed: int) -> None:
+        p = RoundProfile(
+            round_index=round_index,
+            compute_seconds=t_compute - t_start,
+            delivery_seconds=time.perf_counter() - t_compute,
+            messages=metrics.messages - msgs0,
+            bits=metrics.total_bits - bits0,
+            drops=metrics.dropped_messages - drops0,
+            halts=halts,
+            active_nodes=executed,
+        )
+        for s in profiled:
+            s.on_round_profile(p)
+
     # Round 0: local initialisation.
+    t_start = time.perf_counter() if profiled else 0.0
+    halts_this_round = 0
     for v in graph.nodes:
         programs[v].on_start(contexts[v])
         if contexts[v].halted:
-            if trace is not None:
-                trace.record(0, "halt", v, contexts[v].output)
+            halts_this_round += 1
+            if has_sinks:
+                for s in sinks:
+                    s.record(0, "halt", v, contexts[v].output)
         else:
             active.add(v)
+    t_compute = time.perf_counter() if profiled else 0.0
     collect(0, graph.nodes)
+    if profiled:
+        profile(0, t_start, t_compute, 0, 0, 0, halts_this_round, len(graph.nodes))
 
     round_index = 0
     while active:
@@ -151,21 +189,32 @@ def run(
         if round_index > max_rounds:
             raise RoundLimitExceeded(max_rounds, len(active))
         metrics.rounds = round_index
-        if trace is not None:
-            trace.record(round_index, "round", -1)
+        if has_sinks:
+            for s in sinks:
+                s.record(round_index, "round", -1)
+        msgs0, bits0, drops0 = (metrics.messages, metrics.total_bits,
+                                metrics.dropped_messages)
         inboxes = in_flight
         in_flight = {}
         executed = sorted(active)
+        t_start = time.perf_counter() if profiled else 0.0
         for v in executed:
             ctx = contexts[v]
             ctx._advance_round()
             programs[v].on_round(ctx, inboxes.get(v, _EMPTY_INBOX))
+        t_compute = time.perf_counter() if profiled else 0.0
         collect(round_index, executed)
+        halts_this_round = 0
         for v in executed:
             if contexts[v].halted:
                 active.discard(v)
-                if trace is not None:
-                    trace.record(round_index, "halt", v, contexts[v].output)
+                halts_this_round += 1
+                if has_sinks:
+                    for s in sinks:
+                        s.record(round_index, "halt", v, contexts[v].output)
+        if profiled:
+            profile(round_index, t_start, t_compute, msgs0, bits0, drops0,
+                    halts_this_round, len(executed))
 
     outputs = {v: contexts[v].output for v in graph.nodes}
     return RunResult(outputs=outputs, metrics=metrics, n_bound=network.n_bound)

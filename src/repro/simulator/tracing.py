@@ -28,10 +28,15 @@ class Trace:
 
     events: List[TraceEvent] = field(default_factory=list)
     max_events: int = 1_000_000
+    dropped_events: int = 0
 
     def record(self, round_index: int, kind: str, node: int, detail: Any = None) -> None:
         if len(self.events) < self.max_events:
             self.events.append(TraceEvent(round_index, kind, node, detail))
+        else:
+            # Never truncate silently: the count of discarded events is
+            # kept so render_timeline (and audits) can flag the gap.
+            self.dropped_events += 1
 
     def events_of(self, kind: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
         """Events filtered by kind and/or node."""
@@ -63,7 +68,10 @@ class Trace:
             sends = [e for e in events if e.kind == "send"]
             drops = [e for e in events if e.kind == "drop"]
             halts = [e for e in events if e.kind == "halt"]
-            bits = sum(e.detail[1] for e in sends)
+            # Dropped messages were charged on the wire, so their bits
+            # belong in the round's total alongside delivered sends.
+            bits = (sum(e.detail[1] for e in sends)
+                    + sum(e.detail[1] for e in drops))
             parts = [f"round {r}:", f"{len(sends)} msgs ({bits} bits)"]
             if drops:
                 parts.append(f"{len(drops)} dropped")
@@ -72,4 +80,9 @@ class Trace:
                 more = "..." if len(halts) > 8 else ""
                 parts.append(f"halted: {ids}{more}")
             lines.append("  ".join(parts))
+        if self.dropped_events:
+            lines.append(
+                f"!! trace truncated: {self.dropped_events} events discarded "
+                f"past max_events={self.max_events}"
+            )
         return "\n".join(lines) if lines else "(no events)"

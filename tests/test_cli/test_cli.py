@@ -209,3 +209,104 @@ class TestVerifyCommand:
                    "--weights", "keep", "--eps", "0.5", "--seed", "0"])
         assert rc == 1
         assert "VIOLATED" in capsys.readouterr().out
+
+
+class TestObservabilityCli:
+    def _record(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        rc = main(["run", "--algorithm", "thm2", "--graph", "gnp:30,0.12",
+                   "--weights", "uniform:1,20", "--seed", "3",
+                   "--record", str(path), "--json"])
+        assert rc == 0
+        capsys.readouterr()
+        return path
+
+    def test_run_record_writes_meta_events_result(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        records = [json.loads(ln) for ln in path.read_text().splitlines()]
+        types = [r["type"] for r in records]
+        assert types[0] == "meta"
+        assert types[-1] == "result"
+        assert "event" in types and "round_profile" in types
+        assert records[-1]["metrics"]["span"]["name"] == "theorem2"
+
+    def test_run_phases_prints_span_table(self, capsys):
+        rc = main(["run", "--algorithm", "thm1", "--graph", "gnp:25,0.15",
+                   "--weights", "uniform:1,10", "--seed", "2", "--phases"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "theorem1" in out
+        assert "boost" in out
+        assert "share" in out
+
+    def test_run_phases_without_span(self, capsys):
+        rc = main(["run", "--algorithm", "mis-luby", "--graph", "cycle:12",
+                   "--weights", "unit", "--phases"])
+        assert rc == 0
+        # MIS black boxes carry a single leaf span, so a table still prints.
+        assert "mis[" in capsys.readouterr().out
+
+    def test_inspect_phases(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        rc = main(["inspect", str(path), "--format", "phases"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "theorem2" in out and "boost" in out
+
+    def test_inspect_timeline(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        rc = main(["inspect", str(path), "--format", "timeline"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "round 0:" in out and "msgs" in out
+
+    def test_inspect_chrome_trace_sums_to_rounds(self, tmp_path, capsys):
+        path = self._record(tmp_path, capsys)
+        result = [json.loads(ln) for ln in path.read_text().splitlines()][-1]
+        rc = main(["inspect", str(path), "--format", "chrome-trace"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        root = doc["traceEvents"][0]
+        assert root["dur"] == result["metrics"]["rounds"]
+        # Depth-1 sequential slices tile the root exactly.
+        depth1 = [e for e in doc["traceEvents"] if e["tid"] == 1]
+        assert max(e["ts"] + e["dur"] for e in depth1) == root["dur"]
+
+    def test_inspect_missing_file_and_empty(self, tmp_path):
+        with pytest.raises((SystemExit, OSError)):
+            main(["inspect", str(tmp_path / "nope.jsonl")])
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="no records"):
+            main(["inspect", str(empty)])
+
+    def test_sweep_emit_metrics_round_trip(self, tmp_path, capsys):
+        emit = tmp_path / "jobs.jsonl"
+        rc = main(["sweep", "--algorithm", "ranking", "--graph", "gnp:40,0.1",
+                   "--weights", "uniform:1,20", "--seeds", "5", "--jobs", "2",
+                   "--emit-metrics", str(emit), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        records = [json.loads(ln) for ln in emit.read_text().splitlines()]
+        assert len(records) == 5
+        assert all(r["type"] == "job" for r in records)
+        assert all("fingerprint" in r["graph"] for r in records)
+
+        rc = main(["inspect", str(emit), "--format", "sweep", "--json"])
+        assert rc == 0
+        cells = json.loads(capsys.readouterr().out)
+        assert len(cells) == 1
+        assert cells[0]["jobs"] == 5
+        assert cells[0]["p50_rounds"] >= 1.0
+        assert summary["cells"][0]["p50_bits"] == cells[0]["p50_bits"]
+
+    def test_experiments_emit_metrics(self, tmp_path, capsys):
+        emit = tmp_path / "e5.jsonl"
+        rc = main(["experiments", "E5", "--emit-metrics", str(emit)])
+        assert rc == 0
+        capsys.readouterr()
+        records = [json.loads(ln) for ln in emit.read_text().splitlines()]
+        assert records
+        assert all(r["type"] == "job" for r in records)
+        labels = {r["label"] for r in records}
+        assert len(labels) >= 1

@@ -1,0 +1,116 @@
+"""Sweep-level aggregation: percentiles, cells, JSONL round trips."""
+
+import json
+
+import pytest
+
+from repro.obs import aggregate_jobs, aggregate_jsonl, percentile, read_jsonl
+
+
+class TestPercentile:
+    def test_median_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+        assert percentile([1, 2, 3], 50) == 2.0
+
+    def test_extremes(self):
+        vals = [5, 1, 9, 3]
+        assert percentile(vals, 0) == 1.0
+        assert percentile(vals, 100) == 9.0
+
+    def test_empty_is_zero(self):
+        assert percentile([], 95) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    def test_p95(self):
+        vals = list(range(1, 101))
+        assert percentile(vals, 95) == pytest.approx(95.05)
+
+
+def _job(algorithm="thm2", fingerprint="abc", rounds=10, bits=100,
+         seconds=0.5, weight=7.0, ok=True):
+    return {
+        "type": "job",
+        "algorithm": algorithm,
+        "graph": {"fingerprint": fingerprint},
+        "ok": ok,
+        "metrics": {"rounds": rounds, "total_bits": bits} if ok else None,
+        "seconds": seconds,
+        "weight": weight,
+    }
+
+
+class TestAggregateJobs:
+    def test_groups_by_graph_and_algorithm(self):
+        docs = [_job(rounds=10), _job(rounds=20),
+                _job(algorithm="ranking", rounds=5),
+                _job(fingerprint="xyz", rounds=7)]
+        cells = aggregate_jobs(docs)
+        assert set(cells) == {("abc", "thm2"), ("abc", "ranking"),
+                              ("xyz", "thm2")}
+        cell = cells[("abc", "thm2")]
+        assert cell["jobs"] == cell["ok"] == 2
+        assert cell["p50_rounds"] == 15.0
+
+    def test_failures_counted_not_aggregated(self):
+        docs = [_job(rounds=10), _job(ok=False)]
+        cell = aggregate_jobs(docs)[("abc", "thm2")]
+        assert cell["jobs"] == 2 and cell["ok"] == 1 and cell["failed"] == 1
+        assert cell["p50_rounds"] == 10.0  # the failure contributes nothing
+
+    def test_non_job_records_skipped(self):
+        docs = [{"type": "meta"}, {"type": "event", "round": 0}, _job()]
+        assert len(aggregate_jobs(docs)) == 1
+
+    def test_label_fallback_for_experiments(self):
+        doc = _job()
+        doc["graph"] = {}
+        doc["label"] = "gnp-dense"
+        cells = aggregate_jobs([doc])
+        assert ("gnp-dense", "thm2") in cells
+
+    def test_mean_weight(self):
+        docs = [_job(weight=4.0), _job(weight=8.0)]
+        assert aggregate_jobs(docs)[("abc", "thm2")]["mean_weight"] == 6.0
+
+
+class TestJsonlRoundTrip:
+    def test_emit_then_aggregate(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        docs = [_job(rounds=r) for r in (10, 20, 30)]
+        path.write_text("".join(json.dumps(d) + "\n" for d in docs))
+        cells = aggregate_jsonl(str(path))
+        cell = cells[("abc", "thm2")]
+        assert cell["jobs"] == 3
+        assert cell["p50_rounds"] == 20.0
+        assert cell["p95_rounds"] == pytest.approx(29.0)
+
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert read_jsonl(str(path)) == [{"a": 1}, {"b": 2}]
+
+    def test_batch_emitted_stream_aggregates(self, tmp_path):
+        """End-to-end: batch engine → ambient emitter → JSONL → cells."""
+        from repro.graphs import gnp, uniform_weights
+        from repro.obs import JsonlStreamSink
+        from repro.simulator.batch import BatchJob, batch_run
+        from repro.simulator.instrument import install_outcome_emitter
+
+        g = uniform_weights(gnp(25, 0.12, seed=3), 1, 10, seed=4)
+        jobs = [BatchJob(g, "ranking") for _ in range(4)]
+        path = tmp_path / "emit.jsonl"
+        with JsonlStreamSink(str(path)) as sink:
+            with install_outcome_emitter(sink.write):
+                result = batch_run(jobs, master_seed=0)
+        cells = aggregate_jsonl(str(path))
+        assert len(cells) == 1
+        (cell,) = cells.values()
+        assert cell["jobs"] == 4 and cell["failed"] == 0
+        assert cell["graph"] == g.fingerprint()
+        # The in-memory summary agrees with the JSONL round trip.
+        summary_cell = result.summary()["cells"][0]
+        assert summary_cell["p50_rounds"] == cell["p50_rounds"]
+        assert summary_cell["p95_bits"] == cell["p95_bits"]

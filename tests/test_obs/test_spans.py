@@ -1,0 +1,197 @@
+"""Span trees: attribution invariants, composition modes, serialization."""
+
+import pickle
+
+import pytest
+
+from repro.obs import check_span, span, unattributed_rounds
+from repro.obs.spans import leaf_metrics
+from repro.simulator.metrics import RunMetrics, SpanNode
+
+
+def _metrics(rounds=0, messages=0, bits=0, drops=0, drop_bits=0) -> RunMetrics:
+    m = RunMetrics()
+    m.rounds = rounds
+    m.messages = messages
+    m.total_bits = bits
+    m.dropped_messages = drops
+    m.dropped_bits = drop_bits
+    return m
+
+
+class TestSequentialComposition:
+    def test_rounds_add_and_children_are_named(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=3, messages=10, bits=100), name="a")
+            sp.add(_metrics(rounds=2, messages=5, bits=50), name="b")
+        m = sp.metrics()
+        assert m.rounds == 5
+        assert m.messages == 15
+        assert [c.name for c in m.span.children] == ["a", "b"]
+        check_span(m.span)
+
+    def test_unnamed_metrics_become_run_leaf(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=1))
+        assert sp.metrics().span.children[0].name == "(run)"
+        check_span(sp.metrics().span)
+
+    def test_add_rounds_charges_leaf(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=2), name="work")
+            sp.add_rounds(3, name="pop")
+            sp.add_rounds(0, name="ignored")  # no-op
+        m = sp.metrics()
+        assert m.rounds == 5
+        assert [c.name for c in m.span.children] == ["work", "pop"]
+        check_span(m.span)
+
+
+class TestParallelComposition:
+    def test_parallel_rounds_max_traffic_adds(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=4, messages=10, bits=100), name="tree")
+            sp.add_parallel(_metrics(rounds=7, messages=3, bits=30),
+                            name="pipeline")
+        m = sp.metrics()
+        assert m.rounds == 7          # max, not 11
+        assert m.messages == 13       # traffic still adds
+        assert m.span.children[1].mode == "par"
+        check_span(m.span)
+
+    def test_parallel_shorter_than_prefix(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=9), name="long")
+            sp.add_parallel(_metrics(rounds=2), name="overlapped")
+            sp.add(_metrics(rounds=1), name="tail")
+        # tail starts after max(9, 2) = 9.
+        assert sp.metrics().rounds == 10
+        check_span(sp.metrics().span)
+
+
+class TestAdoption:
+    def test_instrumented_callee_tree_is_adopted_once(self):
+        with span("inner") as inner:
+            inner.add(_metrics(rounds=2, messages=4, bits=40), name="step")
+        callee = inner.metrics()
+
+        with span("outer") as sp:
+            sp.add(callee)
+            sp.add_rounds(1, name="announce")
+        m = sp.metrics()
+        assert m.rounds == 3
+        child = m.span.children[0]
+        assert child.name == "inner"
+        assert child.children[0].name == "step"
+        check_span(m.span)
+
+    def test_renaming_wraps_instead_of_overwriting(self):
+        with span("inner") as inner:
+            inner.add(_metrics(rounds=2), name="step")
+        with span("outer") as sp:
+            sp.add(inner.metrics(), name="renamed")
+        child = sp.metrics().span.children[0]
+        assert child.name == "renamed"
+        assert child.children[0].name == "inner"
+        check_span(sp.metrics().span)
+
+    def test_leaf_metrics_is_single_node(self):
+        m = leaf_metrics(_metrics(rounds=3, messages=6, bits=60), "mis")
+        assert m.span.name == "mis"
+        assert m.span.children == ()
+        assert m.span.rounds == 3
+        # Totals unchanged by the wrapping.
+        assert m.rounds == 3 and m.messages == 6
+
+
+class TestInvariants:
+    def test_check_span_catches_tampering(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=2), name="a")
+        node = sp.metrics().span
+        bad = SpanNode(name=node.name, rounds=node.rounds + 1,
+                       messages=node.messages, total_bits=node.total_bits,
+                       children=node.children)
+        with pytest.raises(AssertionError, match="outer"):
+            check_span(bad)
+
+    def test_unattributed_rounds(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=2), name="a")
+        assert unattributed_rounds(sp.metrics().span) == 0
+        leaf = SpanNode(name="leaf", rounds=5)
+        assert unattributed_rounds(leaf) == 0
+
+    def test_drop_accounting_flows_through(self):
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=1, messages=3, bits=30, drops=2,
+                            drop_bits=16), name="a")
+        node = sp.metrics().span
+        assert node.dropped_messages == 2
+        assert node.dropped_bits == 16
+        check_span(node)
+
+
+class TestSerialization:
+    def _tree(self) -> RunMetrics:
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=4, messages=10, bits=100), name="a")
+            sp.add_parallel(_metrics(rounds=6), name="b")
+        return sp.metrics()
+
+    def test_dict_round_trip(self):
+        m = self._tree()
+        back = RunMetrics.from_dict(m.to_dict())
+        assert back.span == m.span
+        check_span(back.span)
+
+    def test_pickle_round_trip(self):
+        m = self._tree()
+        assert pickle.loads(pickle.dumps(m)).span == m.span
+
+    def test_span_excluded_from_determinism_signature(self):
+        m = self._tree()
+        bare = _metrics(rounds=m.rounds, messages=m.messages,
+                        bits=m.total_bits)
+        bare.max_message_bits = m.max_message_bits
+        bare.dropped_messages = m.dropped_messages
+        bare.dropped_bits = m.dropped_bits
+        assert m.as_tuple() == bare.as_tuple()
+
+
+class TestRealPipelines:
+    def test_theorem1_phases_sum_to_rounds(self):
+        from repro.core import theorem1_maxis
+        from repro.graphs import gnp, uniform_weights
+
+        g = uniform_weights(gnp(30, 0.12, seed=5), 1, 20, seed=6)
+        result = theorem1_maxis(g, 0.5, seed=5)
+        tree = result.metrics.span
+        assert tree is not None and tree.name == "theorem1"
+        assert tree.rounds == result.metrics.rounds
+        check_span(tree)
+
+    def test_theorem2_phases_sum_to_rounds(self):
+        from repro.core import theorem2_maxis
+        from repro.graphs import gnp, uniform_weights
+
+        g = uniform_weights(gnp(30, 0.12, seed=7), 1, 20, seed=8)
+        result = theorem2_maxis(g, 0.5, seed=7)
+        tree = result.metrics.span
+        assert tree is not None and tree.name == "theorem2"
+        assert tree.rounds == result.metrics.rounds
+        check_span(tree)
+
+    def test_pipelined_coloring_has_parallel_child(self):
+        from repro.coloring import pipelined_color_class_maxis
+        from repro.coloring.greedy import greedy_coloring
+        from repro.graphs import gnp, uniform_weights
+
+        g = uniform_weights(gnp(25, 0.15, seed=9), 1, 10, seed=10)
+        colors = greedy_coloring(g)
+        result = pipelined_color_class_maxis(g, colors)
+        tree = result.metrics.span
+        modes = {c.name: c.mode for c in tree.children}
+        assert modes["pipelined-sums"] == "par"
+        assert tree.rounds == result.metrics.rounds
+        check_span(tree)

@@ -156,3 +156,56 @@ class TestAggregates:
         from repro.cli import _algorithms
 
         assert set(algorithm_registry()) == set(_algorithms())
+
+
+class TestObservability:
+    def test_span_trees_ship_back_from_workers(self, graph):
+        from repro.obs import check_span
+
+        jobs = [BatchJob(graph, "thm2", params={"eps": 0.5})
+                for _ in range(2)]
+        res = batch_run(jobs, master_seed=1, n_jobs=2)
+        for o in res.outcomes:
+            assert o.metrics.span is not None
+            assert o.metrics.span.name == "theorem2"
+            assert o.metrics.span.rounds == o.metrics.rounds
+            check_span(o.metrics.span)
+
+    def test_span_survives_the_disk_cache(self, graph, tmp_path):
+        jobs = [BatchJob(graph, "thm2", params={"eps": 0.5})]
+        cache = str(tmp_path / "cache")
+        cold = batch_run(jobs, master_seed=2, cache_dir=cache)
+        warm = batch_run(jobs, master_seed=2, cache_dir=cache)
+        assert warm.outcomes[0].cached
+        assert warm.outcomes[0].metrics.span == cold.outcomes[0].metrics.span
+
+    def test_summary_reports_percentile_cells(self, graph):
+        res = batch_run([BatchJob(graph, "ranking") for _ in range(5)],
+                        master_seed=3)
+        cells = res.summary()["cells"]
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell["algorithm"] == "ranking"
+        assert cell["jobs"] == cell["ok"] == 5
+        assert cell["p50_rounds"] <= cell["p95_rounds"]
+        assert cell["p50_seconds"] > 0.0
+
+    def test_outcome_emitter_receives_graph_identity(self, graph):
+        from repro.simulator.instrument import install_outcome_emitter
+
+        seen = []
+        with install_outcome_emitter(seen.append):
+            batch_run([BatchJob(graph, "ranking") for _ in range(3)],
+                      master_seed=4)
+        assert len(seen) == 3
+        assert [d["index"] for d in seen] == [0, 1, 2]
+        for doc in seen:
+            assert doc["type"] == "job"
+            assert doc["graph"]["fingerprint"] == graph.fingerprint()
+            assert doc["graph"]["n"] == graph.n
+            assert doc["metrics"]["rounds"] >= 1
+
+    def test_no_emission_without_emitter(self, graph):
+        # Plain runs must not pay for (or crash on) emission plumbing.
+        res = batch_run([BatchJob(graph, "ranking")], master_seed=5)
+        assert res.outcomes[0].ok

@@ -273,3 +273,90 @@ class TestDelivery:
         assert len(trace.events_of("send")) == 4
         assert len(trace.events_of("halt")) == 3
         assert trace.events_of("halt", node=1)[0].round_index == 1
+
+
+class ListBroadcaster(NodeAlgorithm):
+    """Round 1: halt with the exact payload object the wire delivered."""
+
+    def on_start(self, ctx: NodeContext) -> None:
+        ctx.broadcast([1, [2, 3]])
+
+    def on_round(self, ctx: NodeContext, inbox: Mapping[int, Any]) -> None:
+        ctx.halt(next(iter(inbox.values())))
+
+
+class TestCodecCheck:
+    def test_lists_arrive_as_tuples(self):
+        # The binary codec has no list/tuple distinction: everything
+        # decodes as a tuple, which is what real receivers would see.
+        res = run(path(2), ListBroadcaster, codec_check=True)
+        assert res.outputs[0] == (1, (2, 3))
+        assert all(isinstance(v, tuple) for v in res.outputs.values())
+
+    def test_default_mode_passes_objects_through(self):
+        # Fast path: the in-memory object is handed over untouched, so a
+        # list stays a list (the codec divergence codec_check exists for).
+        res = run(path(2), ListBroadcaster)
+        assert res.outputs[0] == [1, [2, 3]]
+        assert all(isinstance(v, list) for v in res.outputs.values())
+
+    def test_codec_check_preserves_accounting(self):
+        plain = run(path(3), EchoNeighborSum)
+        checked = run(path(3), EchoNeighborSum, codec_check=True)
+        assert checked.metrics.as_tuple() == plain.metrics.as_tuple()
+        assert checked.outputs == plain.outputs
+
+
+class TestEventOrdering:
+    """Within one round the trace reads: round marker, wire events
+    (send/drop), then halts — matching the synchronous semantics where
+    all messages are on the wire before halting is observable."""
+
+    class Mixed(NodeAlgorithm):
+        # path(3): hub 0 halts at start; 1 and 2 both broadcast in round
+        # 1, and 2 halts in the same round => round 1 mixes drops (to 0
+        # and to the just-halted 2), a delivered send (2 -> 1), and a halt.
+        def on_start(self, ctx):
+            if ctx.node_id == 0:
+                ctx.halt("early")
+
+        def on_round(self, ctx, inbox):
+            if ctx.round_index == 1:
+                ctx.broadcast("m")
+                if ctx.node_id == 2:
+                    ctx.halt("done")
+            else:
+                ctx.halt(len(inbox))
+
+    def _rounds(self, trace: Trace):
+        by_round: dict = {}
+        for e in trace.events:
+            by_round.setdefault(e.round_index, []).append(e.kind)
+        return by_round
+
+    def test_round_marker_first_then_wire_then_halts(self):
+        trace = Trace()
+        run(path(3), self.Mixed, trace=trace)
+        by_round = self._rounds(trace)
+
+        assert by_round[0] == ["halt"]  # node 0, before any wire traffic
+        r1 = by_round[1]
+        assert r1[0] == "round"
+        wire = [k for k in r1 if k in ("send", "drop")]
+        assert sorted(wire) == ["drop", "drop", "send"]
+        # No wire event may appear after the first halt of the round.
+        assert r1.index("halt") > max(
+            i for i, k in enumerate(r1) if k in ("send", "drop")
+        )
+        assert r1[-1] == "halt"
+
+    def test_same_round_drop_targets(self):
+        trace = Trace()
+        res = run(path(3), self.Mixed, trace=trace)
+        drops = trace.events_of("drop")
+        # 1 -> 0 (halted in round 0) and 1 -> 2 (halted this round).
+        assert sorted(e.detail[0] for e in drops) == [0, 2]
+        assert all(e.node == 1 for e in drops)
+        assert res.metrics.dropped_messages == 2
+        # 2 -> 1 was delivered: node 1 sees exactly one message in round 2.
+        assert res.outputs[1] == 1

@@ -21,6 +21,22 @@ def test_max_events_cap():
     assert len(t) == 2
 
 
+def test_truncation_is_never_silent():
+    t = Trace(max_events=2)
+    for i in range(5):
+        t.record(i, "send", 0, (1, 8))
+    assert t.dropped_events == 3
+    assert "truncated" in t.render_timeline()
+    assert "3 events" in t.render_timeline()
+
+
+def test_untruncated_trace_reports_zero_dropped():
+    t = Trace(max_events=10)
+    t.record(0, "send", 0, (1, 8))
+    assert t.dropped_events == 0
+    assert "truncated" not in t.render_timeline()
+
+
 def test_event_is_frozen():
     import dataclasses
 
@@ -53,3 +69,13 @@ class TestTimeline:
             t.record(r, "send", 0, (1, 8))
         text = t.render_timeline(max_rounds=3)
         assert "more rounds" in text
+
+    def test_dropped_message_bits_counted_in_round_totals(self):
+        t = Trace()
+        t.record(1, "send", 0, (1, 100))
+        t.record(1, "drop", 2, (0, 50))
+        line = [ln for ln in t.render_timeline().splitlines()
+                if ln.startswith("round 1:")][0]
+        # Dropped messages were charged on the wire: 100 + 50 bits.
+        assert "150 bits" in line
+        assert "1 dropped" in line
