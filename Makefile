@@ -2,13 +2,17 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke experiments examples coverage clean
 
 install:
 	pip install -e .
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Static checks (config in pyproject.toml [tool.ruff]).
+lint:
+	ruff check src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,98 @@
+"""E14 — degradation under unreliable delivery (fault-injection sweep).
+
+The paper's guarantees assume the reliable synchronous model; this
+benchmark measures what Theorem 8 (good nodes) and Luby's MIS are worth
+when that assumption breaks: validity rate, weight retention versus the
+fault-free baseline, and the cost of a resilience sweep through the
+batch engine (the fault plan is part of the cache key, so warm re-runs
+are near-free).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.faults import MessageLoss, composite, resilience_sweep
+from repro.faults.harness import BASELINE
+from repro.graphs import gnp, uniform_weights
+from repro.simulator import run
+from repro.simulator.network import Network
+
+
+def _instance(seed: int = 0):
+    return uniform_weights(gnp(80, 0.06, seed=seed), 1, 20, seed=seed)
+
+
+LOSS_AXIS = [None, MessageLoss(0.02), MessageLoss(0.05), MessageLoss(0.1),
+             MessageLoss(0.2)]
+
+
+@pytest.mark.experiment("E14")
+def test_e14_degradation_curve(benchmark):
+    """The headline sweep: validity and retention vs. loss rate."""
+    graph = _instance()
+
+    def sweep():
+        return resilience_sweep(graph, ["thm8", "mis-luby"], LOSS_AXIS,
+                                trials=5, master_seed=0)
+
+    report = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    base = report.cell("thm8", BASELINE)
+    assert base.valid == base.trials
+    assert base.mean_retention == pytest.approx(1.0)
+    print("\nE14 degradation (valid fraction / weight retention):")
+    print(report.render())
+
+
+@pytest.mark.experiment("E14")
+def test_e14_sweep_cold_vs_warm_cache(tmp_path):
+    """Fault plans key the cache: a warm re-run pays ~nothing."""
+    graph = _instance(seed=1)
+    cache = str(tmp_path / "cache")
+    t0 = time.perf_counter()
+    cold = resilience_sweep(graph, ["mis-luby"], LOSS_AXIS, trials=5,
+                            master_seed=3, cache_dir=cache)
+    cold_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm = resilience_sweep(graph, ["mis-luby"], LOSS_AXIS, trials=5,
+                            master_seed=3, cache_dir=cache)
+    warm_s = time.perf_counter() - t0
+    assert [c.to_doc() for c in warm.cells] == [c.to_doc() for c in cold.cells]
+    assert all(o.cached for o in warm.batch.outcomes)
+    print(f"\nE14 cache: cold {cold_s:.2f}s, warm {warm_s:.2f}s "
+          f"(speedup x{cold_s / max(warm_s, 1e-9):.1f})")
+
+
+@pytest.mark.experiment("E14")
+def test_e14_parallel_sweep_matches_serial(benchmark):
+    graph = _instance(seed=2)
+    jobs = min(4, os.cpu_count() or 1)
+    serial = resilience_sweep(graph, ["mis-luby"], LOSS_AXIS, trials=5,
+                              master_seed=7)
+    parallel = benchmark.pedantic(
+        resilience_sweep,
+        args=(graph, ["mis-luby"], LOSS_AXIS),
+        kwargs={"trials": 5, "master_seed": 7, "n_jobs": jobs},
+        iterations=1,
+        rounds=1,
+    )
+    assert ([c.to_doc() for c in parallel.cells]
+            == [c.to_doc() for c in serial.cells])
+
+
+def test_faulty_run_overhead(benchmark):
+    """Per-run cost of threading delivery through a fault session."""
+    graph = _instance(seed=4)
+    from repro.mis.luby import LubyMIS
+
+    plan = composite(MessageLoss(0.05))
+    net = Network.of(graph)
+    baseline = run(net, LubyMIS, seed=5)
+    res = benchmark(lambda: run(net, LubyMIS, seed=5, faults=plan))
+    assert res.metrics.fault_dropped_messages > 0
+    # Overhead shows up in wall-clock only; accounting stays exact.
+    assert (res.metrics.total_bits
+            == res.metrics.delivered_bits + res.metrics.dropped_bits
+            + res.metrics.fault_dropped_bits)
+    assert baseline.metrics.fault_dropped_messages == 0

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
 from repro.graphs import (
@@ -131,17 +132,75 @@ def _algorithms() -> Dict[str, Callable]:
     }
 
 
+def _fault_plan(args: argparse.Namespace):
+    """Build the composite fault plan from ``--loss/--delay/--dup/--crash``
+    flags (``None`` when no fault flag was given)."""
+    loss = getattr(args, "loss", None)
+    delay = getattr(args, "delay", None)
+    dup = getattr(args, "dup", None)
+    crash = getattr(args, "crash", None)
+    if not (loss or delay or dup or crash):
+        return None
+    from repro.faults import (MessageDelay, MessageDuplication, MessageLoss,
+                              composite, parse_crash_spec)
+
+    plans = []
+    try:
+        if loss:
+            plans.append(MessageLoss(loss))
+        if delay:
+            plans.append(MessageDelay(delay))
+        if dup:
+            plans.append(MessageDuplication(dup))
+        if crash:
+            plans.append(parse_crash_spec(crash))
+    except ValueError as exc:
+        raise SystemExit(f"bad fault flag: {exc}")
+    return composite(*plans)
+
+
+@contextmanager
+def _report_fault_failure(plan, args: argparse.Namespace):
+    """Turn an algorithm crash under injected faults into a clean report."""
+    from repro.exceptions import ReproError
+
+    try:
+        yield
+    except (ReproError, ArithmeticError, LookupError, TypeError,
+            ValueError) as exc:
+        doc = {"algorithm": args.algorithm, "faults": plan.describe(),
+               "failed": True, "error": f"{type(exc).__name__}: {exc}"}
+        if args.json:
+            print(json.dumps(doc, indent=2))
+        else:
+            print(f"algorithm {args.algorithm} failed under "
+                  f"{plan.describe()}: {doc['error']}")
+        raise SystemExit(1)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     graph = parse_graph_spec(args.graph, args.seed)
     graph = parse_weight_spec(args.weights, graph, None if args.seed is None
                               else args.seed + 1)
     algorithms = _algorithms()
+    plan = _fault_plan(args)
 
-    if args.record is not None:
-        from repro.obs import JsonlStreamSink
-        from repro.simulator.instrument import install_sink
+    with ExitStack() as stack:
+        if plan is not None:
+            from repro.simulator.instrument import install_faults
 
-        with JsonlStreamSink(args.record) as sink:
+            stack.enter_context(install_faults(plan))
+            # Under faults an algorithm may fail outright (e.g. a delayed
+            # message from an earlier phase reaching a later-phase handler).
+            # That is a legitimate measurement — report it, don't traceback.
+            stack.enter_context(_report_fault_failure(plan, args))
+        if args.record is not None:
+            from repro.obs import JsonlStreamSink
+            from repro.simulator.instrument import install_sink
+
+            sink = stack.enter_context(JsonlStreamSink(args.record))
             sink.write({
                 "type": "meta",
                 "algorithm": args.algorithm,
@@ -151,6 +210,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "seed": args.seed,
                 "n": graph.n,
                 "m": graph.m,
+                **({"faults": plan.describe()} if plan is not None else {}),
             })
             with install_sink(sink):
                 result = algorithms[args.algorithm](graph, args.eps, args.seed)
@@ -161,12 +221,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 "independent_set_weight": result.weight(graph),
                 "metrics": result.metrics.to_dict(),
             })
-    else:
-        result = algorithms[args.algorithm](graph, args.eps, args.seed)
+        else:
+            result = algorithms[args.algorithm](graph, args.eps, args.seed)
 
-    from repro.core import assert_independent
-
-    assert_independent(graph, result.independent_set)
     payload = {
         "algorithm": args.algorithm,
         "graph": {"n": graph.n, "m": graph.m, "max_degree": graph.max_degree,
@@ -177,6 +234,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         "messages": result.messages,
         "max_message_bits": result.metrics.max_message_bits,
     }
+    if plan is None:
+        from repro.core import assert_independent
+
+        assert_independent(graph, result.independent_set)
+    else:
+        # Under faults independence is a measurement, not an invariant:
+        # report it instead of crashing the command.
+        from repro.core import is_independent
+
+        m = result.metrics
+        payload["faults"] = plan.describe()
+        payload["independent"] = is_independent(graph, result.independent_set)
+        payload["fault_dropped_messages"] = m.fault_dropped_messages
+        payload["fault_delayed_messages"] = m.fault_delayed_messages
+        payload["fault_duplicated_messages"] = m.fault_duplicated_messages
+        payload["crashed_nodes"] = m.crashed_nodes
     if args.show_set:
         payload["independent_set"] = sorted(result.independent_set)
     if args.json:
@@ -302,7 +375,12 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     )
     from repro.simulator.metrics import SpanNode
 
-    records = read_jsonl(args.path)
+    try:
+        records = read_jsonl(args.path)
+    except ValueError as exc:
+        # Truncated or corrupt recording: fail with the offending line,
+        # not a bare JSON traceback.
+        raise SystemExit(str(exc))
     if not records:
         raise SystemExit(f"{args.path}: no records")
 
@@ -339,6 +417,75 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     else:
         print(render_cells(cells))
     return 0
+
+
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    """Degradation sweep: algorithms × fault plans, validity re-checked."""
+    from contextlib import ExitStack
+
+    from repro.faults import (MessageDelay, MessageDuplication, MessageLoss,
+                              composite, parse_crash_spec, resilience_sweep)
+
+    if args.trials < 1:
+        raise SystemExit(f"--trials must be >= 1, got {args.trials}")
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    graph = parse_graph_spec(args.graph, args.seed)
+    graph = parse_weight_spec(args.weights, graph, None if args.seed is None
+                              else args.seed + 1)
+
+    try:
+        loss_rates = [float(x) for x in args.loss.split(",") if x]
+    except ValueError as exc:
+        raise SystemExit(f"bad --loss list {args.loss!r}: {exc}")
+    plans = []
+    try:
+        extra = []
+        if args.delay:
+            extra.append(MessageDelay(args.delay))
+        if args.dup:
+            extra.append(MessageDuplication(args.dup))
+        if args.crash:
+            extra.append(parse_crash_spec(args.crash))
+        for p in loss_rates:
+            stack_plans = ([MessageLoss(p)] if p > 0 else []) + extra
+            plans.append(composite(*stack_plans) if stack_plans else None)
+    except ValueError as exc:
+        raise SystemExit(f"bad fault flag: {exc}")
+
+    algorithms = args.algorithm or ["thm8"]
+    known = sorted(_algorithms())
+    unknown = [a for a in algorithms if a not in known]
+    if unknown:
+        raise SystemExit(f"unknown algorithms {unknown}; known: {known}")
+    params = {a: {"eps": args.eps} for a in algorithms
+              if a in ("thm1", "thm2", "thm3", "thm5")}
+
+    with ExitStack() as stack:
+        sink = None
+        if args.emit_metrics is not None:
+            from repro.obs import JsonlStreamSink
+            from repro.simulator.instrument import install_outcome_emitter
+
+            sink = stack.enter_context(JsonlStreamSink(args.emit_metrics))
+            stack.enter_context(install_outcome_emitter(sink.write))
+        try:
+            report = resilience_sweep(
+                graph, algorithms, plans,
+                trials=args.trials, master_seed=args.seed, n_jobs=args.jobs,
+                cache_dir=args.cache, params=params,
+            )
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        if sink is not None:
+            for doc in report.to_docs():
+                sink.write(doc)
+
+    if args.json:
+        print(json.dumps([c.to_doc() for c in report.cells], indent=2))
+    else:
+        print(report.render())
+    return 1 if report.batch.failures else 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -427,6 +574,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "file (inspect with `repro inspect`)")
     p_run.add_argument("--phases", action="store_true",
                        help="print the per-phase span table after the run")
+    p_run.add_argument("--loss", type=float, default=None, metavar="P",
+                       help="drop each message with probability P")
+    p_run.add_argument("--delay", type=int, default=None, metavar="R",
+                       help="defer each message 0..R extra rounds")
+    p_run.add_argument("--dup", type=float, default=None, metavar="P",
+                       help="duplicate each message with probability P")
+    p_run.add_argument("--crash", default=None, metavar="SPEC",
+                       help="fail-stop schedule, e.g. 3@5,7@10/r20 "
+                            "(node@round, optional /rROUND restart)")
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiments", help="run E1–E13 experiment reports")
@@ -482,6 +638,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument("--json", action="store_true",
                            help="JSON output (sweep format only)")
     p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="degradation sweep over message-loss rates (and optional "
+             "delay/dup/crash faults), validity re-checked per run",
+    )
+    p_res.add_argument("--algorithm", action="append", default=None,
+                       metavar="NAME",
+                       help="algorithm to sweep (repeatable; default thm8)")
+    p_res.add_argument("--graph", default="gnp:60,0.08", help="graph spec")
+    p_res.add_argument("--weights", default="uniform:1,20", help="weight spec")
+    p_res.add_argument("--eps", type=float, default=0.5)
+    p_res.add_argument("--loss", default="0,0.05,0.1,0.2", metavar="P,P,...",
+                       help="comma-separated loss rates (0 = the fault-free "
+                            "baseline)")
+    p_res.add_argument("--delay", type=int, default=None, metavar="R",
+                       help="also defer messages 0..R rounds (non-baseline "
+                            "cells)")
+    p_res.add_argument("--dup", type=float, default=None, metavar="P",
+                       help="also duplicate messages with probability P")
+    p_res.add_argument("--crash", default=None, metavar="SPEC",
+                       help="also fail-stop nodes, e.g. 3@5,7@10/r20")
+    p_res.add_argument("--trials", type=int, default=5,
+                       help="independent seeds per (algorithm, plan) cell")
+    p_res.add_argument("--seed", type=int, default=0,
+                       help="master seed; per-trial seeds are derived from it")
+    p_res.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    p_res.add_argument("--cache", default=None, metavar="DIR",
+                       help="on-disk result cache")
+    p_res.add_argument("--emit-metrics", default=None, metavar="PATH",
+                       help="write per-job + per-cell JSONL records "
+                            "(aggregate with `repro inspect --format sweep`)")
+    p_res.add_argument("--json", action="store_true", help="JSON output")
+    p_res.set_defaults(func=_cmd_resilience)
 
     p_verify = sub.add_parser(
         "verify", help="run an algorithm and certify its guarantee"

@@ -1,0 +1,45 @@
+"""Fault injection for the CONGEST/LOCAL simulator.
+
+The paper assumes perfectly reliable synchronous delivery; this package
+relaxes that assumption deterministically.  :mod:`repro.faults.plans`
+defines the fault vocabulary — message loss, bounded delay, duplication,
+fail-stop crashes, and composites — and :mod:`repro.faults.harness`
+measures how the algorithm stack degrades under it.
+
+Entry points: ``run(..., faults=plan)``, the ambient
+:func:`repro.simulator.instrument.install_faults` registry, and the
+``repro run --loss/--delay/--dup/--crash`` / ``repro resilience`` CLI.
+See ``docs/faults.md`` for the fault model and determinism contract.
+"""
+
+from repro.faults.plans import (CompositeFaults, CrashSchedule, FaultPlan,
+                                FaultSession, MessageDelay,
+                                MessageDuplication, MessageLoss, composite,
+                                fault_generator, parse_crash_spec)
+
+__all__ = [
+    "FaultPlan",
+    "MessageLoss",
+    "MessageDelay",
+    "MessageDuplication",
+    "CrashSchedule",
+    "CompositeFaults",
+    "composite",
+    "FaultSession",
+    "fault_generator",
+    "parse_crash_spec",
+    "ResilienceCell",
+    "ResilienceReport",
+    "resilience_sweep",
+]
+
+
+def __getattr__(name: str):
+    # The harness pulls in the batch engine and the verification stack;
+    # keep `import repro.faults` (what the runner's fault path triggers)
+    # free of that weight until a resilience sweep actually runs.
+    if name in ("ResilienceCell", "ResilienceReport", "resilience_sweep"):
+        from repro.faults import harness
+
+        return getattr(harness, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

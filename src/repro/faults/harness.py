@@ -1,0 +1,242 @@
+"""Resilience harness: what the paper's guarantees are worth on a bad
+network.
+
+The theorems certify outputs under perfectly reliable delivery; this
+module *measures* what survives when delivery is not reliable.  For each
+``(algorithm, fault plan)`` cell of a sweep it re-validates the returned
+sets from scratch — is the output still an independent set at all? what
+fraction of the fault-free weight does it retain? — and reports
+degradation curves over the plan axis.
+
+Everything runs through the batch engine, so sweeps parallelise, memoize
+(the fault plan is part of the cache key via
+:attr:`~repro.simulator.batch.BatchJob.algorithm_name`), and emit
+per-job JSONL through the ambient outcome emitters exactly like
+``repro sweep``.  Determinism: all cells of one sweep share the same
+per-trial seed list derived from ``master_seed``, so the baseline and
+every faulted variant of trial ``i`` run the algorithm on identical
+private coins — the *only* difference is the injected faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.verify import is_independent
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.simulator.batch import (BatchJob, BatchResult, batch_run,
+                                   derive_job_seeds)
+from repro.simulator.models import BandwidthPolicy
+
+from repro.faults.plans import FaultPlan
+
+__all__ = ["ResilienceCell", "ResilienceReport", "resilience_sweep"]
+
+BASELINE = "none"  # plan label of the fault-free reference cell
+
+
+@dataclass(frozen=True)
+class ResilienceCell:
+    """Degradation summary of one ``(algorithm, fault plan)`` cell."""
+
+    algorithm: str
+    plan: str                   # FaultPlan.describe(), or ``"none"``
+    trials: int
+    ok: int                     # jobs that completed without raising
+    failed: int                 # jobs that raised (incl. round-limit)
+    valid: int                  # completed outputs that are independent
+    mean_weight: float          # over valid outputs
+    mean_retention: float       # valid weight / baseline weight, per seed
+    p50_rounds: float
+    mean_fault_drops: float
+    mean_crashes: float
+
+    @property
+    def valid_fraction(self) -> float:
+        return self.valid / self.trials if self.trials else 0.0
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "type": "resilience_cell",
+            "algorithm": self.algorithm,
+            "plan": self.plan,
+            "trials": self.trials,
+            "ok": self.ok,
+            "failed": self.failed,
+            "valid": self.valid,
+            "valid_fraction": self.valid_fraction,
+            "mean_weight": self.mean_weight,
+            "mean_retention": self.mean_retention,
+            "p50_rounds": self.p50_rounds,
+            "mean_fault_drops": self.mean_fault_drops,
+            "mean_crashes": self.mean_crashes,
+        }
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """All cells of one sweep plus the raw batch result."""
+
+    cells: Tuple[ResilienceCell, ...]
+    batch: BatchResult
+    master_seed: Optional[int]
+    trials: int
+
+    def cell(self, algorithm: str, plan: str) -> ResilienceCell:
+        for c in self.cells:
+            if c.algorithm == algorithm and c.plan == plan:
+                return c
+        raise KeyError(f"no cell ({algorithm!r}, {plan!r})")
+
+    def to_docs(self) -> List[Dict[str, Any]]:
+        docs: List[Dict[str, Any]] = [{
+            "type": "resilience",
+            "master_seed": self.master_seed,
+            "trials": self.trials,
+            "cells": len(self.cells),
+        }]
+        docs.extend(c.to_doc() for c in self.cells)
+        return docs
+
+    def render(self) -> str:
+        """The degradation table the CLI prints."""
+        header = (f"{'algorithm':<18}  {'faults':<24}  {'trials':>6}  "
+                  f"{'ok':>4}  {'valid':>5}  {'retention':>9}  "
+                  f"{'p50 rounds':>10}  {'lost/run':>9}")
+        lines = [header, "-" * len(header)]
+        for c in self.cells:
+            lines.append(
+                f"{c.algorithm:<18}  {c.plan:<24}  {c.trials:>6}  "
+                f"{c.ok:>4}  {c.valid:>5}  {c.mean_retention:>8.1%}  "
+                f"{c.p50_rounds:>10.1f}  {c.mean_fault_drops:>9.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _percentile(values: List[float], q: float) -> float:
+    from repro.obs.aggregate import percentile
+    return percentile(values, q)
+
+
+def resilience_sweep(
+    graph: WeightedGraph,
+    algorithms: Sequence[str],
+    plans: Sequence[Optional[FaultPlan]],
+    *,
+    trials: int = 5,
+    master_seed: Optional[int] = 0,
+    n_jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    policy: Optional[BandwidthPolicy] = None,
+    params: Optional[Dict[str, Dict[str, Any]]] = None,
+) -> ResilienceReport:
+    """Measure each algorithm's degradation across a fault-plan axis.
+
+    Args:
+        graph: the instance every cell runs on.
+        algorithms: batch-registry names (``"thm2"``, ``"thm8"``, ...).
+        plans: the fault axis; ``None`` entries mean the fault-free
+            baseline.  A baseline is always included (prepended if
+            missing) because retention is measured against it.
+        trials: independent seeds per cell.  Every cell uses the *same*
+            seed list, so the baseline and each faulted variant of trial
+            ``i`` differ only in the injected faults.
+        master_seed: root of the per-trial seed derivation.
+        n_jobs / cache_dir / policy: forwarded to
+            :func:`~repro.simulator.batch.batch_run`.
+        params: optional per-algorithm keyword arguments,
+            ``{algorithm_name: {kwarg: value}}``.
+
+    Returns:
+        A :class:`ResilienceReport`; cells appear in
+        ``algorithms × plans`` order, baseline plan first.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not algorithms:
+        raise ValueError("no algorithms given")
+    plan_axis: List[Optional[FaultPlan]] = list(plans)
+    if not any(p is None for p in plan_axis):
+        plan_axis.insert(0, None)
+    seen_plans = set()
+    for p in plan_axis:
+        desc = BASELINE if p is None else p.describe()
+        if desc in seen_plans:
+            raise ValueError(f"duplicate fault plan {desc!r} in sweep")
+        seen_plans.add(desc)
+
+    seeds = derive_job_seeds(master_seed, trials)
+    params = params or {}
+
+    jobs: List[BatchJob] = []
+    index_of: Dict[Tuple[str, str, int], int] = {}
+    for name in algorithms:
+        for plan in plan_axis:
+            desc = BASELINE if plan is None else plan.describe()
+            for t, seed in enumerate(seeds):
+                index_of[(name, desc, t)] = len(jobs)
+                jobs.append(BatchJob(
+                    graph=graph,
+                    algorithm=name,
+                    seed=seed,
+                    params=dict(params.get(name, {})),
+                    label=f"{desc}#t{t}",
+                    faults=plan,
+                ))
+
+    batch = batch_run(jobs, master_seed=master_seed, n_jobs=n_jobs,
+                      cache_dir=cache_dir, policy=policy)
+
+    cells: List[ResilienceCell] = []
+    for name in algorithms:
+        baseline_weight: Dict[int, float] = {}
+        for t in range(trials):
+            o = batch.outcomes[index_of[(name, BASELINE, t)]]
+            if o.ok:
+                baseline_weight[t] = o.weight
+        for plan in plan_axis:
+            desc = BASELINE if plan is None else plan.describe()
+            ok = failed = valid = 0
+            weights: List[float] = []
+            retentions: List[float] = []
+            rounds: List[float] = []
+            drops: List[float] = []
+            crashes: List[float] = []
+            for t in range(trials):
+                o = batch.outcomes[index_of[(name, desc, t)]]
+                if not o.ok:
+                    failed += 1
+                    continue
+                ok += 1
+                if o.metrics is not None:
+                    rounds.append(float(o.metrics.rounds))
+                    drops.append(float(o.metrics.fault_dropped_messages))
+                    crashes.append(float(o.metrics.crashed_nodes))
+                # Re-validate from scratch: under faults an algorithm may
+                # return a set that is not independent at all (e.g. a lost
+                # MIS announcement lets two neighbours both join).
+                if not is_independent(graph, o.independent_set):
+                    continue
+                valid += 1
+                weights.append(o.weight)
+                base = baseline_weight.get(t)
+                if base is not None and base > 0:
+                    retentions.append(o.weight / base)
+            cells.append(ResilienceCell(
+                algorithm=name,
+                plan=desc,
+                trials=trials,
+                ok=ok,
+                failed=failed,
+                valid=valid,
+                mean_weight=sum(weights) / len(weights) if weights else 0.0,
+                mean_retention=(sum(retentions) / len(retentions)
+                                if retentions else 0.0),
+                p50_rounds=_percentile(rounds, 50),
+                mean_fault_drops=sum(drops) / len(drops) if drops else 0.0,
+                mean_crashes=sum(crashes) / len(crashes) if crashes else 0.0,
+            ))
+
+    return ResilienceReport(cells=tuple(cells), batch=batch,
+                            master_seed=master_seed, trials=trials)

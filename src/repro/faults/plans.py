@@ -1,0 +1,377 @@
+"""Deterministic fault plans: what can go wrong on the wire, and when.
+
+The paper's model (§3) assumes perfectly reliable synchronous delivery —
+every message queued in round ``r`` arrives in round ``r + 1``.  A
+:class:`FaultPlan` relaxes exactly that assumption while keeping the
+execution *round-synchronous and reproducible*: messages may be lost,
+deferred to a later round, duplicated, and nodes may fail-stop (and
+optionally come back), but the whole fault pattern is a pure function of
+``(master seed, plan)``.
+
+Determinism contract
+--------------------
+
+All fault randomness is drawn from one dedicated stream spawned from the
+run's master seed (:func:`fault_generator`), on a spawn key disjoint from
+every per-node stream.  Consequences:
+
+* the same ``seed`` + the same plan reproduce the same faulted execution,
+  message for message;
+* node programs see exactly the same private coins they would see in a
+  fault-free run — faults perturb *delivery*, never the algorithm's own
+  randomness;
+* a run with ``faults=None`` never touches the stream, so fault-free runs
+  are byte-identical to a build without this module.
+
+Plans compose with :func:`composite`: each sub-plan transforms the
+multiset of scheduled deliveries of a message in order (loss filters,
+delay shifts, duplication forks), and crash schedules union.  Plans are
+immutable, stateless and picklable, so the batch engine ships them to
+worker processes unchanged; per-run state lives in the
+:class:`FaultSession` the runner opens via :meth:`FaultPlan.begin`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "MessageLoss",
+    "MessageDelay",
+    "MessageDuplication",
+    "CrashSchedule",
+    "CompositeFaults",
+    "composite",
+    "FaultSession",
+    "fault_generator",
+    "parse_crash_spec",
+]
+
+SeedLike = Union[int, None, np.random.SeedSequence]
+
+# Spawn-key component of the fault stream.  Per-node streams occupy keys
+# 0 .. n-1 under the same root; this constant keeps the fault stream
+# disjoint from them for any conceivable network size.
+_FAULT_SPAWN_KEY = 0x666C7479  # "flty"
+
+
+def fault_generator(seed: SeedLike) -> np.random.Generator:
+    """The dedicated fault RNG for a run seeded with ``seed``.
+
+    Derived from the same entropy as the per-node streams but on spawn
+    key ``(_FAULT_SPAWN_KEY,)``, so it is statistically independent of
+    every node's private coins and never perturbs them.
+    """
+    base = (seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed))
+    ss = np.random.SeedSequence(
+        entropy=base.entropy,
+        spawn_key=tuple(base.spawn_key) + (_FAULT_SPAWN_KEY,),
+    )
+    return np.random.default_rng(ss)
+
+
+class FaultPlan:
+    """Base class of all fault plans.
+
+    A plan is an immutable description; :meth:`begin` opens the mutable
+    per-run :class:`FaultSession` the runner consults.  Subclasses
+    override :meth:`transform` (message fates) and/or :meth:`crash_spec`
+    (fail-stop schedule), plus :meth:`describe` (the stable string used
+    in cache keys and emitted records).
+    """
+
+    def transform(self, delays: Tuple[int, ...],
+                  rng: np.random.Generator) -> Tuple[int, ...]:
+        """Map the scheduled delivery delays of one message to new ones.
+
+        The input starts as ``(0,)`` (one copy, delivered next round);
+        an empty result means the message is lost.  Implementations must
+        draw from ``rng`` in a deterministic per-copy order.
+        """
+        return delays
+
+    def crash_spec(self) -> Dict[int, Tuple[int, Optional[int]]]:
+        """``{node: (crash_round, restart_round_or_None)}`` of this plan."""
+        return {}
+
+    def describe(self) -> str:
+        """Stable, human-readable identity (cache keys, JSONL records)."""
+        raise NotImplementedError
+
+    def begin(self, rng: np.random.Generator) -> "FaultSession":
+        """Open the per-run session driven by ``rng``."""
+        return FaultSession(plans=(self,), rng=rng,
+                            crashes=self.crash_spec())
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class MessageLoss(FaultPlan):
+    """Drop each message copy independently with probability ``p``."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {self.p}")
+
+    def transform(self, delays, rng):
+        if self.p <= 0.0:
+            return delays
+        return tuple(d for d in delays if rng.random() >= self.p)
+
+    def describe(self) -> str:
+        return f"loss({self.p:g})"
+
+
+@dataclass(frozen=True, repr=False)
+class MessageDelay(FaultPlan):
+    """Defer each copy by a uniform 0..``max_rounds`` extra rounds.
+
+    Delivery stays round-synchronous: a message queued in round ``r``
+    with drawn delay ``d`` arrives at the start of round ``r + 1 + d``.
+    ``p`` is the probability a copy is delayed at all (default: every
+    copy draws a delay).
+    """
+
+    max_rounds: int
+    p: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 0:
+            raise ValueError(f"max_rounds must be >= 0, got {self.max_rounds}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"delay probability must be in [0, 1], got {self.p}")
+
+    def transform(self, delays, rng):
+        if self.max_rounds == 0 or self.p <= 0.0:
+            return delays
+        out = []
+        for d in delays:
+            if self.p >= 1.0 or rng.random() < self.p:
+                d += int(rng.integers(0, self.max_rounds + 1))
+            out.append(d)
+        return tuple(out)
+
+    def describe(self) -> str:
+        suffix = "" if self.p >= 1.0 else f",p={self.p:g}"
+        return f"delay({self.max_rounds}{suffix})"
+
+
+@dataclass(frozen=True, repr=False)
+class MessageDuplication(FaultPlan):
+    """With probability ``p`` deliver an extra copy one round later."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"dup probability must be in [0, 1], got {self.p}")
+
+    def transform(self, delays, rng):
+        if self.p <= 0.0:
+            return delays
+        out = []
+        for d in delays:
+            out.append(d)
+            if rng.random() < self.p:
+                out.append(d + 1)
+        return tuple(out)
+
+    def describe(self) -> str:
+        return f"dup({self.p:g})"
+
+
+@dataclass(frozen=True, repr=False)
+class CrashSchedule(FaultPlan):
+    """Fail-stop nodes at chosen rounds, optionally restarting later.
+
+    ``crashes`` maps node id → the first round the node is *down* (it
+    does not execute that round, sends nothing, and messages delivered
+    to it while down are lost).  ``restarts`` optionally maps node id →
+    the round it resumes executing, with its program state preserved —
+    modelling a pause/partition rather than amnesia.  A node without a
+    restart is removed from the run; it never halts and its output stays
+    ``None``.
+    """
+
+    crashes: Mapping[int, int] = field(default_factory=dict)
+    restarts: Mapping[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Freeze to plain dicts for hashing/pickling stability.
+        object.__setattr__(self, "crashes", dict(self.crashes))
+        object.__setattr__(self, "restarts", dict(self.restarts))
+        for v, r in self.crashes.items():
+            if r < 1:
+                raise ValueError(f"crash round for node {v} must be >= 1, got {r}")
+        for v, r in self.restarts.items():
+            if v not in self.crashes:
+                raise ValueError(f"restart for node {v} without a crash")
+            if r <= self.crashes[v]:
+                raise ValueError(
+                    f"node {v} restarts at round {r} but crashes at "
+                    f"{self.crashes[v]}; restart must come strictly later"
+                )
+
+    def crash_spec(self):
+        return {v: (r, self.restarts.get(v)) for v, r in self.crashes.items()}
+
+    def describe(self) -> str:
+        parts = []
+        for v in sorted(self.crashes):
+            restart = self.restarts.get(v)
+            parts.append(f"{v}@{self.crashes[v]}"
+                         + (f"/r{restart}" if restart is not None else ""))
+        return f"crash({','.join(parts)})"
+
+
+@dataclass(frozen=True, repr=False)
+class CompositeFaults(FaultPlan):
+    """Stack several plans: fates fold left-to-right, crashes union."""
+
+    plans: Tuple[FaultPlan, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "plans", tuple(self.plans))
+        seen: Dict[int, str] = {}
+        for plan in self.plans:
+            for v in plan.crash_spec():
+                if v in seen:
+                    raise ValueError(
+                        f"node {v} appears in two crash schedules "
+                        f"({seen[v]} and {plan.describe()})"
+                    )
+                seen[v] = plan.describe()
+
+    def transform(self, delays, rng):
+        for plan in self.plans:
+            delays = plan.transform(delays, rng)
+            if not delays:
+                break
+        return delays
+
+    def crash_spec(self):
+        merged: Dict[int, Tuple[int, Optional[int]]] = {}
+        for plan in self.plans:
+            merged.update(plan.crash_spec())
+        return merged
+
+    def describe(self) -> str:
+        return "+".join(p.describe() for p in self.plans) or "none"
+
+
+def composite(*plans: FaultPlan) -> FaultPlan:
+    """Stack plans into one; a single plan passes through unchanged."""
+    flat = []
+    for plan in plans:
+        if isinstance(plan, CompositeFaults):
+            flat.extend(plan.plans)
+        else:
+            flat.append(plan)
+    if len(flat) == 1:
+        return flat[0]
+    return CompositeFaults(tuple(flat))
+
+
+class FaultSession:
+    """Per-run fault state: the RNG cursor plus the crash timetable.
+
+    Opened by the runner via :meth:`FaultPlan.begin`; never shared
+    between runs (each ``run()`` derives a fresh one from its own seed).
+    """
+
+    __slots__ = ("_plans", "_rng", "_crashes")
+
+    def __init__(self, plans: Sequence[FaultPlan], rng: np.random.Generator,
+                 crashes: Mapping[int, Tuple[int, Optional[int]]]):
+        self._plans = tuple(plans)
+        self._rng = rng
+        self._crashes = dict(crashes)
+
+    def message_fate(self, round_index: int, sender: int,
+                     receiver: int) -> Tuple[int, ...]:
+        """Delivery delays of every surviving copy of one message.
+
+        ``()`` means the message is lost; a value ``d`` schedules a copy
+        for round ``round_index + 1 + d``.  Consumes the fault stream in
+        message order, which the runner keeps deterministic.
+        """
+        delays: Tuple[int, ...] = (0,)
+        for plan in self._plans:
+            delays = plan.transform(delays, self._rng)
+            if not delays:
+                return ()
+        return delays
+
+    # -------------------------------------------------------------- #
+    # crash timetable (static: decidable at send time)
+    # -------------------------------------------------------------- #
+
+    def down_at(self, node: int, round_index: int) -> bool:
+        """Is ``node`` failed during ``round_index``?"""
+        spec = self._crashes.get(node)
+        if spec is None:
+            return False
+        crash, restart = spec
+        if round_index < crash:
+            return False
+        return restart is None or round_index < restart
+
+    def never_returns(self, node: int, round_index: int) -> bool:
+        """Down at ``round_index`` with no restart ever coming."""
+        spec = self._crashes.get(node)
+        if spec is None:
+            return False
+        crash, restart = spec
+        return round_index >= crash and restart is None
+
+    def crashed_this_round(self, round_index: int) -> Tuple[int, ...]:
+        """Nodes whose down-time starts exactly at ``round_index``."""
+        return tuple(sorted(
+            v for v, (crash, _restart) in self._crashes.items()
+            if crash == round_index
+        ))
+
+    def restarted_this_round(self, round_index: int) -> Tuple[int, ...]:
+        """Nodes resuming execution exactly at ``round_index``."""
+        return tuple(sorted(
+            v for v, (_crash, restart) in self._crashes.items()
+            if restart == round_index
+        ))
+
+    @property
+    def has_crashes(self) -> bool:
+        return bool(self._crashes)
+
+
+def parse_crash_spec(spec: str) -> CrashSchedule:
+    """Parse the CLI crash syntax ``node@round[/rROUND][,...]``.
+
+    Example: ``"3@5,7@10/r20"`` — node 3 fails at round 5 forever, node 7
+    is down from round 10 and resumes at round 20.
+    """
+    crashes: Dict[int, int] = {}
+    restarts: Dict[int, int] = {}
+    for part in (p for p in spec.split(",") if p):
+        try:
+            node_str, _, when = part.partition("@")
+            round_str, _, restart_str = when.partition("/")
+            node = int(node_str)
+            crashes[node] = int(round_str)
+            if restart_str:
+                if not restart_str.startswith("r"):
+                    raise ValueError(f"bad restart suffix {restart_str!r}")
+                restarts[node] = int(restart_str[1:])
+        except ValueError as exc:
+            raise ValueError(
+                f"bad crash spec {part!r} (want node@round[/rROUND]): {exc}"
+            ) from exc
+    return CrashSchedule(crashes=crashes, restarts=restarts)

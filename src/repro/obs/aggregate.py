@@ -106,13 +106,33 @@ def aggregate_jobs(
 
 
 def read_jsonl(path: str) -> List[Dict[str, Any]]:
-    """All records of a JSONL file (blank lines skipped)."""
+    """All records of a JSONL file (blank lines skipped).
+
+    A malformed or truncated line — e.g. a recording cut off mid-write —
+    raises :class:`ValueError` naming the file and line number, instead
+    of surfacing a bare ``json.JSONDecodeError`` with no file context.
+    Records that parse but are not JSON objects are rejected the same
+    way.
+    """
     records = []
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
-                records.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed JSONL record "
+                    f"(truncated write?): {exc}"
+                ) from exc
+            if not isinstance(doc, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: expected a JSON object per line, "
+                    f"got {type(doc).__name__}"
+                )
+            records.append(doc)
     return records
 
 

@@ -58,6 +58,11 @@ def chrome_trace(span: SpanNode, *, pid: int = 0) -> Dict[str, Any]:
                 "dropped_bits": node.dropped_bits,
                 "wall_seconds": node.wall_seconds,
                 "mode": node.mode,
+                **({"fault_dropped_messages": node.fault_dropped_messages,
+                    "fault_dropped_bits": node.fault_dropped_bits,
+                    "fault_delayed_messages": node.fault_delayed_messages,
+                    "fault_duplicated_messages": node.fault_duplicated_messages}
+                   if any(node.fault_counts) else {}),
             },
         })
         cursor = start
@@ -77,11 +82,17 @@ def chrome_trace(span: SpanNode, *, pid: int = 0) -> Dict[str, Any]:
 
 
 def phase_rows(span: SpanNode) -> List[Dict[str, Any]]:
-    """Flatten the tree into table rows (depth-first, indented names)."""
+    """Flatten the tree into table rows (depth-first, indented names).
+
+    Fault columns (lost / delayed / duplicated) appear only when the run
+    actually injected faults, so fault-free tables render exactly as
+    before.
+    """
     total_rounds = max(span.rounds, 1)
+    faulty = any(any(node.fault_counts) for node, _ in span.walk())
     rows = []
     for node, depth in span.walk():
-        rows.append({
+        row = {
             "phase": "  " * depth + node.name,
             "mode": node.mode if depth else "-",
             "rounds": node.rounds,
@@ -89,8 +100,14 @@ def phase_rows(span: SpanNode) -> List[Dict[str, Any]]:
             "messages": node.messages,
             "bits": node.total_bits,
             "dropped": node.dropped_messages,
-            "wall_s": f"{node.wall_seconds:.4f}" if node.wall_seconds else "-",
-        })
+        }
+        if faulty:
+            row["lost"] = node.fault_dropped_messages
+            row["delayed"] = node.fault_delayed_messages
+            row["duped"] = node.fault_duplicated_messages
+        row["wall_s"] = (f"{node.wall_seconds:.4f}"
+                         if node.wall_seconds else "-")
+        rows.append(row)
     return rows
 
 
@@ -143,6 +160,21 @@ def rows_from_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
                 r["bits"] += int(rec["detail"][1])
             elif e_kind == "halt":
                 r["halts"] += 1
+            elif e_kind == "fault_drop":
+                # Fault keys appear only in faulted recordings, keeping
+                # fault-free rows shaped exactly as before.
+                r["fault_drops"] = r.get("fault_drops", 0) + 1
+                r["bits"] += int(rec["detail"][1])
+            elif e_kind == "fault_delay":
+                r["fault_delays"] = r.get("fault_delays", 0) + 1
+            elif e_kind == "fault_dup":
+                r["fault_dups"] = r.get("fault_dups", 0) + 1
+                r["messages"] += 1
+                r["bits"] += int(rec["detail"][1])
+            elif e_kind == "crash":
+                r["crashes"] = r.get("crashes", 0) + 1
+            elif e_kind == "restart":
+                r["restarts"] = r.get("restarts", 0) + 1
         elif kind == "round_profile":
             r = row(int(rec.get("round", 0)))
             r["compute_seconds"] += float(rec.get("compute_seconds", 0.0))
@@ -162,6 +194,16 @@ def render_round_timeline(rows: List[Dict[str, Any]],
                  f"{row['messages']} msgs ({row['bits']} bits)"]
         if row.get("drops"):
             parts.append(f"{row['drops']} dropped")
+        if row.get("fault_drops"):
+            parts.append(f"{row['fault_drops']} lost")
+        if row.get("fault_delays"):
+            parts.append(f"{row['fault_delays']} delayed")
+        if row.get("fault_dups"):
+            parts.append(f"{row['fault_dups']} duplicated")
+        if row.get("crashes"):
+            parts.append(f"{row['crashes']} crashed")
+        if row.get("restarts"):
+            parts.append(f"{row['restarts']} restarted")
         if row.get("halts"):
             parts.append(f"{row['halts']} halted")
         wall = row.get("compute_seconds", 0.0) + row.get("delivery_seconds", 0.0)

@@ -90,6 +90,9 @@ class RoundSeriesSink:
             "round": round_index,
             "messages": 0, "bits": 0, "drops": 0, "dropped_bits": 0,
             "halts": 0,
+            "fault_drops": 0, "fault_dropped_bits": 0,
+            "fault_delays": 0, "fault_dups": 0,
+            "crashes": 0, "restarts": 0,
             "compute_seconds": 0.0, "delivery_seconds": 0.0,
             "active_nodes": 0,
         })
@@ -106,6 +109,20 @@ class RoundSeriesSink:
             row["bits"] += detail[1]  # charged on the wire, like sends
         elif kind == "halt":
             row["halts"] += 1
+        elif kind == "fault_drop":
+            row["fault_drops"] += 1
+            row["fault_dropped_bits"] += detail[1]
+            row["bits"] += detail[1]  # charged on the wire, never read
+        elif kind == "fault_delay":
+            row["fault_delays"] += 1
+        elif kind == "fault_dup":
+            row["fault_dups"] += 1
+            row["messages"] += 1
+            row["bits"] += detail[1]  # an injected copy is a real message
+        elif kind == "crash":
+            row["crashes"] += 1
+        elif kind == "restart":
+            row["restarts"] += 1
 
     def on_round_profile(self, profile: RoundProfile) -> None:
         row = self._row(profile.round_index)

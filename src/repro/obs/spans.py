@@ -67,6 +67,10 @@ def _node_from(metrics: RunMetrics, name: str, *, wall_seconds: float = 0.0,
         wall_seconds=wall_seconds,
         mode=mode,
         children=children,
+        fault_dropped_messages=metrics.fault_dropped_messages,
+        fault_dropped_bits=metrics.fault_dropped_bits,
+        fault_delayed_messages=metrics.fault_delayed_messages,
+        fault_duplicated_messages=metrics.fault_duplicated_messages,
     )
 
 
@@ -87,6 +91,12 @@ def leaf_metrics(metrics: RunMetrics, name: str,
         dropped_bits=metrics.dropped_bits,
         violations=list(metrics.violations),
         span=_node_from(metrics, name, wall_seconds=wall_seconds),
+        fault_dropped_messages=metrics.fault_dropped_messages,
+        fault_dropped_bits=metrics.fault_dropped_bits,
+        fault_delayed_messages=metrics.fault_delayed_messages,
+        fault_duplicated_messages=metrics.fault_duplicated_messages,
+        crashed_nodes=metrics.crashed_nodes,
+        restarted_nodes=metrics.restarted_nodes,
     )
 
 
@@ -154,6 +164,12 @@ class span:
             dropped_bits=m.dropped_bits,
             violations=list(m.violations),
             span=self.node if self.node is not None else self._build(),
+            fault_dropped_messages=m.fault_dropped_messages,
+            fault_dropped_bits=m.fault_dropped_bits,
+            fault_delayed_messages=m.fault_delayed_messages,
+            fault_duplicated_messages=m.fault_duplicated_messages,
+            crashed_nodes=m.crashed_nodes,
+            restarted_nodes=m.restarted_nodes,
         )
 
 
@@ -164,6 +180,7 @@ def _fold_children(node: SpanNode) -> RunMetrics:
     cursor = 0          # end of the sequential schedule so far
     prev_start = 0      # where the previous sibling started
     messages = bits = drops = drop_bits = 0
+    f_drops = f_drop_bits = f_delays = f_dups = 0
     for child in node.children:
         start = prev_start if child.mode == "par" else cursor
         prev_start = start
@@ -172,11 +189,19 @@ def _fold_children(node: SpanNode) -> RunMetrics:
         bits += child.total_bits
         drops += child.dropped_messages
         drop_bits += child.dropped_bits
+        f_drops += child.fault_dropped_messages
+        f_drop_bits += child.fault_dropped_bits
+        f_delays += child.fault_delayed_messages
+        f_dups += child.fault_duplicated_messages
     acc.rounds = cursor
     acc.messages = messages
     acc.total_bits = bits
     acc.dropped_messages = drops
     acc.dropped_bits = drop_bits
+    acc.fault_dropped_messages = f_drops
+    acc.fault_dropped_bits = f_drop_bits
+    acc.fault_delayed_messages = f_delays
+    acc.fault_duplicated_messages = f_dups
     return acc
 
 
@@ -201,9 +226,9 @@ def check_span(node: SpanNode) -> None:
             continue
         fold = _fold_children(sub)
         got = (sub.rounds, sub.messages, sub.total_bits,
-               sub.dropped_messages, sub.dropped_bits)
+               sub.dropped_messages, sub.dropped_bits) + sub.fault_counts
         want = (fold.rounds, fold.messages, fold.total_bits,
-                fold.dropped_messages, fold.dropped_bits)
+                fold.dropped_messages, fold.dropped_bits) + fold.fault_counts[:4]
         assert got == want, (
             f"span {sub.name!r}: totals {got} != children fold {want}"
         )

@@ -13,6 +13,8 @@ from repro.simulator.batch import (
 from repro.simulator.context import NodeContext
 from repro.simulator.instrument import (
     RoundProfile,
+    ambient_fault_plan,
+    install_faults,
     install_outcome_emitter,
     install_sink,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "derive_job_seeds",
     "NodeContext",
     "RoundProfile",
+    "ambient_fault_plan",
+    "install_faults",
     "install_outcome_emitter",
     "install_sink",
     "payload_bits",

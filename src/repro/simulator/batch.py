@@ -37,7 +37,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graphs.weighted_graph import WeightedGraph
-from repro.simulator.instrument import outcome_emitters
+from repro.simulator.instrument import install_faults, outcome_emitters
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.models import BandwidthPolicy
 
@@ -150,13 +150,26 @@ class BatchJob:
     seed: Optional[int] = None
     params: Dict[str, Any] = field(default_factory=dict)
     label: str = ""
+    # Optional repro.faults.FaultPlan, installed ambiently around the
+    # job's execution so every inner run() of a composed algorithm sees
+    # it.  Duck-typed (anything with describe()/begin()) to keep this
+    # module import-independent of the faults package.
+    faults: Optional[Any] = None
 
     @property
     def algorithm_name(self) -> str:
         if isinstance(self.algorithm, str):
-            return self.algorithm
-        fn = self.algorithm
-        return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+            name = self.algorithm
+        else:
+            fn = self.algorithm
+            name = (f"{getattr(fn, '__module__', '?')}."
+                    f"{getattr(fn, '__qualname__', repr(fn))}")
+        if self.faults is not None:
+            # The fault plan is part of the algorithm's identity: sweeps
+            # aggregate per (algorithm, fault plan) cell, and the cache
+            # must never serve a faulted run for a fault-free request.
+            name = f"{name}+{self.faults.describe()}"
+        return name
 
 
 @dataclass(frozen=True)
@@ -392,6 +405,19 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
                     f"known: {sorted(registry)}"
                 )
             fn = registry[job.algorithm]
+        else:
+            fn = None
+        if job.faults is not None:
+            # Ambient installation reaches every inner run() of composed
+            # algorithms; works identically in workers (the plan pickles
+            # with the job) and in-process.
+            with install_faults(job.faults):
+                if fn is not None:
+                    result = fn(job.graph, seed=seed, policy=policy,
+                                **job.params)
+                else:
+                    result = job.algorithm(job.graph, seed=seed, **job.params)
+        elif fn is not None:
             result = fn(job.graph, seed=seed, policy=policy, **job.params)
         else:
             result = job.algorithm(job.graph, seed=seed, **job.params)

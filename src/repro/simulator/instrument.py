@@ -27,6 +27,14 @@ start with an empty one.
 batch engine — each finished :class:`~repro.simulator.batch.JobOutcome`
 is offered to the installed emitters as a JSON-compatible dict (what
 ``repro sweep --emit-metrics`` writes).
+
+:func:`install_faults` is the ambient hook for fault injection
+(:mod:`repro.faults`): every ``run()`` started inside the block that was
+not given an explicit ``faults=`` argument uses the innermost installed
+plan.  This is how the CLI subjects *composed* algorithms (``theorem2``
+runs many inner protocols) to one fault plan without changing their
+signatures.  As with sinks, the registry is per-process and batch
+workers re-install it from the job description.
 """
 
 from __future__ import annotations
@@ -42,6 +50,8 @@ __all__ = [
     "gather_sinks",
     "install_outcome_emitter",
     "outcome_emitters",
+    "install_faults",
+    "ambient_fault_plan",
 ]
 
 
@@ -116,3 +126,22 @@ def install_outcome_emitter(
 
 def outcome_emitters() -> Tuple[Callable[[Dict[str, Any]], None], ...]:
     return tuple(_EMITTERS)
+
+
+_FAULT_PLANS: List[Any] = []
+
+
+@contextmanager
+def install_faults(plan: Any) -> Iterator[Any]:
+    """Apply ``plan`` to every ``run()`` inside the block that has no
+    explicit ``faults=`` argument (re-entrant; innermost plan wins)."""
+    _FAULT_PLANS.append(plan)
+    try:
+        yield plan
+    finally:
+        _FAULT_PLANS.remove(plan)
+
+
+def ambient_fault_plan() -> Any:
+    """The innermost installed fault plan, or ``None``."""
+    return _FAULT_PLANS[-1] if _FAULT_PLANS else None

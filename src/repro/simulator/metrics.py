@@ -6,6 +6,15 @@ CONGEST conformance is auditable after the fact.  Messages addressed to a
 node that halted in the same round are still *charged* (they were put on
 the wire) but never delivered; they are counted separately so audits can
 reconcile ``total_bits == delivered bits + dropped_bits``.
+
+Injected faults (see :mod:`repro.faults`) get their own counters, kept
+strictly separate from the halted-receiver drops above: a fault-dropped
+or crash-dropped message was also charged on the wire but lost to the
+*network*, not to protocol semantics, so the audit identity becomes
+``total_bits == delivered_bits + dropped_bits + fault_dropped_bits``.
+Fault-free runs leave every fault counter at zero and serialize exactly
+as before (the fault keys are omitted from :meth:`RunMetrics.to_dict`
+when zero).
 """
 
 from __future__ import annotations
@@ -52,6 +61,13 @@ class SpanNode:
     wall_seconds: float = 0.0
     mode: str = "seq"
     children: Tuple["SpanNode", ...] = ()
+    # Injected-fault activity attributed to this phase (zero when the
+    # phase ran fault-free; keys omitted from to_dict() when zero so
+    # fault-free trees serialize exactly as before).
+    fault_dropped_messages: int = 0
+    fault_dropped_bits: int = 0
+    fault_delayed_messages: int = 0
+    fault_duplicated_messages: int = 0
 
     def walk(self, depth: int = 0) -> Iterator[Tuple["SpanNode", int]]:
         """Depth-first (self, depth) traversal."""
@@ -59,8 +75,13 @@ class SpanNode:
         for child in self.children:
             yield from child.walk(depth + 1)
 
+    @property
+    def fault_counts(self) -> Tuple[int, int, int, int]:
+        return (self.fault_dropped_messages, self.fault_dropped_bits,
+                self.fault_delayed_messages, self.fault_duplicated_messages)
+
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "name": self.name,
             "rounds": self.rounds,
             "messages": self.messages,
@@ -69,8 +90,14 @@ class SpanNode:
             "dropped_bits": self.dropped_bits,
             "wall_seconds": self.wall_seconds,
             "mode": self.mode,
-            "children": [c.to_dict() for c in self.children],
         }
+        if any(self.fault_counts):
+            doc["fault_dropped_messages"] = self.fault_dropped_messages
+            doc["fault_dropped_bits"] = self.fault_dropped_bits
+            doc["fault_delayed_messages"] = self.fault_delayed_messages
+            doc["fault_duplicated_messages"] = self.fault_duplicated_messages
+        doc["children"] = [c.to_dict() for c in self.children]
+        return doc
 
     @staticmethod
     def from_dict(doc: Dict[str, Any]) -> "SpanNode":
@@ -84,6 +111,10 @@ class SpanNode:
             wall_seconds=float(doc.get("wall_seconds", 0.0)),
             mode=str(doc.get("mode", "seq")),
             children=tuple(SpanNode.from_dict(c) for c in doc.get("children", [])),
+            fault_dropped_messages=int(doc.get("fault_dropped_messages", 0)),
+            fault_dropped_bits=int(doc.get("fault_dropped_bits", 0)),
+            fault_delayed_messages=int(doc.get("fault_delayed_messages", 0)),
+            fault_duplicated_messages=int(doc.get("fault_duplicated_messages", 0)),
         )
 
 
@@ -102,6 +133,15 @@ class RunMetrics:
     # repro.obs.spans).  Deliberately excluded from as_tuple(): the tree
     # carries wall-clock seconds, which are not deterministic.
     span: Optional[SpanNode] = None
+    # Injected-fault accounting (repro.faults): messages lost to the
+    # network or a crashed receiver, deferred deliveries, extra copies,
+    # and fail-stop events.  All zero in fault-free runs.
+    fault_dropped_messages: int = 0
+    fault_dropped_bits: int = 0
+    fault_delayed_messages: int = 0
+    fault_duplicated_messages: int = 0
+    crashed_nodes: int = 0
+    restarted_nodes: int = 0
 
     def record_message(self, bits: int) -> None:
         self.messages += 1
@@ -114,10 +154,37 @@ class RunMetrics:
         self.dropped_messages += 1
         self.dropped_bits += bits
 
+    def record_fault_drop(self, bits: int) -> None:
+        """Charge a message copy lost to the network or a down receiver."""
+        self.fault_dropped_messages += 1
+        self.fault_dropped_bits += bits
+
+    def record_fault_delay(self) -> None:
+        """Count a copy delivered later than the synchronous round."""
+        self.fault_delayed_messages += 1
+
+    def record_fault_duplicate(self, bits: int) -> None:
+        """An injected extra copy: charged on the wire like any message."""
+        self.record_message(bits)
+        self.fault_duplicated_messages += 1
+
+    def record_crash(self) -> None:
+        self.crashed_nodes += 1
+
+    def record_restart(self) -> None:
+        self.restarted_nodes += 1
+
     @property
     def delivered_bits(self) -> int:
-        """Bits that actually reached a receiver: charged minus dropped."""
-        return self.total_bits - self.dropped_bits
+        """Bits that actually reached a receiver: charged minus dropped
+        (both protocol drops and injected fault/crash drops)."""
+        return self.total_bits - self.dropped_bits - self.fault_dropped_bits
+
+    @property
+    def fault_counts(self) -> Tuple[int, int, int, int, int, int]:
+        return (self.fault_dropped_messages, self.fault_dropped_bits,
+                self.fault_delayed_messages, self.fault_duplicated_messages,
+                self.crashed_nodes, self.restarted_nodes)
 
     def merge(self, other: "RunMetrics") -> "RunMetrics":
         """Sequential composition: rounds add, traffic adds.
@@ -138,6 +205,15 @@ class RunMetrics:
             dropped_messages=self.dropped_messages + other.dropped_messages,
             dropped_bits=self.dropped_bits + other.dropped_bits,
             violations=self.violations + other.violations,
+            fault_dropped_messages=(self.fault_dropped_messages
+                                    + other.fault_dropped_messages),
+            fault_dropped_bits=self.fault_dropped_bits + other.fault_dropped_bits,
+            fault_delayed_messages=(self.fault_delayed_messages
+                                    + other.fault_delayed_messages),
+            fault_duplicated_messages=(self.fault_duplicated_messages
+                                       + other.fault_duplicated_messages),
+            crashed_nodes=self.crashed_nodes + other.crashed_nodes,
+            restarted_nodes=self.restarted_nodes + other.restarted_nodes,
         )
         return merged
 
@@ -158,6 +234,15 @@ class RunMetrics:
             dropped_messages=self.dropped_messages + other.dropped_messages,
             dropped_bits=self.dropped_bits + other.dropped_bits,
             violations=self.violations + other.violations,
+            fault_dropped_messages=(self.fault_dropped_messages
+                                    + other.fault_dropped_messages),
+            fault_dropped_bits=self.fault_dropped_bits + other.fault_dropped_bits,
+            fault_delayed_messages=(self.fault_delayed_messages
+                                    + other.fault_delayed_messages),
+            fault_duplicated_messages=(self.fault_duplicated_messages
+                                       + other.fault_duplicated_messages),
+            crashed_nodes=self.crashed_nodes + other.crashed_nodes,
+            restarted_nodes=self.restarted_nodes + other.restarted_nodes,
         )
         return merged
 
@@ -165,14 +250,28 @@ class RunMetrics:
         """Charge ``k`` extra rounds (inter-phase coordination steps)."""
         self.rounds += k
 
-    def as_tuple(self) -> Tuple[int, int, int, int, int, int, int]:
-        return (self.rounds, self.messages, self.total_bits,
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The determinism signature.
+
+        Fault counters extend the tuple only when nonzero, so fault-free
+        runs keep the legacy 7-tuple (signatures persisted before this
+        feature stay comparable) while any injected fault is guaranteed
+        to change the signature.
+        """
+        base = (self.rounds, self.messages, self.total_bits,
                 self.max_message_bits, self.dropped_messages,
                 self.dropped_bits, len(self.violations))
+        if any(self.fault_counts):
+            return base + self.fault_counts
+        return base
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-compatible form (used by the batch engine's disk cache)."""
-        return {
+        """JSON-compatible form (used by the batch engine's disk cache).
+
+        Fault counters are omitted when all zero so fault-free runs
+        serialize byte-identically to the pre-fault format.
+        """
+        doc: Dict[str, Any] = {
             "rounds": self.rounds,
             "messages": self.messages,
             "total_bits": self.total_bits,
@@ -183,8 +282,17 @@ class RunMetrics:
                 [v.round_index, v.sender, v.receiver, v.bits, v.budget]
                 for v in self.violations
             ],
-            **({"span": self.span.to_dict()} if self.span is not None else {}),
         }
+        if any(self.fault_counts):
+            doc["fault_dropped_messages"] = self.fault_dropped_messages
+            doc["fault_dropped_bits"] = self.fault_dropped_bits
+            doc["fault_delayed_messages"] = self.fault_delayed_messages
+            doc["fault_duplicated_messages"] = self.fault_duplicated_messages
+            doc["crashed_nodes"] = self.crashed_nodes
+            doc["restarted_nodes"] = self.restarted_nodes
+        if self.span is not None:
+            doc["span"] = self.span.to_dict()
+        return doc
 
     @staticmethod
     def from_dict(doc: Dict[str, Any]) -> "RunMetrics":
@@ -201,4 +309,10 @@ class RunMetrics:
             ],
             span=(SpanNode.from_dict(doc["span"])
                   if doc.get("span") is not None else None),
+            fault_dropped_messages=int(doc.get("fault_dropped_messages", 0)),
+            fault_dropped_bits=int(doc.get("fault_dropped_bits", 0)),
+            fault_delayed_messages=int(doc.get("fault_delayed_messages", 0)),
+            fault_duplicated_messages=int(doc.get("fault_duplicated_messages", 0)),
+            crashed_nodes=int(doc.get("crashed_nodes", 0)),
+            restarted_nodes=int(doc.get("restarted_nodes", 0)),
         )

@@ -5,6 +5,15 @@ node of a network until every node halts (or a round limit trips).  Message
 delivery is the standard synchronous model: everything queued in round ``r``
 is delivered at the start of round ``r + 1``; bandwidth is checked per
 message against the :class:`~repro.simulator.models.BandwidthPolicy`.
+
+An optional fault plan (``run(..., faults=...)`` or an ambient
+:func:`~repro.simulator.instrument.install_faults` block) relaxes the
+reliable-delivery assumption: each queued message is routed through the
+plan, which may drop it, defer it a few rounds (still round-synchronous),
+or duplicate it, and nodes may fail-stop on a schedule.  The fault-free
+path is byte-identical to a build without this feature — with
+``faults=None`` no fault stream is ever created and the delivery loop is
+untouched.  See :mod:`repro.faults` and ``docs/faults.md``.
 """
 
 from __future__ import annotations
@@ -20,7 +29,8 @@ from repro.graphs.weighted_graph import WeightedGraph
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.context import NodeContext
 from repro.simulator.codec import decode_payload, encode_payload
-from repro.simulator.instrument import RoundProfile, gather_sinks
+from repro.simulator.instrument import (RoundProfile, ambient_fault_plan,
+                                        gather_sinks)
 from repro.simulator.message import payload_bits
 from repro.simulator.metrics import BandwidthViolation, RunMetrics
 from repro.simulator.models import BandwidthPolicy
@@ -60,6 +70,7 @@ def run(
     trace: Optional[Trace] = None,
     sink: Optional[Any] = None,
     codec_check: bool = False,
+    faults: Optional[Any] = None,
 ) -> RunResult:
     """Run a distributed algorithm to completion.
 
@@ -83,6 +94,15 @@ def run(
             receivers see exactly what would arrive on the wire (lists
             become tuples, unsupported values fail loudly).  Off by
             default for speed; the conformance tests switch it on.
+        faults: optional :class:`repro.faults.FaultPlan` routing every
+            queued message through injected loss/delay/duplication and
+            applying fail-stop crash schedules.  When ``None`` (the
+            default) the innermost plan installed with
+            :func:`~repro.simulator.instrument.install_faults` applies,
+            if any; with no plan at all the run is byte-identical to the
+            reliable model.  Fault randomness comes from a dedicated
+            stream derived from ``seed``, so node programs draw exactly
+            the same private coins either way.
 
     Returns:
         A :class:`RunResult` with per-node outputs and metrics.
@@ -112,11 +132,67 @@ def run(
     metrics = RunMetrics()
     active = set()
     in_flight: Dict[int, Dict[int, Any]] = {}
+    # Faulty-delivery schedule: delivery_round -> receiver -> sender ->
+    # payload.  Only used when a fault session is open; the fault-free
+    # path keeps the plain one-round ``in_flight`` buffer above.
+    deferred: Dict[int, Dict[int, Dict[int, Any]]] = {}
+
+    plan = faults if faults is not None else ambient_fault_plan()
+    if plan is not None:
+        from repro.faults.plans import fault_generator
+        session = plan.begin(fault_generator(seed))
+    else:
+        session = None
 
     sinks = gather_sinks(trace, sink)
     has_sinks = bool(sinks)
     profiled = tuple(s for s in sinks
                      if getattr(s, "on_round_profile", None) is not None)
+
+    def schedule_faulty(round_index: int, v: int, to: int,
+                        payload: Any, bits: int) -> None:
+        """Route one queued message through the fault session.
+
+        Draws the message's fate (loss / extra delay / duplicate copies)
+        from the dedicated fault stream, charges injected copies, and
+        schedules the survivors.  A copy addressed to a receiver that is
+        down at its delivery round is lost (the schedule is static, so
+        this is decidable at send time).  Two copies of the same
+        (sender, receiver) pair landing in the same round collapse to the
+        newest-sent payload, matching the one-slot-per-sender inbox.
+        """
+        fates = session.message_fate(round_index, v, to)
+        if not fates:
+            metrics.record_fault_drop(bits)
+            if has_sinks:
+                for s in sinks:
+                    s.record(round_index, "fault_drop", v, (to, bits))
+            return
+        if codec_check:
+            payload = decode_payload(encode_payload(payload))
+        for k, delay in enumerate(fates):
+            if k > 0:
+                # An injected duplicate crosses the wire like any message.
+                metrics.record_fault_duplicate(bits)
+                if has_sinks:
+                    for s in sinks:
+                        s.record(round_index, "fault_dup", v, (to, bits))
+            delivery_round = round_index + 1 + delay
+            if session.down_at(to, delivery_round):
+                metrics.record_fault_drop(bits)
+                if has_sinks:
+                    for s in sinks:
+                        s.record(round_index, "fault_drop", v, (to, bits))
+                continue
+            if delay > 0:
+                metrics.record_fault_delay()
+                if has_sinks:
+                    for s in sinks:
+                        s.record(round_index, "fault_delay", v, (to, delay))
+            if k == 0 and has_sinks:
+                for s in sinks:
+                    s.record(round_index, "send", v, (to, bits))
+            deferred.setdefault(delivery_round, {}).setdefault(to, {})[v] = payload
 
     def collect(round_index: int, senders) -> None:
         """Drain outboxes into next round's inboxes, charging bandwidth.
@@ -142,6 +218,8 @@ def run(
                     if has_sinks:
                         for s in sinks:
                             s.record(round_index, "drop", v, (to, bits))
+                elif session is not None:
+                    schedule_faulty(round_index, v, to, payload, bits)
                 else:
                     if has_sinks:
                         for s in sinks:
@@ -194,9 +272,45 @@ def run(
                 s.record(round_index, "round", -1)
         msgs0, bits0, drops0 = (metrics.messages, metrics.total_bits,
                                 metrics.dropped_messages)
-        inboxes = in_flight
-        in_flight = {}
-        executed = sorted(active)
+        if session is None:
+            inboxes = in_flight
+            in_flight = {}
+            executed = sorted(active)
+        else:
+            inboxes = deferred.pop(round_index, {})
+            if session.has_crashes:
+                for v in session.crashed_this_round(round_index):
+                    if v in contexts and not contexts[v].halted:
+                        metrics.record_crash()
+                        if has_sinks:
+                            for s in sinks:
+                                s.record(round_index, "crash", v)
+                        if session.never_returns(v, round_index):
+                            active.discard(v)
+                for v in session.restarted_this_round(round_index):
+                    if v in contexts and not contexts[v].halted:
+                        metrics.record_restart()
+                        # Fast-forward the local round counter over the
+                        # downtime so round_index stays consistent.
+                        contexts[v]._round = round_index - 1
+                        if has_sinks:
+                            for s in sinks:
+                                s.record(round_index, "restart", v)
+                executed = sorted(v for v in active
+                                  if not session.down_at(v, round_index))
+            else:
+                executed = sorted(active)
+            # A receiver may have halted while a delayed copy was in
+            # flight; the copy arrives at a program that no longer exists.
+            for to in sorted(inboxes):
+                if contexts[to].halted:
+                    for sender, payload in inboxes.pop(to).items():
+                        bits = payload_bits(payload)
+                        metrics.record_fault_drop(bits)
+                        if has_sinks:
+                            for s in sinks:
+                                s.record(round_index, "fault_drop", sender,
+                                         (to, bits))
         t_start = time.perf_counter() if profiled else 0.0
         for v in executed:
             ctx = contexts[v]
@@ -215,6 +329,20 @@ def run(
         if profiled:
             profile(round_index, t_start, t_compute, msgs0, bits0, drops0,
                     halts_this_round, len(executed))
+
+    if session is not None and deferred:
+        # Copies still in flight when every node halted: charged on the
+        # wire, never read.  Flush them as fault drops so the audit
+        # identity total == delivered + dropped + fault_dropped holds.
+        for delivery_round in sorted(deferred):
+            for to in sorted(deferred[delivery_round]):
+                for sender, payload in deferred[delivery_round][to].items():
+                    bits = payload_bits(payload)
+                    metrics.record_fault_drop(bits)
+                    if has_sinks:
+                        for s in sinks:
+                            s.record(delivery_round, "fault_drop", sender,
+                                     (to, bits))
 
     outputs = {v: contexts[v].output for v in graph.nodes}
     return RunResult(outputs=outputs, metrics=metrics, n_bound=network.n_bound)

@@ -13,7 +13,10 @@ class TraceEvent:
     """One recorded simulator event."""
 
     round_index: int
-    kind: str           # "send" | "drop" | "halt" | "round"
+    # "send" | "drop" | "halt" | "round", plus the injected-fault kinds
+    # "fault_drop" | "fault_delay" | "fault_dup" | "crash" | "restart"
+    # (see repro.faults; absent in fault-free runs).
+    kind: str
     node: int
     detail: Any = None
 
@@ -68,13 +71,32 @@ class Trace:
             sends = [e for e in events if e.kind == "send"]
             drops = [e for e in events if e.kind == "drop"]
             halts = [e for e in events if e.kind == "halt"]
+            fault_drops = [e for e in events if e.kind == "fault_drop"]
+            fault_dups = [e for e in events if e.kind == "fault_dup"]
+            fault_delays = [e for e in events if e.kind == "fault_delay"]
+            crashes = [e for e in events if e.kind == "crash"]
+            restarts = [e for e in events if e.kind == "restart"]
             # Dropped messages were charged on the wire, so their bits
             # belong in the round's total alongside delivered sends.
             bits = (sum(e.detail[1] for e in sends)
-                    + sum(e.detail[1] for e in drops))
+                    + sum(e.detail[1] for e in drops)
+                    + sum(e.detail[1] for e in fault_drops)
+                    + sum(e.detail[1] for e in fault_dups))
             parts = [f"round {r}:", f"{len(sends)} msgs ({bits} bits)"]
             if drops:
                 parts.append(f"{len(drops)} dropped")
+            if fault_drops:
+                parts.append(f"{len(fault_drops)} lost")
+            if fault_delays:
+                parts.append(f"{len(fault_delays)} delayed")
+            if fault_dups:
+                parts.append(f"{len(fault_dups)} duplicated")
+            if crashes:
+                ids = ", ".join(str(e.node) for e in crashes[:8])
+                parts.append(f"crashed: {ids}")
+            if restarts:
+                ids = ", ".join(str(e.node) for e in restarts[:8])
+                parts.append(f"restarted: {ids}")
             if halts:
                 ids = ", ".join(str(e.node) for e in halts[:8])
                 more = "..." if len(halts) > 8 else ""

@@ -310,3 +310,114 @@ class TestObservabilityCli:
         assert all(r["type"] == "job" for r in records)
         labels = {r["label"] for r in records}
         assert len(labels) >= 1
+
+
+class TestFaultCli:
+    def test_run_with_loss_reports_fault_counters(self, capsys):
+        rc = main(["run", "--algorithm", "mis-luby", "--graph", "gnp:30,0.1",
+                   "--weights", "unit", "--seed", "4", "--loss", "0.2",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["faults"] == "loss(0.2)"
+        assert payload["fault_dropped_messages"] > 0
+        # Under faults independence is reported, not asserted.
+        assert payload["independent"] in (True, False)
+
+    def test_run_with_crash_spec(self, capsys):
+        rc = main(["run", "--algorithm", "mis-luby", "--graph", "cycle:12",
+                   "--weights", "unit", "--seed", "0", "--crash", "2@1",
+                   "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["crashed_nodes"] == 1
+
+    def test_run_rejects_bad_fault_flag(self):
+        with pytest.raises(SystemExit, match="bad fault flag"):
+            main(["run", "--algorithm", "mis-luby", "--graph", "cycle:12",
+                  "--weights", "unit", "--loss", "1.5"])
+
+    def test_run_record_carries_fault_meta(self, tmp_path, capsys):
+        path = tmp_path / "faulty.jsonl"
+        rc = main(["run", "--algorithm", "thm2", "--graph", "gnp:25,0.12",
+                   "--weights", "uniform:1,20", "--seed", "3",
+                   "--loss", "0.15", "--record", str(path), "--json"])
+        assert rc == 0
+        capsys.readouterr()
+        records = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert records[0]["faults"] == "loss(0.15)"
+        kinds = {r.get("kind") for r in records if r.get("type") == "event"}
+        assert "fault_drop" in kinds
+
+    def test_inspect_phases_shows_fault_columns(self, tmp_path, capsys):
+        path = tmp_path / "faulty.jsonl"
+        rc = main(["run", "--algorithm", "thm2", "--graph", "gnp:25,0.12",
+                   "--weights", "uniform:1,20", "--seed", "3",
+                   "--loss", "0.15", "--record", str(path), "--json"])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["inspect", str(path), "--format", "phases"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lost" in out and "theorem2" in out
+
+    def test_resilience_table_and_exit_code(self, capsys):
+        rc = main(["resilience", "--algorithm", "mis-luby",
+                   "--graph", "gnp:25,0.1", "--weights", "uniform:1,10",
+                   "--loss", "0,0.1", "--trials", "2", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loss(0.1)" in out and "retention" in out
+
+    def test_resilience_emit_metrics_feeds_inspect_sweep(self, tmp_path,
+                                                         capsys):
+        emit = tmp_path / "res.jsonl"
+        rc = main(["resilience", "--algorithm", "mis-luby",
+                   "--graph", "gnp:25,0.1", "--weights", "uniform:1,10",
+                   "--loss", "0,0.1", "--trials", "2", "--seed", "1",
+                   "--emit-metrics", str(emit), "--json"])
+        assert rc == 0
+        cells_doc = json.loads(capsys.readouterr().out)
+        assert [c["plan"] for c in cells_doc] == ["none", "loss(0.1)"]
+
+        records = [json.loads(ln) for ln in emit.read_text().splitlines()]
+        assert sum(r["type"] == "job" for r in records) == 4
+        assert sum(r["type"] == "resilience_cell" for r in records) == 2
+
+        # The per-job stream aggregates into one sweep cell per
+        # (algorithm, fault plan): the plan is part of the identity.
+        rc = main(["inspect", str(emit), "--format", "sweep", "--json"])
+        assert rc == 0
+        cells = json.loads(capsys.readouterr().out)
+        names = {c["algorithm"] for c in cells}
+        assert names == {"mis-luby", "mis-luby+loss(0.1)"}
+        assert all(c["jobs"] == 2 for c in cells)
+
+    def test_resilience_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithms"):
+            main(["resilience", "--algorithm", "nope", "--loss", "0,0.1",
+                  "--trials", "1"])
+
+    def test_inspect_truncated_jsonl_fails_gracefully(self, tmp_path):
+        bad = tmp_path / "truncated.jsonl"
+        bad.write_text('{"type": "job", "ok": true}\n{"type": "jo')
+        with pytest.raises(SystemExit, match="malformed JSONL"):
+            main(["inspect", str(bad), "--format", "sweep"])
+
+    def test_inspect_non_object_record_fails_gracefully(self, tmp_path):
+        bad = tmp_path / "list.jsonl"
+        bad.write_text("[1, 2, 3]\n")
+        with pytest.raises(SystemExit, match="expected a JSON object"):
+            main(["inspect", str(bad), "--format", "sweep"])
+
+    def test_run_reports_algorithm_failure_under_faults(self, capsys):
+        # Delay makes thm2's phase-typed sparsify inbox mix payload
+        # types; the CLI reports the failure instead of tracebacking.
+        with pytest.raises(SystemExit):
+            main(["run", "--algorithm", "thm2", "--graph", "gnp:80,0.06",
+                  "--weights", "integers:50", "--seed", "5",
+                  "--loss", "0.1", "--delay", "1", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] is True
+        assert payload["faults"] == "loss(0.1)+delay(1)"
+        assert "TypeError" in payload["error"]

@@ -1,0 +1,101 @@
+"""Resilience-sweep harness tests (repro.faults.harness)."""
+
+import pytest
+
+from repro.faults import (CrashSchedule, MessageLoss, ResilienceReport,
+                          composite, resilience_sweep)
+from repro.faults.harness import BASELINE
+from repro.graphs import gnp, uniform_weights
+
+
+def _graph(seed=0):
+    g = gnp(40, 0.1, seed=seed)
+    return uniform_weights(g, 1, 20, seed=seed)
+
+
+class TestSweepStructure:
+    def test_baseline_prepended_and_retention_one(self):
+        rep = resilience_sweep(_graph(), ["mis-luby"],
+                               [MessageLoss(0.1)], trials=3, master_seed=7)
+        assert isinstance(rep, ResilienceReport)
+        # baseline cell comes first even though we never asked for it
+        assert rep.cells[0].plan == BASELINE
+        base = rep.cell("mis-luby", BASELINE)
+        assert base.ok == base.valid == base.trials == 3
+        assert base.mean_retention == pytest.approx(1.0)
+        assert base.mean_fault_drops == 0.0
+
+    def test_cells_cover_algorithms_times_plans(self):
+        rep = resilience_sweep(
+            _graph(), ["mis-luby", "mis-det"],
+            [None, MessageLoss(0.05), MessageLoss(0.1)],
+            trials=2, master_seed=1)
+        assert len(rep.cells) == 2 * 3
+        assert {c.plan for c in rep.cells} == {BASELINE, "loss(0.05)",
+                                               "loss(0.1)"}
+        assert len(rep.batch.outcomes) == 2 * 3 * 2
+
+    def test_deterministic_across_calls(self):
+        kw = dict(trials=3, master_seed=11)
+        a = resilience_sweep(_graph(), ["mis-luby"], [MessageLoss(0.2)], **kw)
+        b = resilience_sweep(_graph(), ["mis-luby"], [MessageLoss(0.2)], **kw)
+        assert [c.to_doc() for c in a.cells] == [c.to_doc() for c in b.cells]
+
+    def test_duplicate_plan_rejected(self):
+        with pytest.raises(ValueError, match="duplicate fault plan"):
+            resilience_sweep(_graph(), ["mis-luby"],
+                             [MessageLoss(0.1), MessageLoss(0.1)], trials=1)
+
+    def test_trials_must_be_positive(self):
+        with pytest.raises(ValueError, match="trials must be >= 1"):
+            resilience_sweep(_graph(), ["mis-luby"], [None], trials=0)
+
+    def test_no_algorithms_rejected(self):
+        with pytest.raises(ValueError, match="no algorithms"):
+            resilience_sweep(_graph(), [], [None], trials=1)
+
+    def test_to_docs_and_render(self):
+        rep = resilience_sweep(_graph(), ["mis-luby"],
+                               [MessageLoss(0.1)], trials=2, master_seed=3)
+        docs = rep.to_docs()
+        assert docs[0]["type"] == "resilience"
+        assert docs[0]["cells"] == 2
+        assert all(d["type"] == "resilience_cell" for d in docs[1:])
+        table = rep.render()
+        assert "loss(0.1)" in table and "retention" in table
+
+
+class TestAcceptance:
+    """ISSUE acceptance: a deterministic sweep (fixed seeds) shows thm8
+    returning a valid independent set under 10% message loss, and
+    crashes register in the cells."""
+
+    def test_thm8_valid_under_ten_percent_loss(self):
+        # Fixed seeds, as the acceptance criterion specifies: losing an
+        # MIS "joined" announcement *can* break independence, so validity
+        # under loss is seed-dependent — exactly what the harness is
+        # built to measure.  At these seeds every trial survives.
+        g = uniform_weights(gnp(30, 0.08, seed=7), 1, 20, seed=7)
+        rep = resilience_sweep(g, ["thm8"], [MessageLoss(0.1)],
+                               trials=3, master_seed=2)
+        cell = rep.cell("thm8", "loss(0.1)")
+        assert cell.ok == 3
+        # Every completed output is re-validated from scratch; at these
+        # fixed seeds the good-nodes output stays independent.
+        assert cell.valid == 3
+        assert 0.0 < cell.mean_retention <= 1.5
+        assert cell.mean_fault_drops > 0
+        # Determinism: the same sweep reproduces the same cells.
+        again = resilience_sweep(g, ["thm8"], [MessageLoss(0.1)],
+                                 trials=3, master_seed=2)
+        assert again.cell("thm8", "loss(0.1)").to_doc() == cell.to_doc()
+
+    def test_crash_plan_counted_per_cell(self):
+        # Crash at round 1, before the victim can halt.  (A node that
+        # has already halted when its crash round arrives is ignored —
+        # node 9 is non-isolated, so Luby cannot halt it in on_start.)
+        plan = composite(MessageLoss(0.05), CrashSchedule(crashes={9: 1}))
+        rep = resilience_sweep(_graph(), ["mis-luby"], [plan],
+                               trials=2, master_seed=9)
+        cell = rep.cell("mis-luby", plan.describe())
+        assert cell.mean_crashes == pytest.approx(1.0)

@@ -1,0 +1,180 @@
+"""Unit tests for the fault-plan vocabulary (repro.faults.plans)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (CompositeFaults, CrashSchedule, FaultPlan,
+                          MessageDelay, MessageDuplication, MessageLoss,
+                          composite, fault_generator, parse_crash_spec)
+from repro.simulator.randomness import spawn_node_rngs
+
+
+class TestValidation:
+    def test_loss_probability_range(self):
+        with pytest.raises(ValueError, match="loss probability"):
+            MessageLoss(1.5)
+        with pytest.raises(ValueError, match="loss probability"):
+            MessageLoss(-0.1)
+
+    def test_delay_range(self):
+        with pytest.raises(ValueError, match="max_rounds"):
+            MessageDelay(-1)
+        with pytest.raises(ValueError, match="delay probability"):
+            MessageDelay(3, p=2.0)
+
+    def test_dup_probability_range(self):
+        with pytest.raises(ValueError, match="dup probability"):
+            MessageDuplication(-0.5)
+
+    def test_crash_round_must_be_positive(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            CrashSchedule(crashes={3: 0})
+
+    def test_restart_requires_crash(self):
+        with pytest.raises(ValueError, match="without a crash"):
+            CrashSchedule(crashes={}, restarts={3: 5})
+
+    def test_restart_after_crash(self):
+        with pytest.raises(ValueError, match="strictly later"):
+            CrashSchedule(crashes={3: 5}, restarts={3: 5})
+
+    def test_composite_rejects_conflicting_crashes(self):
+        with pytest.raises(ValueError, match="two crash schedules"):
+            composite(CrashSchedule(crashes={1: 2}),
+                      CrashSchedule(crashes={1: 3}))
+
+
+class TestDescribe:
+    def test_stable_strings(self):
+        assert MessageLoss(0.1).describe() == "loss(0.1)"
+        assert MessageDelay(3).describe() == "delay(3)"
+        assert MessageDelay(3, p=0.5).describe() == "delay(3,p=0.5)"
+        assert MessageDuplication(0.05).describe() == "dup(0.05)"
+        assert (CrashSchedule(crashes={3: 5, 7: 10}, restarts={7: 20})
+                .describe() == "crash(3@5,7@10/r20)")
+
+    def test_composite_describe_joins(self):
+        plan = composite(MessageLoss(0.1), MessageDelay(2))
+        assert plan.describe() == "loss(0.1)+delay(2)"
+
+    def test_repr_uses_describe(self):
+        assert "loss(0.25)" in repr(MessageLoss(0.25))
+
+
+class TestTransforms:
+    def test_loss_zero_is_identity_without_rng_draws(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        assert MessageLoss(0.0).transform((0,), rng) == (0,)
+        assert rng.bit_generator.state == before
+
+    def test_loss_one_drops_everything(self):
+        rng = np.random.default_rng(0)
+        assert MessageLoss(1.0).transform((0,), rng) == ()
+
+    def test_delay_bounds(self):
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            (d,) = MessageDelay(3).transform((0,), rng)
+            assert 0 <= d <= 3
+
+    def test_delay_zero_is_identity(self):
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state
+        assert MessageDelay(0).transform((0,), rng) == (0,)
+        assert rng.bit_generator.state == before
+
+    def test_duplication_appends_next_round_copy(self):
+        rng = np.random.default_rng(2)
+        out = MessageDuplication(1.0).transform((0,), rng)
+        assert out == (0, 1)
+
+    def test_composite_folds_in_order(self):
+        # Loss first can empty the multiset; later stages then no-op.
+        plan = composite(MessageLoss(1.0), MessageDuplication(1.0))
+        rng = np.random.default_rng(3)
+        assert plan.transform((0,), rng) == ()
+
+    def test_composite_flattens_nested(self):
+        inner = composite(MessageLoss(0.1), MessageDelay(1))
+        outer = composite(inner, MessageDuplication(0.2))
+        assert isinstance(outer, CompositeFaults)
+        assert len(outer.plans) == 3
+
+    def test_composite_of_one_passes_through(self):
+        p = MessageLoss(0.3)
+        assert composite(p) is p
+
+
+class TestSessions:
+    def test_session_determinism(self):
+        plan = composite(MessageLoss(0.3), MessageDelay(2))
+        fates1 = [plan.begin(fault_generator(42)).message_fate(1, 0, 1)
+                  for _ in range(1)]
+        s1 = plan.begin(fault_generator(42))
+        s2 = plan.begin(fault_generator(42))
+        a = [s1.message_fate(r, 0, 1) for r in range(50)]
+        b = [s2.message_fate(r, 0, 1) for r in range(50)]
+        assert a == b
+        assert fates1[0] == a[0]
+
+    def test_crash_timetable(self):
+        plan = CrashSchedule(crashes={3: 5, 7: 10}, restarts={7: 20})
+        s = plan.begin(fault_generator(0))
+        assert not s.down_at(3, 4)
+        assert s.down_at(3, 5) and s.down_at(3, 10_000)
+        assert s.never_returns(3, 5)
+        assert s.down_at(7, 10) and s.down_at(7, 19)
+        assert not s.down_at(7, 20)
+        assert not s.never_returns(7, 10)
+        assert s.crashed_this_round(5) == (3,)
+        assert s.crashed_this_round(10) == (7,)
+        assert s.restarted_this_round(20) == (7,)
+        assert s.has_crashes
+
+    def test_base_plan_has_no_crashes(self):
+        assert not MessageLoss(0.5).begin(fault_generator(0)).has_crashes
+
+
+class TestFaultGenerator:
+    def test_disjoint_from_node_streams(self):
+        # The fault stream must never equal any per-node stream of the
+        # same master seed, or faults would silently perturb algorithms.
+        node_rngs = spawn_node_rngs(123, tuple(range(64)))
+        fault_draw = fault_generator(123).integers(0, 2**63)
+        node_draws = {int(r.integers(0, 2**63)) for r in node_rngs.values()}
+        assert int(fault_draw) not in node_draws
+
+    def test_accepts_seedsequence(self):
+        ss = np.random.SeedSequence(7)
+        a = fault_generator(ss).integers(0, 2**63)
+        b = fault_generator(7).integers(0, 2**63)
+        assert int(a) == int(b)
+
+    def test_none_seed_is_reproducible_entropy(self):
+        # seed=None still yields *a* generator (entropy auto-drawn); we
+        # only require it not to crash.
+        fault_generator(None).random()
+
+
+class TestParseCrashSpec:
+    def test_round_trip(self):
+        plan = parse_crash_spec("3@5,7@10/r20")
+        assert plan.crashes == {3: 5, 7: 10}
+        assert plan.restarts == {7: 20}
+        assert plan.describe() == "crash(3@5,7@10/r20)"
+
+    def test_bad_spec_raises_clear_error(self):
+        with pytest.raises(ValueError, match="bad crash spec"):
+            parse_crash_spec("3@x")
+        with pytest.raises(ValueError, match="bad crash spec"):
+            parse_crash_spec("3@5/20")
+
+    def test_base_protocol_defaults(self):
+        class Noop(FaultPlan):
+            def describe(self):
+                return "noop"
+
+        rng = np.random.default_rng(0)
+        assert Noop().transform((0,), rng) == (0,)
+        assert Noop().crash_spec() == {}

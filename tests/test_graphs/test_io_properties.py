@@ -1,0 +1,100 @@
+"""Property-style serialization round-trips over the generator zoo.
+
+The batch engine keys its on-disk cache by graph content, so ``dumps``/
+``loads`` and ``to_json``/``from_json`` must be exact inverses for every
+graph the generators can produce — including graphs with non-contiguous
+node ids (induced subgraphs keep original ids) and zero-weight nodes.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs import (WeightedGraph, barabasi_albert, caterpillar,
+                          complete, cycle, gnp, grid_2d, path, random_tree,
+                          star, uniform_weights, unit_weights)
+from repro.graphs.io import dumps, from_json, loads, to_json
+
+ZOO = [
+    lambda seed: gnp(20, 0.15, seed=seed),
+    lambda seed: gnp(12, 0.5, seed=seed),
+    lambda seed: random_tree(18, seed=seed),
+    lambda seed: barabasi_albert(15, 2, seed=seed),
+    lambda seed: cycle(11),
+    lambda seed: path(9),
+    lambda seed: star(7),
+    lambda seed: complete(6),
+    lambda seed: grid_2d(3, 4),
+    lambda seed: caterpillar(4, 3),
+]
+
+
+def _roundtrips(g: WeightedGraph) -> None:
+    assert loads(dumps(g)) == g
+    assert from_json(to_json(g)) == g
+    assert loads(dumps(g)).fingerprint() == g.fingerprint()
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1),
+       wseed=st.integers(0, 2**32 - 1))
+@settings(max_examples=80, deadline=None)
+def test_zoo_roundtrip_with_random_weights(gen, seed, wseed):
+    g = uniform_weights(gen(seed), 0.5, 100.0, seed=wseed)
+    _roundtrips(g)
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_zoo_roundtrip_unit_weights(gen, seed):
+    _roundtrips(unit_weights(gen(seed)))
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1),
+       stride=st.integers(2, 17), offset=st.integers(0, 1000))
+@settings(max_examples=60, deadline=None)
+def test_non_contiguous_node_ids_roundtrip(gen, seed, stride, offset):
+    # Remap ids to an arithmetic progression: gaps everywhere, and the
+    # smallest id need not be 0.
+    g = gen(seed)
+    relabel = {v: offset + stride * v for v in g.nodes}
+    h = WeightedGraph.from_edges(
+        relabel.values(),
+        [(relabel[u], relabel[v]) for u, v in g.edges()],
+        {relabel[v]: g.weight(v) for v in g.nodes},
+    )
+    _roundtrips(h)
+    assert loads(dumps(h)).nodes == h.nodes
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1),
+       zeros=st.sets(st.integers(0, 30), max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_zero_weight_nodes_roundtrip(gen, seed, zeros):
+    g = gen(seed)
+    zeroed = zeros & set(g.nodes)
+    g = g.with_weights({v: (0.0 if v in zeroed else g.weight(v))
+                        for v in g.nodes})
+    back = loads(dumps(g))
+    _roundtrips(g)
+    assert all(back.weight(v) == 0.0 for v in zeroed)
+
+
+@given(seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_induced_subgraph_keeps_ids_through_io(seed):
+    # Induced subgraphs of the zoo preserve original ids — the shape the
+    # paper's phase algorithms feed back through the cache.
+    g = uniform_weights(gnp(24, 0.2, seed=seed), 1, 10, seed=seed)
+    keep = [v for v in g.nodes if v % 3 != 0]
+    h = g.induced_subgraph(keep)
+    _roundtrips(h)
+    assert loads(dumps(h)).nodes == tuple(sorted(keep))
+
+
+@pytest.mark.parametrize("weird", [0.1 + 0.2, 1e-300, 1.5e300, 1 / 3])
+def test_awkward_float_weights_are_exact(weird):
+    # repr() round-trips shortest-form floats exactly; the text format
+    # must not lose precision on any of them.
+    g = path(3).with_weights({0: weird, 1: 1.0, 2: weird})
+    assert loads(dumps(g)).weight(0) == weird
+    assert from_json(to_json(g)).weight(2) == weird

@@ -170,3 +170,56 @@ class TestDerivedGraphs:
         from repro.graphs import empty
 
         assert empty(2).fingerprint() != empty(3).fingerprint()
+
+
+class TestFingerprintInvariance:
+    """Batch-cache-key correctness: the fingerprint depends only on graph
+    content, never on construction order."""
+
+    def _graph(self, nodes, edges, weights):
+        return WeightedGraph.from_edges(nodes, edges, weights)
+
+    def test_invariant_under_edge_insertion_order(self):
+        nodes = [0, 1, 2, 3, 4]
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (0, 4), (1, 3)]
+        weights = {v: float(v + 1) for v in nodes}
+        fp = self._graph(nodes, edges, weights).fingerprint()
+        assert self._graph(nodes, list(reversed(edges)), weights).fingerprint() == fp
+        shuffled = [edges[i] for i in (3, 0, 5, 1, 4, 2)]
+        assert self._graph(nodes, shuffled, weights).fingerprint() == fp
+        flipped = [(v, u) for u, v in edges]
+        assert self._graph(nodes, flipped, weights).fingerprint() == fp
+
+    def test_invariant_under_node_insertion_order(self):
+        edges = [(0, 2), (2, 7), (7, 9)]
+        weights = {0: 1.0, 2: 2.0, 7: 3.0, 9: 4.0}
+        fp = self._graph([0, 2, 7, 9], edges, weights).fingerprint()
+        assert self._graph([9, 7, 2, 0], edges, weights).fingerprint() == fp
+
+    def test_invariant_under_adjacency_dict_order(self):
+        a = WeightedGraph({0: [1, 2], 1: [0], 2: [0]}, {0: 1.0, 1: 2.0, 2: 3.0})
+        b = WeightedGraph({2: [0], 1: [0], 0: [2, 1]}, {2: 3.0, 1: 2.0, 0: 1.0})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_changes_when_a_single_weight_changes(self):
+        nodes = [0, 1, 2, 3]
+        edges = [(0, 1), (2, 3)]
+        base = {v: 1.0 for v in nodes}
+        fp = self._graph(nodes, edges, base).fingerprint()
+        for v in nodes:
+            bumped = {**base, v: 1.0 + 2**-40}
+            assert self._graph(nodes, edges, bumped).fingerprint() != fp
+
+    def test_changes_when_an_edge_moves(self):
+        nodes = [0, 1, 2, 3]
+        weights = {v: 1.0 for v in nodes}
+        fp1 = self._graph(nodes, [(0, 1), (2, 3)], weights).fingerprint()
+        fp2 = self._graph(nodes, [(0, 2), (1, 3)], weights).fingerprint()
+        assert fp1 != fp2
+
+    def test_duplicate_edges_collapse(self):
+        nodes = [0, 1, 2]
+        weights = {v: 1.0 for v in nodes}
+        once = self._graph(nodes, [(0, 1)], weights).fingerprint()
+        twice = self._graph(nodes, [(0, 1), (1, 0)], weights).fingerprint()
+        assert once == twice

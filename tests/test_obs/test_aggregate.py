@@ -114,3 +114,37 @@ class TestJsonlRoundTrip:
         summary_cell = result.summary()["cells"][0]
         assert summary_cell["p50_rounds"] == cell["p50_rounds"]
         assert summary_cell["p95_bits"] == cell["p95_bits"]
+
+
+class TestReadJsonlFailsGracefully:
+    def test_truncated_line_names_file_and_lineno(self, tmp_path):
+        path = tmp_path / "cut.jsonl"
+        path.write_text('{"type": "job", "ok": true}\n{"type": "jo')
+        with pytest.raises(ValueError, match=r"cut\.jsonl:2: malformed JSONL"):
+            read_jsonl(str(path))
+
+    def test_garbage_line_mentions_truncation_hint(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="truncated write"):
+            read_jsonl(str(path))
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "scalars.jsonl"
+        path.write_text('{"a": 1}\n42\n')
+        with pytest.raises(ValueError, match=r"scalars\.jsonl:2: expected a "
+                                             "JSON object per line, got int"):
+            read_jsonl(str(path))
+
+    def test_empty_file_returns_no_records(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_jsonl(str(path)) == []
+
+    def test_valid_prefix_not_returned_on_error(self, tmp_path):
+        # All-or-nothing: a truncated file must not silently aggregate a
+        # partial sweep.
+        path = tmp_path / "partial.jsonl"
+        path.write_text('{"a": 1}\n{"b": 2}\n{"c":\n')
+        with pytest.raises(ValueError, match="partial"):
+            read_jsonl(str(path))
