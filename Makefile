@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -26,6 +26,18 @@ bench:
 bench-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 bench-smoke:
 	$(PYTHON) benchmarks/smoke_check.py
+
+# Perf-gate smoke: time the tiny hot-path matrix and gate it against the
+# committed BENCH_runner.json with a wide (3x) cross-machine tolerance.
+# Writes the fresh measurement to bench_current.json (uploaded as a CI
+# artifact).  Full matrix / rebaseline: `python -m repro bench --repeats 5
+# --out BENCH_runner.json` on the reference machine.  See
+# docs/performance.md.
+bench-perf: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+bench-perf:
+	$(PYTHON) benchmarks/perf_gate.py --tiny --repeats 2 \
+		--baseline BENCH_runner.json --tolerance 3.0 \
+		--out bench_current.json
 
 # Regenerate every experiment table (E1..E13) to stdout.
 experiments:

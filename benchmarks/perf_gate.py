@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""Perf-gate entry point (thin wrapper over :mod:`repro.bench.perf_gate`).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_gate.py                  # measure
+    PYTHONPATH=src python benchmarks/perf_gate.py \
+        --baseline BENCH_runner.json --tolerance 1.5               # gate
+    PYTHONPATH=src python benchmarks/perf_gate.py --out BENCH_runner.json
+                                                                   # rebaseline
+
+Equivalent to ``python -m repro bench`` / ``make bench-perf``; kept next
+to the other benchmark drivers so it is discoverable from the
+``benchmarks/`` directory.
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro.bench.perf_gate import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro experiments E1 E5 E9 --jobs 4
     python -m repro run --algorithm thm1 --record trace.jsonl --phases
     python -m repro inspect trace.jsonl --format chrome-trace
+    python -m repro bench --baseline BENCH_runner.json --tolerance 1.5
     python -m repro info --graph grid:10,20 --weights integers:1000
 
 Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
@@ -488,6 +489,20 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
     return 1 if report.batch.failures else 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Perf-gate benchmark: time the hot-path cell matrix, optionally
+    gate against a committed baseline (see docs/performance.md)."""
+    from repro.bench.perf_gate import run_gate
+
+    try:
+        return run_gate(matrix="tiny" if args.tiny else "full",
+                        repeats=args.repeats, out=args.out,
+                        baseline=args.baseline, tolerance=args.tolerance,
+                        as_json=args.json)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     """Run an algorithm and certify its guarantee against exact OPT (small
     instances) or the fraction-of-total bound (any size)."""
@@ -673,6 +688,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "(aggregate with `repro inspect --format sweep`)")
     p_res.add_argument("--json", action="store_true", help="JSON output")
     p_res.set_defaults(func=_cmd_resilience)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the simulator hot path over a fixed cell matrix and "
+             "gate against a committed baseline (BENCH_runner.json)",
+    )
+    from repro.bench.perf_gate import add_bench_arguments
+
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_verify = sub.add_parser(
         "verify", help="run an algorithm and certify its guarantee"

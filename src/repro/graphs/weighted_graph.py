@@ -8,6 +8,16 @@ interoperability and for the flow-based arboricity computation.
 Node identifiers are arbitrary non-negative integers.  Induced subgraphs keep
 the original identifiers, which is essential for the paper's phase-based
 algorithms (the same physical node participates in many sub-simulations).
+
+Instances are immutable, which buys two performance layers (see
+``docs/performance.md``):
+
+* scalar graph statistics (``max_degree``, ``total_weight()``, ``nodes``,
+  ``fingerprint()``) are memoized on first use;
+* a :class:`~repro.graphs.csr.CSRIndex` — contiguous numpy adjacency over
+  node *slots* plus id↔slot maps — is built lazily and backs the
+  whole-graph kernels (``induced_subgraph`` on large vertex sets).  The
+  dict API and every iteration order stay byte-identical either way.
 """
 
 from __future__ import annotations
@@ -27,7 +37,8 @@ class WeightedGraph:
     tuples, so iteration order is deterministic everywhere.
     """
 
-    __slots__ = ("_adj", "_weights", "_m", "_nbr_sets")
+    __slots__ = ("_adj", "_weights", "_m", "_nbr_sets", "_nodes",
+                 "_max_degree", "_total_weight", "_fingerprint", "_csr")
 
     def __init__(
         self,
@@ -46,13 +57,40 @@ class WeightedGraph:
         if weights is None:
             self._weights = {v: 1.0 for v in adj}
         else:
-            w = {int(v): float(weights[v]) for v in adj}
-            bad = [v for v, x in w.items() if x < 0 or x != x]  # negative or NaN
-            if bad:
-                raise GraphError(f"negative or NaN weights on nodes {bad[:5]}")
-            self._weights = w
+            self._weights = _validated_weights(weights, adj)
         self._m = sum(len(nbrs) for nbrs in adj.values()) // 2
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         self._nbr_sets: Optional[Dict[int, frozenset]] = None
+        self._nodes: Optional[Tuple[int, ...]] = None
+        self._max_degree: Optional[int] = None
+        self._total_weight: Optional[float] = None
+        self._fingerprint: Optional[str] = None
+        self._csr = None
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        adj: Dict[int, Tuple[int, ...]],
+        weights: Dict[int, float],
+        m: Optional[int] = None,
+    ) -> "WeightedGraph":
+        """Fast constructor for adjacency that is already canonical.
+
+        ``adj`` must map every node to a *sorted tuple* of distinct
+        neighbour ids, symmetric and self-loop free, and ``weights`` must
+        cover exactly the same keys with plain floats — the invariants
+        the public constructor establishes.  Derived-graph kernels
+        (``induced_subgraph``, reweighting) call this to skip the
+        re-sort/re-validate pass; all memo caches start fresh.
+        """
+        g = object.__new__(cls)
+        g._adj = adj
+        g._weights = weights
+        g._m = sum(map(len, adj.values())) // 2 if m is None else m
+        g._init_caches()
+        return g
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -105,13 +143,17 @@ class WeightedGraph:
 
     @property
     def nodes(self) -> Tuple[int, ...]:
-        """All node ids, sorted ascending."""
-        return tuple(sorted(self._adj))
+        """All node ids, sorted ascending (memoized)."""
+        nodes = self._nodes
+        if nodes is None:
+            nodes = self._nodes = tuple(sorted(self._adj))
+        return nodes
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over edges as ``(u, v)`` with ``u < v``, sorted."""
-        for u in sorted(self._adj):
-            for v in self._adj[u]:
+        adj = self._adj
+        for u in self.nodes:
+            for v in adj[u]:
                 if u < v:
                     yield (u, v)
 
@@ -134,6 +176,17 @@ class WeightedGraph:
             self._nbr_sets = {x: frozenset(nbrs) for x, nbrs in self._adj.items()}
         return v in self._nbr_sets.get(u, frozenset())
 
+    def neighbor_set(self, v: int) -> frozenset:
+        """``N(v)`` as a frozenset (lazily built once, shared thereafter).
+
+        The simulator hands this to every :class:`NodeContext`, so the
+        per-run membership structures are built once per graph instead of
+        once per ``run()``.
+        """
+        if self._nbr_sets is None:
+            self._nbr_sets = {x: frozenset(nbrs) for x, nbrs in self._adj.items()}
+        return self._nbr_sets[v]
+
     def weight(self, v: int) -> float:
         return self._weights[v]
 
@@ -145,15 +198,24 @@ class WeightedGraph:
     def total_weight(self, nodes: Optional[Iterable[int]] = None) -> float:
         """``w(V')`` — sum of weights over ``nodes`` (default: all nodes)."""
         if nodes is None:
-            return sum(self._weights.values())
-        return sum(self._weights[v] for v in nodes)
+            total = self._total_weight
+            if total is None:
+                total = self._total_weight = sum(self._weights.values())
+            return total
+        w = self._weights
+        return sum(w[v] for v in nodes)
 
     @property
     def max_degree(self) -> int:
-        """``Δ`` — the maximum degree; 0 for the empty graph."""
-        if not self._adj:
-            return 0
-        return max(len(nbrs) for nbrs in self._adj.values())
+        """``Δ`` — the maximum degree; 0 for the empty graph (memoized)."""
+        delta = self._max_degree
+        if delta is None:
+            if not self._adj:
+                delta = 0
+            else:
+                delta = max(map(len, self._adj.values()))
+            self._max_degree = delta
+        return delta
 
     def max_weight(self) -> float:
         """``W`` — the maximum node weight; 0 for the empty graph."""
@@ -163,7 +225,26 @@ class WeightedGraph:
 
     def weighted_degree(self, v: int) -> float:
         """``w(N(v))`` — the paper's *weighted degree* (§4.2)."""
-        return sum(self._weights[u] for u in self._adj[v])
+        w = self._weights
+        return sum(w[u] for u in self._adj[v])
+
+    # ------------------------------------------------------------------ #
+    # CSR index
+    # ------------------------------------------------------------------ #
+
+    @property
+    def csr(self):
+        """The lazily built :class:`~repro.graphs.csr.CSRIndex`.
+
+        Derived data: building it never changes the graph, and every
+        kernel that uses it reproduces the dict API's answers exactly.
+        """
+        index = self._csr
+        if index is None:
+            from repro.graphs.csr import CSRIndex
+
+            index = self._csr = CSRIndex(self._adj, self._weights)
+        return index
 
     # ------------------------------------------------------------------ #
     # derived graphs
@@ -175,20 +256,47 @@ class WeightedGraph:
         unknown = keep - set(self._adj)
         if unknown:
             raise GraphError(f"unknown nodes in induced_subgraph: {sorted(unknown)[:5]}")
-        adj = {
-            v: tuple(u for u in self._adj[v] if u in keep)
-            for v in keep
-        }
-        weights = {v: self._weights[v] for v in keep}
-        return WeightedGraph(adj, weights, _skip_validation=True)
+        weights = self._weights
+        n = len(self._adj)
+        if len(keep) * 4 < n or n < 64:
+            # Small subgraph (or tiny graph): the per-row dict sweep beats
+            # building/consulting the whole-graph CSR mask.
+            adj = {
+                v: tuple(u for u in self._adj[v] if u in keep)
+                for v in sorted(keep)
+            }
+            sub_w = {v: weights[v] for v in adj}
+            return WeightedGraph._from_canonical(adj, sub_w)
+        # Large subgraph: one vectorized mask pass over the CSR arrays.
+        csr = self.csr
+        import numpy as np
+
+        kept_slots = np.fromiter((csr.slot_of[v] for v in keep),
+                                 dtype=np.int64, count=len(keep))
+        ordered, counts, kept_neighbors = csr.induced_rows(kept_slots)
+        ids = csr._id_list
+        nbr_ids = csr.ids[kept_neighbors].tolist()  # python ints, row order
+        adj = {}
+        sub_w = {}
+        offset = 0
+        for s, c in zip(ordered.tolist(), counts.tolist()):
+            v = ids[s]
+            adj[v] = tuple(nbr_ids[offset:offset + c])
+            sub_w[v] = weights[v]
+            offset += c
+        return WeightedGraph._from_canonical(adj, sub_w, m=len(nbr_ids) // 2)
 
     def with_weights(self, weights: Mapping[int, float]) -> "WeightedGraph":
         """Same topology with a different weight function (paper's ``G_w'``)."""
-        return WeightedGraph(self._adj, weights, _skip_validation=True)
+        return WeightedGraph._from_canonical(
+            self._adj, _validated_weights(weights, self._adj), m=self._m
+        )
 
     def with_unit_weights(self) -> "WeightedGraph":
         """Same topology, all weights set to 1 (the unweighted view)."""
-        return WeightedGraph(self._adj, {v: 1.0 for v in self._adj}, _skip_validation=True)
+        return WeightedGraph._from_canonical(
+            self._adj, {v: 1.0 for v in self._adj}, m=self._m
+        )
 
     def fingerprint(self) -> str:
         """Content hash of the graph (topology + weights), hex sha256.
@@ -197,15 +305,23 @@ class WeightedGraph:
         batch engine can key its on-disk result cache by this string.
         Weights are hashed via ``repr(float)`` (shortest round-trippable
         form), so the hash is stable across processes and sessions.
+        Memoized: graphs are immutable and sweeps fingerprint the same
+        instance once per job.
         """
+        cached = self._fingerprint
+        if cached is not None:
+            return cached
         import hashlib
 
-        h = hashlib.sha256()
-        for v in self.nodes:
-            h.update(f"n{v}:{self._weights[v]!r};".encode())
-        for u, v in self.edges():
-            h.update(f"e{u},{v};".encode())
-        return h.hexdigest()
+        w = self._weights
+        adj = self._adj
+        parts = [f"n{v}:{w[v]!r};" for v in self.nodes]
+        parts.extend(
+            f"e{u},{v};" for u in self.nodes for v in adj[u] if u < v
+        )
+        digest = hashlib.sha256("".join(parts).encode()).hexdigest()
+        self._fingerprint = digest
+        return digest
 
     def relabeled(self) -> Tuple["WeightedGraph", Dict[int, int]]:
         """Relabel nodes to ``0..n-1``; returns ``(graph, old_id -> new_id)``."""
@@ -250,6 +366,16 @@ class WeightedGraph:
 
     def __repr__(self) -> str:
         return f"WeightedGraph(n={self.n}, m={self.m}, max_degree={self.max_degree})"
+
+
+def _validated_weights(
+    weights: Mapping[int, float], adj: Mapping[int, Tuple[int, ...]]
+) -> Dict[int, float]:
+    w = {int(v): float(weights[v]) for v in adj}
+    bad = [v for v, x in w.items() if x < 0 or x != x]  # negative or NaN
+    if bad:
+        raise GraphError(f"negative or NaN weights on nodes {bad[:5]}")
+    return w
 
 
 def _validate_adjacency(adj: Mapping[int, Sequence[int]]) -> None:

@@ -10,7 +10,7 @@ anything global.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -29,25 +29,49 @@ class NodeContext:
     discipline); bundle fields into a tuple instead of sending twice.
     """
 
-    __slots__ = ("node_id", "neighbors", "weight", "rng", "n_bound",
+    __slots__ = ("node_id", "neighbors", "weight", "n_bound",
+                 "_rng", "_seed_child",
                  "_outbox", "_halted", "_output", "_round", "_nbr_set")
 
     def __init__(self, node_id: int, neighbors: Tuple[int, ...], weight: float,
-                 rng: np.random.Generator, n_bound: int):
+                 rng: Union[np.random.Generator, np.random.SeedSequence],
+                 n_bound: int, nbr_set: Optional[frozenset] = None):
         self.node_id = node_id
         self.neighbors = neighbors
         self.weight = weight
-        self.rng = rng
+        if isinstance(rng, np.random.SeedSequence):
+            # Deferred: the Generator is built on first `.rng` access, so
+            # nodes that never flip a coin skip PCG64 construction (a
+            # measurable cost when phase algorithms spawn thousands of
+            # short sub-simulations).
+            self._rng = None
+            self._seed_child = rng
+        else:
+            self._rng = rng
+            self._seed_child = None
         self.n_bound = n_bound
         self._outbox: Dict[int, Any] = {}
         self._halted = False
         self._output: Any = None
         self._round = 0
-        self._nbr_set = frozenset(neighbors)
+        # The runner passes the graph's shared frozenset so repeated
+        # sub-simulations of the same graph don't rebuild it per run.
+        self._nbr_set = frozenset(neighbors) if nbr_set is None else nbr_set
 
     # ------------------------------------------------------------------ #
     # info
     # ------------------------------------------------------------------ #
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The node's private randomness stream (built on first use)."""
+        r = self._rng
+        if r is None:
+            # Identical stream to ``np.random.default_rng(child)``.
+            r = self._rng = np.random.Generator(
+                np.random.PCG64(self._seed_child)
+            )
+        return r
 
     @property
     def degree(self) -> int:
@@ -88,9 +112,23 @@ class NodeContext:
         self._outbox[to] = payload
 
     def broadcast(self, payload: Any) -> None:
-        """Send ``payload`` to every neighbour."""
-        for u in self.neighbors:
-            self.send(u, payload)
+        """Send ``payload`` to every neighbour.
+
+        Validates the payload once (it is the same object for every
+        copy) instead of once per neighbour; the per-recipient checks
+        match :meth:`send` exactly.
+        """
+        if self._halted:
+            raise ProtocolError(f"node {self.node_id} sent after halting")
+        validate_payload(payload)
+        outbox = self._outbox
+        for to in self.neighbors:
+            if to in outbox:
+                raise ProtocolError(
+                    f"node {self.node_id} sent twice to {to} in one round; "
+                    "bundle fields into a single tuple payload"
+                )
+            outbox[to] = payload
 
     def halt(self, output: Any = None) -> None:
         """Finish with ``output``.  Messages queued this round still go out."""

@@ -44,8 +44,30 @@ def validate_payload(payload: Any) -> None:
 
 
 def payload_bits(payload: Any) -> int:
-    """Encoded size of ``payload`` in bits (see module docstring)."""
-    if payload is None or isinstance(payload, bool):
+    """Encoded size of ``payload`` in bits (see module docstring).
+
+    This is the simulator's hottest function (once per charged message),
+    so the common concrete types are dispatched on ``type()`` before the
+    general ``isinstance`` path that still handles subclasses (bools,
+    IntEnums, ...) exactly as before.
+    """
+    t = type(payload)
+    if t is int:
+        return 1 + max(1, payload.bit_length())
+    if t is tuple or t is list:
+        bits = 8
+        for item in payload:
+            bits += 2 + payload_bits(item)
+        return bits
+    if t is bool or payload is None:
+        return 1
+    if t is float:
+        return 64
+    if t is str:
+        return 8 + 8 * len(payload.encode("utf-8"))
+    # Subclass fallback: byte-identical accounting to the original
+    # isinstance chain (bool before int, so True costs 1 bit).
+    if isinstance(payload, bool):
         return 1
     if isinstance(payload, int):
         return 1 + max(1, payload.bit_length())

@@ -12,22 +12,36 @@ from typing import Dict, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-__all__ = ["spawn_node_rngs", "derive_seed"]
+__all__ = ["spawn_node_rngs", "spawn_node_seeds", "derive_seed"]
 
 SeedLike = Union[int, None, np.random.SeedSequence]
+
+
+def spawn_node_seeds(seed: SeedLike, node_ids: Sequence[int]) -> Dict[int, np.random.SeedSequence]:
+    """One child :class:`~numpy.random.SeedSequence` per node, keyed by id.
+
+    The mapping is by *position in the sorted id list*, so the same
+    ``(seed, node set)`` pair always produces the same per-node streams
+    regardless of input order.  The runner hands these to
+    :class:`~repro.simulator.context.NodeContext`, which only pays for
+    Generator construction if the node actually draws randomness.
+    """
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    ordered = sorted(node_ids)
+    return dict(zip(ordered, ss.spawn(len(ordered))))
 
 
 def spawn_node_rngs(seed: SeedLike, node_ids: Sequence[int]) -> Dict[int, np.random.Generator]:
     """One independent Generator per node, keyed by node id.
 
-    The mapping is by *position in the sorted id list*, so the same
-    ``(seed, node set)`` pair always produces the same per-node streams
-    regardless of input order.
+    Same streams as :func:`spawn_node_seeds` fed through
+    ``np.random.default_rng`` (``Generator(PCG64(child))`` is the same
+    construction, spelled without the dispatch overhead).
     """
-    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
-    ordered = sorted(node_ids)
-    children = ss.spawn(len(ordered))
-    return {v: np.random.default_rng(child) for v, child in zip(ordered, children)}
+    return {
+        v: np.random.Generator(np.random.PCG64(child))
+        for v, child in spawn_node_seeds(seed, node_ids).items()
+    }
 
 
 def derive_seed(seed: SeedLike, index: int) -> np.random.SeedSequence:

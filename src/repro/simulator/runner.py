@@ -14,6 +14,18 @@ or duplicate it, and nodes may fail-stop on a schedule.  The fault-free
 path is byte-identical to a build without this feature — with
 ``faults=None`` no fault stream is ever created and the delivery loop is
 untouched.  See :mod:`repro.faults` and ``docs/faults.md``.
+
+Internally the scheduler is *slot-indexed*: node ids are mapped once to
+positions ``0..n-1`` in sorted id order, and contexts/programs/inboxes
+live in flat lists addressed by slot.  Per-receiver inbox dicts are
+reused between rounds (cleared, never reallocated), each message's
+``payload_bits`` is computed exactly once and threaded through delivery,
+fault scheduling, and the end-of-run flush, and the sink-free fault-free
+path runs a specialized collect loop with per-round (not per-message)
+metric writes.  None of this is observable: iteration orders, outputs,
+metrics, and event streams are byte-identical to the per-node-dict
+scheduler this replaced — see ``docs/performance.md`` for the exact
+invariants the slot layout must preserve.
 """
 
 from __future__ import annotations
@@ -35,7 +47,7 @@ from repro.simulator.message import payload_bits
 from repro.simulator.metrics import BandwidthViolation, RunMetrics
 from repro.simulator.models import BandwidthPolicy
 from repro.simulator.network import Network
-from repro.simulator.randomness import spawn_node_rngs
+from repro.simulator.randomness import spawn_node_seeds
 from repro.simulator.tracing import Trace
 
 __all__ = ["RunResult", "run"]
@@ -43,6 +55,7 @@ __all__ = ["RunResult", "run"]
 AlgorithmFactory = Callable[[], NodeAlgorithm]
 
 _EMPTY_INBOX: Dict[int, Any] = {}
+_NO_PAYLOAD = object()  # sentinel for the one-slot payload_bits memo
 
 
 @dataclass(frozen=True)
@@ -115,26 +128,37 @@ def run(
     graph = network.graph
     policy = policy or BandwidthPolicy.congest()
     budget = policy.budget_bits(network.n_bound)
+    strict = policy.strict
+    check_budget = budget >= 0
 
-    rngs = spawn_node_rngs(seed, graph.nodes)
-    contexts: Dict[int, NodeContext] = {}
-    programs: Dict[int, NodeAlgorithm] = {}
-    for v in graph.nodes:
-        contexts[v] = NodeContext(
+    # ---- slot layout: id <-> position in the sorted id order ---------- #
+    nodes = graph.nodes  # memoized sorted tuple
+    n = len(nodes)
+    slot_of: Dict[int, int] = {v: s for s, v in enumerate(nodes)}
+    n_bound = network.n_bound
+    seed_children = spawn_node_seeds(seed, nodes)
+    ctxs = [
+        NodeContext(
             node_id=v,
             neighbors=graph.neighbors(v),
             weight=graph.weight(v),
-            rng=rngs[v],
-            n_bound=network.n_bound,
+            rng=seed_children[v],
+            n_bound=n_bound,
+            nbr_set=graph.neighbor_set(v),
         )
-        programs[v] = algorithm_factory()
+        for v in nodes
+    ]
+    programs = [algorithm_factory() for _ in range(n)]
 
     metrics = RunMetrics()
-    active = set()
-    in_flight: Dict[int, Dict[int, Any]] = {}
-    # Faulty-delivery schedule: delivery_round -> receiver -> sender ->
-    # payload.  Only used when a fault session is open; the fault-free
-    # path keeps the plain one-round ``in_flight`` buffer above.
+    active: set = set()  # slots of nodes that have not halted
+    # Reliable-delivery buffers: one reused inbox dict per receiver slot,
+    # plus the slots filled since the last delivery (clear only those).
+    next_bufs = [{} for _ in range(n)]
+    filled = []
+    # Faulty-delivery schedule: delivery_round -> receiver id -> sender id
+    # -> (payload, bits).  Only used when a fault session is open; the
+    # fault-free path keeps the flat slot buffers above.
     deferred: Dict[int, Dict[int, Dict[int, Any]]] = {}
 
     plan = faults if faults is not None else ambient_fault_plan()
@@ -160,6 +184,8 @@ def run(
         this is decidable at send time).  Two copies of the same
         (sender, receiver) pair landing in the same round collapse to the
         newest-sent payload, matching the one-slot-per-sender inbox.
+        The message's ``bits`` ride along with the payload so drops of
+        deferred copies never re-measure it.
         """
         fates = session.message_fate(round_index, v, to)
         if not fates:
@@ -192,41 +218,108 @@ def run(
             if k == 0 and has_sinks:
                 for s in sinks:
                     s.record(round_index, "send", v, (to, bits))
-            deferred.setdefault(delivery_round, {}).setdefault(to, {})[v] = payload
+            deferred.setdefault(delivery_round, {}).setdefault(to, {})[v] = \
+                (payload, bits)
 
-    def collect(round_index: int, senders) -> None:
-        """Drain outboxes into next round's inboxes, charging bandwidth.
-
-        Only ``senders`` (the nodes that executed this round) can have
-        queued messages, so the sweep skips everyone else.
-        """
-        for v in senders:
-            ctx = contexts[v]
-            for to, payload in ctx._drain_outbox().items():
+    def collect_faulty(round_index: int, sender_slots) -> None:
+        """Drain outboxes through the fault session (general path)."""
+        for s in sender_slots:
+            ctx = ctxs[s]
+            outbox = ctx._outbox
+            if not outbox:
+                continue
+            ctx._outbox = {}
+            v = nodes[s]
+            for to, payload in outbox.items():
                 bits = payload_bits(payload)
-                if budget >= 0 and bits > budget:
-                    if policy.strict:
+                if check_budget and bits > budget:
+                    if strict:
                         raise BandwidthExceeded(v, to, bits, budget, round_index)
                     metrics.violations.append(
                         BandwidthViolation(round_index, v, to, bits, budget)
                     )
                 metrics.record_message(bits)
-                if contexts[to].halted:
+                if ctxs[slot_of[to]]._halted:
                     # Receiver halted this very round: the message was put
                     # on the wire (and charged above) but is never read.
                     metrics.record_drop(bits)
                     if has_sinks:
-                        for s in sinks:
-                            s.record(round_index, "drop", v, (to, bits))
-                elif session is not None:
+                        for s_ in sinks:
+                            s_.record(round_index, "drop", v, (to, bits))
+                else:
                     schedule_faulty(round_index, v, to, payload, bits)
+
+    def collect(round_index: int, sender_slots) -> None:
+        """Drain outboxes into next round's inboxes, charging bandwidth.
+
+        Reliable-delivery fast path: only ``sender_slots`` (the nodes
+        that executed this round) can have queued messages.  Accounting
+        accumulates in locals and hits ``metrics`` once per round; a
+        one-slot memo reuses the ``payload_bits`` of the previous
+        message object, so a broadcast is measured once, not once per
+        neighbour (the value is identical — it is the same object).
+        """
+        msgs = 0
+        tbits = 0
+        maxb = metrics.max_message_bits
+        dmsgs = 0
+        dbits = 0
+        last_payload: Any = _NO_PAYLOAD
+        last_bits = 0
+        for s in sender_slots:
+            ctx = ctxs[s]
+            outbox = ctx._outbox
+            if not outbox:
+                continue
+            ctx._outbox = {}
+            v = nodes[s]
+            for to, payload in outbox.items():
+                if payload is last_payload:
+                    bits = last_bits
+                else:
+                    bits = last_bits = payload_bits(payload)
+                    last_payload = payload
+                if check_budget and bits > budget:
+                    if strict:
+                        # Flush the accounting of everything already on
+                        # the wire before aborting, exactly like the
+                        # per-message writes did.
+                        metrics.messages += msgs
+                        metrics.total_bits += tbits
+                        metrics.max_message_bits = maxb
+                        metrics.dropped_messages += dmsgs
+                        metrics.dropped_bits += dbits
+                        raise BandwidthExceeded(v, to, bits, budget, round_index)
+                    metrics.violations.append(
+                        BandwidthViolation(round_index, v, to, bits, budget)
+                    )
+                msgs += 1
+                tbits += bits
+                if bits > maxb:
+                    maxb = bits
+                to_s = slot_of[to]
+                if ctxs[to_s]._halted:
+                    dmsgs += 1
+                    dbits += bits
+                    if has_sinks:
+                        for s_ in sinks:
+                            s_.record(round_index, "drop", v, (to, bits))
                 else:
                     if has_sinks:
-                        for s in sinks:
-                            s.record(round_index, "send", v, (to, bits))
+                        for s_ in sinks:
+                            s_.record(round_index, "send", v, (to, bits))
                     if codec_check:
                         payload = decode_payload(encode_payload(payload))
-                    in_flight.setdefault(to, {})[v] = payload
+                    buf = next_bufs[to_s]
+                    if not buf:
+                        filled.append(to_s)
+                    buf[v] = payload
+        metrics.messages += msgs
+        metrics.total_bits += tbits
+        metrics.max_message_bits = maxb
+        if dmsgs:
+            metrics.dropped_messages += dmsgs
+            metrics.dropped_bits += dbits
 
     def profile(round_index: int, t_start: float, t_compute: float,
                 msgs0: int, bits0: int, drops0: int, halts: int,
@@ -247,19 +340,23 @@ def run(
     # Round 0: local initialisation.
     t_start = time.perf_counter() if profiled else 0.0
     halts_this_round = 0
-    for v in graph.nodes:
-        programs[v].on_start(contexts[v])
-        if contexts[v].halted:
+    for s in range(n):
+        ctx = ctxs[s]
+        programs[s].on_start(ctx)
+        if ctx._halted:
             halts_this_round += 1
             if has_sinks:
-                for s in sinks:
-                    s.record(0, "halt", v, contexts[v].output)
+                for snk in sinks:
+                    snk.record(0, "halt", nodes[s], ctx._output)
         else:
-            active.add(v)
+            active.add(s)
     t_compute = time.perf_counter() if profiled else 0.0
-    collect(0, graph.nodes)
+    if session is None:
+        collect(0, range(n))
+    else:
+        collect_faulty(0, range(n))
     if profiled:
-        profile(0, t_start, t_compute, 0, 0, 0, halts_this_round, len(graph.nodes))
+        profile(0, t_start, t_compute, 0, 0, 0, halts_this_round, n)
 
     round_index = 0
     while active:
@@ -268,81 +365,102 @@ def run(
             raise RoundLimitExceeded(max_rounds, len(active))
         metrics.rounds = round_index
         if has_sinks:
-            for s in sinks:
-                s.record(round_index, "round", -1)
+            for snk in sinks:
+                snk.record(round_index, "round", -1)
         msgs0, bits0, drops0 = (metrics.messages, metrics.total_bits,
                                 metrics.dropped_messages)
         if session is None:
-            inboxes = in_flight
-            in_flight = {}
+            # Fast path: deliver from the reused slot buffers.
             executed = sorted(active)
+            t_start = time.perf_counter() if profiled else 0.0
+            for s in executed:
+                ctx = ctxs[s]
+                ctx._round += 1
+                programs[s].on_round(ctx, next_bufs[s] or _EMPTY_INBOX)
+            # Every filled buffer was just read (receivers are always
+            # active at delivery time); clear for the next collect.
+            if filled:
+                for s in filled:
+                    next_bufs[s].clear()
+                filled.clear()
+            t_compute = time.perf_counter() if profiled else 0.0
+            collect(round_index, executed)
         else:
-            inboxes = deferred.pop(round_index, {})
+            arrivals = deferred.pop(round_index, {})
             if session.has_crashes:
                 for v in session.crashed_this_round(round_index):
-                    if v in contexts and not contexts[v].halted:
+                    s = slot_of.get(v)
+                    if s is not None and not ctxs[s]._halted:
                         metrics.record_crash()
                         if has_sinks:
-                            for s in sinks:
-                                s.record(round_index, "crash", v)
+                            for snk in sinks:
+                                snk.record(round_index, "crash", v)
                         if session.never_returns(v, round_index):
-                            active.discard(v)
+                            active.discard(s)
                 for v in session.restarted_this_round(round_index):
-                    if v in contexts and not contexts[v].halted:
+                    s = slot_of.get(v)
+                    if s is not None and not ctxs[s]._halted:
                         metrics.record_restart()
                         # Fast-forward the local round counter over the
                         # downtime so round_index stays consistent.
-                        contexts[v]._round = round_index - 1
+                        ctxs[s]._round = round_index - 1
                         if has_sinks:
-                            for s in sinks:
-                                s.record(round_index, "restart", v)
-                executed = sorted(v for v in active
-                                  if not session.down_at(v, round_index))
+                            for snk in sinks:
+                                snk.record(round_index, "restart", v)
+                executed = sorted(s for s in active
+                                  if not session.down_at(nodes[s], round_index))
             else:
                 executed = sorted(active)
             # A receiver may have halted while a delayed copy was in
             # flight; the copy arrives at a program that no longer exists.
-            for to in sorted(inboxes):
-                if contexts[to].halted:
-                    for sender, payload in inboxes.pop(to).items():
-                        bits = payload_bits(payload)
+            # The bits stored at scheduling time are charged verbatim.
+            for to in sorted(arrivals):
+                if ctxs[slot_of[to]]._halted:
+                    for sender, (_payload, bits) in arrivals.pop(to).items():
                         metrics.record_fault_drop(bits)
                         if has_sinks:
-                            for s in sinks:
-                                s.record(round_index, "fault_drop", sender,
-                                         (to, bits))
-        t_start = time.perf_counter() if profiled else 0.0
-        for v in executed:
-            ctx = contexts[v]
-            ctx._advance_round()
-            programs[v].on_round(ctx, inboxes.get(v, _EMPTY_INBOX))
-        t_compute = time.perf_counter() if profiled else 0.0
-        collect(round_index, executed)
+                            for snk in sinks:
+                                snk.record(round_index, "fault_drop", sender,
+                                           (to, bits))
+            t_start = time.perf_counter() if profiled else 0.0
+            for s in executed:
+                ctx = ctxs[s]
+                ctx._round += 1
+                entry = arrivals.get(nodes[s])
+                if entry is None:
+                    inbox = _EMPTY_INBOX
+                else:
+                    inbox = {sender: pb[0] for sender, pb in entry.items()}
+                programs[s].on_round(ctx, inbox)
+            t_compute = time.perf_counter() if profiled else 0.0
+            collect_faulty(round_index, executed)
         halts_this_round = 0
-        for v in executed:
-            if contexts[v].halted:
-                active.discard(v)
+        for s in executed:
+            if ctxs[s]._halted:
+                active.discard(s)
                 halts_this_round += 1
                 if has_sinks:
-                    for s in sinks:
-                        s.record(round_index, "halt", v, contexts[v].output)
+                    for snk in sinks:
+                        snk.record(round_index, "halt", nodes[s],
+                                   ctxs[s]._output)
         if profiled:
             profile(round_index, t_start, t_compute, msgs0, bits0, drops0,
                     halts_this_round, len(executed))
 
     if session is not None and deferred:
         # Copies still in flight when every node halted: charged on the
-        # wire, never read.  Flush them as fault drops so the audit
-        # identity total == delivered + dropped + fault_dropped holds.
+        # wire, never read.  Flush them as fault drops — at the bit sizes
+        # recorded when they were scheduled — so the audit identity
+        # total == delivered + dropped + fault_dropped holds.
         for delivery_round in sorted(deferred):
             for to in sorted(deferred[delivery_round]):
-                for sender, payload in deferred[delivery_round][to].items():
-                    bits = payload_bits(payload)
+                for sender, (_payload, bits) in \
+                        deferred[delivery_round][to].items():
                     metrics.record_fault_drop(bits)
                     if has_sinks:
-                        for s in sinks:
-                            s.record(delivery_round, "fault_drop", sender,
-                                     (to, bits))
+                        for snk in sinks:
+                            snk.record(delivery_round, "fault_drop", sender,
+                                       (to, bits))
 
-    outputs = {v: contexts[v].output for v in graph.nodes}
+    outputs = {nodes[s]: ctxs[s]._output for s in range(n)}
     return RunResult(outputs=outputs, metrics=metrics, n_bound=network.n_bound)

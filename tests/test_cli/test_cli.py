@@ -421,3 +421,40 @@ class TestFaultCli:
         assert payload["failed"] is True
         assert payload["faults"] == "loss(0.1)+delay(1)"
         assert "TypeError" in payload["error"]
+
+
+class TestBench:
+    def test_bench_tiny_measures_and_writes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        rc = main(["bench", "--tiny", "--repeats", "1",
+                   "--out", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "gnp60/thm8" in text and "gnp60/coloring" in text
+        import json as _json
+
+        doc = _json.loads(out.read_text())
+        assert doc["matrix"] == "tiny"
+        assert len(doc["cells"]) == 4
+
+    def test_bench_gate_passes_against_itself(self, capsys, tmp_path):
+        from repro.cli import main
+
+        base = tmp_path / "base.json"
+        assert main(["bench", "--tiny", "--repeats", "1",
+                     "--out", str(base)]) == 0
+        capsys.readouterr()
+        rc = main(["bench", "--tiny", "--repeats", "1",
+                   "--baseline", str(base), "--tolerance", "10"])
+        assert rc == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_bench_missing_baseline_skips_gate(self, capsys, tmp_path):
+        from repro.cli import main
+
+        rc = main(["bench", "--tiny", "--repeats", "1",
+                   "--baseline", str(tmp_path / "nope.json")])
+        assert rc == 0
+        assert "gate skipped" in capsys.readouterr().out

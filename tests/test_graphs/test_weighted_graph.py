@@ -223,3 +223,60 @@ class TestFingerprintInvariance:
         once = self._graph(nodes, [(0, 1)], weights).fingerprint()
         twice = self._graph(nodes, [(0, 1), (1, 0)], weights).fingerprint()
         assert once == twice
+
+
+class TestMemoization:
+    """Scalar statistics are cached on first use; derived graphs start
+    with fresh caches (immutability makes the memo safe, sharing it
+    across topology/weight changes would not be)."""
+
+    def _graph(self):
+        return WeightedGraph(
+            {0: [1, 2], 1: [0, 2], 2: [0, 1], 3: []},
+            {0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0},
+        )
+
+    def test_memoized_values_are_stable(self):
+        g = self._graph()
+        assert g.max_degree == 2 and g.max_degree == 2
+        assert g.total_weight() == 10.0 and g.total_weight() == 10.0
+        assert g.nodes == (0, 1, 2, 3) and g.nodes is g.nodes
+        assert g.fingerprint() == g.fingerprint()
+
+    def test_total_weight_with_subset_bypasses_memo(self):
+        g = self._graph()
+        assert g.total_weight() == 10.0
+        assert g.total_weight([0, 3]) == 5.0
+        assert g.total_weight() == 10.0
+
+    def test_induced_subgraph_gets_fresh_caches(self):
+        g = self._graph()
+        # Populate the parent's memo first; the subgraph must not inherit it.
+        assert g.max_degree == 2
+        assert g.total_weight() == 10.0
+        sub = g.induced_subgraph([0, 1, 3])
+        assert sub.max_degree == 1
+        assert sub.total_weight() == 7.0
+        assert sub.nodes == (0, 1, 3)
+        assert sub.fingerprint() != g.fingerprint()
+
+    def test_reweighted_graph_gets_fresh_caches(self):
+        g = self._graph()
+        assert g.total_weight() == 10.0
+        assert g.fingerprint()
+        h = g.with_weights({0: 5.0, 1: 5.0, 2: 5.0, 3: 5.0})
+        assert h.total_weight() == 20.0
+        assert h.max_degree == g.max_degree
+        assert h.fingerprint() != g.fingerprint()
+        u = g.with_unit_weights()
+        assert u.total_weight() == 4.0
+        # The original memo is untouched by the derived graphs.
+        assert g.total_weight() == 10.0
+
+    def test_csr_index_is_lazy_and_cached(self):
+        g = self._graph()
+        idx = g.csr
+        assert idx is g.csr
+        assert list(idx.ids) == [0, 1, 2, 3]
+        assert idx.slot_of[3] == 3
+        assert list(idx.degrees) == [2, 2, 2, 0]
