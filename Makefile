@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-perf experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf service-smoke experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -38,6 +38,16 @@ bench-perf:
 	$(PYTHON) benchmarks/perf_gate.py --tiny --repeats 2 \
 		--baseline BENCH_runner.json --tolerance 3.0 \
 		--out bench_current.json
+
+# Solver-service smoke: start `repro serve` on an ephemeral port, check
+# /v1/health, assert one fixed-seed HTTP solve is byte-identical to
+# repro.api.solve, run `repro loadgen` (8 clients, 5 s) against it —
+# which re-certifies every unique report — then SIGTERM and assert a
+# clean drain.  Writes BENCH_service.json for the CI artifact upload.
+# See benchmarks/service_smoke.py and docs/service.md.
+service-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+service-smoke:
+	$(PYTHON) benchmarks/service_smoke.py --keep-bench
 
 # Regenerate every experiment table (E1..E13) to stdout.
 experiments:

@@ -1,13 +1,18 @@
 """repro — distributed MaxIS approximation (Kawarabayashi–Khoury–Schild–
 Schwartzman, PODC 2020) on an executable CONGEST/LOCAL simulator.
 
-Quickstart::
+Quickstart — the blessed entry point is :func:`repro.solve`::
 
-    from repro import gnp, uniform_weights, theorem2_maxis
+    from repro import gnp, uniform_weights, solve
 
     graph = uniform_weights(gnp(500, 0.02, seed=1), 1, 100, seed=2)
-    result = theorem2_maxis(graph, eps=0.5, seed=3)
-    print(result.size, result.rounds, result.weight(graph))
+    report = solve(graph, "thm2", seed=3, eps=0.5)
+    print(report.size, report.rounds, report.weight)
+
+The same request served over HTTP (``repro serve``) returns the same
+canonical report, byte for byte.  Algorithm pipelines remain importable
+directly (``theorem2_maxis`` et al.) for callers that want the raw
+:class:`~repro.results.AlgorithmResult`.
 
 Package map:
 
@@ -18,11 +23,23 @@ Package map:
   10, 12) plus baselines, an exact solver, and verification;
 * :mod:`repro.lowerbound` — the Theorem 4 reduction (Figure 1);
 * :mod:`repro.analysis` — concentration bounds and trial statistics;
-* :mod:`repro.bench` — the E1–E13 experiment suite.
+* :mod:`repro.bench` — the E1–E13 experiment suite;
+* :mod:`repro.api` — the stable solve/report contract (schema v1);
+* :mod:`repro.service` — the solver daemon behind ``repro serve``.
 """
 
 from repro._version import __version__
 from repro.results import AlgorithmResult
+
+# The blessed public surface: one call, one versioned contract, shared
+# verbatim by the Python facade and the HTTP service.
+from repro.api import (
+    SolveReport,
+    SolveRequest,
+    solve,
+    sweep,
+)
+from repro.registry import algorithm_registry
 
 # Re-export the most used surface at the top level.
 from repro.graphs import (
@@ -57,6 +74,11 @@ from repro.simulator import BandwidthPolicy, CommunicationModel
 __all__ = [
     "__version__",
     "AlgorithmResult",
+    "SolveReport",
+    "SolveRequest",
+    "algorithm_registry",
+    "solve",
+    "sweep",
     "WeightedGraph",
     "cycle",
     "cycle_of_cliques",

@@ -1,0 +1,488 @@
+"""The stable public surface of the library: one call, one contract.
+
+Every way of running a solver — a Python call, a CLI invocation, an HTTP
+request against ``repro serve`` — goes through the same two versioned
+dataclasses defined here:
+
+* :class:`SolveRequest` — what to solve: a weighted graph, a registry
+  algorithm name, a seed, and algorithm parameters.
+* :class:`SolveReport` — what came back: the chosen independent set, its
+  weight, the CONGEST cost accounting, and the guarantee metadata needed
+  to re-certify the result.
+
+Both carry ``schema "v1"`` and round-trip through ``to_json``/
+``from_json``; the solver service serializes exactly these documents on
+the wire, so Python callers and HTTP callers share one contract.  Report
+serialization is *canonical* (sorted keys, compact separators, wall-clock
+stripped), which is what makes fixed-seed responses byte-identical across
+the in-process and HTTP paths — a property the service test-suite pins.
+
+Quickstart::
+
+    from repro import gnp, uniform_weights, solve
+
+    graph = uniform_weights(gnp(200, 0.05, seed=1), 1, 100, seed=2)
+    report = solve(graph, "thm2", seed=7, eps=0.5)
+    print(report.weight, report.rounds, len(report.independent_set))
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import GraphFormatError, ReproError
+from repro.graphs.io import from_doc as _graph_from_inline_doc
+from repro.graphs.io import to_doc as _graph_to_inline_doc
+from repro.graphs.specs import graph_from_spec, weights_from_spec
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.registry import algorithm_registry
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "SolveError",
+    "SolveRequest",
+    "SolveReport",
+    "solve",
+    "sweep",
+    "describe_algorithms",
+    "graph_to_doc",
+    "graph_from_doc",
+    "algorithm_registry",
+]
+
+SCHEMA_VERSION = "v1"
+
+
+class SchemaError(ReproError, ValueError):
+    """A request/report document does not match the supported schema."""
+
+
+class SolveError(ReproError):
+    """An algorithm run submitted through :func:`solve` failed.
+
+    Carries the failed :class:`SolveReport` as ``report`` so callers can
+    still inspect the captured error and cost accounting.
+    """
+
+    def __init__(self, message: str, report: "SolveReport") -> None:
+        super().__init__(message)
+        self.report = report
+
+
+# --------------------------------------------------------------------- #
+# request-side graph codec
+# --------------------------------------------------------------------- #
+
+def graph_to_doc(graph: WeightedGraph) -> Dict[str, Any]:
+    """The inline wire encoding of a graph (see :mod:`repro.graphs.io`)."""
+    return _graph_to_inline_doc(graph)
+
+
+def graph_from_doc(doc: Any) -> WeightedGraph:
+    """Decode the graph field of a solve request.
+
+    Two encodings are accepted:
+
+    * inline — ``{"nodes": [[id, weight], ...], "edges": [[u, v], ...]}``
+      (the :func:`repro.graphs.io.to_doc` format);
+    * by spec — ``{"spec": "gnp:100,0.05", "weights": "uniform:1,20",
+      "seed": 7}``, materialized server-side through the generator zoo
+      (``weights`` defaults to ``keep``, ``seed`` to 0).
+
+    Raises :class:`SchemaError` on anything else.
+    """
+    if not isinstance(doc, dict):
+        raise SchemaError(f"graph must be an object, got {type(doc).__name__}")
+    if "spec" in doc:
+        seed = doc.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SchemaError(f"graph spec seed must be an int, got {seed!r}")
+        try:
+            graph = graph_from_spec(str(doc["spec"]), seed)
+            weights = doc.get("weights")
+            if weights is not None:
+                graph = weights_from_spec(str(weights), graph, seed + 1)
+        except ValueError as exc:
+            raise SchemaError(str(exc)) from exc
+        return graph
+    if "nodes" in doc and "edges" in doc:
+        try:
+            return _graph_from_inline_doc(doc)
+        except GraphFormatError as exc:
+            raise SchemaError(str(exc)) from exc
+    raise SchemaError(
+        "graph must carry either nodes/edges (inline) or a spec"
+    )
+
+
+def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    out = dict(params)
+    try:
+        json.dumps(out, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise SchemaError(f"params must be JSON-serializable: {exc}") from exc
+    return out
+
+
+# --------------------------------------------------------------------- #
+# the v1 request/report contract
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve: ``algorithm(graph, seed=seed, **params)``.
+
+    ``timeout_s`` and ``label`` are serving hints: the deadline the
+    service enforces on the request, and an opaque tag echoed into
+    observability records.  Neither affects the computation, so neither
+    participates in :meth:`key`.
+    """
+
+    graph: WeightedGraph
+    algorithm: str
+    seed: int = 0
+    params: Dict[str, Any] = field(default_factory=dict)
+    timeout_s: Optional[float] = None
+    label: str = ""
+
+    def key(self) -> str:
+        """Coalescing identity: requests with equal keys are the same
+        computation (graph content, algorithm, seed, params) and may be
+        served by one execution."""
+        blob = json.dumps({
+            "fingerprint": self.graph.fingerprint(),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "params": self.params,
+        }, sort_keys=True, default=repr)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def to_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "graph": graph_to_doc(self.graph),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+        if self.timeout_s is not None:
+            doc["timeout_s"] = self.timeout_s
+        if self.label:
+            doc["label"] = self.label
+        return doc
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_doc(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_doc(cls, doc: Any) -> "SolveRequest":
+        if not isinstance(doc, dict):
+            raise SchemaError(
+                f"request must be an object, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported schema {schema!r}; this build speaks "
+                f"{SCHEMA_VERSION!r}"
+            )
+        if "graph" not in doc:
+            raise SchemaError("request is missing the graph field")
+        algorithm = doc.get("algorithm")
+        if not isinstance(algorithm, str) or not algorithm:
+            raise SchemaError("request is missing the algorithm name")
+        seed = doc.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise SchemaError(f"seed must be an int, got {seed!r}")
+        params = doc.get("params") or {}
+        if not isinstance(params, dict):
+            raise SchemaError(
+                f"params must be an object, got {type(params).__name__}"
+            )
+        timeout_s = doc.get("timeout_s")
+        if timeout_s is not None:
+            try:
+                timeout_s = float(timeout_s)
+            except (TypeError, ValueError) as exc:
+                raise SchemaError(
+                    f"timeout_s must be a number, got {doc['timeout_s']!r}"
+                ) from exc
+            if timeout_s <= 0:
+                raise SchemaError(f"timeout_s must be positive, got {timeout_s}")
+        return cls(
+            graph=graph_from_doc(doc["graph"]),
+            algorithm=algorithm,
+            seed=seed,
+            params=_canonical_params(params),
+            timeout_s=timeout_s,
+            label=str(doc.get("label", "")),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveRequest":
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise SchemaError(f"request is not valid JSON: {exc}") from exc
+        return cls.from_doc(doc)
+
+
+def _strip_wall(obj: Any) -> Any:
+    """Drop ``wall_seconds`` entries (span-tree timings) recursively.
+
+    Everything else in a metrics document is a deterministic function of
+    (graph, algorithm, seed, params); wall-clock is the one field that
+    would break canonical report identity.
+    """
+    if isinstance(obj, dict):
+        return {k: _strip_wall(v) for k, v in obj.items()
+                if k != "wall_seconds"}
+    if isinstance(obj, list):
+        return [_strip_wall(x) for x in obj]
+    return obj
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """The canonical, deterministic record of one solve.
+
+    Contains only fields that are a pure function of the request: no
+    wall-clock, no cache provenance, no serving metadata.  Serializing a
+    report (``to_json``) therefore yields byte-identical output for the
+    in-process and HTTP paths of the same fixed-seed request.
+    """
+
+    algorithm: str
+    seed: int
+    graph_fingerprint: str
+    ok: bool
+    independent_set: Tuple[int, ...]
+    weight: float
+    rounds: int
+    messages: int
+    total_bits: int
+    metrics: Optional[Dict[str, Any]]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+    params: Dict[str, Any] = field(default_factory=dict)
+    error: str = ""
+    label: str = ""
+
+    @classmethod
+    def from_outcome(cls, outcome, *, graph: WeightedGraph,
+                     algorithm: str, params: Mapping[str, Any]) -> "SolveReport":
+        """Build a report from a batch-engine ``JobOutcome``."""
+        metrics = outcome.metrics
+        return cls(
+            algorithm=algorithm,
+            seed=outcome.seed,
+            graph_fingerprint=graph.fingerprint(),
+            ok=outcome.ok,
+            independent_set=tuple(outcome.independent_set),
+            weight=outcome.weight,
+            rounds=metrics.rounds if metrics is not None else 0,
+            messages=metrics.messages if metrics is not None else 0,
+            total_bits=metrics.total_bits if metrics is not None else 0,
+            metrics=(None if metrics is None
+                     else _strip_wall(metrics.to_dict())),
+            metadata=dict(outcome.metadata),
+            params=dict(params),
+            error=outcome.error,
+            label=outcome.label,
+        )
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "graph_fingerprint": self.graph_fingerprint,
+            "ok": self.ok,
+            "independent_set": list(self.independent_set),
+            "weight": self.weight,
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_bits": self.total_bits,
+            "metrics": self.metrics,
+            "metadata": dict(self.metadata),
+            "params": dict(self.params),
+            "error": self.error,
+            "label": self.label,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, compact separators."""
+        return json.dumps(self.to_doc(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_doc(cls, doc: Any) -> "SolveReport":
+        if not isinstance(doc, dict):
+            raise SchemaError(
+                f"report must be an object, got {type(doc).__name__}"
+            )
+        schema = doc.get("schema", SCHEMA_VERSION)
+        if schema != SCHEMA_VERSION:
+            raise SchemaError(
+                f"unsupported schema {schema!r}; this build speaks "
+                f"{SCHEMA_VERSION!r}"
+            )
+        try:
+            return cls(
+                algorithm=str(doc["algorithm"]),
+                seed=int(doc["seed"]),
+                graph_fingerprint=str(doc.get("graph_fingerprint", "")),
+                ok=bool(doc["ok"]),
+                independent_set=tuple(int(v) for v in
+                                      doc.get("independent_set", [])),
+                weight=float(doc.get("weight", 0.0)),
+                rounds=int(doc.get("rounds", 0)),
+                messages=int(doc.get("messages", 0)),
+                total_bits=int(doc.get("total_bits", 0)),
+                metrics=doc.get("metrics"),
+                metadata=dict(doc.get("metadata") or {}),
+                params=dict(doc.get("params") or {}),
+                error=str(doc.get("error", "")),
+                label=str(doc.get("label", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SchemaError(f"bad report document: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveReport":
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise SchemaError(f"report is not valid JSON: {exc}") from exc
+        return cls.from_doc(doc)
+
+    @property
+    def size(self) -> int:
+        return len(self.independent_set)
+
+
+# --------------------------------------------------------------------- #
+# the facade calls
+# --------------------------------------------------------------------- #
+
+def _check_algorithm(algorithm: str) -> None:
+    names = algorithm_registry()
+    if algorithm not in names:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(names)}"
+        )
+
+
+def solve(
+    graph: WeightedGraph,
+    algorithm: str,
+    *,
+    seed: int = 0,
+    policy: Optional[Any] = None,
+    cache_dir: Optional[str] = None,
+    raise_on_error: bool = True,
+    **params: Any,
+) -> SolveReport:
+    """Run one registry algorithm on one instance; the blessed entry point.
+
+    Exactly the computation the solver service performs for the same
+    request — same seed semantics, same disk-cache keys (when
+    ``cache_dir`` is shared), byte-identical canonical report.
+
+    Args:
+        graph: the weighted instance.
+        algorithm: a :func:`repro.registry.algorithm_registry` name.
+        seed: root of the run's randomness (fixed seed ⇒ fixed output).
+        policy: optional bandwidth policy forwarded to the algorithm.
+        cache_dir: optional JSON disk cache shared with the batch engine
+            and the service.
+        raise_on_error: raise :class:`SolveError` if the run fails
+            (default); pass ``False`` to get the failed report back
+            instead — the service's behaviour.
+        **params: algorithm parameters (e.g. ``eps=0.5``).
+
+    Returns:
+        The canonical :class:`SolveReport`.
+    """
+    from repro.simulator.batch import BatchJob, run_job
+
+    _check_algorithm(algorithm)
+    job = BatchJob(graph, algorithm, seed=seed,
+                   params=_canonical_params(params))
+    outcome = run_job(job, policy=policy, cache_dir=cache_dir)
+    report = SolveReport.from_outcome(outcome, graph=graph,
+                                      algorithm=algorithm, params=params)
+    if raise_on_error and not report.ok:
+        raise SolveError(
+            f"{algorithm} failed on seed {seed}: {report.error}", report
+        )
+    return report
+
+
+def sweep(
+    graph: WeightedGraph,
+    algorithm: str,
+    *,
+    seeds: int = 10,
+    master_seed: int = 0,
+    n_jobs: int = 1,
+    policy: Optional[Any] = None,
+    cache_dir: Optional[str] = None,
+    **params: Any,
+) -> List[SolveReport]:
+    """Run ``seeds`` independent solves with derived per-trial seeds.
+
+    A facade over the batch engine: per-trial seeds come from
+    ``SeedSequence(master_seed)`` in spawn order (so report ``i`` is the
+    same no matter how many workers ran the sweep), failures are captured
+    as ``ok=False`` reports rather than raised, and ``cache_dir`` memoizes
+    completed trials across invocations.
+    """
+    from repro.simulator.batch import BatchJob, batch_run
+
+    _check_algorithm(algorithm)
+    if seeds < 1:
+        raise ValueError(f"seeds must be >= 1, got {seeds}")
+    canonical = _canonical_params(params)
+    jobs = [BatchJob(graph, algorithm, params=dict(canonical))
+            for _ in range(seeds)]
+    result = batch_run(jobs, master_seed=master_seed, n_jobs=n_jobs,
+                       cache_dir=cache_dir, policy=policy)
+    return [SolveReport.from_outcome(o, graph=graph, algorithm=algorithm,
+                                     params=canonical)
+            for o in result.outcomes]
+
+
+def describe_algorithms() -> List[Dict[str, Any]]:
+    """Name + call signature of every registry algorithm.
+
+    The payload of ``GET /v1/algorithms`` and ``repro algorithms``: one
+    entry per registry name with the keyword parameters (and defaults)
+    its wrapper accepts beyond the uniform ``(graph, seed, policy)``.
+    """
+    import inspect
+
+    out = []
+    for name, fn in sorted(algorithm_registry().items()):
+        params: List[Dict[str, Any]] = []
+        accepts_extra = False
+        for pname, p in inspect.signature(fn).parameters.items():
+            if p.kind is inspect.Parameter.VAR_KEYWORD:
+                accepts_extra = True
+                continue
+            if pname in ("g", "graph") or p.kind is inspect.Parameter.VAR_POSITIONAL:
+                continue
+            entry: Dict[str, Any] = {"name": pname}
+            if p.default is not inspect.Parameter.empty:
+                entry["default"] = p.default
+            params.append(entry)
+        out.append({
+            "name": name,
+            "params": params,
+            "accepts_extra_params": accepts_extra,
+        })
+    return out

@@ -11,6 +11,9 @@ Subcommands::
     python -m repro inspect trace.jsonl --format chrome-trace
     python -m repro bench --baseline BENCH_runner.json --tolerance 1.5
     python -m repro info --graph grid:10,20 --weights integers:1000
+    python -m repro algorithms
+    python -m repro serve --port 8008 --workers 4 --cache .serve-cache
+    python -m repro loadgen --port 8008 --clients 8 --duration 5
 
 Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
 ``cycle:n`` | ``path:n`` | ``geometric:n,radius`` | ``caterpillar:spine,legs``
@@ -28,79 +31,28 @@ import sys
 from contextlib import contextmanager
 from typing import Callable, Dict, List, Optional
 
-from repro.graphs import (
-    WeightedGraph,
-    caterpillar,
-    cycle,
-    degree_proportional_weights,
-    gnp,
-    grid_2d,
-    integer_weights,
-    path,
-    random_geometric,
-    random_regular,
-    random_tree,
-    skewed_heavy_set,
-    summarize,
-    uniform_weights,
-    unit_weights,
-)
-from repro.graphs.io import load
+from repro.graphs import WeightedGraph, summarize
+from repro.graphs.specs import graph_from_spec, weights_from_spec
 
 __all__ = ["main", "parse_graph_spec", "parse_weight_spec"]
 
 
 def parse_graph_spec(spec: str, seed: Optional[int]) -> WeightedGraph:
-    """Materialize a graph from a ``kind:args`` spec string."""
-    kind, _, args = spec.partition(":")
-    parts = [a for a in args.split(",") if a] if args else []
+    """Materialize a graph from a ``kind:args`` spec string (CLI flavour:
+    parse errors exit instead of raising)."""
     try:
-        if kind == "gnp":
-            return gnp(int(parts[0]), float(parts[1]), seed=seed)
-        if kind == "regular":
-            return random_regular(int(parts[0]), int(parts[1]), seed=seed)
-        if kind == "tree":
-            return random_tree(int(parts[0]), seed=seed)
-        if kind == "grid":
-            return grid_2d(int(parts[0]), int(parts[1]))
-        if kind == "cycle":
-            return cycle(int(parts[0]))
-        if kind == "path":
-            return path(int(parts[0]))
-        if kind == "geometric":
-            return random_geometric(int(parts[0]), float(parts[1]), seed=seed)
-        if kind == "caterpillar":
-            return caterpillar(int(parts[0]), int(parts[1]))
-        if kind == "file":
-            return load(args)
-    except (IndexError, ValueError) as exc:
-        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
-    raise SystemExit(f"unknown graph kind {kind!r}")
+        return graph_from_spec(spec, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def parse_weight_spec(spec: str, graph: WeightedGraph, seed: Optional[int]) -> WeightedGraph:
-    """Apply a weight scheme spec to ``graph``."""
-    kind, _, args = spec.partition(":")
-    parts = [a for a in args.split(",") if a] if args else []
+    """Apply a weight scheme spec to ``graph`` (CLI flavour: parse errors
+    exit instead of raising)."""
     try:
-        if kind == "unit":
-            return unit_weights(graph)
-        if kind == "uniform":
-            lo, hi = (float(parts[0]), float(parts[1])) if parts else (0.0, 1.0)
-            return uniform_weights(graph, lo, hi, seed=seed)
-        if kind == "integers":
-            return integer_weights(graph, int(parts[0]), seed=seed)
-        if kind == "skewed":
-            frac = float(parts[0]) if parts else 0.01
-            heavy = float(parts[1]) if len(parts) > 1 else 1e6
-            return skewed_heavy_set(graph, fraction=frac, heavy=heavy, seed=seed)
-        if kind == "degree":
-            return degree_proportional_weights(graph)
-        if kind == "keep":
-            return graph
-    except (IndexError, ValueError) as exc:
-        raise SystemExit(f"bad weight spec {spec!r}: {exc}")
-    raise SystemExit(f"unknown weight scheme {kind!r}")
+        return weights_from_spec(spec, graph, seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _algorithms() -> Dict[str, Callable]:
@@ -551,6 +503,89 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_algorithms(args: argparse.Namespace) -> int:
+    """List the registry: every blessed algorithm name + its parameters."""
+    from repro.api import describe_algorithms
+
+    entries = describe_algorithms()
+    if args.json:
+        print(json.dumps(entries, indent=2, default=repr))
+        return 0
+    for entry in entries:
+        parts = []
+        for p in entry["params"]:
+            if "default" in p:
+                parts.append(f"{p['name']}={p['default']!r}")
+            else:
+                parts.append(p["name"])
+        if entry["accepts_extra_params"]:
+            parts.append("**params")
+        print(f"{entry['name']}({', '.join(parts)})")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the solver service until SIGTERM/SIGINT, then drain."""
+    from repro.service import serve
+
+    try:
+        return serve(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_dir=args.cache,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    """Benchmark a running service; write BENCH_service.json."""
+    from repro.service import run_loadgen
+
+    try:
+        doc = run_loadgen(
+            host=args.host,
+            port=args.port,
+            clients=args.clients,
+            duration_s=args.duration,
+            out_path=args.out,
+            verify=not args.no_verify,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach service at {args.host}:{args.port}: {exc}"
+        )
+    lat = doc["latency"]
+    print(f"completed: {doc['completed']}/{doc['sent']} "
+          f"({doc['throughput_rps']:.1f} req/s over {doc['elapsed_s']:.1f}s)")
+    print(f"latency: p50 {lat['p50_s'] * 1e3:.1f} ms, "
+          f"p95 {lat['p95_s'] * 1e3:.1f} ms")
+    print(f"served: {doc['served']['cached']} cached, "
+          f"{doc['served']['coalesced']} coalesced; "
+          f"status mix {doc['status_counts']}")
+    v = doc["verification"]
+    if v["enabled"]:
+        print(f"verified: {v['verified']}/{doc['unique_reports']} unique "
+              f"reports certified")
+        for failure in v["failures"]:
+            print(f"  FAIL {failure}")
+    if doc["divergent_reports"]:
+        print(f"  FAIL {doc['divergent_reports']} keys returned "
+              f"non-identical report bytes")
+    if args.out:
+        print(f"wrote {args.out}")
+    failed = (doc["completed"] == 0 or doc["divergent_reports"] > 0
+              or (v["enabled"] and v["failures"]))
+    return 1 if failed else 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     graph = parse_graph_spec(args.graph, args.seed)
     graph = parse_weight_spec(args.weights, graph, None if args.seed is None
@@ -710,6 +745,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("--exact-limit", type=int, default=60,
                           help="max n for the exact-OPT certification")
     p_verify.set_defaults(func=_cmd_verify)
+
+    p_algos = sub.add_parser(
+        "algorithms", help="list registry algorithms and their parameters"
+    )
+    p_algos.add_argument("--json", action="store_true", help="JSON output")
+    p_algos.set_defaults(func=_cmd_algorithms)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the solver service (POST /v1/solve with coalescing, "
+             "admission control, and the shared result cache)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8008,
+                         help="0 binds an ephemeral port (printed at startup)")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker processes for micro-batch execution")
+    p_serve.add_argument("--cache", default=None, metavar="DIR",
+                         help="on-disk result cache shared with sweeps")
+    p_serve.add_argument("--max-queue", type=int, default=64,
+                         help="admission queue bound (full queue => 429)")
+    p_serve.add_argument("--max-batch", type=int, default=8,
+                         help="max requests dispatched per micro-batch")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadgen",
+        help="closed-loop benchmark against a running `repro serve`; "
+             "verifies every unique report and writes BENCH_service.json",
+    )
+    p_load.add_argument("--host", default="127.0.0.1")
+    p_load.add_argument("--port", type=int, default=8008)
+    p_load.add_argument("--clients", type=int, default=8,
+                        help="concurrent closed-loop clients")
+    p_load.add_argument("--duration", type=float, default=5.0, metavar="S",
+                        help="seconds to run")
+    p_load.add_argument("--out", default="BENCH_service.json",
+                        help="benchmark document path ('' to skip writing)")
+    p_load.add_argument("--no-verify", action="store_true",
+                        help="skip offline certification of unique reports")
+    p_load.set_defaults(func=_cmd_loadgen)
 
     p_info = sub.add_parser("info", help="describe an instance")
     p_info.add_argument("--graph", default="gnp:200,0.05")

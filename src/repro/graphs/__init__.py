@@ -37,6 +37,7 @@ from repro.graphs.forests import (
     nash_williams_lower_bound,
     partition_into_forests,
 )
+from repro.graphs.specs import graph_from_spec, weights_from_spec
 from repro.graphs.properties import (
     GraphSummary,
     complement,
@@ -59,6 +60,8 @@ __all__ = [
     # weights
     "unit_weights", "uniform_weights", "integer_weights", "polynomial_weights",
     "exponential_weights", "degree_proportional_weights", "skewed_heavy_set",
+    # instance specs (generator-zoo vocabulary)
+    "graph_from_spec", "weights_from_spec",
     # lower-bound instance
     "CycleOfCliques", "cycle_of_cliques",
     # arboricity

@@ -11,12 +11,13 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Any, Dict, Union
 
 from repro.exceptions import GraphFormatError
 from repro.graphs.weighted_graph import WeightedGraph
 
-__all__ = ["dumps", "loads", "save", "load", "to_json", "from_json"]
+__all__ = ["dumps", "loads", "save", "load", "to_doc", "from_doc",
+           "to_json", "from_json"]
 
 
 def dumps(g: WeightedGraph) -> str:
@@ -70,21 +71,43 @@ def load(path: Union[str, Path]) -> WeightedGraph:
     return loads(Path(path).read_text())
 
 
-def to_json(g: WeightedGraph) -> str:
-    """Serialize ``g`` as a JSON object."""
-    return json.dumps({
+def to_doc(g: WeightedGraph) -> Dict[str, Any]:
+    """``g`` as a JSON-compatible dict (the wire form of a graph).
+
+    This is the inline graph encoding of the solver service's
+    request/response schema; :func:`from_doc` is its inverse.
+    """
+    return {
         "nodes": [[v, g.weight(v)] for v in g.nodes],
         "edges": [[u, v] for u, v in g.edges()],
-    })
+    }
 
 
-def from_json(text: str) -> WeightedGraph:
-    """Parse the JSON produced by :func:`to_json`."""
+def from_doc(doc: Dict[str, Any]) -> WeightedGraph:
+    """Parse the dict produced by :func:`to_doc`."""
     try:
-        doc = json.loads(text)
         nodes = [int(v) for v, _ in doc["nodes"]]
         weights = {int(v): float(w) for v, w in doc["nodes"]}
         edges = [(int(u), int(v)) for u, v in doc["edges"]]
     except (KeyError, TypeError, ValueError) as exc:
         raise GraphFormatError(f"bad JSON graph document: {exc}") from exc
     return WeightedGraph.from_edges(nodes, edges, weights)
+
+
+def to_json(g: WeightedGraph) -> str:
+    """Serialize ``g`` as a JSON object."""
+    return json.dumps(to_doc(g))
+
+
+def from_json(text: str) -> WeightedGraph:
+    """Parse the JSON produced by :func:`to_json`."""
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise GraphFormatError(f"bad JSON graph document: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise GraphFormatError(
+            f"bad JSON graph document: expected an object, "
+            f"got {type(doc).__name__}"
+        )
+    return from_doc(doc)

@@ -1,0 +1,36 @@
+"""The solver service: an asyncio daemon serving the v1 solve contract.
+
+Layers:
+
+* :mod:`repro.service.engine` — coalescing, admission control,
+  micro-batching over the batch engine (HTTP-free; unit-testable).
+* :mod:`repro.service.server` — the stdlib HTTP/1.1 front end
+  (``repro serve``).
+* :mod:`repro.service.loadgen` — the closed-loop benchmark client
+  (``repro loadgen``).
+* :mod:`repro.service.stats` — serving counters behind ``/v1/metrics``.
+"""
+
+from repro.service.engine import (
+    DeadlineExceeded,
+    RequestRejected,
+    ServedReport,
+    SolverEngine,
+    UnknownAlgorithmError,
+)
+from repro.service.loadgen import build_request_pool, run_loadgen
+from repro.service.server import SolverServer, serve
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "DeadlineExceeded",
+    "RequestRejected",
+    "ServedReport",
+    "ServiceStats",
+    "SolverEngine",
+    "SolverServer",
+    "UnknownAlgorithmError",
+    "build_request_pool",
+    "run_loadgen",
+    "serve",
+]

@@ -1,0 +1,364 @@
+"""The solver engine: coalescing, admission control, micro-batching.
+
+The asyncio core of ``repro serve``, independent of HTTP so it can be
+driven (and tested) directly:
+
+* **Coalescing.**  Requests are identified by
+  ``(graph fingerprint, algorithm, seed, params)`` —
+  :meth:`repro.api.SolveRequest.key`.  While a computation for a key is
+  in flight, further submissions of the same key *attach* to it instead
+  of enqueueing: N concurrent identical requests execute the solver
+  exactly once.
+* **Admission control.**  Undispatched work lives in a bounded queue;
+  when it is full, new keys are rejected immediately
+  (:class:`RequestRejected`, HTTP 429) rather than buffered unboundedly.
+  Attaching to an in-flight key consumes no queue slot.
+* **Micro-batching.**  A single dispatcher drains whatever is queued (up
+  to ``max_batch``) and hands it to the existing batch engine —
+  :func:`repro.simulator.batch.batch_run` with a long-lived worker pool
+  and the JSON disk cache — so the serving path and ``repro sweep`` share
+  one execution path, one cache, and bit-identical results.
+* **Deadlines.**  A request's ``timeout_s`` bounds its wait (queue +
+  compute).  On expiry the waiter gets :class:`DeadlineExceeded` (HTTP
+  504); the computation itself is not abandoned, so coalesced followers
+  and the disk cache still profit from it.
+* **Drain.**  :meth:`SolverEngine.begin_drain` stops admission;
+  :meth:`SolverEngine.drain` waits until every in-flight computation has
+  resolved — the SIGTERM path of ``repro serve``.
+
+All engine state is touched only from the event-loop thread; workers
+only ever see immutable job payloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.api import SolveReport, SolveRequest
+from repro.exceptions import ReproError
+from repro.registry import algorithm_registry
+from repro.service.stats import ServiceStats
+
+__all__ = [
+    "DeadlineExceeded",
+    "RequestRejected",
+    "ServedReport",
+    "SolverEngine",
+    "UnknownAlgorithmError",
+]
+
+
+class RequestRejected(ReproError):
+    """Admission control refused the request (queue full, or draining)."""
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.reason = reason  # "queue_full" | "draining"
+
+
+class DeadlineExceeded(ReproError):
+    """The request's ``timeout_s`` elapsed before its report was ready."""
+
+
+class UnknownAlgorithmError(ReproError, ValueError):
+    """The requested algorithm is not in the registry."""
+
+
+@dataclass(frozen=True)
+class ServedReport:
+    """A canonical report plus its serving provenance.
+
+    ``seconds`` is the leader's queue-to-completion time; ``cached`` and
+    ``coalesced`` say whether the disk cache or an in-flight twin served
+    the request.  None of this is part of the canonical report — the
+    report stays byte-identical however it was served.
+    """
+
+    report: SolveReport
+    cached: bool = False
+    coalesced: bool = False
+    seconds: float = 0.0
+
+
+@dataclass
+class _Entry:
+    request: SolveRequest
+    key: str
+    future: "asyncio.Future[ServedReport]"
+    enqueued: float
+
+
+class SolverEngine:
+    """Coalescing, admission-controlled front of the batch engine."""
+
+    def __init__(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: Optional[str] = None,
+        policy: Optional[Any] = None,
+        max_queue: int = 64,
+        max_batch: int = 8,
+        registry: Optional[Dict[str, Callable[..., Any]]] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.workers = workers
+        self.cache_dir = cache_dir
+        self.policy = policy
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        # An explicit registry (tests inject counting wrappers) switches
+        # jobs from name-strings to callables, which forces in-process
+        # execution — callables made of closures do not cross the process
+        # boundary, and tests want them observed anyway.
+        self._registry = registry
+        self._names = frozenset(registry if registry is not None
+                                else algorithm_registry())
+        self._stats = ServiceStats()
+        self._inflight: Dict[str, _Entry] = {}
+        self._draining = False
+        self._started = False
+        self._queue: "asyncio.Queue[_Entry]" = None  # type: ignore[assignment]
+        self._dispatch_task: Optional[asyncio.Task] = None
+        self._dispatch_pool: Optional[ThreadPoolExecutor] = None
+        self._worker_pool: Optional[ProcessPoolExecutor] = None
+
+    # ----------------------------------------------------------------- #
+    # lifecycle
+    # ----------------------------------------------------------------- #
+
+    async def start(self) -> "SolverEngine":
+        """Create the queue, worker pool, and dispatcher task."""
+        if self._started:
+            return self
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._dispatch_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-dispatch"
+        )
+        if self.workers > 1 and self._registry is None:
+            self._worker_pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._dispatch_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+        self._started = True
+        return self
+
+    def begin_drain(self) -> None:
+        """Stop admitting new work (health reports ``draining``)."""
+        self._draining = True
+
+    async def drain(self) -> None:
+        """Block until every admitted request has a resolved future."""
+        self.begin_drain()
+        while self._inflight:
+            waits = [asyncio.shield(e.future)
+                     for e in list(self._inflight.values())]
+            await asyncio.gather(*waits, return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain, then tear the dispatcher and pools down."""
+        if not self._started:
+            return
+        await self.drain()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._dispatch_task
+        if self._dispatch_pool is not None:
+            self._dispatch_pool.shutdown(wait=False)
+        if self._worker_pool is not None:
+            self._worker_pool.shutdown(wait=False, cancel_futures=True)
+        self._started = False
+
+    # ----------------------------------------------------------------- #
+    # introspection
+    # ----------------------------------------------------------------- #
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self._stats
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def algorithm_names(self) -> List[str]:
+        return sorted(self._names)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self._stats.snapshot(
+            in_flight=self.in_flight,
+            queue_depth=self.queue_depth,
+            draining=self._draining,
+        )
+
+    # ----------------------------------------------------------------- #
+    # submission
+    # ----------------------------------------------------------------- #
+
+    async def submit(self, request: SolveRequest) -> ServedReport:
+        """Admit, coalesce, and await one solve request.
+
+        Raises:
+            RequestRejected: draining, or the admission queue is full.
+            UnknownAlgorithmError: the algorithm name is not registered.
+            DeadlineExceeded: ``request.timeout_s`` elapsed first.
+        """
+        if not self._started:
+            raise RuntimeError("engine not started; call await engine.start()")
+        if self._draining:
+            raise RequestRejected("draining", "service is draining")
+        if request.algorithm not in self._names:
+            raise UnknownAlgorithmError(
+                f"unknown algorithm {request.algorithm!r}; "
+                f"known: {self.algorithm_names()}"
+            )
+        key = request.key()
+        twin = self._inflight.get(key)
+        if twin is not None:
+            self._stats.coalesced += 1
+            served = await self._await_entry(twin, request.timeout_s)
+            return replace(served, coalesced=True)
+        if self._queue.full():
+            self._stats.rejected += 1
+            raise RequestRejected(
+                "queue_full",
+                f"admission queue full ({self.max_queue} pending)",
+            )
+        loop = asyncio.get_running_loop()
+        entry = _Entry(request=request, key=key,
+                       future=loop.create_future(), enqueued=loop.time())
+        self._inflight[key] = entry
+        # Cannot raise: fullness was checked above and only this
+        # event-loop thread enqueues.
+        self._queue.put_nowait(entry)
+        self._stats.requests += 1
+        return await self._await_entry(entry, request.timeout_s)
+
+    async def _await_entry(self, entry: _Entry,
+                           timeout_s: Optional[float]) -> ServedReport:
+        # shield(): wait_for cancels the awaited future on timeout, and
+        # this future is shared by every coalesced waiter — one waiter's
+        # deadline must not kill the computation for the others.
+        try:
+            return await asyncio.wait_for(asyncio.shield(entry.future),
+                                          timeout_s)
+        except asyncio.TimeoutError:
+            self._stats.timeouts += 1
+            raise DeadlineExceeded(
+                f"deadline of {timeout_s}s exceeded for "
+                f"{entry.request.algorithm} (key {entry.key[:12]}…)"
+            ) from None
+
+    # ----------------------------------------------------------------- #
+    # dispatch
+    # ----------------------------------------------------------------- #
+
+    def _make_job(self, request: SolveRequest):
+        from repro.simulator.batch import BatchJob
+
+        algorithm: Any = request.algorithm
+        if self._registry is not None:
+            algorithm = self._registry[request.algorithm]
+        return BatchJob(request.graph, algorithm, seed=request.seed,
+                        params=dict(request.params), label=request.label)
+
+    def _run_batch(self, jobs: List[Any]):
+        """Blocking micro-batch execution; runs on the dispatch thread."""
+        from repro.simulator.batch import batch_run
+
+        return batch_run(
+            jobs,
+            n_jobs=1 if self._registry is not None else self.workers,
+            cache_dir=self.cache_dir,
+            policy=self.policy,
+            executor=self._worker_pool,
+        )
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            entry = await self._queue.get()
+            batch = [entry]
+            while len(batch) < self.max_batch:
+                try:
+                    batch.append(self._queue.get_nowait())
+                except asyncio.QueueEmpty:
+                    break
+            jobs = [self._make_job(e.request) for e in batch]
+            try:
+                result = await loop.run_in_executor(
+                    self._dispatch_pool, self._run_batch, jobs
+                )
+                outcomes = list(result.outcomes)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — infra failure:
+                # resolve every waiter with a failed report instead of
+                # wedging the service.
+                outcomes = [None] * len(batch)
+                infra_error = f"batch dispatch failed: {type(exc).__name__}: {exc}"
+            else:
+                infra_error = ""
+            now = loop.time()
+            self._stats.batches += 1
+            for e, outcome in zip(batch, outcomes):
+                self._inflight.pop(e.key, None)
+                if outcome is None:
+                    report = _failed_report(e.request, infra_error)
+                    served = ServedReport(report=report,
+                                          seconds=now - e.enqueued)
+                    self._stats.failed += 1
+                else:
+                    report = SolveReport.from_outcome(
+                        outcome,
+                        graph=e.request.graph,
+                        algorithm=e.request.algorithm,
+                        params=e.request.params,
+                    )
+                    served = ServedReport(report=report,
+                                          cached=outcome.cached,
+                                          seconds=now - e.enqueued)
+                    if outcome.cached:
+                        self._stats.cache_hits += 1
+                    if not report.ok:
+                        self._stats.failed += 1
+                self._stats.completed += 1
+                self._stats.observe_latency(served.seconds)
+                if not e.future.done():
+                    e.future.set_result(served)
+
+
+def _failed_report(request: SolveRequest, error: str) -> SolveReport:
+    return SolveReport(
+        algorithm=request.algorithm,
+        seed=request.seed,
+        graph_fingerprint=request.graph.fingerprint(),
+        ok=False,
+        independent_set=(),
+        weight=0.0,
+        rounds=0,
+        messages=0,
+        total_bits=0,
+        metrics=None,
+        params=dict(request.params),
+        error=error,
+        label=request.label,
+    )

@@ -1,0 +1,376 @@
+"""Closed-loop load generator for ``repro serve`` — ``repro loadgen``.
+
+Spawns a fleet of concurrent HTTP clients that draw solve requests from
+a finite pool (generator-zoo instances × certifiable algorithms × a few
+seeds) and hammer a running service for a fixed duration.  Because the
+pool is finite and clients loop over it, the run is guaranteed to
+re-submit keys the service has already seen — exercising both the
+request coalescer (concurrent twins) and the disk cache (sequential
+repeats).
+
+After the run every *unique* returned report is re-verified offline:
+the independent set is checked structurally and, since the default pool
+only uses guarantee-carrying algorithms (Theorems 1/2/3) on instances
+small enough for the exact solver, :func:`repro.core.verify.certify_result`
+confirms the approximation bound against true OPT.
+
+Results (throughput, p50/p95 latency, status mix, coalesce/cache
+provenance, verification tally) go to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api import SolveReport, SolveRequest
+from repro.graphs.specs import graph_from_spec, weights_from_spec
+from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs.aggregate import percentile
+
+__all__ = ["DEFAULT_ALGORITHMS", "DEFAULT_SPECS", "build_request_pool", "run_loadgen"]
+
+# Instances stay under the exact solver's node limit so every unique
+# report can be certified against true OPT after the run.
+DEFAULT_SPECS: Tuple[Tuple[str, str], ...] = (
+    ("gnp:24,0.15", "uniform:1,20"),
+    ("gnp:40,0.08", "integers:50"),
+    ("regular:30,3", "uniform:1,10"),
+    ("tree:40", "integers:100"),
+    ("cycle:36", "uniform:1,5"),
+    ("grid:6,6", "unit"),
+    ("caterpillar:18,1", "uniform:1,8"),
+)
+
+# Only pipelines that stamp guarantee_factor metadata, so certify_result
+# has a bound to check.
+DEFAULT_ALGORITHMS: Tuple[str, ...] = ("thm1", "thm2", "thm3")
+
+
+@dataclass
+class PoolEntry:
+    """One request in the pool plus the graph needed to re-verify it."""
+
+    request: SolveRequest
+    graph: WeightedGraph
+    body: bytes
+
+
+@dataclass
+class _Tally:
+    sent: int = 0
+    completed: int = 0
+    ok: int = 0
+    cached: int = 0
+    coalesced: int = 0
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    latencies: List[float] = field(default_factory=list)
+    transport_errors: int = 0
+    reports: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    report_bytes: Dict[str, set] = field(default_factory=dict)
+
+
+def build_request_pool(
+    *,
+    specs: Tuple[Tuple[str, str], ...] = DEFAULT_SPECS,
+    algorithms: Tuple[str, ...] = DEFAULT_ALGORITHMS,
+    seeds: Tuple[int, ...] = (1, 2),
+    eps: float = 0.5,
+    timeout_s: float = 60.0,
+) -> List[PoolEntry]:
+    """Materialize the finite request pool the client fleet cycles over."""
+    pool: List[PoolEntry] = []
+    for i, (gspec, wspec) in enumerate(specs):
+        graph = weights_from_spec(wspec, graph_from_spec(gspec, seed=i),
+                                  seed=1000 + i)
+        for algorithm in algorithms:
+            for seed in seeds:
+                request = SolveRequest(
+                    graph=graph,
+                    algorithm=algorithm,
+                    seed=seed,
+                    params={"eps": eps},
+                    timeout_s=timeout_s,
+                    label=f"loadgen:{gspec}",
+                )
+                pool.append(PoolEntry(
+                    request=request,
+                    graph=graph,
+                    body=request.to_json().encode(),
+                ))
+    return pool
+
+
+# --------------------------------------------------------------------- #
+# minimal HTTP/1.1 client
+# --------------------------------------------------------------------- #
+
+class _Client:
+    """One keep-alive connection; reconnects transparently on failure."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except Exception:
+                pass
+        self._reader = self._writer = None
+
+    async def request(self, method: str, path: str,
+                      body: bytes = b"") -> Tuple[int, bytes]:
+        """Send one request; returns (status, raw response body)."""
+        for attempt in (1, 2):
+            if self._writer is None:
+                await self._connect()
+            assert self._reader is not None and self._writer is not None
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"\r\n"
+            ).encode("latin-1")
+            try:
+                self._writer.write(head + body)
+                await self._writer.drain()
+                return await self._read_response()
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                await self.close()
+                if attempt == 2:
+                    raise
+        raise RuntimeError("unreachable")
+
+    async def _read_response(self) -> Tuple[int, bytes]:
+        assert self._reader is not None
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed connection")
+        status = int(status_line.split()[1])
+        length = 0
+        close_after = False
+        while True:
+            raw = await self._reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            lname = name.strip().lower()
+            if lname == "content-length":
+                length = int(value.strip())
+            elif lname == "connection" and value.strip().lower() == "close":
+                close_after = True
+        payload = await self._reader.readexactly(length) if length else b""
+        if close_after:
+            await self.close()
+        return status, payload
+
+
+# --------------------------------------------------------------------- #
+# the closed loop
+# --------------------------------------------------------------------- #
+
+async def _client_loop(client_id: int, host: str, port: int,
+                       pool: List[PoolEntry], deadline: float,
+                       tally: _Tally, gate: asyncio.Event) -> None:
+    client = _Client(host, port)
+    # Clients start at staggered offsets but walk the same cyclic order,
+    # so distinct clients regularly collide on the same key while it is
+    # in flight — that collision is what the coalescer serves.  The
+    # first request is the exception: every client fires it at the same
+    # key the instant the gate opens, a deliberate coalesce burst.
+    index = (client_id * 3) % max(len(pool), 1)
+    first = True
+    await gate.wait()
+    try:
+        while time.monotonic() < deadline:
+            if first:
+                entry, first = pool[0], False
+            else:
+                entry = pool[index % len(pool)]
+                index += 1
+            t0 = time.monotonic()
+            try:
+                status, payload = await client.request(
+                    "POST", "/v1/solve", entry.body
+                )
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                tally.transport_errors += 1
+                continue
+            seconds = time.monotonic() - t0
+            tally.sent += 1
+            tally.status_counts[str(status)] = (
+                tally.status_counts.get(str(status), 0) + 1
+            )
+            if status != 200:
+                continue
+            tally.completed += 1
+            tally.latencies.append(seconds)
+            envelope = json.loads(payload)
+            served = envelope.get("served", {})
+            if served.get("cached"):
+                tally.cached += 1
+            if served.get("coalesced"):
+                tally.coalesced += 1
+            report_doc = envelope.get("report", {})
+            if report_doc.get("ok"):
+                tally.ok += 1
+            key = entry.request.key()
+            tally.reports.setdefault(key, report_doc)
+            tally.report_bytes.setdefault(key, set()).add(
+                json.dumps(report_doc, sort_keys=True, separators=(",", ":"))
+            )
+    finally:
+        await client.close()
+
+
+def _verify_reports(pool: List[PoolEntry],
+                    tally: _Tally) -> Tuple[int, int, List[str]]:
+    """Re-certify every unique report offline against its instance."""
+    from repro.core.verify import certify_result
+
+    by_key = {entry.request.key(): entry for entry in pool}
+    verified = 0
+    failures: List[str] = []
+    for key, doc in tally.reports.items():
+        entry = by_key.get(key)
+        if entry is None:
+            failures.append(f"{key[:12]}…: report for unknown pool key")
+            continue
+        report = SolveReport.from_doc(doc)
+        if not report.ok:
+            failures.append(f"{report.label}/{report.algorithm}: ok=False "
+                            f"({report.error})")
+            continue
+        try:
+            cert = certify_result(entry.graph, report)
+        except Exception as exc:  # noqa: BLE001 — recorded, not fatal
+            failures.append(f"{report.label}/{report.algorithm}: {exc}")
+            continue
+        if not cert.holds:
+            failures.append(
+                f"{report.label}/{report.algorithm}: bound violated "
+                f"({cert.achieved:g} < {cert.required:g} vs {cert.reference})"
+            )
+            continue
+        verified += 1
+    return verified, len(tally.reports), failures
+
+
+async def _run_async(host: str, port: int, *, clients: int,
+                     duration_s: float, pool: List[PoolEntry]) -> _Tally:
+    tally = _Tally()
+    gate = asyncio.Event()
+    deadline = time.monotonic() + duration_s
+    tasks = [
+        asyncio.ensure_future(
+            _client_loop(i, host, port, pool, deadline, tally, gate)
+        )
+        for i in range(clients)
+    ]
+    gate.set()
+    await asyncio.gather(*tasks)
+    return tally
+
+
+async def _fetch_metrics(host: str, port: int) -> Optional[Dict[str, Any]]:
+    client = _Client(host, port)
+    try:
+        status, payload = await client.request("GET", "/v1/metrics")
+        return json.loads(payload) if status == 200 else None
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        return None
+    finally:
+        await client.close()
+
+
+def run_loadgen(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    clients: int = 8,
+    duration_s: float = 5.0,
+    out_path: Optional[str] = "BENCH_service.json",
+    pool: Optional[List[PoolEntry]] = None,
+    verify: bool = True,
+) -> Dict[str, Any]:
+    """Drive a running service and write the benchmark document.
+
+    Returns the document (also written to ``out_path`` unless ``None``).
+    """
+    if clients < 1:
+        raise ValueError(f"clients must be >= 1, got {clients}")
+    if pool is None:
+        pool = build_request_pool()
+    if not pool:
+        raise ValueError("request pool is empty")
+
+    t0 = time.monotonic()
+    tally = asyncio.run(
+        _run_async(host, port, clients=clients, duration_s=duration_s,
+                   pool=pool)
+    )
+    elapsed = time.monotonic() - t0
+    server_metrics = asyncio.run(_fetch_metrics(host, port))
+
+    if verify:
+        verified, unique, failures = _verify_reports(pool, tally)
+    else:
+        verified, unique, failures = 0, len(tally.reports), []
+    divergent = sum(1 for blobs in tally.report_bytes.values()
+                    if len(blobs) > 1)
+
+    doc: Dict[str, Any] = {
+        "schema": "v1",
+        "kind": "service_loadgen",
+        "config": {
+            "host": host,
+            "port": port,
+            "clients": clients,
+            "duration_s": duration_s,
+            "pool_size": len(pool),
+        },
+        "elapsed_s": elapsed,
+        "sent": tally.sent,
+        "completed": tally.completed,
+        "ok": tally.ok,
+        "transport_errors": tally.transport_errors,
+        "status_counts": tally.status_counts,
+        "throughput_rps": (tally.completed / elapsed) if elapsed > 0 else 0.0,
+        "latency": {
+            "p50_s": percentile(tally.latencies, 50),
+            "p95_s": percentile(tally.latencies, 95),
+            "max_s": max(tally.latencies, default=0.0),
+            "observed": len(tally.latencies),
+        },
+        "served": {
+            "cached": tally.cached,
+            "coalesced": tally.coalesced,
+        },
+        "unique_reports": unique,
+        "divergent_reports": divergent,
+        "verification": {
+            "enabled": verify,
+            "verified": verified,
+            "failures": failures,
+        },
+        "server_metrics": server_metrics,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc

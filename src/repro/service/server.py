@@ -1,0 +1,286 @@
+"""Stdlib-only asyncio HTTP front end for the solver engine.
+
+``repro serve`` binds this server to a host/port.  The API is small and
+versioned:
+
+* ``POST /v1/solve`` — body is a :class:`repro.api.SolveRequest` JSON
+  document; the response envelope is ``{"schema": "v1", "report": ...,
+  "served": {...}}`` where ``report`` is the *canonical* solve report
+  (byte-identical to ``repro.api.solve``) and ``served`` carries cache /
+  coalescing / latency provenance.
+* ``GET /v1/health`` — liveness plus drain state.
+* ``GET /v1/metrics`` — serving aggregates (in-flight, queue depth,
+  cache-hit rate, p50/p95 latency).
+* ``GET /v1/algorithms`` — the registry with parameter signatures.
+
+Status mapping: schema/graph/algorithm errors → 400, unknown route →
+404, admission-queue full → 429, draining → 503, deadline exceeded →
+504, oversized body → 413.
+
+The HTTP implementation is deliberately minimal (HTTP/1.1 keep-alive,
+Content-Length bodies, JSON only) — enough for the load generator, CI
+smoke, and curl, with zero dependencies beyond the standard library.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+from typing import Any, Dict, Optional, Set, Tuple
+
+from repro._version import __version__
+from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest, describe_algorithms
+from repro.service.engine import (
+    DeadlineExceeded,
+    RequestRejected,
+    SolverEngine,
+    UnknownAlgorithmError,
+)
+
+__all__ = ["SolverServer", "serve"]
+
+MAX_BODY_BYTES = 32 * 1024 * 1024
+MAX_HEADER_LINES = 100
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+class SolverServer:
+    """One listening socket in front of one :class:`SolverEngine`."""
+
+    def __init__(self, engine: SolverEngine, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.engine = engine
+        self.host = host
+        self.port = port          # 0 = ephemeral; .port is updated on start
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+
+    async def start(self) -> int:
+        """Bind and listen; returns the actual port (resolves port 0)."""
+        await self.engine.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self.port
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admitting, finish in-flight, close."""
+        self.engine.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.engine.drain()
+        # In-flight responses are written by connection tasks; give them
+        # a beat to flush, then drop idle keep-alive connections.
+        if self._conn_tasks:
+            await asyncio.wait(list(self._conn_tasks), timeout=2.0)
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        await self.engine.aclose()
+
+    # ----------------------------------------------------------------- #
+    # connection handling
+    # ----------------------------------------------------------------- #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    parsed = await self._read_request(reader)
+                except _HttpError as exc:
+                    await self._write_json(
+                        writer, exc.status,
+                        {"schema": SCHEMA_VERSION,
+                         "error": {"code": exc.status, "message": str(exc)}},
+                        close=True,
+                    )
+                    return
+                if parsed is None:  # clean EOF between requests
+                    return
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, doc = await self._route(method, path, body)
+                await self._write_json(writer, status, doc,
+                                       close=not keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split()
+        except ValueError:
+            raise _HttpError(400, "malformed request line")
+        headers: Dict[str, str] = {}
+        for _ in range(MAX_HEADER_LINES):
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(400, "too many headers")
+        try:
+            length = int(headers.get("content-length", "0") or "0")
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length")
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_json(self, writer: asyncio.StreamWriter, status: int,
+                          doc: Dict[str, Any], *, close: bool) -> None:
+        payload = json.dumps(doc, sort_keys=True,
+                             separators=(",", ":")).encode()
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + payload)
+        await writer.drain()
+
+    # ----------------------------------------------------------------- #
+    # routing
+    # ----------------------------------------------------------------- #
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, Dict[str, Any]]:
+        path = path.split("?", 1)[0]
+        if path == "/v1/solve":
+            if method != "POST":
+                return self._error(405, "use POST for /v1/solve")
+            return await self._solve(body)
+        if method not in ("GET", "HEAD"):
+            return self._error(405, f"use GET for {path}")
+        if path == "/v1/health":
+            return 200, {
+                "schema": SCHEMA_VERSION,
+                "status": "draining" if self.engine.draining else "ok",
+                "version": __version__,
+            }
+        if path == "/v1/metrics":
+            return 200, self.engine.metrics_snapshot()
+        if path == "/v1/algorithms":
+            return 200, {
+                "schema": SCHEMA_VERSION,
+                "algorithms": describe_algorithms(),
+            }
+        return self._error(404, f"no route {path!r}")
+
+    async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        try:
+            request = SolveRequest.from_json(body.decode("utf-8"))
+        except (SchemaError, UnicodeDecodeError) as exc:
+            return self._error(400, str(exc))
+        try:
+            served = await self.engine.submit(request)
+        except UnknownAlgorithmError as exc:
+            return self._error(400, str(exc))
+        except RequestRejected as exc:
+            status = 503 if exc.reason == "draining" else 429
+            return self._error(status, str(exc))
+        except DeadlineExceeded as exc:
+            return self._error(504, str(exc))
+        return 200, {
+            "schema": SCHEMA_VERSION,
+            "report": served.report.to_doc(),
+            "served": {
+                "cached": served.cached,
+                "coalesced": served.coalesced,
+                "seconds": served.seconds,
+            },
+        }
+
+    @staticmethod
+    def _error(status: int, message: str) -> Tuple[int, Dict[str, Any]]:
+        return status, {
+            "schema": SCHEMA_VERSION,
+            "error": {"code": status, "message": message},
+        }
+
+
+async def _serve_async(server: SolverServer, *, banner: bool = True) -> None:
+    port = await server.start()
+    if banner:
+        print(f"repro-serve listening on http://{server.host}:{port} "
+              f"(schema {SCHEMA_VERSION})", flush=True)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # non-Unix loops
+            pass
+    try:
+        await stop.wait()
+        if banner:
+            print("repro-serve draining in-flight requests...", flush=True)
+        await server.shutdown()
+        if banner:
+            print("repro-serve drained; bye", flush=True)
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+
+def serve(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    max_queue: int = 64,
+    max_batch: int = 8,
+    banner: bool = True,
+) -> int:
+    """Blocking entry point of ``repro serve``.
+
+    Runs until SIGTERM/SIGINT, then drains in-flight requests before
+    returning.  ``port=0`` binds an ephemeral port (printed in the
+    startup banner — how the CI smoke finds it).
+    """
+    engine = SolverEngine(workers=workers, cache_dir=cache_dir,
+                          max_queue=max_queue, max_batch=max_batch)
+    server = SolverServer(engine, host=host, port=port)
+    asyncio.run(_serve_async(server, banner=banner))
+    return 0

@@ -1,0 +1,65 @@
+"""Serving-side counters and latency aggregates for ``/v1/metrics``.
+
+All mutation happens on the event-loop thread (the engine updates stats
+when futures resolve, never from worker threads), so no locking is
+needed.  Latencies go into a bounded reservoir; percentiles reuse the
+observability layer's interpolating :func:`repro.obs.aggregate.percentile`
+so service p50/p95 are computed exactly like sweep-cell p50/p95.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Deque, Dict
+
+from repro.obs.aggregate import percentile
+
+__all__ = ["ServiceStats"]
+
+_RESERVOIR = 4096
+
+
+class ServiceStats:
+    """Counters + latency reservoir of one running solver service."""
+
+    def __init__(self) -> None:
+        self.started = time.monotonic()
+        self.requests = 0          # accepted POST /v1/solve submissions
+        self.completed = 0         # reports delivered (ok or failed)
+        self.failed = 0            # reports with ok=False
+        self.rejected = 0          # admission-control 429s
+        self.coalesced = 0         # requests served by an in-flight twin
+        self.cache_hits = 0        # reports served from the disk cache
+        self.timeouts = 0          # per-request deadlines exceeded
+        self.batches = 0           # micro-batches dispatched
+        self.latencies: Deque[float] = deque(maxlen=_RESERVOIR)
+
+    def observe_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def snapshot(self, *, in_flight: int, queue_depth: int,
+                 draining: bool) -> Dict[str, Any]:
+        """The ``/v1/metrics`` document."""
+        lat = list(self.latencies)
+        total = self.requests + self.coalesced
+        return {
+            "schema": "v1",
+            "uptime_s": time.monotonic() - self.started,
+            "in_flight": in_flight,
+            "queue_depth": queue_depth,
+            "draining": draining,
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "coalesced": self.coalesced,
+            "cache_hits": self.cache_hits,
+            "timeouts": self.timeouts,
+            "batches": self.batches,
+            "cache_hit_rate": (self.cache_hits / total) if total else 0.0,
+            "coalesce_rate": (self.coalesced / total) if total else 0.0,
+            "p50_latency_s": percentile(lat, 50),
+            "p95_latency_s": percentile(lat, 95),
+            "observed_latencies": len(lat),
+        }

@@ -1,14 +1,15 @@
 """Executable CONGEST/LOCAL model: synchronous rounds, per-message bit
 accounting, per-node private randomness, and exact round metrics."""
 
+from repro.registry import algorithm_registry
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.batch import (
     BatchJob,
     BatchResult,
     JobOutcome,
-    algorithm_registry,
     batch_run,
     derive_job_seeds,
+    run_job,
 )
 from repro.simulator.context import NodeContext
 from repro.simulator.instrument import (
@@ -33,6 +34,7 @@ __all__ = [
     "JobOutcome",
     "algorithm_registry",
     "batch_run",
+    "run_job",
     "derive_job_seeds",
     "NodeContext",
     "RoundProfile",

@@ -19,9 +19,9 @@ processes while keeping the three properties the test-suite depends on:
   seed | bandwidth policy | params)``; re-running a sweep only pays for
   jobs it has not seen.  Failed jobs are never cached.
 
-Algorithms are usually named (see :func:`algorithm_registry`) so that
-workers resolve the callable on their side of the process boundary; a
-job may also carry a picklable callable directly.
+Algorithms are usually named (see :func:`repro.registry.algorithm_registry`)
+so that workers resolve the callable on their side of the process boundary;
+a job may also carry a picklable callable directly.
 """
 
 from __future__ import annotations
@@ -30,13 +30,16 @@ import hashlib
 import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import Executor, ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.registry import AlgorithmFn
+from repro.registry import algorithm_registry as _algorithm_registry
 from repro.simulator.instrument import install_faults, outcome_emitters
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.models import BandwidthPolicy
@@ -46,88 +49,26 @@ __all__ = [
     "JobOutcome",
     "BatchResult",
     "batch_run",
+    "run_job",
     "derive_job_seeds",
     "algorithm_registry",
 ]
 
-AlgorithmFn = Callable[..., Any]  # (graph, *, seed, ...) -> AlgorithmResult
 
-
-# --------------------------------------------------------------------- #
-# algorithm registry
-# --------------------------------------------------------------------- #
-
-def algorithm_registry() -> Dict[str, AlgorithmFn]:
-    """Named algorithm wrappers with the uniform batch signature.
-
-    Every entry is called as ``fn(graph, seed=..., policy=..., **params)``.
-    Imports are local so that importing the simulator package never pulls
-    in the whole algorithm stack.
-    """
-    from repro.core import (
-        bar_yehuda_maxis,
-        boppana_is,
-        good_nodes_approx,
-        low_arboricity_maxis,
-        low_degree_maxis,
-        sparsified_approx,
-        theorem1_maxis,
-        theorem2_maxis,
-        weighted_greedy_maxis,
-    )
-    from repro.mis import ghaffari_mis, local_minima_mis, luby_mis
-
-    def thm1(g, *, seed=None, policy=None, eps=0.5, **kw):
-        return theorem1_maxis(g, eps, seed=seed, policy=policy, **kw)
-
-    def thm2(g, *, seed=None, policy=None, eps=0.5, **kw):
-        return theorem2_maxis(g, eps, seed=seed, policy=policy, **kw)
-
-    def thm3(g, *, seed=None, policy=None, eps=0.5, **kw):
-        # low_arboricity_maxis manages bandwidth internally; no policy knob.
-        return low_arboricity_maxis(g, eps, seed=seed, **kw)
-
-    def thm5(g, *, seed=None, policy=None, eps=0.5, **kw):
-        return low_degree_maxis(g, eps, seed=seed, policy=policy, **kw)
-
-    def thm8(g, *, seed=None, policy=None, **kw):
-        return good_nodes_approx(g, seed=seed, policy=policy, **kw)
-
-    def thm9(g, *, seed=None, policy=None, **kw):
-        return sparsified_approx(g, seed=seed, policy=policy, **kw)
-
-    def ranking(g, *, seed=None, policy=None, **kw):
-        return boppana_is(g, seed=seed, policy=policy, **kw)
-
-    def bar_yehuda(g, *, seed=None, policy=None, **kw):
-        return bar_yehuda_maxis(g, seed=seed, policy=policy, **kw)
-
-    def weighted_greedy(g, *, seed=None, policy=None, **kw):
-        return weighted_greedy_maxis(g, seed=seed, policy=policy, **kw)
-
-    def mis_luby(g, *, seed=None, policy=None, **kw):
-        return luby_mis(g, seed=seed, **kw)
-
-    def mis_ghaffari(g, *, seed=None, policy=None, **kw):
-        return ghaffari_mis(g, seed=seed, **kw)
-
-    def mis_det(g, *, seed=None, policy=None, **kw):
-        return local_minima_mis(g, seed=seed, **kw)
-
-    return {
-        "thm1": thm1,
-        "thm2": thm2,
-        "thm3": thm3,
-        "thm5": thm5,
-        "thm8": thm8,
-        "thm9": thm9,
-        "ranking": ranking,
-        "bar-yehuda": bar_yehuda,
-        "weighted-greedy": weighted_greedy,
-        "mis-luby": mis_luby,
-        "mis-ghaffari": mis_ghaffari,
-        "mis-det": mis_det,
-    }
+def __getattr__(name: str) -> Any:
+    # The registry moved to repro.registry (it is the public catalogue of
+    # solvers, not a batch-engine detail); keep the old import path alive
+    # one deprecation cycle.
+    if name == "algorithm_registry":
+        warnings.warn(
+            "repro.simulator.batch.algorithm_registry moved to "
+            "repro.registry.algorithm_registry (also re-exported as "
+            "repro.algorithm_registry); this alias will be removed",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _algorithm_registry
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # --------------------------------------------------------------------- #
@@ -187,6 +128,10 @@ class JobOutcome:
     cached: bool = False
     seconds: float = 0.0
     label: str = ""
+    # JSON-scalar subset of the AlgorithmResult metadata (guarantee_factor,
+    # theorem, eps, ...) — what certify_result needs to re-check a returned
+    # set against the guarantee the pipeline claimed for it.
+    metadata: Dict[str, Any] = field(default_factory=dict)
 
     def signature(self) -> Tuple[Any, ...]:
         """Everything deterministic about the outcome (no wall-clock, no
@@ -200,6 +145,7 @@ class JobOutcome:
             self.weight,
             self.metrics.as_tuple() if self.metrics is not None else None,
             self.error,
+            tuple(sorted(self.metadata.items())),
         )
 
     def to_doc(self) -> Dict[str, Any]:
@@ -213,6 +159,7 @@ class JobOutcome:
             "error": self.error,
             "seconds": self.seconds,
             "label": self.label,
+            "metadata": dict(self.metadata),
         }
 
     @staticmethod
@@ -230,6 +177,7 @@ class JobOutcome:
             cached=cached,
             seconds=float(doc.get("seconds", 0.0)),
             label=str(doc.get("label", "")),
+            metadata=dict(doc.get("metadata") or {}),
         )
 
 
@@ -392,13 +340,33 @@ def _cache_store(cache_dir: str, key: str, outcome: JobOutcome) -> None:
 # execution
 # --------------------------------------------------------------------- #
 
+def _scalar_metadata(metadata: Dict[str, Any]) -> Dict[str, Any]:
+    """The JSON-scalar subset of an ``AlgorithmResult.metadata`` dict.
+
+    Algorithm metadata carries arbitrary diagnostics (phase logs, sampled
+    subgraphs, numpy arrays); only plain scalars survive the JSON cache
+    and wire round-trips, and those are exactly the entries the
+    certification path consumes (``guarantee_factor``, ``theorem``,
+    ``eps``, ``delta``, ...).
+    """
+    out: Dict[str, Any] = {}
+    for key, value in metadata.items():
+        if value is None or isinstance(value, (bool, str)):
+            out[key] = value
+        elif isinstance(value, (int, np.integer)):
+            out[key] = int(value)
+        elif isinstance(value, (float, np.floating)):
+            out[key] = float(value)
+    return out
+
+
 def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) -> JobOutcome:
     """Run one job; top-level so ProcessPoolExecutor can pickle it."""
     index, job, seed, policy = payload
     start = time.perf_counter()
     try:
         if isinstance(job.algorithm, str):
-            registry = algorithm_registry()
+            registry = _algorithm_registry()
             if job.algorithm not in registry:
                 raise KeyError(
                     f"unknown algorithm {job.algorithm!r}; "
@@ -432,6 +400,7 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
             metrics=result.metrics,
             seconds=time.perf_counter() - start,
             label=job.label,
+            metadata=_scalar_metadata(getattr(result, "metadata", {}) or {}),
         )
     except Exception as exc:  # noqa: BLE001 — one bad job must not kill the sweep
         return JobOutcome(
@@ -445,6 +414,37 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
         )
 
 
+def run_job(
+    job: BatchJob,
+    *,
+    master_seed: Optional[int] = 0,
+    policy: Optional[BandwidthPolicy] = None,
+    cache_dir: Optional[str] = None,
+    index: int = 0,
+) -> JobOutcome:
+    """Cache-aware, in-process execution of one job.
+
+    This is the submission unit of :func:`repro.api.solve` and the solver
+    service: the same cache keys, the same :func:`_execute_job` code path,
+    and therefore bit-identical outcomes versus a :func:`batch_run` sweep
+    containing the job.  ``index`` only matters for ``seed=None`` jobs
+    (positional seed derivation) and for labelling the outcome.
+    """
+    seed = (job.seed if job.seed is not None
+            else derive_job_seeds(master_seed, index + 1)[index])
+    key = None
+    if cache_dir is not None:
+        os.makedirs(cache_dir, exist_ok=True)
+        key = job_cache_key(job, seed, policy)
+        hit = _cache_load(cache_dir, key, index)
+        if hit is not None:
+            return replace(hit, label=job.label)
+    outcome = _execute_job((index, job, seed, policy))
+    if cache_dir is not None and outcome.ok:
+        _cache_store(cache_dir, key, outcome)
+    return outcome
+
+
 def batch_run(
     jobs: Sequence[BatchJob],
     *,
@@ -452,6 +452,7 @@ def batch_run(
     n_jobs: int = 1,
     cache_dir: Optional[str] = None,
     policy: Optional[BandwidthPolicy] = None,
+    executor: Optional[Executor] = None,
 ) -> BatchResult:
     """Run a sweep of jobs, optionally across processes and with a cache.
 
@@ -464,6 +465,12 @@ def batch_run(
         cache_dir: directory of the JSON memo cache; ``None`` disables it.
         policy: bandwidth policy forwarded to named algorithms and mixed
             into the cache key.
+        executor: a reusable :class:`concurrent.futures.Executor` to fan
+            jobs out on instead of a per-call ProcessPoolExecutor — the
+            long-running submission path of the solver service, which
+            cannot afford a pool spawn per micro-batch.  The caller owns
+            its lifecycle; ``n_jobs`` is ignored for dispatch (but not
+            for validation) when it is given.
 
     Returns:
         A :class:`BatchResult` with one outcome per job, in job order.
@@ -498,7 +505,11 @@ def batch_run(
         pending.append((i, job, seed, policy))
 
     if pending:
-        if n_jobs == 1 or len(pending) == 1:
+        if executor is not None and len(pending) > 1:
+            # Service path: micro-batches on a long-lived pool.  chunksize
+            # stays 1 — latency matters more than IPC amortization here.
+            fresh = list(executor.map(_execute_job, pending))
+        elif n_jobs == 1 or len(pending) == 1:
             fresh = map(_execute_job, pending)
         else:
             workers = min(n_jobs, len(pending))

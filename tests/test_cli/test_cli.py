@@ -458,3 +458,23 @@ class TestBench:
                    "--baseline", str(tmp_path / "nope.json")])
         assert rc == 0
         assert "gate skipped" in capsys.readouterr().out
+
+
+class TestAlgorithmsCommand:
+    def test_lists_registry_with_signatures(self, capsys):
+        from repro.cli import main
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "thm2(seed=None, policy=None, eps=0.5, **params)" in out
+        assert "mis-luby(" in out
+
+    def test_json_output_matches_registry(self, capsys):
+        import json as _json
+
+        from repro.cli import main
+        from repro.registry import algorithm_registry
+
+        assert main(["algorithms", "--json"]) == 0
+        entries = _json.loads(capsys.readouterr().out)
+        assert {e["name"] for e in entries} == set(algorithm_registry())

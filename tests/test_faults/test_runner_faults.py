@@ -100,7 +100,7 @@ class TestFaultFreeByteIdentity:
 
         from repro.graphs import gnp
         from repro.graphs.weights import integer_weights
-        from repro.simulator.batch import algorithm_registry
+        from repro.registry import algorithm_registry
 
         def strip_wall(obj):
             # The span tree carries nondeterministic wall-clock timings;

@@ -1,0 +1,328 @@
+"""SolverEngine semantics: coalescing, admission, deadlines, drain."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.api import SolveRequest
+from repro.core import weighted_greedy_maxis
+from repro.graphs import gnp, uniform_weights
+from repro.service import (
+    DeadlineExceeded,
+    RequestRejected,
+    SolverEngine,
+    UnknownAlgorithmError,
+)
+
+
+@pytest.fixture
+def instance():
+    return uniform_weights(gnp(24, 0.15, seed=1), 1, 10, seed=2)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def counting_registry(calls, *, delay=0.0, release=None):
+    """A one-algorithm registry whose wrapper counts its invocations.
+
+    ``delay`` keeps the dispatch thread busy; ``release`` (an Event)
+    blocks execution until the test opens it.
+    """
+
+    def wrapper(graph, seed=None, **params):
+        calls.append(seed)
+        if release is not None:
+            release.wait(timeout=10.0)
+        if delay:
+            time.sleep(delay)
+        return weighted_greedy_maxis(graph, seed=seed)
+
+    return {"counted": wrapper}
+
+
+async def started_engine(**kwargs):
+    engine = SolverEngine(**kwargs)
+    await engine.start()
+    return engine
+
+
+class TestCoalescing:
+    def test_concurrent_identical_requests_execute_once(self, instance):
+        calls = []
+
+        async def scenario():
+            engine = await started_engine(
+                registry=counting_registry(calls, delay=0.05)
+            )
+            request = SolveRequest(graph=instance, algorithm="counted",
+                                   seed=7)
+            served = await asyncio.gather(
+                *(engine.submit(request) for _ in range(10))
+            )
+            await engine.aclose()
+            return served
+
+        served = run(scenario())
+        assert len(calls) == 1, "coalescer must run the solver exactly once"
+        blobs = {s.report.to_json() for s in served}
+        assert len(blobs) == 1, "every waiter sees the same report"
+        assert sum(1 for s in served if s.coalesced) == 9
+        assert all(s.report.ok for s in served)
+
+    def test_distinct_seeds_do_not_coalesce(self, instance):
+        calls = []
+
+        async def scenario():
+            engine = await started_engine(registry=counting_registry(calls))
+            await asyncio.gather(*(
+                engine.submit(SolveRequest(graph=instance,
+                                           algorithm="counted", seed=s))
+                for s in range(4)
+            ))
+            await engine.aclose()
+
+        run(scenario())
+        assert sorted(calls) == [0, 1, 2, 3]
+
+    def test_sequential_resubmit_executes_again_without_cache(self, instance):
+        calls = []
+
+        async def scenario():
+            engine = await started_engine(registry=counting_registry(calls))
+            request = SolveRequest(graph=instance, algorithm="counted", seed=7)
+            first = await engine.submit(request)
+            second = await engine.submit(request)
+            await engine.aclose()
+            return first, second
+
+        first, second = run(scenario())
+        assert len(calls) == 2
+        assert first.report.to_json() == second.report.to_json()
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects(self, instance):
+        calls = []
+        release = threading.Event()
+
+        async def scenario():
+            engine = await started_engine(
+                registry=counting_registry(calls, release=release),
+                max_queue=1, max_batch=1,
+            )
+            blocked = [asyncio.ensure_future(engine.submit(
+                SolveRequest(graph=instance, algorithm="counted", seed=0)
+            ))]
+            # Wait until the dispatcher has parked on the release gate
+            # (queue empty again), then occupy the single queue slot.
+            while not calls:
+                await asyncio.sleep(0.01)
+            blocked.append(asyncio.ensure_future(engine.submit(
+                SolveRequest(graph=instance, algorithm="counted", seed=1)
+            )))
+            await asyncio.sleep(0)  # let the submit reach put_nowait
+            with pytest.raises(RequestRejected) as info:
+                await engine.submit(SolveRequest(
+                    graph=instance, algorithm="counted", seed=99
+                ))
+            release.set()
+            await asyncio.gather(*blocked, return_exceptions=True)
+            await engine.aclose()
+            return info.value
+
+        exc = run(scenario())
+        assert exc.reason == "queue_full"
+
+    def test_unknown_algorithm_rejected_before_admission(self, instance):
+        async def scenario():
+            engine = await started_engine(registry=counting_registry([]))
+            try:
+                with pytest.raises(UnknownAlgorithmError, match="nosuch"):
+                    await engine.submit(SolveRequest(
+                        graph=instance, algorithm="nosuch"
+                    ))
+            finally:
+                await engine.aclose()
+
+        run(scenario())
+
+    def test_rejections_counted_in_metrics(self, instance):
+        calls = []
+        release = threading.Event()
+
+        async def scenario():
+            engine = await started_engine(
+                registry=counting_registry(calls, release=release),
+                max_queue=1, max_batch=1,
+            )
+            blocked = [asyncio.ensure_future(engine.submit(
+                SolveRequest(graph=instance, algorithm="counted", seed=0)
+            ))]
+            while not calls:
+                await asyncio.sleep(0.01)
+            blocked.append(asyncio.ensure_future(engine.submit(
+                SolveRequest(graph=instance, algorithm="counted", seed=1)
+            )))
+            await asyncio.sleep(0)
+            with pytest.raises(RequestRejected):
+                await engine.submit(SolveRequest(
+                    graph=instance, algorithm="counted", seed=99
+                ))
+            snapshot = engine.metrics_snapshot()
+            release.set()
+            await asyncio.gather(*blocked, return_exceptions=True)
+            await engine.aclose()
+            return snapshot
+
+        snapshot = run(scenario())
+        assert snapshot["rejected"] == 1
+        assert snapshot["schema"] == "v1"
+
+
+class TestDeadlines:
+    def test_deadline_exceeded(self, instance):
+        release = threading.Event()
+
+        async def scenario():
+            engine = await started_engine(
+                registry=counting_registry([], release=release)
+            )
+            try:
+                with pytest.raises(DeadlineExceeded):
+                    await engine.submit(SolveRequest(
+                        graph=instance, algorithm="counted", seed=7,
+                        timeout_s=0.05,
+                    ))
+            finally:
+                release.set()
+                await engine.aclose()
+
+        run(scenario())
+
+    def test_timeout_does_not_kill_coalesced_twin(self, instance):
+        """One waiter's deadline must not cancel the shared computation."""
+        release = threading.Event()
+
+        async def scenario():
+            engine = await started_engine(
+                registry=counting_registry([], release=release)
+            )
+            request = SolveRequest(graph=instance, algorithm="counted",
+                                   seed=7)
+            hurried = asyncio.ensure_future(engine.submit(
+                SolveRequest(graph=instance, algorithm="counted", seed=7,
+                             timeout_s=0.05)
+            ))
+            patient = asyncio.ensure_future(engine.submit(request))
+            await asyncio.sleep(0.15)
+            release.set()
+            outcomes = await asyncio.gather(hurried, patient,
+                                            return_exceptions=True)
+            await engine.aclose()
+            return outcomes
+
+        hurried, patient = run(scenario())
+        assert isinstance(hurried, DeadlineExceeded)
+        assert not isinstance(patient, Exception) and patient.report.ok
+
+
+class TestDrain:
+    def test_draining_rejects_new_work(self, instance):
+        async def scenario():
+            engine = await started_engine(registry=counting_registry([]))
+            engine.begin_drain()
+            try:
+                with pytest.raises(RequestRejected) as info:
+                    await engine.submit(SolveRequest(
+                        graph=instance, algorithm="counted"
+                    ))
+            finally:
+                await engine.aclose()
+            return info.value
+
+        assert run(scenario()).reason == "draining"
+
+    def test_drain_waits_for_in_flight(self, instance):
+        calls = []
+        release = threading.Event()
+
+        async def scenario():
+            engine = await started_engine(
+                registry=counting_registry(calls, release=release)
+            )
+            pending = asyncio.ensure_future(engine.submit(SolveRequest(
+                graph=instance, algorithm="counted", seed=7
+            )))
+            while not calls:
+                await asyncio.sleep(0.01)
+            asyncio.get_running_loop().call_later(0.05, release.set)
+            await engine.drain()
+            assert engine.in_flight == 0
+            served = await pending
+            await engine.aclose()
+            return served
+
+        assert run(scenario()).report.ok
+
+
+class TestCache:
+    def test_resubmit_after_completion_hits_disk_cache(self, instance,
+                                                       tmp_path):
+        async def scenario():
+            engine = await started_engine(cache_dir=str(tmp_path))
+            request = SolveRequest(graph=instance, algorithm="thm2", seed=7,
+                                   params={"eps": 0.5})
+            cold = await engine.submit(request)
+            warm = await engine.submit(request)
+            snapshot = engine.metrics_snapshot()
+            await engine.aclose()
+            return cold, warm, snapshot
+
+        cold, warm, snapshot = run(scenario())
+        assert not cold.cached and warm.cached
+        assert cold.report.to_json() == warm.report.to_json()
+        assert snapshot["cache_hits"] == 1
+
+    def test_engine_report_matches_api_solve(self, instance, tmp_path):
+        from repro.api import solve
+
+        async def scenario():
+            engine = await started_engine(cache_dir=str(tmp_path))
+            served = await engine.submit(SolveRequest(
+                graph=instance, algorithm="thm2", seed=7,
+                params={"eps": 0.5},
+            ))
+            await engine.aclose()
+            return served
+
+        served = run(scenario())
+        direct = solve(instance, "thm2", seed=7, eps=0.5)
+        assert served.report.to_json() == direct.to_json()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs, match", [
+        ({"workers": 0}, "workers"),
+        ({"max_queue": 0}, "max_queue"),
+        ({"max_batch": 0}, "max_batch"),
+    ])
+    def test_constructor_bounds(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SolverEngine(**kwargs)
+
+    def test_submit_before_start_raises(self, instance):
+        engine = SolverEngine()
+
+        async def scenario():
+            with pytest.raises(RuntimeError, match="not started"):
+                await engine.submit(SolveRequest(
+                    graph=instance, algorithm="thm2"
+                ))
+
+        run(scenario())

@@ -1,0 +1,247 @@
+"""The HTTP layer: routes, status mapping, and cross-path byte identity."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.api import SCHEMA_VERSION, SolveRequest, solve
+from repro.graphs import gnp, uniform_weights
+from repro.service import SolverEngine, SolverServer, build_request_pool, run_loadgen
+from repro.service.loadgen import _Client
+
+
+@pytest.fixture
+def instance():
+    return uniform_weights(gnp(26, 0.14, seed=11), 1, 15, seed=12)
+
+
+class ServerThread:
+    """A live ``repro serve`` stack on an ephemeral port, off-thread,
+    so tests (and the loadgen, which owns its own event loop) can talk
+    to it over real sockets."""
+
+    def __init__(self, **engine_kwargs):
+        self.engine_kwargs = engine_kwargs
+        self.port = None
+        self._ready = threading.Event()
+        self._stop = None
+        self._loop = None
+        self._thread = None
+        self._error = None
+
+    def __enter__(self):
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=20.0):
+            raise RuntimeError(f"server failed to start: {self._error}")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error}")
+        return self
+
+    def __exit__(self, *exc_info):
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=20.0)
+
+    def _run(self):
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            server = SolverServer(SolverEngine(**self.engine_kwargs),
+                                  host="127.0.0.1", port=0)
+            try:
+                self.port = await server.start()
+            except Exception as exc:  # pragma: no cover - startup failure
+                self._error = exc
+                self._ready.set()
+                return
+            self._ready.set()
+            await self._stop.wait()
+            await server.shutdown()
+
+        asyncio.run(main())
+
+
+def http(port, method, path, body=b""):
+    """One request against the live server; returns (status, doc)."""
+
+    async def go():
+        client = _Client("127.0.0.1", port)
+        try:
+            status, payload = await client.request(method, path, body)
+        finally:
+            await client.close()
+        return status, json.loads(payload) if payload else None
+
+    return asyncio.run(go())
+
+
+class TestRoutes:
+    def test_health(self):
+        with ServerThread() as server:
+            status, doc = http(server.port, "GET", "/v1/health")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["schema"] == SCHEMA_VERSION
+
+    def test_algorithms(self):
+        with ServerThread() as server:
+            status, doc = http(server.port, "GET", "/v1/algorithms")
+        assert status == 200
+        names = {entry["name"] for entry in doc["algorithms"]}
+        assert {"thm1", "thm2", "thm3"} <= names
+
+    def test_metrics_counts_requests(self, instance):
+        request = SolveRequest(graph=instance, algorithm="thm2", seed=3,
+                               params={"eps": 0.5})
+        with ServerThread() as server:
+            http(server.port, "POST", "/v1/solve",
+                 request.to_json().encode())
+            status, doc = http(server.port, "GET", "/v1/metrics")
+        assert status == 200
+        assert doc["requests"] == 1
+        assert doc["completed"] == 1
+        assert doc["batches"] >= 1
+
+    def test_unknown_route_404(self):
+        with ServerThread() as server:
+            status, doc = http(server.port, "GET", "/v2/anything")
+        assert status == 404
+        assert doc["error"]["code"] == 404
+
+    def test_solve_requires_post(self):
+        with ServerThread() as server:
+            status, doc = http(server.port, "GET", "/v1/solve")
+        assert status == 405
+
+
+class TestSolveEndpoint:
+    def test_fixed_seed_response_is_byte_identical_to_api_solve(
+            self, instance):
+        request = SolveRequest(graph=instance, algorithm="thm2", seed=7,
+                               params={"eps": 0.5})
+        with ServerThread() as server:
+            status, envelope = http(server.port, "POST", "/v1/solve",
+                                    request.to_json().encode())
+        assert status == 200
+        wire = json.dumps(envelope["report"], sort_keys=True,
+                          separators=(",", ":"))
+        direct = solve(instance, "thm2", seed=7, eps=0.5)
+        assert wire == direct.to_json()
+        assert envelope["served"] == {"cached": False, "coalesced": False,
+                                      "seconds": envelope["served"]["seconds"]}
+
+    def test_spec_graph_request_solves(self):
+        body = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "graph": {"spec": "gnp:20,0.2", "weights": "uniform:1,9",
+                      "seed": 5},
+            "algorithm": "thm1",
+            "seed": 2,
+            "params": {"eps": 0.5},
+        }).encode()
+        with ServerThread() as server:
+            status, envelope = http(server.port, "POST", "/v1/solve", body)
+        assert status == 200
+        assert envelope["report"]["ok"] is True
+
+    def test_repeat_request_served_from_cache(self, instance, tmp_path):
+        request = SolveRequest(graph=instance, algorithm="thm2", seed=7,
+                               params={"eps": 0.5})
+        body = request.to_json().encode()
+        with ServerThread(cache_dir=str(tmp_path)) as server:
+            _, cold = http(server.port, "POST", "/v1/solve", body)
+            _, warm = http(server.port, "POST", "/v1/solve", body)
+        assert cold["served"]["cached"] is False
+        assert warm["served"]["cached"] is True
+        assert warm["report"] == cold["report"]
+
+    @pytest.mark.parametrize("body, match", [
+        (b"{nope", "not valid JSON"),
+        (b'{"schema": "v9", "graph": {}, "algorithm": "thm2"}',
+         "unsupported schema"),
+        (b'{"schema": "v1", "graph": {"spec": "nosuch:1"}, '
+         b'"algorithm": "thm2"}', "unknown graph kind"),
+    ])
+    def test_bad_request_400(self, body, match):
+        with ServerThread() as server:
+            status, doc = http(server.port, "POST", "/v1/solve", body)
+        assert status == 400
+        assert match in doc["error"]["message"]
+
+    def test_unknown_algorithm_400(self, instance):
+        request = SolveRequest(graph=instance, algorithm="thm2")
+        doc = request.to_doc()
+        doc["algorithm"] = "nosuch"
+        with ServerThread() as server:
+            status, doc = http(server.port, "POST", "/v1/solve",
+                               json.dumps(doc).encode())
+        assert status == 400
+        assert "nosuch" in doc["error"]["message"]
+
+    def test_malformed_request_line_400(self):
+        async def go(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"NONSENSE\r\n\r\n")
+            await writer.drain()
+            line = await reader.readline()
+            writer.close()
+            await writer.wait_closed()
+            return int(line.split()[1])
+
+        with ServerThread() as server:
+            assert asyncio.run(go(server.port)) == 400
+
+    def test_keep_alive_serves_multiple_requests(self, instance):
+        request = SolveRequest(graph=instance, algorithm="thm2", seed=1,
+                               params={"eps": 0.5})
+        body = request.to_json().encode()
+
+        async def go(port):
+            client = _Client("127.0.0.1", port)
+            try:
+                statuses = []
+                for _ in range(3):
+                    status, _payload = await client.request(
+                        "POST", "/v1/solve", body
+                    )
+                    statuses.append(status)
+                # all three went over one connection
+                assert client._writer is not None
+                return statuses
+            finally:
+                await client.close()
+
+        with ServerThread() as server:
+            assert asyncio.run(go(server.port)) == [200, 200, 200]
+
+
+class TestLoadgen:
+    def test_loadgen_round_trip_verifies_all_reports(self, tmp_path):
+        pool = build_request_pool(
+            specs=(("gnp:18,0.2", "uniform:1,9"), ("cycle:16", "unit")),
+            algorithms=("thm2",),
+            seeds=(1, 2),
+        )
+        out = tmp_path / "BENCH_service.json"
+        with ServerThread(cache_dir=str(tmp_path / "cache")) as server:
+            doc = run_loadgen(port=server.port, clients=4, duration_s=1.0,
+                              out_path=str(out), pool=pool)
+        assert doc["completed"] > 0
+        assert doc["status_counts"] == {"200": doc["sent"]}
+        assert doc["served"]["cached"] > 0
+        assert doc["divergent_reports"] == 0
+        assert doc["verification"]["failures"] == []
+        assert doc["verification"]["verified"] == doc["unique_reports"] > 0
+        written = json.loads(out.read_text())
+        assert written["kind"] == "service_loadgen"
+        assert written["throughput_rps"] > 0
+
+    def test_pool_is_deterministic(self):
+        a = build_request_pool(seeds=(1,))
+        b = build_request_pool(seeds=(1,))
+        assert [e.request.key() for e in a] == [e.request.key() for e in b]
+        assert [e.body for e in a] == [e.body for e in b]

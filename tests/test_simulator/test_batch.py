@@ -12,7 +12,8 @@ from repro.simulator import (
     batch_run,
     derive_job_seeds,
 )
-from repro.simulator.batch import algorithm_registry, job_cache_key
+from repro.registry import algorithm_registry
+from repro.simulator.batch import job_cache_key
 from repro.simulator.models import BandwidthPolicy
 
 
