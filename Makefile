@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-perf service-smoke experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -38,6 +38,27 @@ bench-perf:
 	$(PYTHON) benchmarks/perf_gate.py --tiny --repeats 2 \
 		--baseline BENCH_runner.json --tolerance 3.0 \
 		--out bench_current.json
+
+# Columnar perf gate: one 10^5-node columnar cell gated against the
+# committed baseline at the same wide cross-machine tolerance.  Catches
+# a columnar backend that silently lost its vectorized fast path (e.g.
+# an always-on FleetFallback would be ~20x over budget).
+bench-columnar: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+bench-columnar:
+	$(PYTHON) benchmarks/perf_gate.py --matrix columnar-tiny --repeats 2 \
+		--baseline BENCH_runner.json --tolerance 3.0 \
+		--out bench_columnar.json
+
+# Backend byte-identity: the golden-sha256 family suite, the backend
+# unit/fallback/cache suite, and the hypothesis equivalence property —
+# the subset of tier 1 that pins per-node and columnar to identical
+# reports.
+backend-equivalence: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+backend-equivalence:
+	$(PYTHON) -m pytest -q \
+		tests/test_faults/test_runner_faults.py \
+		tests/test_simulator/test_backends.py \
+		tests/test_properties/test_backend_equivalence.py
 
 # Solver-service smoke: start `repro serve` on an ephemeral port, check
 # /v1/health, assert one fixed-seed HTTP solve is byte-identical to

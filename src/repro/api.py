@@ -140,6 +140,12 @@ class SolveRequest:
     service enforces on the request, and an opaque tag echoed into
     observability records.  Neither affects the computation, so neither
     participates in :meth:`key`.
+
+    ``backend`` selects the execution backend (``"per-node"`` or
+    ``"columnar"``); the default empty string means per-node.  Backends
+    are byte-identical by contract, but the selector still participates
+    in :meth:`key` so a columnar request is never coalesced with (or
+    cached as) a per-node one.
     """
 
     graph: WeightedGraph
@@ -148,17 +154,21 @@ class SolveRequest:
     params: Dict[str, Any] = field(default_factory=dict)
     timeout_s: Optional[float] = None
     label: str = ""
+    backend: str = ""
 
     def key(self) -> str:
         """Coalescing identity: requests with equal keys are the same
-        computation (graph content, algorithm, seed, params) and may be
-        served by one execution."""
-        blob = json.dumps({
+        computation (graph content, algorithm, seed, params, backend)
+        and may be served by one execution."""
+        doc = {
             "fingerprint": self.graph.fingerprint(),
             "algorithm": self.algorithm,
             "seed": self.seed,
             "params": self.params,
-        }, sort_keys=True, default=repr)
+        }
+        if self.backend and self.backend != "per-node":
+            doc["backend"] = self.backend
+        blob = json.dumps(doc, sort_keys=True, default=repr)
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def to_doc(self) -> Dict[str, Any]:
@@ -173,6 +183,8 @@ class SolveRequest:
             doc["timeout_s"] = self.timeout_s
         if self.label:
             doc["label"] = self.label
+        if self.backend:
+            doc["backend"] = self.backend
         return doc
 
     def to_json(self) -> str:
@@ -214,6 +226,14 @@ class SolveRequest:
                 ) from exc
             if timeout_s <= 0:
                 raise SchemaError(f"timeout_s must be positive, got {timeout_s}")
+        backend = doc.get("backend", "")
+        if backend:
+            from repro.simulator.backends import normalize_backend_name
+
+            try:
+                backend = normalize_backend_name(backend)
+            except ValueError as exc:
+                raise SchemaError(str(exc)) from exc
         return cls(
             graph=graph_from_doc(doc["graph"]),
             algorithm=algorithm,
@@ -221,6 +241,7 @@ class SolveRequest:
             params=_canonical_params(params),
             timeout_s=timeout_s,
             label=str(doc.get("label", "")),
+            backend=str(backend or ""),
         )
 
     @classmethod
@@ -385,6 +406,7 @@ def solve(
     policy: Optional[Any] = None,
     cache_dir: Optional[str] = None,
     raise_on_error: bool = True,
+    backend: Optional[str] = None,
     **params: Any,
 ) -> SolveReport:
     """Run one registry algorithm on one instance; the blessed entry point.
@@ -403,6 +425,9 @@ def solve(
         raise_on_error: raise :class:`SolveError` if the run fails
             (default); pass ``False`` to get the failed report back
             instead — the service's behaviour.
+        backend: execution backend name (``"per-node"``/``"columnar"``);
+            ``None`` keeps the per-node default.  Fixed-seed reports are
+            byte-identical across backends.
         **params: algorithm parameters (e.g. ``eps=0.5``).
 
     Returns:
@@ -412,7 +437,8 @@ def solve(
 
     _check_algorithm(algorithm)
     job = BatchJob(graph, algorithm, seed=seed,
-                   params=_canonical_params(params))
+                   params=_canonical_params(params),
+                   backend=backend or None)
     outcome = run_job(job, policy=policy, cache_dir=cache_dir)
     report = SolveReport.from_outcome(outcome, graph=graph,
                                       algorithm=algorithm, params=params)
@@ -432,6 +458,7 @@ def sweep(
     n_jobs: int = 1,
     policy: Optional[Any] = None,
     cache_dir: Optional[str] = None,
+    backend: Optional[str] = None,
     **params: Any,
 ) -> List[SolveReport]:
     """Run ``seeds`` independent solves with derived per-trial seeds.
@@ -448,7 +475,8 @@ def sweep(
     if seeds < 1:
         raise ValueError(f"seeds must be >= 1, got {seeds}")
     canonical = _canonical_params(params)
-    jobs = [BatchJob(graph, algorithm, params=dict(canonical))
+    jobs = [BatchJob(graph, algorithm, params=dict(canonical),
+                     backend=backend or None)
             for _ in range(seeds)]
     result = batch_run(jobs, master_seed=master_seed, n_jobs=n_jobs,
                        cache_dir=cache_dir, policy=policy)

@@ -141,6 +141,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     plan = _fault_plan(args)
 
     with ExitStack() as stack:
+        if args.backend and args.backend != "per-node":
+            from repro.simulator.instrument import install_backend
+
+            stack.enter_context(install_backend(args.backend))
         if plan is not None:
             from repro.simulator.instrument import install_faults
 
@@ -274,7 +278,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                               else args.seed + 1)
     params = {"eps": args.eps} if args.algorithm in ("thm1", "thm2", "thm3",
                                                      "thm5") else {}
-    jobs = [BatchJob(graph, args.algorithm, params=dict(params))
+    backend = args.backend if args.backend != "per-node" else None
+    jobs = [BatchJob(graph, args.algorithm, params=dict(params),
+                     backend=backend)
             for _ in range(args.seeds)]
     try:
         if args.emit_metrics is not None:
@@ -444,10 +450,10 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Perf-gate benchmark: time the hot-path cell matrix, optionally
     gate against a committed baseline (see docs/performance.md)."""
-    from repro.bench.perf_gate import run_gate
+    from repro.bench.perf_gate import resolve_matrix, run_gate
 
     try:
-        return run_gate(matrix="tiny" if args.tiny else "full",
+        return run_gate(matrix=resolve_matrix(args),
                         repeats=args.repeats, out=args.out,
                         baseline=args.baseline, tolerance=args.tolerance,
                         as_json=args.json)
@@ -616,6 +622,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--weights", default="uniform:1,100", help="weight spec")
     p_run.add_argument("--eps", type=float, default=0.5)
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--backend", choices=["per-node", "columnar"],
+                       default="per-node",
+                       help="execution backend (columnar = vectorized "
+                            "rounds, byte-identical results)")
     p_run.add_argument("--json", action="store_true", help="JSON output")
     p_run.add_argument("--show-set", action="store_true",
                        help="include the chosen node ids")
@@ -659,6 +669,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--eps", type=float, default=0.5)
     p_sweep.add_argument("--seed", type=int, default=0,
                          help="master seed; per-job seeds are derived from it")
+    p_sweep.add_argument("--backend", choices=["per-node", "columnar"],
+                         default="per-node",
+                         help="execution backend for every trial")
     p_sweep.add_argument("--seeds", type=int, default=10, metavar="N",
                          help="number of derived-seed jobs")
     p_sweep.add_argument("--jobs", type=int, default=1,

@@ -1,0 +1,26 @@
+"""Fleet kernels: whole-graph numpy executions of node protocols.
+
+A *fleet kernel* runs every node of one protocol family simultaneously as
+array operations over the CSR structure, producing a
+:class:`~repro.simulator.runner.RunResult` byte-identical to the per-node
+scheduler: same outputs, same metrics, same per-node random draws, same
+floating-point summation order.  Kernels are registered per concrete
+:class:`~repro.simulator.algorithm.NodeAlgorithm` subclass and looked up
+by the columnar backend (:mod:`repro.simulator.columnar`); a kernel that
+cannot guarantee equivalence for a particular input raises
+:class:`FleetFallback` and the backend reruns on the per-node reference.
+"""
+
+from repro.fleet.base import (FleetFallback, FleetRun, bit_lengths,
+                              int_field_bits, kernel_for,
+                              register_fleet_kernel)
+from repro.fleet import kernels as _kernels  # noqa: F401  (registration)
+
+__all__ = [
+    "FleetFallback",
+    "FleetRun",
+    "bit_lengths",
+    "int_field_bits",
+    "kernel_for",
+    "register_fleet_kernel",
+]

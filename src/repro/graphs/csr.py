@@ -73,6 +73,12 @@ class CSRIndex:
     def n(self) -> int:
         return len(self._id_list)
 
+    @property
+    def max_degree(self) -> int:
+        """``Δ`` over slots; 0 for the empty graph (``degrees.max()``
+        would raise on a zero-length array)."""
+        return int(self.degrees.max()) if len(self.degrees) else 0
+
     def neighbor_slots(self, slot: int) -> np.ndarray:
         """Neighbour slots of ``slot`` (a view into ``indices``)."""
         return self.indices[self.indptr[slot]:self.indptr[slot + 1]]
@@ -87,6 +93,10 @@ class CSRIndex:
         internally sorted, so translating slots back through ``ids``
         reproduces the dict implementation's sorted tuples exactly.
         """
+        # Callers pass slot arrays from many sources; an *empty* selection
+        # often arrives as float64 (numpy's default for `np.array([])`),
+        # which is not a legal index dtype.
+        kept_slots = np.asarray(kept_slots, dtype=np.int64)
         mask = np.zeros(self.n, dtype=bool)
         mask[kept_slots] = True
         entry_kept = np.repeat(mask, self.degrees) & mask[self.indices]

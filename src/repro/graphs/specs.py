@@ -22,7 +22,31 @@ from typing import Optional
 
 from repro.graphs.weighted_graph import WeightedGraph
 
-__all__ = ["graph_from_spec", "weights_from_spec"]
+__all__ = ["declared_nodes", "graph_from_spec", "weights_from_spec"]
+
+
+def declared_nodes(spec: str) -> Optional[int]:
+    """Node count a graph spec *declares*, without materializing it.
+
+    Admission control needs this: the service must reject a
+    ``gnp:100000000,0.5`` request before the generator allocates
+    anything.  Returns ``None`` for specs whose size is not declared in
+    the string (``file:PATH``) and for unknown kinds / unparsable
+    arguments — those fail properly in :func:`graph_from_spec`.
+    """
+    kind, _, args = spec.partition(":")
+    parts = [a for a in args.split(",") if a] if args else []
+    try:
+        if kind in ("gnp", "regular", "tree", "cycle", "path", "geometric"):
+            return max(0, int(parts[0]))
+        if kind == "grid":
+            return max(0, int(parts[0])) * max(0, int(parts[1]))
+        if kind == "caterpillar":
+            # spine vertices plus legs pendant vertices per spine vertex
+            return max(0, int(parts[0])) * (1 + max(0, int(parts[1])))
+    except (IndexError, ValueError):
+        return None
+    return None
 
 
 def graph_from_spec(spec: str, seed: Optional[int]) -> WeightedGraph:

@@ -22,8 +22,11 @@ Usage pattern::
 Attribution rules (what keeps phases summing to ``RunMetrics.rounds``):
 
 * ``add(m)`` folds ``m`` into the span sequentially (``merge``);
-  ``add(m, parallel=True)`` overlaps it with everything before it
-  (``merge_parallel``), and the child is marked ``mode="par"``.
+  ``add(m, parallel=True)`` overlaps it with the *preceding sibling* (it
+  starts in the round that sibling started), and the child is marked
+  ``mode="par"``.  Rounds follow that schedule exactly — the same replay
+  :func:`check_span` uses — so totals and attribution cannot drift, even
+  when a zero-round phase sits between the overlapped siblings.
 * If ``m`` already carries a span tree (the callee was instrumented), the
   tree is adopted as the child — nested instrumentation composes without
   double counting, because a callee's tree arrives only via its returned
@@ -107,6 +110,13 @@ class span:
         self.name = name
         self._children: List[SpanNode] = []
         self._acc = RunMetrics()
+        # The seq/par schedule replay, kept in lockstep with
+        # _fold_children so the accumulated totals always satisfy
+        # check_span: _cursor is the end of the schedule so far,
+        # _prev_start is where the previous child started (a "par" child
+        # starts there, overlapping its predecessor).
+        self._cursor = 0
+        self._prev_start = 0
         self._start: Optional[float] = None
         self._wall = 0.0
         self.node: Optional[SpanNode] = None
@@ -125,6 +135,15 @@ class span:
         """Fold a sub-result's metrics into this span (see module doc)."""
         self._acc = (self._acc.merge_parallel(metrics) if parallel
                      else self._acc.merge(metrics))
+        # merge_parallel maxes rounds against the *whole* accumulation,
+        # which disagrees with the fold's schedule whenever the previous
+        # sibling did not start at round 0 (e.g. a zero-round phase moved
+        # prev_start forward).  Replay the schedule instead, so totals
+        # and attribution can never drift apart.
+        start = self._prev_start if parallel else self._cursor
+        self._prev_start = start
+        self._cursor = max(self._cursor, start + metrics.rounds)
+        self._acc.rounds = self._cursor
         mode = "par" if parallel else "seq"
         child = metrics.span
         if child is None:
@@ -145,6 +164,8 @@ class span:
         """Charge ``k`` communication-only rounds as a leaf child."""
         if k <= 0:
             return
+        self._prev_start = self._cursor
+        self._cursor += k
         self._acc.add_rounds(k)
         self._children.append(SpanNode(name=name, rounds=k))
 

@@ -278,7 +278,8 @@ class SolverEngine:
         if self._registry is not None:
             algorithm = self._registry[request.algorithm]
         return BatchJob(request.graph, algorithm, seed=request.seed,
-                        params=dict(request.params), label=request.label)
+                        params=dict(request.params), label=request.label,
+                        backend=request.backend or None)
 
     def _run_batch(self, jobs: List[Any]):
         """Blocking micro-batch execution; runs on the dispatch thread."""

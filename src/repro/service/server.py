@@ -15,7 +15,8 @@ versioned:
 
 Status mapping: schema/graph/algorithm errors → 400, unknown route →
 404, admission-queue full → 429, draining → 503, deadline exceeded →
-504, oversized body → 413.
+504, oversized body or a graph declaring more than ``MAX_GRAPH_NODES``
+nodes → 413.
 
 The HTTP implementation is deliberately minimal (HTTP/1.1 keep-alive,
 Content-Length bodies, JSON only) — enough for the load generator, CI
@@ -32,6 +33,7 @@ from typing import Any, Dict, Optional, Set, Tuple
 
 from repro._version import __version__
 from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest, describe_algorithms
+from repro.graphs.specs import declared_nodes
 from repro.service.engine import (
     DeadlineExceeded,
     RequestRejected,
@@ -43,6 +45,10 @@ __all__ = ["SolverServer", "serve"]
 
 MAX_BODY_BYTES = 32 * 1024 * 1024
 MAX_HEADER_LINES = 100
+# Largest graph a request may declare (inline node list or generator
+# spec) before it is rejected with 413 — checked *before* the graph is
+# materialized, so a gnp:10**9 spec never reaches the generator.
+MAX_GRAPH_NODES = 1_000_000
 
 
 class _HttpError(Exception):
@@ -207,8 +213,19 @@ class SolverServer:
 
     async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         try:
-            request = SolveRequest.from_json(body.decode("utf-8"))
-        except (SchemaError, UnicodeDecodeError) as exc:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return self._error(400, f"request is not valid JSON: {exc}")
+        # Admission control before the graph materializes: a request may
+        # declare its size either inline (nodes list) or via a generator
+        # spec; both are checked up front so an oversized graph is a
+        # clean 413, not a memory blow-up deep in the engine.
+        oversized = self._graph_too_large(doc)
+        if oversized is not None:
+            return self._error(413, oversized)
+        try:
+            request = SolveRequest.from_doc(doc)
+        except SchemaError as exc:
             return self._error(400, str(exc))
         try:
             served = await self.engine.submit(request)
@@ -228,6 +245,26 @@ class SolverServer:
                 "seconds": served.seconds,
             },
         }
+
+    @staticmethod
+    def _graph_too_large(doc: Any) -> Optional[str]:
+        """A 413 message if the request's graph declares more than
+        ``MAX_GRAPH_NODES`` nodes, else ``None`` (including documents too
+        malformed to judge — schema validation owns those)."""
+        if not isinstance(doc, dict):
+            return None
+        graph = doc.get("graph")
+        if not isinstance(graph, dict):
+            return None
+        declared: Optional[int] = None
+        if "spec" in graph:
+            declared = declared_nodes(str(graph["spec"]))
+        elif isinstance(graph.get("nodes"), list):
+            declared = len(graph["nodes"])
+        if declared is not None and declared > MAX_GRAPH_NODES:
+            return (f"graph declares {declared} nodes; this server accepts "
+                    f"at most {MAX_GRAPH_NODES}")
+        return None
 
     @staticmethod
     def _error(status: int, message: str) -> Tuple[int, Dict[str, Any]]:

@@ -32,6 +32,7 @@ import os
 import time
 import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor
+from contextlib import ExitStack
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -40,7 +41,8 @@ import numpy as np
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.registry import AlgorithmFn
 from repro.registry import algorithm_registry as _algorithm_registry
-from repro.simulator.instrument import install_faults, outcome_emitters
+from repro.simulator.instrument import (install_backend, install_faults,
+                                        outcome_emitters)
 from repro.simulator.metrics import RunMetrics
 from repro.simulator.models import BandwidthPolicy
 
@@ -96,6 +98,24 @@ class BatchJob:
     # it.  Duck-typed (anything with describe()/begin()) to keep this
     # module import-independent of the faults package.
     faults: Optional[Any] = None
+    # Optional execution backend name ("per-node"/"columnar"), installed
+    # ambiently around the job so every inner run() of a composed
+    # algorithm uses it.  None means the scheduler default (per-node).
+    backend: Optional[str] = None
+
+    @property
+    def backend_name(self) -> str:
+        """Canonical backend name for this job (``"per-node"`` default).
+
+        Unknown strings pass through verbatim so that listing/keying a
+        malformed job never raises — the run itself reports the error.
+        """
+        from repro.simulator.backends import normalize_backend_name
+
+        try:
+            return normalize_backend_name(self.backend)
+        except ValueError:
+            return str(self.backend)
 
     @property
     def algorithm_name(self) -> str:
@@ -105,6 +125,11 @@ class BatchJob:
             fn = self.algorithm
             name = (f"{getattr(fn, '__module__', '?')}."
                     f"{getattr(fn, '__qualname__', repr(fn))}")
+        backend = self.backend_name
+        if backend != "per-node":
+            # Sweeps aggregate per (algorithm, backend) cell — the bench
+            # matrix shows "mis-det@columnar" next to "mis-det".
+            name = f"{name}@{backend}"
         if self.faults is not None:
             # The fault plan is part of the algorithm's identity: sweeps
             # aggregate per (algorithm, fault plan) cell, and the cache
@@ -306,6 +331,13 @@ def job_cache_key(job: BatchJob, seed: int,
         "policy": _policy_key(policy),
         "params": job.params,
     }
+    backend = job.backend_name
+    if backend != "per-node":
+        # Only non-default backends enter the key, so every cache entry
+        # written before backends existed stays valid.  Backends are
+        # byte-identical by contract, but the cache must still never
+        # conflate cells: a columnar entry records a columnar run.
+        doc["backend"] = backend
     blob = json.dumps(doc, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -375,20 +407,19 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
             fn = registry[job.algorithm]
         else:
             fn = None
-        if job.faults is not None:
-            # Ambient installation reaches every inner run() of composed
-            # algorithms; works identically in workers (the plan pickles
-            # with the job) and in-process.
-            with install_faults(job.faults):
-                if fn is not None:
-                    result = fn(job.graph, seed=seed, policy=policy,
-                                **job.params)
-                else:
-                    result = job.algorithm(job.graph, seed=seed, **job.params)
-        elif fn is not None:
-            result = fn(job.graph, seed=seed, policy=policy, **job.params)
-        else:
-            result = job.algorithm(job.graph, seed=seed, **job.params)
+        with ExitStack() as stack:
+            if job.faults is not None:
+                # Ambient installation reaches every inner run() of
+                # composed algorithms; works identically in workers (the
+                # plan pickles with the job) and in-process.
+                stack.enter_context(install_faults(job.faults))
+            if job.backend is not None:
+                stack.enter_context(install_backend(job.backend))
+            if fn is not None:
+                result = fn(job.graph, seed=seed, policy=policy,
+                            **job.params)
+            else:
+                result = job.algorithm(job.graph, seed=seed, **job.params)
         chosen = tuple(sorted(result.independent_set))
         return JobOutcome(
             index=index,

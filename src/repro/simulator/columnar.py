@@ -1,0 +1,84 @@
+"""The columnar execution backend.
+
+Executes one simulation as whole-round numpy array operations using the
+fleet kernels (:mod:`repro.fleet`), falling back to the per-node
+reference scheduler whenever exact per-event semantics are required:
+
+* a fault plan is in force (explicit ``faults=`` or ambient) — fault
+  routing is per-message;
+* event sinks are attached (``trace=``/``sink=`` or ambient) — sinks see
+  per-message ``send``/``drop``/``halt`` events;
+* ``codec_check=True`` — payloads must round-trip the real codec;
+* no kernel is registered for the algorithm, or the kernel raises
+  :class:`~repro.fleet.FleetFallback` for this input (possible
+  over-budget payloads, dense state too large).
+
+Because the fallback is the reference implementation, selecting the
+columnar backend never changes results — only wall-clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from repro.simulator.instrument import ambient_fault_plan, gather_sinks
+from repro.simulator.models import BandwidthPolicy
+from repro.simulator.network import Network
+from repro.simulator.runner import AlgorithmFactory, RunResult
+from repro.simulator.tracing import Trace
+
+__all__ = ["ColumnarBackend"]
+
+
+class ColumnarBackend:
+    """Vectorized rounds over CSR; per-node fallback for exact cases."""
+
+    name = "columnar"
+
+    def execute(
+        self,
+        network: Union[Network, Any],
+        algorithm_factory: AlgorithmFactory,
+        *,
+        policy: Optional[BandwidthPolicy] = None,
+        seed: Union[int, None, np.random.SeedSequence] = None,
+        max_rounds: int = 100_000,
+        trace: Optional[Trace] = None,
+        sink: Optional[Any] = None,
+        codec_check: bool = False,
+        faults: Optional[Any] = None,
+    ) -> RunResult:
+        from repro.simulator.runner import _execute_per_node
+
+        if not isinstance(network, Network):
+            network = Network.of(network)
+
+        def fallback() -> RunResult:
+            return _execute_per_node(
+                network,
+                algorithm_factory,
+                policy=policy,
+                seed=seed,
+                max_rounds=max_rounds,
+                trace=trace,
+                sink=sink,
+                codec_check=codec_check,
+                faults=faults,
+            )
+
+        plan = faults if faults is not None else ambient_fault_plan()
+        if plan is not None or codec_check or gather_sinks(trace, sink):
+            return fallback()
+        from repro.fleet import FleetFallback, kernel_for
+
+        probe = algorithm_factory()
+        kernel = kernel_for(probe)
+        if kernel is None:
+            return fallback()
+        try:
+            return kernel(probe, network, policy=policy, seed=seed,
+                          max_rounds=max_rounds)
+        except FleetFallback:
+            return fallback()

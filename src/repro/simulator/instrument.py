@@ -52,6 +52,8 @@ __all__ = [
     "outcome_emitters",
     "install_faults",
     "ambient_fault_plan",
+    "install_backend",
+    "ambient_backend",
 ]
 
 
@@ -145,3 +147,31 @@ def install_faults(plan: Any) -> Iterator[Any]:
 def ambient_fault_plan() -> Any:
     """The innermost installed fault plan, or ``None``."""
     return _FAULT_PLANS[-1] if _FAULT_PLANS else None
+
+
+_BACKENDS: List[Any] = []
+
+
+@contextmanager
+def install_backend(backend: Any) -> Iterator[Any]:
+    """Route every ``run()`` inside the block that has no explicit
+    ``backend=`` argument through ``backend`` (re-entrant; innermost
+    wins).  ``backend`` is a name (``"per-node"``/``"columnar"``) or an
+    :class:`~repro.simulator.backends.ExecutionBackend` instance.
+
+    This is how one selector covers *composed* algorithms: ``theorem1``
+    runs many inner protocols the caller never sees, and every one of
+    those inner ``run()`` calls picks the installed backend up.  As with
+    sinks and fault plans, the registry is per-process; batch workers
+    re-install it from the job description.
+    """
+    _BACKENDS.append(backend)
+    try:
+        yield backend
+    finally:
+        _BACKENDS.remove(backend)
+
+
+def ambient_backend() -> Any:
+    """The innermost installed execution backend, or ``None``."""
+    return _BACKENDS[-1] if _BACKENDS else None

@@ -41,8 +41,8 @@ from repro.graphs.weighted_graph import WeightedGraph
 from repro.simulator.algorithm import NodeAlgorithm
 from repro.simulator.context import NodeContext
 from repro.simulator.codec import decode_payload, encode_payload
-from repro.simulator.instrument import (RoundProfile, ambient_fault_plan,
-                                        gather_sinks)
+from repro.simulator.instrument import (RoundProfile, ambient_backend,
+                                        ambient_fault_plan, gather_sinks)
 from repro.simulator.message import payload_bits
 from repro.simulator.metrics import BandwidthViolation, RunMetrics
 from repro.simulator.models import BandwidthPolicy
@@ -84,6 +84,7 @@ def run(
     sink: Optional[Any] = None,
     codec_check: bool = False,
     faults: Optional[Any] = None,
+    backend: Optional[Any] = None,
 ) -> RunResult:
     """Run a distributed algorithm to completion.
 
@@ -116,6 +117,16 @@ def run(
             reliable model.  Fault randomness comes from a dedicated
             stream derived from ``seed``, so node programs draw exactly
             the same private coins either way.
+        backend: execution backend — a name (``"per-node"`` or
+            ``"columnar"``), an
+            :class:`~repro.simulator.backends.ExecutionBackend` instance,
+            or ``None`` to use the innermost backend installed with
+            :func:`~repro.simulator.instrument.install_backend` (falling
+            back to the per-node scheduler).  The columnar backend
+            vectorizes whole rounds over the CSR structure for supported
+            algorithms and produces byte-identical results; it defers to
+            the per-node scheduler whenever exact per-event semantics are
+            required (faults, sinks, codec checks, unknown algorithms).
 
     Returns:
         A :class:`RunResult` with per-node outputs and metrics.
@@ -125,6 +136,47 @@ def run(
         if isinstance(graph_or_network, Network)
         else Network.of(graph_or_network)
     )
+    chosen = backend if backend is not None else ambient_backend()
+    if chosen is not None:
+        from repro.simulator.backends import get_backend
+
+        return get_backend(chosen).execute(
+            network,
+            algorithm_factory,
+            policy=policy,
+            seed=seed,
+            max_rounds=max_rounds,
+            trace=trace,
+            sink=sink,
+            codec_check=codec_check,
+            faults=faults,
+        )
+    return _execute_per_node(
+        network,
+        algorithm_factory,
+        policy=policy,
+        seed=seed,
+        max_rounds=max_rounds,
+        trace=trace,
+        sink=sink,
+        codec_check=codec_check,
+        faults=faults,
+    )
+
+
+def _execute_per_node(
+    network: Network,
+    algorithm_factory: AlgorithmFactory,
+    *,
+    policy: Optional[BandwidthPolicy] = None,
+    seed: Union[int, None, np.random.SeedSequence] = None,
+    max_rounds: int = 100_000,
+    trace: Optional[Trace] = None,
+    sink: Optional[Any] = None,
+    codec_check: bool = False,
+    faults: Optional[Any] = None,
+) -> RunResult:
+    """The reference per-node scheduler (exact semantics for everything)."""
     graph = network.graph
     policy = policy or BandwidthPolicy.congest()
     budget = policy.budget_bits(network.n_bound)

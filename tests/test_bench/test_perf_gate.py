@@ -20,23 +20,38 @@ from repro.graphs import gnp
 from repro.graphs.weights import integer_weights
 
 
+# Building the full matrix is no longer free — the scale tier
+# materializes 10^5..2*10^5-node graphs — so every test in this module
+# shares one build.
+@pytest.fixture(scope="module")
+def full_cells():
+    return matrix_cells("full")
+
+
 class TestMatrix:
-    def test_tiny_is_subset_of_full(self):
+    def test_tiny_is_subset_of_full(self, full_cells):
         tiny = {(c["graph_name"], c["alg_name"]) for c in matrix_cells("tiny")}
-        full = {(c["graph_name"], c["alg_name"]) for c in matrix_cells("full")}
+        full = {(c["graph_name"], c["alg_name"]) for c in full_cells}
         assert tiny and tiny < full
 
-    def test_full_covers_four_algorithm_families(self):
-        algs = {c["alg_name"] for c in matrix_cells("full")}
-        assert algs == {"thm8", "thm9", "thm1", "coloring"}
+    def test_full_covers_four_algorithm_families_and_scale_tier(self, full_cells):
+        algs = {c["alg_name"] for c in full_cells}
+        assert {"thm8", "thm9", "thm1", "coloring"} <= algs
+        # The scale tier pairs each per-node cell with its columnar twin.
+        assert {"mis-det", "mis-det@columnar", "mis-luby@columnar"} <= algs
+
+    def test_scale_cells_record_their_backend(self, full_cells):
+        by_alg = {c["alg_name"]: c for c in full_cells}
+        assert by_alg["mis-det"]["backend"] is None
+        assert by_alg["mis-det@columnar"]["backend"] == "columnar"
+        assert len(by_alg["mis-det@columnar"]["graph"].nodes) >= 100_000
 
     def test_unknown_matrix_rejected(self):
         with pytest.raises(ValueError):
             matrix_cells("huge")
 
-    def test_graphs_are_deterministic(self):
-        a = {c["graph_name"]: c["graph"].fingerprint()
-             for c in matrix_cells("full")}
+    def test_graphs_are_deterministic(self, full_cells):
+        a = {c["graph_name"]: c["graph"].fingerprint() for c in full_cells}
         b = {c["graph_name"]: c["graph"].fingerprint()
              for c in matrix_cells("full")}
         assert a == b
@@ -127,7 +142,7 @@ class TestGate:
 
 
 class TestCommittedBaseline:
-    def test_repo_baseline_is_a_full_matrix_report(self):
+    def test_repo_baseline_is_a_full_matrix_report(self, full_cells):
         # BENCH_runner.json at the repo root is the committed reference;
         # every cell of the full matrix must be present.
         import os
@@ -136,5 +151,5 @@ class TestCommittedBaseline:
         path = os.path.join(root, BASELINE_FILE)
         doc = load_report(path)
         keys = {(c["graph"], c["algorithm"]) for c in doc["cells"]}
-        want = {(c["graph_name"], c["alg_name"]) for c in matrix_cells("full")}
+        want = {(c["graph_name"], c["alg_name"]) for c in full_cells}
         assert keys == want

@@ -95,7 +95,7 @@ class TestFaultFreeByteIdentity:
         "thm9": "f55d9812839c892ff433365234630bdd8c1514d3e3215e0dbca278690392ab21",
     }
 
-    def test_theorem_family_reports_fixed_seed_golden(self):
+    def _assert_family_goldens(self):
         import hashlib
 
         from repro.graphs import gnp
@@ -124,6 +124,17 @@ class TestFaultFreeByteIdentity:
             blob = json.dumps(doc, sort_keys=True).encode()
             got = hashlib.sha256(blob).hexdigest()
             assert got == want, f"{name} report drifted: {got}"
+
+    def test_theorem_family_reports_fixed_seed_golden(self):
+        self._assert_family_goldens()
+
+    def test_theorem_family_goldens_hold_under_columnar_backend(self):
+        # The columnar backend must reproduce the per-node scheduler's
+        # reports *byte for byte* — same hashes, not merely same sets.
+        from repro.simulator.instrument import install_backend
+
+        with install_backend("columnar"):
+            self._assert_family_goldens()
 
     def test_no_fault_events_without_plan(self):
         trace = Trace()

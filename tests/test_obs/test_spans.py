@@ -68,6 +68,63 @@ class TestParallelComposition:
         assert sp.metrics().rounds == 10
         check_span(sp.metrics().span)
 
+    def test_parallel_after_zero_round_phase_keeps_invariant(self):
+        # Regression: a zero-round sibling between the overlapped phases
+        # used to desync the totals (merge_parallel maxed against the
+        # whole prefix) from the fold's schedule (the par child starts at
+        # the *previous sibling's* start) — check_span then failed with
+        # rounds 3 != 5.
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=3, messages=6), name="build")
+            sp.add(_metrics(rounds=0), name="no-op")
+            sp.add_parallel(_metrics(rounds=2, messages=4), name="shadow")
+        m = sp.metrics()
+        assert m.rounds == 5
+        check_span(m.span)
+
+    def test_parallel_overshooting_mid_schedule_keeps_invariant(self):
+        # Same desync in the other direction: a par child longer than the
+        # whole prefix, overlapping a sibling that did not start at 0.
+        with span("outer") as sp:
+            sp.add(_metrics(rounds=2), name="a")
+            sp.add(_metrics(rounds=3), name="b")
+            sp.add_parallel(_metrics(rounds=10), name="c")
+        m = sp.metrics()
+        assert m.rounds == 12        # c starts with b, at round 2
+        check_span(m.span)
+
+    def test_zero_round_parallel_golden_json(self):
+        import json
+
+        with span("pipeline") as sp:
+            sp.add(_metrics(rounds=3, messages=6, bits=60), name="build")
+            sp.add(_metrics(rounds=0), name="no-op")
+            sp.add_parallel(_metrics(rounds=2, messages=4, bits=40),
+                            name="shadow")
+        doc = sp.metrics().span.to_dict()
+
+        def strip_wall(obj):
+            if isinstance(obj, dict):
+                return {k: strip_wall(v) for k, v in obj.items()
+                        if k != "wall_seconds"}
+            if isinstance(obj, list):
+                return [strip_wall(x) for x in obj]
+            return obj
+
+        assert json.dumps(strip_wall(doc), sort_keys=True) == (
+            '{"children": [{"children": [], "dropped_bits": 0, '
+            '"dropped_messages": 0, "messages": 6, "mode": "seq", '
+            '"name": "build", "rounds": 3, "total_bits": 60}, '
+            '{"children": [], "dropped_bits": 0, "dropped_messages": 0, '
+            '"messages": 0, "mode": "seq", "name": "no-op", "rounds": 0, '
+            '"total_bits": 0}, {"children": [], "dropped_bits": 0, '
+            '"dropped_messages": 0, "messages": 4, "mode": "par", '
+            '"name": "shadow", "rounds": 2, "total_bits": 40}], '
+            '"dropped_bits": 0, "dropped_messages": 0, "messages": 10, '
+            '"mode": "seq", "name": "pipeline", "rounds": 5, '
+            '"total_bits": 100}'
+        )
+
 
 class TestAdoption:
     def test_instrumented_callee_tree_is_adopted_once(self):

@@ -182,6 +182,70 @@ class TestSolveEndpoint:
         assert status == 400
         assert "nosuch" in doc["error"]["message"]
 
+    def test_oversized_spec_graph_413_without_materializing(self):
+        # Valid JSON, valid schema — but the spec declares more nodes
+        # than the server admits.  This must be a clean 413 *before* the
+        # generator runs (a 10^8-node gnp would otherwise stall or OOM
+        # the engine and surface as a 500-class failure).
+        body = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "graph": {"spec": "gnp:100000000,0.5", "seed": 1},
+            "algorithm": "thm2",
+        }).encode()
+        with ServerThread() as server:
+            status, doc = http(server.port, "POST", "/v1/solve", body)
+        assert status == 413
+        assert "100000000 nodes" in doc["error"]["message"]
+
+    def test_oversized_inline_graph_413(self):
+        from repro.service.server import MAX_GRAPH_NODES
+
+        body = json.dumps({
+            "schema": SCHEMA_VERSION,
+            "graph": {"nodes": [[i, 1] for i in range(MAX_GRAPH_NODES + 1)],
+                      "edges": []},
+            "algorithm": "thm2",
+        }).encode()
+        with ServerThread() as server:
+            status, doc = http(server.port, "POST", "/v1/solve", body)
+        assert status == 413
+        assert str(MAX_GRAPH_NODES) in doc["error"]["message"]
+
+    def test_oversized_grid_and_caterpillar_specs_413(self):
+        # Size declared multiplicatively must be caught too.
+        for spec in ("grid:20000,20000", "caterpillar:1000000,200"):
+            body = json.dumps({
+                "schema": SCHEMA_VERSION,
+                "graph": {"spec": spec},
+                "algorithm": "mis-det",
+            }).encode()
+            with ServerThread() as server:
+                status, doc = http(server.port, "POST", "/v1/solve", body)
+            assert status == 413, spec
+
+    def test_unknown_backend_400(self, instance):
+        request = SolveRequest(graph=instance, algorithm="thm2",
+                               params={"eps": 0.5})
+        doc = request.to_doc()
+        doc["backend"] = "gpu"
+        with ServerThread() as server:
+            status, doc = http(server.port, "POST", "/v1/solve",
+                               json.dumps(doc).encode())
+        assert status == 400
+        assert "unknown backend" in doc["error"]["message"]
+
+    def test_columnar_backend_response_byte_identical(self, instance):
+        request = SolveRequest(graph=instance, algorithm="thm8", seed=5)
+        columnar = SolveRequest(graph=instance, algorithm="thm8", seed=5,
+                                backend="columnar")
+        with ServerThread() as server:
+            s1, d1 = http(server.port, "POST", "/v1/solve",
+                          request.to_json().encode())
+            s2, d2 = http(server.port, "POST", "/v1/solve",
+                          columnar.to_json().encode())
+        assert s1 == s2 == 200
+        assert d2["report"] == d1["report"]
+
     def test_malformed_request_line_400(self):
         async def go(port):
             reader, writer = await asyncio.open_connection("127.0.0.1", port)
