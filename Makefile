@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke slo-check experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -69,6 +69,16 @@ backend-equivalence:
 service-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 service-smoke:
 	$(PYTHON) benchmarks/service_smoke.py --keep-bench
+
+# Tail-latency SLO gate: evaluate benchmarks/slo_spec.json against the
+# committed BENCH_service.json baseline (fails if the spec was tightened
+# below what the baseline measures), then against a fresh loadgen burst
+# on a just-started server.  Writes slo_report.json (the CI artifact);
+# exits non-zero on any violated objective.  See benchmarks/slo_check.py
+# and docs/observability.md.
+slo-check: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+slo-check:
+	$(PYTHON) benchmarks/slo_check.py --duration 5
 
 # Regenerate every experiment table (E1..E13) to stdout.
 experiments:

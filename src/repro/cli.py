@@ -330,7 +330,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         render_cells,
         render_phase_table,
         render_round_timeline,
+        render_telemetry,
         rows_from_events,
+        telemetry_summary,
     )
     from repro.simulator.metrics import SpanNode
 
@@ -364,6 +366,13 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
             print(render_phase_table(span))
         else:
             print(json.dumps(chrome_trace(span), indent=2))
+        return 0
+
+    if args.format == "telemetry":
+        if args.json:
+            print(json.dumps(telemetry_summary(records), indent=2))
+        else:
+            print(render_telemetry(records))
         return 0
 
     # format == "sweep": aggregate per-job records into p50/p95 cells.
@@ -561,8 +570,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             duration_s=args.duration,
             out_path=args.out,
             verify=not args.no_verify,
+            slo=args.slo,
         )
-    except ValueError as exc:
+    except (ValueError, TypeError, FileNotFoundError) as exc:
         raise SystemExit(str(exc))
     except (ConnectionError, OSError) as exc:
         raise SystemExit(
@@ -572,9 +582,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     print(f"completed: {doc['completed']}/{doc['sent']} "
           f"({doc['throughput_rps']:.1f} req/s over {doc['elapsed_s']:.1f}s)")
     print(f"latency: p50 {lat['p50_s'] * 1e3:.1f} ms, "
-          f"p95 {lat['p95_s'] * 1e3:.1f} ms")
+          f"p95 {lat['p95_s'] * 1e3:.1f} ms, "
+          f"p99 {lat['p99_s'] * 1e3:.1f} ms")
     print(f"served: {doc['served']['cached']} cached, "
-          f"{doc['served']['coalesced']} coalesced; "
+          f"{doc['served']['coalesced']} coalesced, "
+          f"{doc['served']['with_trace_id']} traced; "
           f"status mix {doc['status_counts']}")
     v = doc["verification"]
     if v["enabled"]:
@@ -585,10 +597,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     if doc["divergent_reports"]:
         print(f"  FAIL {doc['divergent_reports']} keys returned "
               f"non-identical report bytes")
+    slo_violated = False
+    if "slo" in doc:
+        from repro.service.slo import SLOCheck, SLOReport
+
+        report = SLOReport(
+            spec_name=doc["slo"]["spec"],
+            checks=[SLOCheck(**c) for c in doc["slo"]["checks"]],
+        )
+        print(report.render())
+        slo_violated = not report.holds
     if args.out:
         print(f"wrote {args.out}")
     failed = (doc["completed"] == 0 or doc["divergent_reports"] > 0
-              or (v["enabled"] and v["failures"]))
+              or (v["enabled"] and v["failures"]) or slo_violated)
     return 1 if failed else 0
 
 
@@ -691,15 +713,17 @@ def build_parser() -> argparse.ArgumentParser:
                                         "`sweep --emit-metrics`")
     p_inspect.add_argument("--format",
                            choices=["timeline", "phases", "chrome-trace",
-                                    "sweep"],
+                                    "sweep", "telemetry"],
                            default="phases",
                            help="timeline: per-round traffic; phases: span "
                                 "table; chrome-trace: chrome://tracing JSON; "
-                                "sweep: p50/p95 cells from per-job records")
+                                "sweep: p50/p95 cells from per-job records; "
+                                "telemetry: backend/kernel/fallback summary "
+                                "from per-job records")
     p_inspect.add_argument("--max-rounds", type=int, default=100,
                            help="timeline row cap")
     p_inspect.add_argument("--json", action="store_true",
-                           help="JSON output (sweep format only)")
+                           help="JSON output (sweep/telemetry formats only)")
     p_inspect.set_defaults(func=_cmd_inspect)
 
     p_res = sub.add_parser(
@@ -798,6 +822,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="benchmark document path ('' to skip writing)")
     p_load.add_argument("--no-verify", action="store_true",
                         help="skip offline certification of unique reports")
+    p_load.add_argument("--slo", default=None, metavar="SPEC.json",
+                        help="evaluate an SLO spec against the run; verdicts "
+                             "land in the document and violations exit 1")
     p_load.set_defaults(func=_cmd_loadgen)
 
     p_info = sub.add_parser("info", help="describe an instance")

@@ -55,7 +55,15 @@ MAX_DENSE_CELLS = 200_000_000
 class FleetFallback(Exception):
     """Raised by a kernel that cannot guarantee byte-identical semantics
     for this input (over-budget payload possible, dense state too large).
-    The columnar backend catches it and reruns per-node."""
+    The columnar backend catches it and reruns per-node.
+
+    ``reason`` is a short machine-readable code (``"over-budget"``,
+    ``"dense-state"``, ...) that telemetry counts fallbacks by — the
+    human-readable detail stays in the exception message."""
+
+    def __init__(self, detail: str = "", reason: str = "kernel") -> None:
+        super().__init__(detail)
+        self.reason = reason
 
 
 _KERNELS: Dict[type, Callable[..., RunResult]] = {}
@@ -168,7 +176,8 @@ class FleetRun:
         violation records."""
         if self.check_budget and max_bits > self.budget:
             raise FleetFallback(
-                f"payload up to {max_bits} bits may exceed budget {self.budget}"
+                f"payload up to {max_bits} bits may exceed budget {self.budget}",
+                reason="over-budget",
             )
 
     # ------------------------------------------------------------------ #

@@ -314,7 +314,8 @@ def random_trial_kernel(probe, network, *, policy, seed, max_rounds) -> RunResul
     width = int(deg.max()) + 1
     if n * width > MAX_DENSE_CELLS:
         raise FleetFallback(
-            f"dense forbidden-colour state {n}x{width} exceeds the gate"
+            f"dense forbidden-colour state {n}x{width} exceeds the gate",
+            reason="dense-state",
         )
     fr.require_budget(15 + max(1, (width - 1).bit_length()))
     colors = np.zeros(n, dtype=np.int64)

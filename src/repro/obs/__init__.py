@@ -13,6 +13,12 @@ makes those quantities *inspectable* instead of flat end-of-run totals:
   timelines, per-phase tables, or Chrome-trace JSON (``repro inspect``).
 * **Aggregation** (:mod:`repro.obs.aggregate`) folds per-job sweep
   records into p50/p95 rounds/bits/wall-clock per (graph, algorithm).
+* **Telemetry** (:mod:`repro.obs.telemetry`) is the metric layer:
+  counters/gauges/histograms in a :class:`MetricRegistry` with
+  Prometheus text exposition, trace contexts with per-stage latency,
+  reservoir sampling, and the ambient per-run collector that carries
+  kernel timings and columnar fallbacks from worker processes back to
+  the service's ``/v1/metrics``.
 
 See ``docs/observability.md`` for the guided tour.
 """
@@ -29,7 +35,9 @@ from repro.obs.export import (
     phase_rows,
     render_phase_table,
     render_round_timeline,
+    render_telemetry,
     rows_from_events,
+    telemetry_summary,
 )
 from repro.obs.sinks import (
     JsonlStreamSink,
@@ -37,8 +45,23 @@ from repro.obs.sinks import (
     NullSink,
     RingBufferSink,
     RoundSeriesSink,
+    TelemetrySink,
 )
 from repro.obs.spans import check_span, span, unattributed_rounds
+from repro.obs.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    ReservoirSample,
+    RunTelemetry,
+    TraceContext,
+    collect_run_telemetry,
+    current_collector,
+    global_registry,
+    new_trace_id,
+    reset_global_registry,
+)
 from repro.simulator.instrument import (
     RoundProfile,
     install_outcome_emitter,
@@ -56,12 +79,27 @@ __all__ = [
     "phase_rows",
     "render_phase_table",
     "render_round_timeline",
+    "render_telemetry",
     "rows_from_events",
+    "telemetry_summary",
     "JsonlStreamSink",
     "MultiSink",
     "NullSink",
     "RingBufferSink",
     "RoundSeriesSink",
+    "TelemetrySink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "ReservoirSample",
+    "RunTelemetry",
+    "TraceContext",
+    "collect_run_telemetry",
+    "current_collector",
+    "global_registry",
+    "new_trace_id",
+    "reset_global_registry",
     "check_span",
     "span",
     "unattributed_rounds",

@@ -12,6 +12,10 @@ Three views of the same run:
 * :func:`render_round_timeline` — per-round rows (from a
   :class:`~repro.obs.sinks.RoundSeriesSink` or recorded event stream)
   as a compact text timeline, drops and wall-clock included.
+* :func:`render_telemetry` — execution telemetry (backend runs, fleet
+  kernels, fallbacks with reasons, stage timings) aggregated across the
+  per-job records of a ``sweep --emit-metrics`` recording
+  (``repro inspect --format telemetry``).
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ __all__ = [
     "render_phase_table",
     "rows_from_events",
     "render_round_timeline",
+    "telemetry_summary",
+    "render_telemetry",
 ]
 
 # One simulated round maps to this many Chrome-trace "microseconds".
@@ -180,6 +186,92 @@ def rows_from_events(events: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
             r["compute_seconds"] += float(rec.get("compute_seconds", 0.0))
             r["delivery_seconds"] += float(rec.get("delivery_seconds", 0.0))
     return [rows[r] for r in sorted(rows)]
+
+
+def telemetry_summary(
+    records: Iterable[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold per-job ``telemetry`` docs into one run-wide summary.
+
+    Accepts any JSONL recording; only records that carry a ``telemetry``
+    section (what :func:`repro.simulator.batch.batch_run` emits per job)
+    contribute.  The shape mirrors
+    :meth:`repro.obs.telemetry.RunTelemetry.to_doc` with counts summed
+    across jobs; fallbacks keep their ``(algorithm, reason)`` identity
+    and the last non-empty detail string seen for each.
+    """
+    jobs_with_telemetry = 0
+    backend_runs: Dict[str, int] = {}
+    kernels: Dict[str, Dict[str, float]] = {}
+    fallbacks: Dict[tuple, Dict[str, Any]] = {}
+    stages: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        telemetry = rec.get("telemetry")
+        if not isinstance(telemetry, dict) or not telemetry:
+            continue
+        jobs_with_telemetry += 1
+        for backend, count in telemetry.get("runs", {}).items():
+            backend_runs[backend] = backend_runs.get(backend, 0) + int(count)
+        for kernel, entry in telemetry.get("kernels", {}).items():
+            agg = kernels.setdefault(kernel, {"runs": 0, "seconds": 0.0})
+            agg["runs"] += int(entry.get("runs", 0))
+            agg["seconds"] += float(entry.get("seconds", 0.0))
+        for fb in telemetry.get("fallbacks", []):
+            key = (str(fb.get("algorithm", "?")),
+                   str(fb.get("reason", "unknown")))
+            agg = fallbacks.setdefault(
+                key, {"algorithm": key[0], "reason": key[1], "count": 0})
+            agg["count"] += int(fb.get("count", 1))
+            if fb.get("detail"):
+                agg["detail"] = str(fb["detail"])
+        for stage, seconds in telemetry.get("stages", {}).items():
+            agg = stages.setdefault(stage, {"count": 0, "total_s": 0.0})
+            agg["count"] += 1
+            agg["total_s"] += float(seconds)
+    return {
+        "jobs_with_telemetry": jobs_with_telemetry,
+        "backend_runs": dict(sorted(backend_runs.items())),
+        "kernels": {
+            k: {"runs": int(v["runs"]), "seconds": v["seconds"]}
+            for k, v in sorted(kernels.items())
+        },
+        "fallbacks": [fallbacks[key] for key in sorted(fallbacks)],
+        "stages": dict(sorted(stages.items())),
+    }
+
+
+def render_telemetry(records: Iterable[Dict[str, Any]]) -> str:
+    """The telemetry summary as human-readable text."""
+    summary = telemetry_summary(records)
+    if not summary["jobs_with_telemetry"]:
+        return ("(no telemetry records — recorded before telemetry "
+                "existed, or no jobs ran)")
+    lines = [f"jobs with telemetry: {summary['jobs_with_telemetry']}"]
+    if summary["backend_runs"]:
+        lines.append("backend runs:")
+        for backend, count in summary["backend_runs"].items():
+            lines.append(f"  {backend}: {count}")
+    if summary["kernels"]:
+        lines.append("fleet kernels:")
+        for kernel, entry in summary["kernels"].items():
+            lines.append(f"  {kernel}: {entry['runs']} runs, "
+                         f"{1e3 * entry['seconds']:.2f} ms total")
+    if summary["fallbacks"]:
+        lines.append("fallbacks (columnar -> per-node):")
+        for fb in summary["fallbacks"]:
+            detail = f" — {fb['detail']}" if fb.get("detail") else ""
+            lines.append(f"  {fb['algorithm']} [{fb['reason']}]: "
+                         f"{fb['count']}{detail}")
+    else:
+        lines.append("fallbacks: none")
+    if summary["stages"]:
+        lines.append("stages:")
+        for stage, entry in summary["stages"].items():
+            mean = entry["total_s"] / entry["count"] if entry["count"] else 0.0
+            lines.append(f"  {stage}: {entry['count']} obs, "
+                         f"mean {1e3 * mean:.2f} ms, "
+                         f"total {1e3 * entry['total_s']:.2f} ms")
+    return "\n".join(lines)
 
 
 def render_round_timeline(rows: List[Dict[str, Any]],

@@ -14,6 +14,10 @@ sinks here cover the remaining recording disciplines:
 * :class:`JsonlStreamSink` — streams every event to disk as one JSON
   object per line; what ``repro run --record`` writes and
   ``repro inspect`` reads back.
+* :class:`TelemetrySink` — mirrors the event stream into a
+  :class:`~repro.obs.telemetry.MetricRegistry` (the process-global one
+  by default), so simulator traffic lands next to kernel timings and
+  fallback counters in Prometheus exposition.
 * :class:`MultiSink` — fans one event stream out to several sinks.
 """
 
@@ -31,6 +35,7 @@ __all__ = [
     "RingBufferSink",
     "RoundSeriesSink",
     "JsonlStreamSink",
+    "TelemetrySink",
     "MultiSink",
 ]
 
@@ -185,6 +190,56 @@ class JsonlStreamSink:
 
     def __exit__(self, *exc: Any) -> None:
         self.close()
+
+
+class TelemetrySink:
+    """Mirrors the event stream into a metric registry.
+
+    Counters: ``sim_events_total{kind}`` for every instrumentation event,
+    ``sim_bits_total`` for bits charged on the wire (sends, drops,
+    fault-injected copies — the same charging discipline as
+    :class:`RoundSeriesSink`), and cumulative compute/delivery wall-clock
+    when round profiles are delivered.  Defaults to the process-global
+    registry (:func:`repro.obs.telemetry.global_registry`) so a recorded
+    run's traffic shows up in the same exposition as kernel timings and
+    columnar fallbacks.
+    """
+
+    # Event kinds whose detail[1] is a bit count charged on the wire.
+    _BIT_KINDS = frozenset({"send", "drop", "fault_drop", "fault_dup"})
+
+    def __init__(self, registry: Optional[Any] = None) -> None:
+        if registry is None:
+            from repro.obs.telemetry import global_registry
+            registry = global_registry()
+        self.registry = registry
+        self._events = registry.counter(
+            "sim_events_total",
+            "Simulator instrumentation events, by kind.",
+            labelnames=("kind",),
+        )
+        self._bits = registry.counter(
+            "sim_bits_total",
+            "Bits charged on the wire by the simulator event stream.",
+        )
+        self._compute = registry.counter(
+            "sim_compute_seconds_total",
+            "Cumulative per-round node-compute wall-clock seconds.",
+        )
+        self._delivery = registry.counter(
+            "sim_delivery_seconds_total",
+            "Cumulative per-round message-delivery wall-clock seconds.",
+        )
+
+    def record(self, round_index: int, kind: str, node: int,
+               detail: Any = None) -> None:
+        self._events.inc(kind=kind)
+        if kind in self._BIT_KINDS and detail is not None:
+            self._bits.inc(int(detail[1]))
+
+    def on_round_profile(self, profile: RoundProfile) -> None:
+        self._compute.inc(profile.compute_seconds)
+        self._delivery.inc(profile.delivery_seconds)
 
 
 class MultiSink:

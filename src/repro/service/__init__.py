@@ -8,7 +8,10 @@ Layers:
   (``repro serve``).
 * :mod:`repro.service.loadgen` — the closed-loop benchmark client
   (``repro loadgen``).
-* :mod:`repro.service.stats` — serving counters behind ``/v1/metrics``.
+* :mod:`repro.service.stats` — serving counters, histograms, and the
+  latency reservoir behind ``/v1/metrics`` (JSON + Prometheus).
+* :mod:`repro.service.slo` — declarative service-level objectives and
+  the verdict machinery ``make slo-check`` gates CI on.
 """
 
 from repro.service.engine import (
@@ -20,17 +23,22 @@ from repro.service.engine import (
 )
 from repro.service.loadgen import build_request_pool, run_loadgen
 from repro.service.server import SolverServer, serve
+from repro.service.slo import SLOCheck, SLOReport, SLOSpec, load_slo_spec
 from repro.service.stats import ServiceStats
 
 __all__ = [
     "DeadlineExceeded",
     "RequestRejected",
+    "SLOCheck",
+    "SLOReport",
+    "SLOSpec",
     "ServedReport",
     "ServiceStats",
     "SolverEngine",
     "SolverServer",
     "UnknownAlgorithmError",
     "build_request_pool",
+    "load_slo_spec",
     "run_loadgen",
     "serve",
 ]

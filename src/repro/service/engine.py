@@ -35,11 +35,12 @@ from __future__ import annotations
 import asyncio
 import contextlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.api import SolveReport, SolveRequest
 from repro.exceptions import ReproError
+from repro.obs.telemetry import new_trace_id
 from repro.registry import algorithm_registry
 from repro.service.stats import ServiceStats
 
@@ -74,14 +75,24 @@ class ServedReport:
 
     ``seconds`` is the leader's queue-to-completion time; ``cached`` and
     ``coalesced`` say whether the disk cache or an in-flight twin served
-    the request.  None of this is part of the canonical report — the
-    report stays byte-identical however it was served.
+    the request.  ``trace_id`` identifies this request; ``stages`` is its
+    per-stage latency breakdown in seconds (``queue_wait``,
+    ``cache_lookup``, ``solve``, ... — coalesced followers instead get
+    ``coalesce_wait`` plus ``primary_trace_id``, the leader trace whose
+    computation produced the report).  ``telemetry`` is the run-telemetry
+    doc the execution reported (backend runs, kernel wall time, fleet
+    fallbacks with reasons).  None of this is part of the canonical
+    report — the report stays byte-identical however it was served.
     """
 
     report: SolveReport
     cached: bool = False
     coalesced: bool = False
     seconds: float = 0.0
+    trace_id: str = ""
+    primary_trace_id: str = ""
+    stages: Dict[str, float] = field(default_factory=dict)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
 
 
 @dataclass
@@ -90,6 +101,7 @@ class _Entry:
     key: str
     future: "asyncio.Future[ServedReport]"
     enqueued: float
+    trace_id: str = ""
 
 
 class SolverEngine:
@@ -209,6 +221,14 @@ class SolverEngine:
             draining=self._draining,
         )
 
+    def render_prometheus(self) -> str:
+        """The same metrics as Prometheus text exposition 0.0.4."""
+        return self._stats.render_prometheus(
+            in_flight=self.in_flight,
+            queue_depth=self.queue_depth,
+            draining=self._draining,
+        )
+
     # ----------------------------------------------------------------- #
     # submission
     # ----------------------------------------------------------------- #
@@ -231,11 +251,20 @@ class SolverEngine:
                 f"known: {self.algorithm_names()}"
             )
         key = request.key()
+        trace_id = new_trace_id()
         twin = self._inflight.get(key)
         if twin is not None:
             self._stats.coalesced += 1
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
             served = await self._await_entry(twin, request.timeout_s)
-            return replace(served, coalesced=True)
+            wait = loop.time() - t0
+            stages = {"coalesce_wait": wait}
+            self._stats.observe_stages(stages)
+            # The follower keeps its own identity and wait; the leader's
+            # trace (which did the computing) is recorded alongside.
+            return replace(served, coalesced=True, trace_id=trace_id,
+                           primary_trace_id=served.trace_id, stages=stages)
         if self._queue.full():
             self._stats.rejected += 1
             raise RequestRejected(
@@ -244,7 +273,8 @@ class SolverEngine:
             )
         loop = asyncio.get_running_loop()
         entry = _Entry(request=request, key=key,
-                       future=loop.create_future(), enqueued=loop.time())
+                       future=loop.create_future(), enqueued=loop.time(),
+                       trace_id=trace_id)
         self._inflight[key] = entry
         # Cannot raise: fullness was checked above and only this
         # event-loop thread enqueues.
@@ -304,6 +334,7 @@ class SolverEngine:
                 except asyncio.QueueEmpty:
                     break
             jobs = [self._make_job(e.request) for e in batch]
+            dispatched = loop.time()
             try:
                 result = await loop.run_in_executor(
                     self._dispatch_pool, self._run_batch, jobs
@@ -322,12 +353,22 @@ class SolverEngine:
             self._stats.batches += 1
             for e, outcome in zip(batch, outcomes):
                 self._inflight.pop(e.key, None)
+                # Stage attribution: queue_wait is admission → dispatch;
+                # cache_lookup and any run-recorded stages come from the
+                # outcome's telemetry; solve is compute performed *for
+                # this request* (zero on a cache hit — the stored
+                # outcome.seconds timed the original run).
+                stages = {"queue_wait": dispatched - e.enqueued}
                 if outcome is None:
                     report = _failed_report(e.request, infra_error)
                     served = ServedReport(report=report,
-                                          seconds=now - e.enqueued)
+                                          seconds=now - e.enqueued,
+                                          trace_id=e.trace_id,
+                                          stages=stages)
                     self._stats.failed += 1
                 else:
+                    stages.update(outcome.telemetry.get("stages", {}))
+                    stages["solve"] = 0.0 if outcome.cached else outcome.seconds
                     report = SolveReport.from_outcome(
                         outcome,
                         graph=e.request.graph,
@@ -336,13 +377,18 @@ class SolverEngine:
                     )
                     served = ServedReport(report=report,
                                           cached=outcome.cached,
-                                          seconds=now - e.enqueued)
+                                          seconds=now - e.enqueued,
+                                          trace_id=e.trace_id,
+                                          stages=stages,
+                                          telemetry=outcome.telemetry)
+                    self._stats.absorb_run_telemetry(outcome.telemetry)
                     if outcome.cached:
                         self._stats.cache_hits += 1
                     if not report.ok:
                         self._stats.failed += 1
                 self._stats.completed += 1
                 self._stats.observe_latency(served.seconds)
+                self._stats.observe_stages(stages)
                 if not e.future.done():
                     e.future.set_result(served)
 

@@ -14,8 +14,12 @@ only uses guarantee-carrying algorithms (Theorems 1/2/3) on instances
 small enough for the exact solver, :func:`repro.core.verify.certify_result`
 confirms the approximation bound against true OPT.
 
-Results (throughput, p50/p95 latency, status mix, coalesce/cache
-provenance, verification tally) go to ``BENCH_service.json``.
+Results (throughput, p50/p95/p99 latency, per-stage server-side latency
+breakdown, trace coverage, status mix, coalesce/cache provenance,
+verification tally) go to ``BENCH_service.json``.  With an
+:class:`~repro.service.slo.SLOSpec` the document also carries
+``certify_result``-style SLO verdicts under ``"slo"`` — what
+``make slo-check`` gates CI on.
 """
 
 from __future__ import annotations
@@ -71,6 +75,10 @@ class _Tally:
     transport_errors: int = 0
     reports: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     report_bytes: Dict[str, set] = field(default_factory=dict)
+    # Server-reported telemetry: per-stage latency samples and how many
+    # 200s carried a trace id (should be all of them).
+    stage_latencies: Dict[str, List[float]] = field(default_factory=dict)
+    with_trace_id: int = 0
 
 
 def build_request_pool(
@@ -225,6 +233,10 @@ async def _client_loop(client_id: int, host: str, port: int,
                 tally.cached += 1
             if served.get("coalesced"):
                 tally.coalesced += 1
+            if served.get("trace_id"):
+                tally.with_trace_id += 1
+            for stage, seconds in (served.get("stages") or {}).items():
+                tally.stage_latencies.setdefault(stage, []).append(seconds)
             report_doc = envelope.get("report", {})
             if report_doc.get("ok"):
                 tally.ok += 1
@@ -306,13 +318,25 @@ def run_loadgen(
     out_path: Optional[str] = "BENCH_service.json",
     pool: Optional[List[PoolEntry]] = None,
     verify: bool = True,
+    slo: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Drive a running service and write the benchmark document.
 
+    ``slo`` is an :class:`~repro.service.slo.SLOSpec` (or a path to a
+    spec JSON file) evaluated against the client-observed measurements;
+    the verdicts land in the document under ``"slo"``.
+
     Returns the document (also written to ``out_path`` unless ``None``).
     """
+    from repro.service.slo import SLOSpec, load_slo_spec
+
     if clients < 1:
         raise ValueError(f"clients must be >= 1, got {clients}")
+    if isinstance(slo, str):
+        slo = load_slo_spec(slo)
+    if slo is not None and not isinstance(slo, SLOSpec):
+        raise TypeError(f"slo must be an SLOSpec or a path, "
+                        f"got {type(slo).__name__}")
     if pool is None:
         pool = build_request_pool()
     if not pool:
@@ -353,12 +377,23 @@ def run_loadgen(
         "latency": {
             "p50_s": percentile(tally.latencies, 50),
             "p95_s": percentile(tally.latencies, 95),
+            "p99_s": percentile(tally.latencies, 99),
             "max_s": max(tally.latencies, default=0.0),
             "observed": len(tally.latencies),
+            "stages": {
+                stage: {
+                    "p50_s": percentile(samples, 50),
+                    "p95_s": percentile(samples, 95),
+                    "max_s": max(samples, default=0.0),
+                    "observed": len(samples),
+                }
+                for stage, samples in sorted(tally.stage_latencies.items())
+            },
         },
         "served": {
             "cached": tally.cached,
             "coalesced": tally.coalesced,
+            "with_trace_id": tally.with_trace_id,
         },
         "unique_reports": unique,
         "divergent_reports": divergent,
@@ -369,6 +404,14 @@ def run_loadgen(
         },
         "server_metrics": server_metrics,
     }
+    if slo is not None:
+        report = slo.evaluate(
+            latencies_s=tally.latencies,
+            sent=tally.sent,
+            completed=tally.completed,
+            throughput_rps=doc["throughput_rps"],
+        )
+        doc["slo"] = report.to_doc()
     if out_path:
         with open(out_path, "w", encoding="utf-8") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)

@@ -10,8 +10,15 @@ versioned:
   coalescing / latency provenance.
 * ``GET /v1/health`` — liveness plus drain state.
 * ``GET /v1/metrics`` — serving aggregates (in-flight, queue depth,
-  cache-hit rate, p50/p95 latency).
+  cache-hit rate, p50/p95/p99 latency, per-stage histograms, fleet
+  fallbacks) as JSON; ``?format=prometheus`` serves the same registry as
+  Prometheus text exposition format 0.0.4.
 * ``GET /v1/algorithms`` — the registry with parameter signatures.
+
+Every 200 solve response carries serving telemetry: ``served.trace_id``
+(the request's identity), ``served.stages`` (per-stage latency
+breakdown including response serialization), and for coalesced
+followers ``served.primary_trace_id`` — see docs/observability.md.
 
 Status mapping: schema/graph/algorithm errors → 400, unknown route →
 404, admission-queue full → 429, draining → 503, deadline exceeded →
@@ -29,7 +36,9 @@ import asyncio
 import contextlib
 import json
 import signal
-from typing import Any, Dict, Optional, Set, Tuple
+from time import perf_counter
+from typing import Any, Dict, Optional, Set, Tuple, Union
+from urllib.parse import parse_qs
 
 from repro._version import __version__
 from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest, describe_algorithms
@@ -45,6 +54,8 @@ __all__ = ["SolverServer", "serve"]
 
 MAX_BODY_BYTES = 32 * 1024 * 1024
 MAX_HEADER_LINES = 100
+JSON_CONTENT_TYPE = "application/json"
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 # Largest graph a request may declare (inline node list or generator
 # spec) before it is rejected with 413 — checked *before* the graph is
 # materialized, so a gnp:10**9 spec never reaches the generator.
@@ -128,9 +139,10 @@ class SolverServer:
                     return
                 method, path, headers, body = parsed
                 keep_alive = headers.get("connection", "").lower() != "close"
-                status, doc = await self._route(method, path, body)
-                await self._write_json(writer, status, doc,
-                                       close=not keep_alive)
+                status, payload, ctype = await self._route(method, path, body)
+                await self._write_response(writer, status, payload, ctype,
+                                           close=not keep_alive,
+                                           head_only=method == "HEAD")
                 if not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
@@ -171,25 +183,57 @@ class SolverServer:
 
     async def _write_json(self, writer: asyncio.StreamWriter, status: int,
                           doc: Dict[str, Any], *, close: bool) -> None:
-        payload = json.dumps(doc, sort_keys=True,
-                             separators=(",", ":")).encode()
+        await self._write_response(writer, status, doc, JSON_CONTENT_TYPE,
+                                   close=close)
+
+    async def _write_response(self, writer: asyncio.StreamWriter,
+                              status: int, payload: Union[Dict[str, Any], str],
+                              content_type: str, *, close: bool,
+                              head_only: bool = False) -> None:
+        if isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode()
         head = (
             f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"
         ).encode("latin-1")
-        writer.write(head + payload)
+        # HEAD advertises the GET representation's length but sends no body.
+        writer.write(head if head_only else head + body)
         await writer.drain()
 
     # ----------------------------------------------------------------- #
     # routing
     # ----------------------------------------------------------------- #
 
-    async def _route(self, method: str, path: str,
-                     body: bytes) -> Tuple[int, Dict[str, Any]]:
-        path = path.split("?", 1)[0]
+    async def _route(
+        self, method: str, path: str, body: bytes,
+    ) -> Tuple[int, Union[Dict[str, Any], str], str]:
+        """Dispatch one request; returns (status, payload, content type).
+
+        The only non-JSON payload is the Prometheus exposition of
+        ``/v1/metrics?format=prometheus``.
+        """
+        path, _, query = path.partition("?")
+        if path == "/v1/metrics" and method in ("GET", "HEAD"):
+            fmt = (parse_qs(query).get("format") or ["json"])[-1]
+            if fmt == "prometheus":
+                return (200, self.engine.render_prometheus(),
+                        PROMETHEUS_CONTENT_TYPE)
+            if fmt != "json":
+                status, doc = self._error(
+                    400, f"unknown metrics format {fmt!r}; "
+                         f"use 'json' or 'prometheus'")
+                return status, doc, JSON_CONTENT_TYPE
+        status, doc = await self._route_json(method, path, body)
+        return status, doc, JSON_CONTENT_TYPE
+
+    async def _route_json(self, method: str, path: str,
+                          body: bytes) -> Tuple[int, Dict[str, Any]]:
         if path == "/v1/solve":
             if method != "POST":
                 return self._error(405, "use POST for /v1/solve")
@@ -236,14 +280,28 @@ class SolverServer:
             return self._error(status, str(exc))
         except DeadlineExceeded as exc:
             return self._error(504, str(exc))
+        # Serialization is the last serving stage a request pays; timed
+        # here (the engine never sees the wire form) and folded into the
+        # same stage histogram as the engine-side stages.
+        t0 = perf_counter()
+        report_doc = served.report.to_doc()
+        serialize_s = perf_counter() - t0
+        stages = dict(served.stages)
+        stages["serialize"] = serialize_s
+        self.engine.stats.observe_stages({"serialize": serialize_s})
+        served_doc: Dict[str, Any] = {
+            "cached": served.cached,
+            "coalesced": served.coalesced,
+            "seconds": served.seconds,
+            "trace_id": served.trace_id,
+            "stages": stages,
+        }
+        if served.primary_trace_id:
+            served_doc["primary_trace_id"] = served.primary_trace_id
         return 200, {
             "schema": SCHEMA_VERSION,
-            "report": served.report.to_doc(),
-            "served": {
-                "cached": served.cached,
-                "coalesced": served.coalesced,
-                "seconds": served.seconds,
-            },
+            "report": report_doc,
+            "served": served_doc,
         }
 
     @staticmethod

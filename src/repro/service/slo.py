@@ -1,0 +1,220 @@
+"""Declarative service-level objectives for the solver service.
+
+An :class:`SLOSpec` is a small JSON document of thresholds — tail
+latency (p50/p95/p99 in milliseconds), error rate, throughput — and
+:meth:`SLOSpec.evaluate` turns a set of measurements into an
+:class:`SLOReport` of per-threshold verdicts, in the spirit of
+:func:`repro.core.verify.certify_result`: every check records what was
+*required*, what was *measured*, and whether the objective *holds*.
+
+The loadgen (:func:`repro.service.loadgen.run_loadgen`) embeds the
+report in ``BENCH_service.json`` under ``"slo"``; ``make slo-check``
+(benchmarks/slo_check.py) gates CI on it — first offline against the
+committed baseline document, then against a fresh loadgen burst.
+
+Thresholds are optional: a spec that omits ``p99_ms`` simply does not
+check p99.  An empty spec holds vacuously (and says so).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.aggregate import percentile
+
+__all__ = ["SLOCheck", "SLOReport", "SLOSpec", "load_slo_spec"]
+
+
+@dataclass(frozen=True)
+class SLOCheck:
+    """One threshold verdict: ``measured`` vs ``required``."""
+
+    metric: str           # "p50_ms" | "p95_ms" | "p99_ms" | ...
+    comparator: str       # "<=" or ">="
+    required: float
+    measured: float
+    holds: bool
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "metric": self.metric,
+            "comparator": self.comparator,
+            "required": self.required,
+            "measured": self.measured,
+            "holds": self.holds,
+        }
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """All of one spec's verdicts against one measurement set."""
+
+    spec_name: str
+    checks: List[SLOCheck] = field(default_factory=list)
+
+    @property
+    def holds(self) -> bool:
+        return all(c.holds for c in self.checks)
+
+    @property
+    def violations(self) -> List[SLOCheck]:
+        return [c for c in self.checks if not c.holds]
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "spec": self.spec_name,
+            "holds": self.holds,
+            "checks": [c.to_doc() for c in self.checks],
+        }
+
+    def render(self) -> str:
+        lines = [f"SLO {self.spec_name}: "
+                 f"{'HOLDS' if self.holds else 'VIOLATED'}"]
+        for c in self.checks:
+            mark = "ok " if c.holds else "FAIL"
+            lines.append(f"  [{mark}] {c.metric:<20} measured "
+                         f"{c.measured:10.3f} {c.comparator} "
+                         f"required {c.required:g}")
+        if not self.checks:
+            lines.append("  (no thresholds declared — holds vacuously)")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Thresholds; ``None`` means "not checked"."""
+
+    name: str = "default"
+    p50_ms: Optional[float] = None
+    p95_ms: Optional[float] = None
+    p99_ms: Optional[float] = None
+    max_error_rate: Optional[float] = None
+    min_throughput_rps: Optional[float] = None
+
+    def to_doc(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"schema": "v1", "name": self.name}
+        for key in ("p50_ms", "p95_ms", "p99_ms", "max_error_rate",
+                    "min_throughput_rps"):
+            value = getattr(self, key)
+            if value is not None:
+                doc[key] = value
+        return doc
+
+    @staticmethod
+    def from_doc(doc: Dict[str, Any]) -> "SLOSpec":
+        if not isinstance(doc, dict):
+            raise ValueError(f"SLO spec must be a JSON object, "
+                             f"got {type(doc).__name__}")
+        schema = doc.get("schema", "v1")
+        if schema != "v1":
+            raise ValueError(f"unsupported SLO spec schema {schema!r}")
+        known = {"schema", "name", "p50_ms", "p95_ms", "p99_ms",
+                 "max_error_rate", "min_throughput_rps"}
+        unknown = sorted(set(doc) - known)
+        if unknown:
+            raise ValueError(f"unknown SLO spec fields {unknown}; "
+                             f"known: {sorted(known)}")
+
+        def _num(key: str) -> Optional[float]:
+            value = doc.get(key)
+            if value is None:
+                return None
+            value = float(value)
+            if value < 0:
+                raise ValueError(f"SLO threshold {key} must be >= 0, "
+                                 f"got {value}")
+            return value
+
+        return SLOSpec(
+            name=str(doc.get("name", "default")),
+            p50_ms=_num("p50_ms"),
+            p95_ms=_num("p95_ms"),
+            p99_ms=_num("p99_ms"),
+            max_error_rate=_num("max_error_rate"),
+            min_throughput_rps=_num("min_throughput_rps"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(
+        self,
+        *,
+        latencies_s: Optional[Sequence[float]] = None,
+        p50_s: Optional[float] = None,
+        p95_s: Optional[float] = None,
+        p99_s: Optional[float] = None,
+        sent: int = 0,
+        completed: int = 0,
+        throughput_rps: Optional[float] = None,
+    ) -> SLOReport:
+        """Verdicts from raw latencies or precomputed percentiles.
+
+        ``latencies_s`` (client-observed seconds of *successful*
+        requests) takes precedence for the percentile checks; otherwise
+        the precomputed ``pXX_s`` values are used.  The error rate is
+        ``(sent - completed) / sent`` — anything that was submitted and
+        did not come back 200.
+        """
+        if latencies_s is not None:
+            lat = list(latencies_s)
+            p50_s = percentile(lat, 50)
+            p95_s = percentile(lat, 95)
+            p99_s = percentile(lat, 99)
+        checks: List[SLOCheck] = []
+        for metric, required, measured_s in (
+            ("p50_ms", self.p50_ms, p50_s),
+            ("p95_ms", self.p95_ms, p95_s),
+            ("p99_ms", self.p99_ms, p99_s),
+        ):
+            if required is None:
+                continue
+            if measured_s is None:
+                checks.append(SLOCheck(metric=metric, comparator="<=",
+                                       required=required,
+                                       measured=float("inf"), holds=False))
+                continue
+            measured_ms = measured_s * 1000.0
+            checks.append(SLOCheck(metric=metric, comparator="<=",
+                                   required=required, measured=measured_ms,
+                                   holds=measured_ms <= required))
+        if self.max_error_rate is not None:
+            rate = ((sent - completed) / sent) if sent > 0 else 1.0
+            checks.append(SLOCheck(metric="error_rate", comparator="<=",
+                                   required=self.max_error_rate,
+                                   measured=rate,
+                                   holds=rate <= self.max_error_rate))
+        if self.min_throughput_rps is not None:
+            rps = throughput_rps if throughput_rps is not None else 0.0
+            checks.append(SLOCheck(metric="throughput_rps", comparator=">=",
+                                   required=self.min_throughput_rps,
+                                   measured=rps,
+                                   holds=rps >= self.min_throughput_rps))
+        return SLOReport(spec_name=self.name, checks=checks)
+
+    def evaluate_doc(self, bench: Dict[str, Any]) -> SLOReport:
+        """Offline verdicts against an existing ``BENCH_service.json``
+        document (the ``make slo-check`` baseline gate).  Documents
+        written before p99 was recorded fall back to ``max_s`` for the
+        p99 check — a conservative upper bound."""
+        latency = bench.get("latency", {})
+        p99 = latency.get("p99_s")
+        if p99 is None:
+            p99 = latency.get("max_s")
+        return self.evaluate(
+            p50_s=latency.get("p50_s"),
+            p95_s=latency.get("p95_s"),
+            p99_s=p99,
+            sent=int(bench.get("sent", 0)),
+            completed=int(bench.get("completed", 0)),
+            throughput_rps=bench.get("throughput_rps"),
+        )
+
+
+def load_slo_spec(path: str) -> SLOSpec:
+    """Read and validate a spec file (JSON)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return SLOSpec.from_doc(json.load(fh))

@@ -1,27 +1,47 @@
-"""Serving-side counters and latency aggregates for ``/v1/metrics``.
+"""Serving-side counters, histograms, and latency aggregates.
+
+Backs both views of ``GET /v1/metrics``: the JSON snapshot (default) and
+Prometheus text exposition (``?format=prometheus``).  All metrics live
+in one :class:`repro.obs.telemetry.MetricRegistry` under the
+``repro_service`` namespace.
+
+Percentiles are computed over a :class:`~repro.obs.telemetry.ReservoirSample`
+(Vitter's Algorithm R), not a bounded deque: under sustained load a
+``deque(maxlen=N)`` only ever holds the *newest* N observations, so its
+"p95" silently becomes a recent-window statistic; the reservoir keeps a
+uniform sample of the whole run, which is what an SLO verdict needs.
+The sampling scheme, capacity, current size, and lifetime observation
+count are all reported in the snapshot (``latency_reservoir``).
 
 All mutation happens on the event-loop thread (the engine updates stats
-when futures resolve, never from worker threads), so no locking is
-needed.  Latencies go into a bounded reservoir; percentiles reuse the
-observability layer's interpolating :func:`repro.obs.aggregate.percentile`
-so service p50/p95 are computed exactly like sweep-cell p50/p95.
+when futures resolve, never from worker threads); registry primitives
+carry their own locks anyway so render-time reads from other threads are
+safe.  Percentiles reuse the observability layer's interpolating
+:func:`repro.obs.aggregate.percentile` so service p50/p95/p99 are
+computed exactly like sweep-cell p50/p95.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
-from typing import Any, Deque, Dict
+from typing import Any, Dict, Optional
 
 from repro.obs.aggregate import percentile
+from repro.obs.telemetry import MetricRegistry, ReservoirSample
 
 __all__ = ["ServiceStats"]
 
 _RESERVOIR = 4096
 
+# The serving stages every request is attributed to (the server adds
+# ``serialize`` after the engine resolves; followers only see
+# ``coalesce_wait``).  Kept here so docs/tests have one source of truth.
+STAGES = ("queue_wait", "coalesce_wait", "cache_lookup", "solve",
+          "serialize")
+
 
 class ServiceStats:
-    """Counters + latency reservoir of one running solver service."""
+    """Counters + histograms + latency reservoir of one solver service."""
 
     def __init__(self) -> None:
         self.started = time.monotonic()
@@ -33,16 +53,109 @@ class ServiceStats:
         self.cache_hits = 0        # reports served from the disk cache
         self.timeouts = 0          # per-request deadlines exceeded
         self.batches = 0           # micro-batches dispatched
-        self.latencies: Deque[float] = deque(maxlen=_RESERVOIR)
+        self.latency_sample = ReservoirSample(_RESERVOIR)
+
+        self.registry = MetricRegistry(namespace="repro_service")
+        self._latency_hist = self.registry.histogram(
+            "request_latency_seconds",
+            "End-to-end queue-to-completion latency of served requests.",
+        )
+        self._stage_hist = self.registry.histogram(
+            "stage_latency_seconds",
+            "Per-stage request latency breakdown "
+            "(queue_wait/coalesce_wait/cache_lookup/solve/serialize).",
+            labelnames=("stage",),
+        )
+        self._fallback_counter = self.registry.counter(
+            "fleet_fallback_total",
+            "Columnar-backend fallbacks to the per-node scheduler, "
+            "by reason.",
+            labelnames=("algorithm", "reason"),
+        )
+        self._kernel_seconds = self.registry.counter(
+            "fleet_kernel_seconds_total",
+            "Cumulative fleet-kernel wall-clock seconds, per kernel.",
+            labelnames=("kernel",),
+        )
+        self._kernel_runs = self.registry.counter(
+            "fleet_kernel_runs_total",
+            "Fleet-kernel executions, per kernel.",
+            labelnames=("kernel",),
+        )
+        self._backend_runs = self.registry.counter(
+            "backend_runs_total",
+            "runner.run executions, per execution backend.",
+            labelnames=("backend",),
+        )
+        # JSON-snapshot mirrors of the labelled counters above (the
+        # snapshot stays flat and diff-friendly).
+        self.fallback_reasons: Dict[str, int] = {}
+        self.fallback_details: Dict[str, str] = {}
+        self.backend_runs: Dict[str, int] = {}
+        self.kernel_stats: Dict[str, Dict[str, float]] = {}
+
+    # ----------------------------------------------------------------- #
+    # observation
+    # ----------------------------------------------------------------- #
 
     def observe_latency(self, seconds: float) -> None:
-        self.latencies.append(seconds)
+        self.latency_sample.observe(seconds)
+        self._latency_hist.observe(seconds)
+
+    def observe_stages(self, stages: Dict[str, float]) -> None:
+        for name, seconds in stages.items():
+            if name == "total":
+                continue
+            self._stage_hist.observe(seconds, stage=name)
+
+    def absorb_run_telemetry(self, telemetry: Dict[str, Any]) -> None:
+        """Fold one job outcome's run-telemetry doc (see
+        :class:`repro.obs.telemetry.RunTelemetry`) into the service-wide
+        aggregates — this is how kernel timings and fallbacks recorded in
+        worker processes reach ``/v1/metrics``."""
+        if not telemetry:
+            return
+        for backend, count in telemetry.get("runs", {}).items():
+            self.backend_runs[backend] = (
+                self.backend_runs.get(backend, 0) + int(count))
+            self._backend_runs.inc(int(count), backend=backend)
+        for kernel, entry in telemetry.get("kernels", {}).items():
+            agg = self.kernel_stats.setdefault(
+                kernel, {"runs": 0, "seconds": 0.0})
+            agg["runs"] += int(entry.get("runs", 0))
+            agg["seconds"] += float(entry.get("seconds", 0.0))
+            self._kernel_runs.inc(int(entry.get("runs", 0)), kernel=kernel)
+            self._kernel_seconds.inc(float(entry.get("seconds", 0.0)),
+                                     kernel=kernel)
+        for fb in telemetry.get("fallbacks", []):
+            reason = str(fb.get("reason", "unknown"))
+            count = int(fb.get("count", 1))
+            self.fallback_reasons[reason] = (
+                self.fallback_reasons.get(reason, 0) + count)
+            if fb.get("detail"):
+                self.fallback_details[reason] = str(fb["detail"])
+            self._fallback_counter.inc(
+                count, algorithm=str(fb.get("algorithm", "?")),
+                reason=reason)
+
+    # ----------------------------------------------------------------- #
+    # read side
+    # ----------------------------------------------------------------- #
 
     def snapshot(self, *, in_flight: int, queue_depth: int,
                  draining: bool) -> Dict[str, Any]:
-        """The ``/v1/metrics`` document."""
-        lat = list(self.latencies)
+        """The ``/v1/metrics`` JSON document."""
+        lat = self.latency_sample.values()
         total = self.requests + self.coalesced
+        stage_summary: Dict[str, Dict[str, float]] = {}
+        for entry in self._stage_hist.series():
+            stage = entry["labels"]["stage"]
+            count = entry["count"]
+            stage_summary[stage] = {
+                "count": count,
+                "total_s": entry["sum"],
+                "mean_s": (entry["sum"] / count) if count else 0.0,
+            }
         return {
             "schema": "v1",
             "uptime_s": time.monotonic() - self.started,
@@ -61,5 +174,66 @@ class ServiceStats:
             "coalesce_rate": (self.coalesced / total) if total else 0.0,
             "p50_latency_s": percentile(lat, 50),
             "p95_latency_s": percentile(lat, 95),
+            "p99_latency_s": percentile(lat, 99),
             "observed_latencies": len(lat),
+            "latency_reservoir": {
+                "scheme": "reservoir-sampling (Vitter Algorithm R)",
+                "capacity": self.latency_sample.capacity,
+                "size": len(self.latency_sample),
+                "observed_total": self.latency_sample.observed_total,
+            },
+            "stages": stage_summary,
+            "backend": {
+                "fallbacks": sum(self.fallback_reasons.values()),
+                "fallback_reasons": dict(sorted(
+                    self.fallback_reasons.items())),
+                "fallback_details": dict(sorted(
+                    self.fallback_details.items())),
+                "runs": dict(sorted(self.backend_runs.items())),
+                "kernels": {
+                    k: {"runs": int(v["runs"]), "seconds": v["seconds"]}
+                    for k, v in sorted(self.kernel_stats.items())
+                },
+            },
+            "histograms": self.registry.snapshot(),
         }
+
+    def render_prometheus(self, *, in_flight: int, queue_depth: int,
+                          draining: bool,
+                          uptime_s: Optional[float] = None) -> str:
+        """Prometheus text exposition format 0.0.4 of the same state."""
+        counters = {
+            "requests_total": ("Accepted POST /v1/solve submissions.",
+                               self.requests),
+            "completed_total": ("Reports delivered (ok or failed).",
+                                self.completed),
+            "failed_total": ("Reports with ok=False.", self.failed),
+            "rejected_total": ("Admission-control rejections (HTTP 429).",
+                               self.rejected),
+            "coalesced_total": ("Requests served by an in-flight twin.",
+                                self.coalesced),
+            "cache_hits_total": ("Reports served from the disk cache.",
+                                 self.cache_hits),
+            "timeouts_total": ("Per-request deadlines exceeded (HTTP 504).",
+                               self.timeouts),
+            "batches_total": ("Micro-batches dispatched.", self.batches),
+        }
+        for name, (help_text, value) in counters.items():
+            counter = self.registry.counter(name, help_text)
+            delta = value - counter.value()
+            if delta > 0:
+                counter.inc(delta)
+        gauges = {
+            "in_flight": ("Requests admitted but not yet resolved.",
+                          in_flight),
+            "queue_depth": ("Undispatched entries in the admission queue.",
+                            queue_depth),
+            "draining": ("1 while the service refuses new work.",
+                         1.0 if draining else 0.0),
+            "uptime_seconds": ("Seconds since the stats were created.",
+                               uptime_s if uptime_s is not None
+                               else time.monotonic() - self.started),
+        }
+        for name, (help_text, value) in gauges.items():
+            self.registry.gauge(name, help_text).set(value)
+        return self.registry.render_prometheus()

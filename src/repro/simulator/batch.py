@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.graphs.weighted_graph import WeightedGraph
+from repro.obs.telemetry import collect_run_telemetry
 from repro.registry import AlgorithmFn
 from repro.registry import algorithm_registry as _algorithm_registry
 from repro.simulator.instrument import (install_backend, install_faults,
@@ -157,6 +158,11 @@ class JobOutcome:
     # theorem, eps, ...) — what certify_result needs to re-check a returned
     # set against the guarantee the pipeline claimed for it.
     metadata: Dict[str, Any] = field(default_factory=dict)
+    # Execution provenance from repro.obs.telemetry (backend run counts,
+    # fleet-kernel wall time, fallbacks with reasons, stage timings).
+    # Like `cached`/`seconds` it is wall-clock/provenance, not identity:
+    # excluded from signature(), to_doc(), equality, and cache entries.
+    telemetry: Dict[str, Any] = field(default_factory=dict, compare=False)
 
     def signature(self) -> Tuple[Any, ...]:
         """Everything deterministic about the outcome (no wall-clock, no
@@ -396,53 +402,69 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
     """Run one job; top-level so ProcessPoolExecutor can pickle it."""
     index, job, seed, policy = payload
     start = time.perf_counter()
-    try:
-        if isinstance(job.algorithm, str):
-            registry = _algorithm_registry()
-            if job.algorithm not in registry:
-                raise KeyError(
-                    f"unknown algorithm {job.algorithm!r}; "
-                    f"known: {sorted(registry)}"
-                )
-            fn = registry[job.algorithm]
-        else:
-            fn = None
-        with ExitStack() as stack:
-            if job.faults is not None:
-                # Ambient installation reaches every inner run() of
-                # composed algorithms; works identically in workers (the
-                # plan pickles with the job) and in-process.
-                stack.enter_context(install_faults(job.faults))
-            if job.backend is not None:
-                stack.enter_context(install_backend(job.backend))
-            if fn is not None:
-                result = fn(job.graph, seed=seed, policy=policy,
-                            **job.params)
+    # The collector sees every inner run() of composed algorithms on
+    # this thread (workers ship the collected doc back inside the
+    # pickled outcome); it never touches the result itself.
+    with collect_run_telemetry() as collector:
+        try:
+            if isinstance(job.algorithm, str):
+                registry = _algorithm_registry()
+                if job.algorithm not in registry:
+                    raise KeyError(
+                        f"unknown algorithm {job.algorithm!r}; "
+                        f"known: {sorted(registry)}"
+                    )
+                fn = registry[job.algorithm]
             else:
-                result = job.algorithm(job.graph, seed=seed, **job.params)
-        chosen = tuple(sorted(result.independent_set))
-        return JobOutcome(
-            index=index,
-            algorithm=job.algorithm_name,
-            seed=seed,
-            ok=True,
-            independent_set=chosen,
-            weight=job.graph.total_weight(chosen),
-            metrics=result.metrics,
-            seconds=time.perf_counter() - start,
-            label=job.label,
-            metadata=_scalar_metadata(getattr(result, "metadata", {}) or {}),
-        )
-    except Exception as exc:  # noqa: BLE001 — one bad job must not kill the sweep
-        return JobOutcome(
-            index=index,
-            algorithm=job.algorithm_name,
-            seed=seed,
-            ok=False,
-            error=f"{type(exc).__name__}: {exc}",
-            seconds=time.perf_counter() - start,
-            label=job.label,
-        )
+                fn = None
+            with ExitStack() as stack:
+                if job.faults is not None:
+                    # Ambient installation reaches every inner run() of
+                    # composed algorithms; works identically in workers (the
+                    # plan pickles with the job) and in-process.
+                    stack.enter_context(install_faults(job.faults))
+                if job.backend is not None:
+                    stack.enter_context(install_backend(job.backend))
+                if fn is not None:
+                    result = fn(job.graph, seed=seed, policy=policy,
+                                **job.params)
+                else:
+                    result = job.algorithm(job.graph, seed=seed, **job.params)
+            chosen = tuple(sorted(result.independent_set))
+            return JobOutcome(
+                index=index,
+                algorithm=job.algorithm_name,
+                seed=seed,
+                ok=True,
+                independent_set=chosen,
+                weight=job.graph.total_weight(chosen),
+                metrics=result.metrics,
+                seconds=time.perf_counter() - start,
+                label=job.label,
+                metadata=_scalar_metadata(
+                    getattr(result, "metadata", {}) or {}),
+                telemetry=collector.to_doc(),
+            )
+        except Exception as exc:  # noqa: BLE001 — one bad job must not kill the sweep
+            return JobOutcome(
+                index=index,
+                algorithm=job.algorithm_name,
+                seed=seed,
+                ok=False,
+                error=f"{type(exc).__name__}: {exc}",
+                seconds=time.perf_counter() - start,
+                label=job.label,
+                telemetry=collector.to_doc(),
+            )
+
+
+def _with_stage(outcome: JobOutcome, name: str, seconds: float) -> JobOutcome:
+    """Fold one serving-stage duration into the outcome's telemetry doc."""
+    telemetry = dict(outcome.telemetry)
+    stages = dict(telemetry.get("stages", {}))
+    stages[name] = stages.get(name, 0.0) + seconds
+    telemetry["stages"] = stages
+    return replace(outcome, telemetry=telemetry)
 
 
 def run_job(
@@ -464,15 +486,21 @@ def run_job(
     seed = (job.seed if job.seed is not None
             else derive_job_seeds(master_seed, index + 1)[index])
     key = None
+    lookup_s = 0.0
     if cache_dir is not None:
         os.makedirs(cache_dir, exist_ok=True)
         key = job_cache_key(job, seed, policy)
+        t0 = time.perf_counter()
         hit = _cache_load(cache_dir, key, index)
+        lookup_s = time.perf_counter() - t0
         if hit is not None:
-            return replace(hit, label=job.label)
+            return _with_stage(replace(hit, label=job.label),
+                               "cache_lookup", lookup_s)
     outcome = _execute_job((index, job, seed, policy))
-    if cache_dir is not None and outcome.ok:
-        _cache_store(cache_dir, key, outcome)
+    if cache_dir is not None:
+        outcome = _with_stage(outcome, "cache_lookup", lookup_s)
+        if outcome.ok:
+            _cache_store(cache_dir, key, outcome)
     return outcome
 
 
@@ -526,12 +554,16 @@ def batch_run(
     outcomes: Dict[int, JobOutcome] = {}
     pending: List[Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]] = []
     keys: Dict[int, str] = {}
+    lookup_s: Dict[int, float] = {}
     for i, (job, seed) in enumerate(zip(jobs, seeds)):
         if cache_dir is not None:
             keys[i] = job_cache_key(job, seed, policy)
+            t0 = time.perf_counter()
             hit = _cache_load(cache_dir, keys[i], i)
+            lookup_s[i] = time.perf_counter() - t0
             if hit is not None:
-                outcomes[i] = replace(hit, label=job.label)
+                outcomes[i] = _with_stage(replace(hit, label=job.label),
+                                          "cache_lookup", lookup_s[i])
                 continue
         pending.append((i, job, seed, policy))
 
@@ -555,6 +587,9 @@ def batch_run(
             finally:
                 executor.shutdown()
         for outcome in fresh:
+            if outcome.index in lookup_s:
+                outcome = _with_stage(outcome, "cache_lookup",
+                                      lookup_s[outcome.index])
             outcomes[outcome.index] = outcome
             if cache_dir is not None and outcome.ok:
                 _cache_store(cache_dir, keys[outcome.index], outcome)
@@ -579,6 +614,10 @@ def batch_run(
                 **outcome.to_doc(),
                 "cached": outcome.cached,
             }
+            if outcome.telemetry:
+                # Emit-time only: telemetry never enters to_doc() (cache
+                # entries and report bytes stay canonical).
+                doc["telemetry"] = outcome.telemetry
             for emit in emitters:
                 emit(doc)
 

@@ -15,14 +15,24 @@ reference scheduler whenever exact per-event semantics are required:
 
 Because the fallback is the reference implementation, selecting the
 columnar backend never changes results — only wall-clock.
+
+Fallbacks are never silent: every one is recorded with a reason code
+(``faults``/``sinks``/``codec-check``/``no-kernel``/``over-budget``/
+``dense-state``/...) through :mod:`repro.obs.telemetry` — counted in the
+process-global metric registry and, when a run-telemetry collector is
+installed (the batch engine installs one per job), attached to the job
+outcome so the service and ``repro inspect`` can surface them.
+Successful kernel executions report their wall time the same way.
 """
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Optional, Union
 
 import numpy as np
 
+from repro.obs.telemetry import record_fallback, record_kernel_time
 from repro.simulator.instrument import ambient_fault_plan, gather_sinks
 from repro.simulator.models import BandwidthPolicy
 from repro.simulator.network import Network
@@ -55,7 +65,15 @@ class ColumnarBackend:
         if not isinstance(network, Network):
             network = Network.of(network)
 
-        def fallback() -> RunResult:
+        # Constructing the probe up front (also used for the kernel
+        # lookup below) costs one factory call and gives every fallback
+        # record an algorithm name; the per-node path builds fresh
+        # per-node instances regardless, so behaviour is unchanged.
+        probe = algorithm_factory()
+        algorithm = type(probe).__name__
+
+        def fallback(reason: str, detail: str = "") -> RunResult:
+            record_fallback(algorithm, reason, detail)
             return _execute_per_node(
                 network,
                 algorithm_factory,
@@ -69,16 +87,22 @@ class ColumnarBackend:
             )
 
         plan = faults if faults is not None else ambient_fault_plan()
-        if plan is not None or codec_check or gather_sinks(trace, sink):
-            return fallback()
+        if plan is not None:
+            return fallback("faults")
+        if codec_check:
+            return fallback("codec-check")
+        if gather_sinks(trace, sink):
+            return fallback("sinks")
         from repro.fleet import FleetFallback, kernel_for
 
-        probe = algorithm_factory()
         kernel = kernel_for(probe)
         if kernel is None:
-            return fallback()
+            return fallback("no-kernel")
+        t0 = perf_counter()
         try:
-            return kernel(probe, network, policy=policy, seed=seed,
-                          max_rounds=max_rounds)
-        except FleetFallback:
-            return fallback()
+            result = kernel(probe, network, policy=policy, seed=seed,
+                            max_rounds=max_rounds)
+        except FleetFallback as exc:
+            return fallback(getattr(exc, "reason", "kernel"), str(exc))
+        record_kernel_time(algorithm, perf_counter() - t0)
+        return result

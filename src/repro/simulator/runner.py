@@ -138,9 +138,12 @@ def run(
     )
     chosen = backend if backend is not None else ambient_backend()
     if chosen is not None:
+        from repro.obs.telemetry import record_backend_run
         from repro.simulator.backends import get_backend
 
-        return get_backend(chosen).execute(
+        resolved = get_backend(chosen)
+        record_backend_run(getattr(resolved, "name", str(chosen)))
+        return resolved.execute(
             network,
             algorithm_factory,
             policy=policy,
@@ -151,6 +154,9 @@ def run(
             codec_check=codec_check,
             faults=faults,
         )
+    from repro.obs.telemetry import record_backend_run
+
+    record_backend_run("per-node")
     return _execute_per_node(
         network,
         algorithm_factory,

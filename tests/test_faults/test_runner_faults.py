@@ -136,6 +136,23 @@ class TestFaultFreeByteIdentity:
         with install_backend("columnar"):
             self._assert_family_goldens()
 
+    def test_theorem_family_goldens_hold_with_telemetry_enabled(self):
+        # Telemetry is pure provenance: an installed run collector must
+        # not perturb a single canonical byte, on either backend — and it
+        # must actually have observed the runs (non-empty collection).
+        from repro.obs.telemetry import collect_run_telemetry
+        from repro.simulator.instrument import install_backend
+
+        with collect_run_telemetry() as per_node:
+            self._assert_family_goldens()
+        assert per_node.backend_runs.get("per-node", 0) > 0
+
+        with install_backend("columnar"):
+            with collect_run_telemetry() as columnar:
+                self._assert_family_goldens()
+        assert columnar.backend_runs.get("columnar", 0) > 0
+        assert columnar.kernels  # kernel timings were recorded
+
     def test_no_fault_events_without_plan(self):
         trace = Trace()
         run(cycle(5), lambda: CountRounds(3), seed=0, trace=trace)

@@ -11,7 +11,9 @@ from repro.obs import (
     phase_rows,
     render_phase_table,
     render_round_timeline,
+    render_telemetry,
     rows_from_events,
+    telemetry_summary,
 )
 from repro.simulator.metrics import SpanNode
 
@@ -112,3 +114,55 @@ class TestRoundTimeline:
 
     def test_empty(self):
         assert render_round_timeline([]) == "(no rounds)"
+
+
+class TestTelemetrySummary:
+    RECORDS = [
+        {"type": "meta"},  # no telemetry: ignored
+        {"type": "job", "telemetry": {
+            "runs": {"columnar": 2},
+            "kernels": {"GhaffariMIS": {"runs": 2, "seconds": 0.5}},
+            "fallbacks": [{"algorithm": "Foo", "reason": "no-kernel",
+                           "count": 1, "detail": "no kernel for Foo"}],
+            "stages": {"cache_lookup": 0.001},
+        }},
+        {"type": "job", "telemetry": {
+            "runs": {"columnar": 1, "per-node": 1},
+            "kernels": {"GhaffariMIS": {"runs": 1, "seconds": 0.25}},
+            "fallbacks": [{"algorithm": "Foo", "reason": "no-kernel",
+                           "count": 2}],
+        }},
+    ]
+
+    def test_summary_sums_across_jobs(self):
+        summary = telemetry_summary(self.RECORDS)
+        assert summary["jobs_with_telemetry"] == 2
+        assert summary["backend_runs"] == {"columnar": 3, "per-node": 1}
+        assert summary["kernels"]["GhaffariMIS"] == {"runs": 3,
+                                                     "seconds": 0.75}
+        (fb,) = summary["fallbacks"]
+        assert fb == {"algorithm": "Foo", "reason": "no-kernel",
+                      "count": 3, "detail": "no kernel for Foo"}
+        assert summary["stages"]["cache_lookup"]["count"] == 1
+
+    def test_render_mentions_reasons_and_details(self):
+        text = render_telemetry(self.RECORDS)
+        assert "Foo [no-kernel]: 3" in text
+        assert "no kernel for Foo" in text
+        assert "GhaffariMIS: 3 runs" in text
+
+    def test_render_without_telemetry_records(self):
+        assert "no telemetry records" in render_telemetry([{"type": "meta"}])
+
+    def test_batch_run_emits_telemetry_on_job_docs(self):
+        from repro.graphs import uniform_weights as uw
+        from repro.simulator.batch import BatchJob, batch_run
+        from repro.simulator.instrument import install_outcome_emitter
+
+        g = uw(gnp(14, 0.2, seed=1), 1, 9, seed=2)
+        records = []
+        with install_outcome_emitter(records.append):
+            batch_run([BatchJob(g, "mis-det", seed=1)])
+        summary = telemetry_summary(records)
+        assert summary["jobs_with_telemetry"] == 1
+        assert summary["backend_runs"].get("per-node", 0) >= 1

@@ -131,8 +131,17 @@ class TestSolveEndpoint:
                           separators=(",", ":"))
         direct = solve(instance, "thm2", seed=7, eps=0.5)
         assert wire == direct.to_json()
-        assert envelope["served"] == {"cached": False, "coalesced": False,
-                                      "seconds": envelope["served"]["seconds"]}
+        served = envelope["served"]
+        assert set(served) == {"cached", "coalesced", "seconds",
+                               "trace_id", "stages"}
+        assert served["cached"] is False
+        assert served["coalesced"] is False
+        # Every response carries a 32-hex trace id and a per-stage
+        # latency breakdown covering at least queue/solve/serialize.
+        assert len(served["trace_id"]) == 32
+        int(served["trace_id"], 16)
+        assert {"queue_wait", "solve", "serialize"} <= set(served["stages"])
+        assert all(s >= 0.0 for s in served["stages"].values())
 
     def test_spec_graph_request_solves(self):
         body = json.dumps({
@@ -297,6 +306,9 @@ class TestLoadgen:
         assert doc["completed"] > 0
         assert doc["status_counts"] == {"200": doc["sent"]}
         assert doc["served"]["cached"] > 0
+        assert doc["served"]["with_trace_id"] == doc["completed"]
+        assert doc["latency"]["p99_s"] >= doc["latency"]["p50_s"]
+        assert {"queue_wait", "serialize"} <= set(doc["latency"]["stages"])
         assert doc["divergent_reports"] == 0
         assert doc["verification"]["failures"] == []
         assert doc["verification"]["verified"] == doc["unique_reports"] > 0

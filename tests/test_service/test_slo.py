@@ -1,0 +1,189 @@
+"""Declarative SLO specs, verdicts, and the loadgen/gate integration."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service.slo import SLOSpec, load_slo_spec
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+class TestSpecParsing:
+    def test_round_trip(self):
+        spec = SLOSpec(name="x", p95_ms=100.0, max_error_rate=0.01)
+        assert SLOSpec.from_doc(spec.to_doc()) == spec
+
+    def test_to_doc_omits_unset_thresholds(self):
+        doc = SLOSpec(name="x", p95_ms=100.0).to_doc()
+        assert doc == {"schema": "v1", "name": "x", "p95_ms": 100.0}
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown SLO spec fields"):
+            SLOSpec.from_doc({"schema": "v1", "p42_ms": 1})
+
+    def test_unsupported_schema_rejected(self):
+        with pytest.raises(ValueError, match="unsupported SLO spec schema"):
+            SLOSpec.from_doc({"schema": "v2"})
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            SLOSpec.from_doc({"schema": "v1", "p95_ms": -1})
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"schema": "v1", "name": "f",
+                                    "p50_ms": 10}))
+        spec = load_slo_spec(str(path))
+        assert spec.name == "f"
+        assert spec.p50_ms == 10.0
+
+
+class TestEvaluate:
+    def test_holds_when_under_thresholds(self):
+        spec = SLOSpec(p50_ms=100, p95_ms=500, p99_ms=1000,
+                       max_error_rate=0.1, min_throughput_rps=1)
+        report = spec.evaluate(latencies_s=[0.01] * 100, sent=100,
+                               completed=100, throughput_rps=50.0)
+        assert report.holds
+        assert len(report.checks) == 5
+        assert report.violations == []
+
+    def test_violation_identifies_the_metric(self):
+        spec = SLOSpec(p95_ms=5)
+        report = spec.evaluate(latencies_s=[0.1] * 100, sent=100,
+                               completed=100)
+        assert not report.holds
+        (violation,) = report.violations
+        assert violation.metric == "p95_ms"
+        assert violation.measured == pytest.approx(100.0)
+        assert violation.required == 5.0
+
+    def test_raw_latencies_take_precedence(self):
+        spec = SLOSpec(p50_ms=100)
+        report = spec.evaluate(latencies_s=[0.01] * 10, p50_s=9.0)
+        assert report.holds
+
+    def test_precomputed_percentiles_used_without_latencies(self):
+        spec = SLOSpec(p50_ms=100)
+        report = spec.evaluate(p50_s=0.05)
+        assert report.holds
+        report = spec.evaluate(p50_s=0.5)
+        assert not report.holds
+
+    def test_missing_measurement_fails_closed(self):
+        report = SLOSpec(p99_ms=100).evaluate()
+        assert not report.holds
+        assert report.checks[0].measured == float("inf")
+
+    def test_error_rate(self):
+        spec = SLOSpec(max_error_rate=0.05)
+        assert spec.evaluate(sent=100, completed=97).holds
+        assert not spec.evaluate(sent=100, completed=90).holds
+        # Zero sent requests means nothing was demonstrated: fail closed.
+        assert not spec.evaluate(sent=0, completed=0).holds
+
+    def test_throughput_floor(self):
+        spec = SLOSpec(min_throughput_rps=10)
+        assert spec.evaluate(throughput_rps=11.0).holds
+        assert not spec.evaluate(throughput_rps=9.0).holds
+        assert not spec.evaluate().holds
+
+    def test_empty_spec_holds_vacuously(self):
+        report = SLOSpec().evaluate(latencies_s=[1000.0])
+        assert report.holds
+        assert report.checks == []
+        assert "vacuously" in report.render()
+
+    def test_report_doc_shape(self):
+        doc = SLOSpec(p50_ms=100).evaluate(latencies_s=[0.01]).to_doc()
+        assert doc["spec"] == "default"
+        assert doc["holds"] is True
+        assert doc["checks"][0] == {"metric": "p50_ms", "comparator": "<=",
+                                    "required": 100.0,
+                                    "measured": pytest.approx(10.0),
+                                    "holds": True}
+
+    def test_render_marks_failures(self):
+        text = SLOSpec(p50_ms=1).evaluate(latencies_s=[1.0]).render()
+        assert "VIOLATED" in text
+        assert "[FAIL]" in text
+
+
+class TestEvaluateDoc:
+    def _bench(self, **latency):
+        return {
+            "sent": 100, "completed": 100, "throughput_rps": 50.0,
+            "latency": {"p50_s": 0.007, "p95_s": 0.012, "max_s": 0.07,
+                        **latency},
+        }
+
+    def test_offline_gate_against_bench_doc(self):
+        spec = SLOSpec(p50_ms=500, p95_ms=2000, max_error_rate=0.02,
+                       min_throughput_rps=5)
+        assert spec.evaluate_doc(self._bench()).holds
+
+    def test_tightened_spec_fails_the_committed_baseline(self):
+        assert not SLOSpec(p95_ms=5).evaluate_doc(self._bench()).holds
+
+    def test_p99_falls_back_to_max_for_old_documents(self):
+        report = SLOSpec(p99_ms=1000).evaluate_doc(self._bench())
+        assert report.checks[0].measured == pytest.approx(70.0)
+
+    def test_p99_used_when_present(self):
+        report = SLOSpec(p99_ms=1000).evaluate_doc(
+            self._bench(p99_s=0.03))
+        assert report.checks[0].measured == pytest.approx(30.0)
+
+
+class TestCommittedArtifacts:
+    def test_committed_spec_parses(self):
+        spec = load_slo_spec(os.path.join(REPO_ROOT, "benchmarks",
+                                          "slo_spec.json"))
+        assert spec.name == "service-tail-latency"
+        assert spec.p95_ms is not None
+
+    def test_committed_spec_holds_on_committed_baseline(self):
+        bench_path = os.path.join(REPO_ROOT, "BENCH_service.json")
+        if not os.path.exists(bench_path):
+            pytest.skip("no committed BENCH_service.json")
+        spec = load_slo_spec(os.path.join(REPO_ROOT, "benchmarks",
+                                          "slo_spec.json"))
+        with open(bench_path, encoding="utf-8") as fh:
+            bench = json.load(fh)
+        report = spec.evaluate_doc(bench)
+        assert report.holds, report.render()
+
+
+class TestLoadgenIntegration:
+    def test_loadgen_embeds_slo_verdicts(self, tmp_path):
+        from repro.service import build_request_pool, run_loadgen
+
+        from .test_server import ServerThread
+
+        pool = build_request_pool(
+            specs=(("gnp:16,0.2", "unit"),), algorithms=("thm2",),
+            seeds=(1,),
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(
+            {"schema": "v1", "name": "test", "p95_ms": 60_000,
+             "max_error_rate": 0.5}))
+        with ServerThread() as server:
+            doc = run_loadgen(port=server.port, clients=2, duration_s=0.5,
+                              out_path=None, pool=pool, verify=False,
+                              slo=str(spec_path))
+        assert doc["slo"]["spec"] == "test"
+        assert doc["slo"]["holds"] is True
+        metrics = {c["metric"] for c in doc["slo"]["checks"]}
+        assert metrics == {"p95_ms", "error_rate"}
+
+    def test_loadgen_rejects_bad_slo_type(self):
+        from repro.service import run_loadgen
+
+        with pytest.raises(TypeError, match="SLOSpec or a path"):
+            run_loadgen(port=1, duration_s=0.1, out_path=None, slo=42)

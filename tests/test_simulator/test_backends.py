@@ -202,6 +202,76 @@ class TestFallback:
             run(g, LubyMIS, seed=0, policy=policy, backend="columnar")
 
 
+class TestFallbackReasons:
+    """Every columnar→per-node handover is a first-class telemetry
+    signal: counted per (algorithm, reason), never silent."""
+
+    def _reasons(self, graph, algorithm, **run_kwargs):
+        from repro.obs.telemetry import collect_run_telemetry
+
+        with collect_run_telemetry() as col:
+            run(graph, algorithm, backend="columnar", **run_kwargs)
+        return col
+
+    def test_fleet_fallback_carries_a_reason(self):
+        from repro.fleet.base import FleetFallback
+
+        assert FleetFallback().reason == "kernel"
+        assert FleetFallback("why", reason="faults").reason == "faults"
+
+    def test_sinks_reason(self):
+        col = self._reasons(_graph(12, 0.3, seed=2), LocalMinimaMIS,
+                            seed=4, trace=Trace())
+        assert list(col.fallbacks) == [("LocalMinimaMIS", "sinks")]
+
+    def test_faults_reason(self):
+        from repro.faults import MessageLoss
+
+        col = self._reasons(_graph(14, 0.3, seed=6), LubyMIS, seed=4,
+                            faults=MessageLoss(0.5))
+        assert list(col.fallbacks) == [("LubyMIS", "faults")]
+
+    def test_codec_check_reason(self):
+        col = self._reasons(_graph(10, 0.3, seed=8), GoodNodesProtocol,
+                            seed=7, codec_check=True)
+        assert list(col.fallbacks) == [("GoodNodesProtocol", "codec-check")]
+
+    def test_no_kernel_reason_includes_detail(self):
+        from repro.simulator.algorithm import NodeAlgorithm
+
+        class Noop(NodeAlgorithm):
+            def on_start(self, ctx):
+                ctx.halt(output=True)
+
+            def on_round(self, ctx, inbox):  # pragma: no cover
+                ctx.halt(output=True)
+
+        col = self._reasons(_graph(9, 0.2, seed=3), Noop, seed=7)
+        assert list(col.fallbacks) == [("Noop", "no-kernel")]
+
+    def test_over_budget_reason(self):
+        policy = BandwidthPolicy.congest(factor=1, strict=False)
+        col = self._reasons(_graph(10, 0.4, seed=5), LubyMIS, seed=0,
+                            policy=policy)
+        assert ("LubyMIS", "over-budget") in col.fallbacks
+
+    def test_successful_kernel_records_no_fallback_and_times_kernel(self):
+        col = self._reasons(_graph(), GhaffariMIS, seed=7)
+        assert col.fallbacks == {}
+        assert col.kernels["GhaffariMIS"]["runs"] == 1
+        assert col.kernels["GhaffariMIS"]["seconds"] > 0
+        assert col.backend_runs == {"columnar": 1}
+
+    def test_per_node_backend_counts_runs_without_fallbacks(self):
+        from repro.obs.telemetry import collect_run_telemetry
+
+        with collect_run_telemetry() as col:
+            run(_graph(), GhaffariMIS, seed=7)
+        assert col.backend_runs == {"per-node": 1}
+        assert col.fallbacks == {}
+        assert col.kernels == {}
+
+
 class TestBatchAndCache:
     def test_job_cache_key_distinguishes_backends(self):
         from repro.simulator.batch import BatchJob, job_cache_key
