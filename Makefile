@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke slo-check experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke fleet-smoke fleet-saturation slo-check experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -69,6 +69,27 @@ backend-equivalence:
 service-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 service-smoke:
 	$(PYTHON) benchmarks/service_smoke.py --keep-bench
+
+# Sharded-fleet smoke: start `repro fleet` (router + 2 worker
+# subprocesses) on an ephemeral port, assert /v1/ready + /v1/health,
+# prove coalescing survives sharding (K unique fingerprints under
+# concurrent duplicates -> exactly K solver executions fleet-wide),
+# check byte-identity against repro.api.solve, run a seeded open-loop
+# Poisson burst, then SIGTERM and assert the whole fleet drains.
+# Writes bench_fleet_current.json for the CI artifact upload.  See
+# benchmarks/fleet_smoke.py and docs/service.md ("Fleet").
+fleet-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+fleet-smoke:
+	$(PYTHON) benchmarks/fleet_smoke.py --keep-bench
+
+# Full saturation sweep (minutes, not for CI): open-loop rate ladder
+# against 1/2/4-worker fleets, knee detection per worker count, writes
+# BENCH_fleet.json.  Rebaseline on the reference machine with:
+#   python -m repro loadgen --saturation --workers-list 1,2,4
+fleet-saturation: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+fleet-saturation:
+	$(PYTHON) -m repro loadgen --saturation --workers-list 1,2,4 \
+		--arrival poisson --arrival-seed 0 --duration 3
 
 # Tail-latency SLO gate: evaluate benchmarks/slo_spec.json against the
 # committed BENCH_service.json baseline (fails if the spec was tightened

@@ -13,7 +13,10 @@ Subcommands::
     python -m repro info --graph grid:10,20 --weights integers:1000
     python -m repro algorithms
     python -m repro serve --port 8008 --workers 4 --cache .serve-cache
+    python -m repro fleet --port 8009 --workers 4 --cache .fleet-cache
     python -m repro loadgen --port 8008 --clients 8 --duration 5
+    python -m repro loadgen --arrival poisson --rate 100 --arrival-seed 7
+    python -m repro loadgen --saturation --workers-list 1,2,4
 
 Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
 ``cycle:n`` | ``path:n`` | ``geometric:n,radius`` | ``caterpillar:spine,legs``
@@ -551,6 +554,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache_dir=args.cache,
             max_queue=args.max_queue,
             max_batch=args.max_batch,
+            memory_cache=args.memory_cache,
+            worker_id=args.worker_id,
+            backend=args.backend,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    except OSError as exc:
+        raise SystemExit(f"cannot bind {args.host}:{args.port}: {exc}")
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the sharded multi-worker fleet until SIGTERM/SIGINT."""
+    from repro.service.fleet import run_fleet
+
+    try:
+        return run_fleet(
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            cache_dir=args.cache,
+            memory_cache=args.memory_cache,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            backend=args.backend,
+            scratch_dir=args.scratch,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -559,7 +587,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
-    """Benchmark a running service; write BENCH_service.json."""
+    """Benchmark a service: closed loop (default), open loop, or the
+    fleet saturation sweep."""
+    if args.saturation:
+        return _cmd_loadgen_saturation(args)
+    if args.arrival != "closed":
+        return _cmd_loadgen_open(args)
     from repro.service import run_loadgen
 
     try:
@@ -612,6 +645,89 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     failed = (doc["completed"] == 0 or doc["divergent_reports"] > 0
               or (v["enabled"] and v["failures"]) or slo_violated)
     return 1 if failed else 0
+
+
+def _cmd_loadgen_open(args: argparse.Namespace) -> int:
+    """Open-loop benchmark at a fixed offered rate."""
+    from repro.service import run_open_loop
+
+    try:
+        doc = run_open_loop(
+            host=args.host,
+            port=args.port,
+            rate=args.rate,
+            duration_s=args.duration,
+            arrival=args.arrival,
+            arrival_seed=args.arrival_seed,
+            burst_size=args.burst_size,
+            out_path=args.out,
+        )
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(str(exc))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach service at {args.host}:{args.port}: {exc}"
+        )
+    lat = doc["latency"]
+    print(f"offered: {doc['offered']} arrivals "
+          f"({doc['offered_rps']:.1f} req/s, {args.arrival}, "
+          f"seed {args.arrival_seed})")
+    print(f"achieved: {doc['completed']} completed "
+          f"({doc['achieved_rps']:.1f} req/s; goodput "
+          f"{doc['goodput_ratio'] * 100:.1f}%); "
+          f"{doc['rejected']} rejected, {doc['gave_up']} gave up")
+    print(f"latency (from scheduled arrival): "
+          f"p50 {lat['p50_s'] * 1e3:.1f} ms, "
+          f"p95 {lat['p95_s'] * 1e3:.1f} ms, "
+          f"p99 {lat['p99_s'] * 1e3:.1f} ms")
+    print(f"served: {doc['served']['cached']} cached, "
+          f"{doc['served']['coalesced']} coalesced; "
+          f"status mix {doc['status_counts']}")
+    if args.out:
+        print(f"wrote {args.out}")
+    failed = doc["completed"] == 0 or doc["divergent_reports"] > 0
+    return 1 if failed else 0
+
+
+def _cmd_loadgen_saturation(args: argparse.Namespace) -> int:
+    """Saturation sweep: boots its own fleets, writes BENCH_fleet.json."""
+    from repro.service.fleet import saturation_sweep
+
+    try:
+        workers = tuple(int(x) for x in args.workers_list.split(",") if x)
+        rates = tuple(float(x) for x in args.rates.split(",") if x)
+    except ValueError as exc:
+        raise SystemExit(f"bad --workers-list/--rates: {exc}")
+    arrival = args.arrival if args.arrival != "closed" else "poisson"
+    # The loadgen default --out targets the closed-loop document; the
+    # sweep has its own committed artifact name.
+    out = args.out if args.out != "BENCH_service.json" else "BENCH_fleet.json"
+    try:
+        doc = saturation_sweep(
+            worker_counts=workers,
+            rates=rates,
+            duration_s=args.duration,
+            arrival=arrival,
+            arrival_seed=args.arrival_seed,
+            burst_size=args.burst_size,
+            out_path=out or "BENCH_fleet.json",
+        )
+    except (ValueError, RuntimeError) as exc:
+        raise SystemExit(str(exc))
+    for workers_n, knee in sorted(doc["knee_by_workers"].items(),
+                                  key=lambda kv: int(kv[0])):
+        if knee:
+            print(f"workers={workers_n}: knee {knee['achieved_rps']:.1f} "
+                  f"req/s achieved at {knee['offered_rps']:.1f} offered "
+                  f"(p99 {knee['p99_s'] * 1e3:.1f} ms)")
+        else:
+            print(f"workers={workers_n}: no rung kept up")
+    if doc["speedup_4v1"] is not None:
+        print(f"4-worker vs 1-worker knee throughput: "
+              f"{doc['speedup_4v1']:.2f}x "
+              f"(host has {doc['host']['cpu_count']} CPUs)")
+    print(f"wrote {out or 'BENCH_fleet.json'}")
+    return 0
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -805,7 +921,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="admission queue bound (full queue => 429)")
     p_serve.add_argument("--max-batch", type=int, default=8,
                          help="max requests dispatched per micro-batch")
+    p_serve.add_argument("--memory-cache", type=int, default=0, metavar="N",
+                         help="in-memory LRU report cache entries in front "
+                              "of the disk cache (0 = disabled)")
+    p_serve.add_argument("--worker-id", default="", metavar="ID",
+                         help="tag for health payloads and served envelopes "
+                              "when running as a fleet worker")
+    p_serve.add_argument("--backend", choices=["per-node", "columnar"],
+                         default="per-node",
+                         help="default execution backend for requests that "
+                              "do not select one")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="run a sharded multi-worker fleet: a router in front of N "
+             "`repro serve` worker processes, sharded by sha256 request "
+             "fingerprint so coalescing and cache locality survive",
+    )
+    p_fleet.add_argument("--host", default="127.0.0.1")
+    p_fleet.add_argument("--port", type=int, default=8009,
+                         help="router port (0 binds an ephemeral port)")
+    p_fleet.add_argument("--workers", type=int, default=2,
+                         help="solver worker processes to spawn")
+    p_fleet.add_argument("--cache", default=None, metavar="DIR",
+                         help="shared on-disk result cache (tier 2)")
+    p_fleet.add_argument("--memory-cache", type=int, default=256, metavar="N",
+                         help="per-worker in-memory LRU entries (tier 1)")
+    p_fleet.add_argument("--max-queue", type=int, default=64,
+                         help="per-worker admission queue bound")
+    p_fleet.add_argument("--max-batch", type=int, default=8,
+                         help="per-worker micro-batch size")
+    p_fleet.add_argument("--backend", choices=["per-node", "columnar"],
+                         default="per-node",
+                         help="default execution backend on every worker")
+    p_fleet.add_argument("--scratch", default=".fleet", metavar="DIR",
+                         help="worker log directory")
+    p_fleet.set_defaults(func=_cmd_fleet)
 
     p_load = sub.add_parser(
         "loadgen",
@@ -825,6 +977,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_load.add_argument("--slo", default=None, metavar="SPEC.json",
                         help="evaluate an SLO spec against the run; verdicts "
                              "land in the document and violations exit 1")
+    p_load.add_argument("--arrival",
+                        choices=["closed", "poisson", "bursty", "uniform"],
+                        default="closed",
+                        help="closed: classic closed loop; otherwise "
+                             "open-loop arrivals fired on a deterministic "
+                             "schedule at --rate req/s")
+    p_load.add_argument("--rate", type=float, default=50.0, metavar="RPS",
+                        help="offered load for open-loop arrivals")
+    p_load.add_argument("--arrival-seed", type=int, default=0, metavar="S",
+                        help="seed of the arrival schedule (same seed => "
+                             "bit-identical offered load)")
+    p_load.add_argument("--burst-size", type=int, default=8, metavar="K",
+                        help="arrivals per burst for --arrival bursty")
+    p_load.add_argument("--saturation", action="store_true",
+                        help="saturation sweep: boot fleets for "
+                             "--workers-list, walk --rates per fleet, find "
+                             "the throughput/latency knee, write "
+                             "BENCH_fleet.json (ignores --host/--port)")
+    p_load.add_argument("--workers-list", default="1,2,4", metavar="N,N,...",
+                        help="worker counts for --saturation")
+    p_load.add_argument("--rates", default="25,50,100,200,400",
+                        metavar="R,R,...",
+                        help="offered-load ladder for --saturation")
     p_load.set_defaults(func=_cmd_loadgen)
 
     p_info = sub.add_parser("info", help="describe an instance")

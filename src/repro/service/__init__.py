@@ -12,6 +12,9 @@ Layers:
   latency reservoir behind ``/v1/metrics`` (JSON + Prometheus).
 * :mod:`repro.service.slo` — declarative service-level objectives and
   the verdict machinery ``make slo-check`` gates CI on.
+* :mod:`repro.service.fleet` — the sharded multi-worker fleet: router,
+  worker supervisor, two-tier cache, metric aggregation, and the
+  open-loop saturation sweep (``repro fleet``).
 """
 
 from repro.service.engine import (
@@ -21,7 +24,12 @@ from repro.service.engine import (
     SolverEngine,
     UnknownAlgorithmError,
 )
-from repro.service.loadgen import build_request_pool, run_loadgen
+from repro.service.loadgen import (
+    build_request_pool,
+    generate_arrivals,
+    run_loadgen,
+    run_open_loop,
+)
 from repro.service.server import SolverServer, serve
 from repro.service.slo import SLOCheck, SLOReport, SLOSpec, load_slo_spec
 from repro.service.stats import ServiceStats
@@ -38,7 +46,9 @@ __all__ = [
     "SolverServer",
     "UnknownAlgorithmError",
     "build_request_pool",
+    "generate_arrivals",
     "load_slo_spec",
     "run_loadgen",
+    "run_open_loop",
     "serve",
 ]

@@ -42,6 +42,7 @@ from repro.api import SolveReport, SolveRequest
 from repro.exceptions import ReproError
 from repro.obs.telemetry import new_trace_id
 from repro.registry import algorithm_registry
+from repro.service.fleet.cache import LruCache
 from repro.service.stats import ServiceStats
 
 __all__ = [
@@ -93,6 +94,9 @@ class ServedReport:
     primary_trace_id: str = ""
     stages: Dict[str, float] = field(default_factory=dict)
     telemetry: Dict[str, Any] = field(default_factory=dict)
+    # Which cache tier satisfied the request: "memory" (per-worker LRU),
+    # "disk" (shared JSON cache), or "" (computed / coalesced).
+    cache_tier: str = ""
 
 
 @dataclass
@@ -116,6 +120,9 @@ class SolverEngine:
         max_queue: int = 64,
         max_batch: int = 8,
         registry: Optional[Dict[str, Callable[..., Any]]] = None,
+        memory_cache: int = 0,
+        worker_id: str = "",
+        backend: str = "per-node",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -123,11 +130,22 @@ class SolverEngine:
             raise ValueError(f"max_queue must be >= 1, got {max_queue}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if memory_cache < 0:
+            raise ValueError(f"memory_cache must be >= 0, got {memory_cache}")
         self.workers = workers
         self.cache_dir = cache_dir
         self.policy = policy
         self.max_batch = max_batch
         self.max_queue = max_queue
+        self.worker_id = worker_id
+        self.backend = backend or "per-node"
+        # Tier 1 of the two-tier cache: ok reports keyed by request key,
+        # populated on completion (computed *and* disk-cache hits) and
+        # served from the event-loop thread with no dispatch handoff.
+        # Size 0 disables the tier (the single-process default).
+        self._memory_cache: Optional[LruCache] = (
+            LruCache(memory_cache) if memory_cache > 0 else None
+        )
         # An explicit registry (tests inject counting wrappers) switches
         # jobs from name-strings to callables, which forces in-process
         # execution — callables made of closures do not cross the process
@@ -139,6 +157,8 @@ class SolverEngine:
         self._inflight: Dict[str, _Entry] = {}
         self._draining = False
         self._started = False
+        self._pool_warm = False
+        self._warmup_task: Optional[asyncio.Task] = None
         self._queue: "asyncio.Queue[_Entry]" = None  # type: ignore[assignment]
         self._dispatch_task: Optional[asyncio.Task] = None
         self._dispatch_pool: Optional[ThreadPoolExecutor] = None
@@ -158,11 +178,33 @@ class SolverEngine:
         )
         if self.workers > 1 and self._registry is None:
             self._worker_pool = ProcessPoolExecutor(max_workers=self.workers)
-        self._dispatch_task = asyncio.get_running_loop().create_task(
-            self._dispatch_loop()
-        )
+        loop = asyncio.get_running_loop()
+        self._dispatch_task = loop.create_task(self._dispatch_loop())
+        if self._worker_pool is not None:
+            # Readiness gate: /v1/ready answers 503 until every pool
+            # process has imported and executed once, so a router never
+            # sends traffic into a cold fork.
+            self._warmup_task = loop.create_task(self._warm_pool())
+        else:
+            self._pool_warm = True
         self._started = True
         return self
+
+    async def _warm_pool(self) -> None:
+        loop = asyncio.get_running_loop()
+
+        def spin_up() -> None:
+            assert self._worker_pool is not None
+            futures = [self._worker_pool.submit(_pool_warmup)
+                       for _ in range(self.workers)]
+            for fut in futures:
+                fut.result()
+
+        try:
+            await loop.run_in_executor(self._dispatch_pool, spin_up)
+        except Exception:  # noqa: BLE001 — a failed warmup must not wedge
+            pass           # readiness forever; real jobs will surface it.
+        self._pool_warm = True
 
     def begin_drain(self) -> None:
         """Stop admitting new work (health reports ``draining``)."""
@@ -181,6 +223,10 @@ class SolverEngine:
         if not self._started:
             return
         await self.drain()
+        if self._warmup_task is not None and not self._warmup_task.done():
+            self._warmup_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._warmup_task
         if self._dispatch_task is not None:
             self._dispatch_task.cancel()
             with contextlib.suppress(asyncio.CancelledError):
@@ -198,6 +244,19 @@ class SolverEngine:
     @property
     def draining(self) -> bool:
         return self._draining
+
+    @property
+    def ready(self) -> bool:
+        """Readiness (vs liveness): started, not draining, pool warm.
+
+        ``GET /v1/ready`` maps ``False`` to 503 — the router's signal to
+        keep traffic away while this worker is warming up or draining.
+        """
+        return self._started and not self._draining and self._pool_warm
+
+    @property
+    def memory_cache(self) -> Optional[LruCache]:
+        return self._memory_cache
 
     @property
     def stats(self) -> ServiceStats:
@@ -219,6 +278,10 @@ class SolverEngine:
             in_flight=self.in_flight,
             queue_depth=self.queue_depth,
             draining=self._draining,
+            worker_id=self.worker_id,
+            backend=self.backend,
+            memory_cache=(self._memory_cache.snapshot()
+                          if self._memory_cache is not None else None),
         )
 
     def render_prometheus(self) -> str:
@@ -252,6 +315,21 @@ class SolverEngine:
             )
         key = request.key()
         trace_id = new_trace_id()
+        if self._memory_cache is not None:
+            loop = asyncio.get_running_loop()
+            t0 = loop.time()
+            report = self._memory_cache.get(key)
+            if report is not None:
+                lookup = loop.time() - t0
+                stages = {"cache_lookup": lookup}
+                self._stats.requests += 1
+                self._stats.completed += 1
+                self._stats.record_cache_hit("memory")
+                self._stats.observe_latency(lookup)
+                self._stats.observe_stages(stages)
+                return ServedReport(report=report, cached=True,
+                                    seconds=lookup, trace_id=trace_id,
+                                    stages=stages, cache_tier="memory")
         twin = self._inflight.get(key)
         if twin is not None:
             self._stats.coalesced += 1
@@ -307,9 +385,15 @@ class SolverEngine:
         algorithm: Any = request.algorithm
         if self._registry is not None:
             algorithm = self._registry[request.algorithm]
+        # The request's backend wins; otherwise the engine's default
+        # (non-per-node defaults flow into the job so the cache key and
+        # execution agree with what /v1/health advertises).
+        backend = request.backend or self.backend
+        if backend == "per-node":
+            backend = ""
         return BatchJob(request.graph, algorithm, seed=request.seed,
                         params=dict(request.params), label=request.label,
-                        backend=request.backend or None)
+                        backend=backend or None)
 
     def _run_batch(self, jobs: List[Any]):
         """Blocking micro-batch execution; runs on the dispatch thread."""
@@ -380,17 +464,33 @@ class SolverEngine:
                                           seconds=now - e.enqueued,
                                           trace_id=e.trace_id,
                                           stages=stages,
-                                          telemetry=outcome.telemetry)
+                                          telemetry=outcome.telemetry,
+                                          cache_tier=("disk" if outcome.cached
+                                                      else ""))
                     self._stats.absorb_run_telemetry(outcome.telemetry)
                     if outcome.cached:
-                        self._stats.cache_hits += 1
+                        self._stats.record_cache_hit("disk")
+                    else:
+                        # An actual solver execution (not served from any
+                        # cache tier) — what the fleet's exactly-once
+                        # coalescing test counts across workers.
+                        self._stats.executed += 1
                     if not report.ok:
                         self._stats.failed += 1
+                    elif self._memory_cache is not None:
+                        # Both computed results and disk-cache hits fall
+                        # through into the memory tier.
+                        self._memory_cache.put(e.key, report)
                 self._stats.completed += 1
                 self._stats.observe_latency(served.seconds)
                 self._stats.observe_stages(stages)
                 if not e.future.done():
                     e.future.set_result(served)
+
+
+def _pool_warmup() -> bool:
+    """No-op executed in each pool process to force its cold start."""
+    return True
 
 
 def _failed_report(request: SolveRequest, error: str) -> SolveReport:

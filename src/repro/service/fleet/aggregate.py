@@ -1,0 +1,294 @@
+"""Merging per-worker ``/v1/metrics`` snapshots into one fleet view.
+
+Every worker serves the JSON document built by
+:meth:`repro.service.stats.ServiceStats.snapshot`.  The router fetches
+all of them and folds them here:
+
+* counters are summed, rates recomputed from the fleet-wide totals;
+* registry histograms are merged bucket-wise (all workers share the
+  bucket bounds they were registered with), which is what makes
+  fleet-wide approximate percentiles possible — per-worker p99s cannot
+  be averaged, but cumulative bucket counts can be added and the
+  quantile re-read off the merged distribution;
+* per-worker documents are kept verbatim under ``workers`` so nothing
+  is lost by aggregation.
+
+The Prometheus view re-renders the merged registry families plus a
+``worker`` label on the per-worker gauge series, so one scrape of the
+router covers the whole fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["aggregate_snapshots", "render_fleet_prometheus"]
+
+# ServiceStats counters that sum across workers (same keys as the
+# per-worker snapshot document).
+_SUM_KEYS = (
+    "requests", "completed", "failed", "rejected", "coalesced",
+    "cache_hits", "memory_cache_hits", "executed", "timeouts", "batches",
+    "in_flight", "queue_depth",
+)
+
+_LATENCY_HIST = "repro_service_request_latency_seconds"
+
+
+def _merge_bucket_lists(
+    into: List[List[Any]], add: Sequence[Tuple[str, int]],
+) -> List[List[Any]]:
+    """Sum two cumulative ``[(le, count), ...]`` lists bound-by-bound.
+
+    Bounds come from the shared registry defaults so they line up; if a
+    worker ever reports a different ladder the union is taken and the
+    missing bounds contribute their nearest lower cumulative count.
+    """
+    if not into:
+        return [[le, int(n)] for le, n in add]
+    merged: Dict[str, int] = {le: int(n) for le, n in into}
+    for le, n in add:
+        merged[le] = merged.get(le, _floor_count(into, le)) + int(n)
+    def sort_key(le: str) -> float:
+        return float("inf") if le == "+Inf" else float(le)
+    return [[le, merged[le]] for le in sorted(merged, key=sort_key)]
+
+
+def _floor_count(buckets: Sequence[Sequence[Any]], le: str) -> int:
+    """Cumulative count a new bound inherits when one side lacks it."""
+    bound = float("inf") if le == "+Inf" else float(le)
+    best = 0
+    for other_le, n in buckets:
+        other = float("inf") if other_le == "+Inf" else float(other_le)
+        if other <= bound:
+            best = int(n)
+    return best
+
+
+def _merge_histograms(snapshots: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge the ``histograms`` registry sections of worker snapshots."""
+    merged: Dict[str, Any] = {}
+    for snap in snapshots:
+        for name, family in (snap.get("histograms") or {}).items():
+            slot = merged.setdefault(name, {
+                "kind": family.get("kind"),
+                "help": family.get("help"),
+                "series": [],
+            })
+            for entry in family.get("series", []):
+                labels = entry.get("labels") or {}
+                target = next(
+                    (s for s in slot["series"] if s["labels"] == labels), None)
+                if target is None:
+                    target = {"labels": dict(labels)}
+                    if "buckets" in entry:
+                        target["buckets"] = []
+                        target["sum"] = 0.0
+                        target["count"] = 0
+                    else:
+                        target["value"] = 0.0
+                    slot["series"].append(target)
+                if "buckets" in entry:
+                    target["buckets"] = _merge_bucket_lists(
+                        target["buckets"], entry["buckets"])
+                    target["sum"] += float(entry.get("sum", 0.0))
+                    target["count"] += int(entry.get("count", 0))
+                else:
+                    target["value"] += float(entry.get("value", 0.0))
+    return merged
+
+
+def _quantile_from_buckets(buckets: Sequence[Sequence[Any]],
+                           count: int, q: float) -> float:
+    """Approximate quantile read off cumulative histogram buckets.
+
+    Linear interpolation inside the containing bucket (Prometheus
+    ``histogram_quantile`` semantics); the +Inf bucket clamps to the
+    highest finite bound.
+    """
+    if count <= 0 or not buckets:
+        return 0.0
+    rank = q / 100.0 * count
+    prev_bound, prev_cum = 0.0, 0
+    last_finite = 0.0
+    for le, cum in buckets:
+        if le == "+Inf":
+            return last_finite
+        bound = float(le)
+        last_finite = bound
+        if cum >= rank and cum > prev_cum:
+            frac = (rank - prev_cum) / (cum - prev_cum)
+            return prev_bound + frac * (bound - prev_bound)
+        prev_bound, prev_cum = bound, cum
+    return last_finite
+
+
+def aggregate_snapshots(
+    snapshots: List[Dict[str, Any]],
+    *,
+    router: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """One fleet-wide metrics document from per-worker snapshots.
+
+    ``router`` is the router's own counters (routed/failovers/...),
+    included verbatim when given.  Workers that could not be scraped
+    should simply be absent from ``snapshots`` — ``workers_reporting``
+    records how many answered.
+    """
+    doc: Dict[str, Any] = {
+        "schema": "v1",
+        "scope": "fleet",
+        "workers_reporting": len(snapshots),
+    }
+    totals = {key: 0 for key in _SUM_KEYS}
+    memory = {"maxsize": 0, "size": 0, "hits": 0, "misses": 0, "evictions": 0}
+    any_memory = False
+    stages: Dict[str, Dict[str, float]] = {}
+    fallback_reasons: Dict[str, int] = {}
+    backend_runs: Dict[str, int] = {}
+    kernels: Dict[str, Dict[str, float]] = {}
+    draining = False
+    for snap in snapshots:
+        for key in _SUM_KEYS:
+            totals[key] += int(snap.get(key, 0))
+        draining = draining or bool(snap.get("draining"))
+        mc = snap.get("memory_cache")
+        if mc:
+            any_memory = True
+            for key in memory:
+                memory[key] += int(mc.get(key, 0))
+        for stage, entry in (snap.get("stages") or {}).items():
+            agg = stages.setdefault(stage, {"count": 0, "total_s": 0.0})
+            agg["count"] += entry.get("count", 0)
+            agg["total_s"] += entry.get("total_s", 0.0)
+        backend = snap.get("backend") or {}
+        for reason, n in (backend.get("fallback_reasons") or {}).items():
+            fallback_reasons[reason] = fallback_reasons.get(reason, 0) + n
+        for name, n in (backend.get("runs") or {}).items():
+            backend_runs[name] = backend_runs.get(name, 0) + n
+        for name, entry in (backend.get("kernels") or {}).items():
+            agg = kernels.setdefault(name, {"runs": 0, "seconds": 0.0})
+            agg["runs"] += entry.get("runs", 0)
+            agg["seconds"] += entry.get("seconds", 0.0)
+    for agg in stages.values():
+        agg["mean_s"] = (agg["total_s"] / agg["count"]) if agg["count"] else 0.0
+
+    doc.update(totals)
+    doc["draining"] = draining
+    total = totals["requests"] + totals["coalesced"]
+    served_from_cache = totals["cache_hits"] + totals["memory_cache_hits"]
+    doc["cache_hit_rate"] = (totals["cache_hits"] / total) if total else 0.0
+    doc["served_from_cache_rate"] = (
+        (served_from_cache / total) if total else 0.0)
+    doc["coalesce_rate"] = (totals["coalesced"] / total) if total else 0.0
+    doc["memory_cache"] = dict(
+        memory,
+        hit_rate=(memory["hits"] / (memory["hits"] + memory["misses"])
+                  if (memory["hits"] + memory["misses"]) else 0.0),
+    ) if any_memory else None
+    doc["stages"] = {k: stages[k] for k in sorted(stages)}
+    doc["backend"] = {
+        "fallbacks": sum(fallback_reasons.values()),
+        "fallback_reasons": dict(sorted(fallback_reasons.items())),
+        "runs": dict(sorted(backend_runs.items())),
+        "kernels": {k: {"runs": int(v["runs"]), "seconds": v["seconds"]}
+                    for k, v in sorted(kernels.items())},
+    }
+
+    histograms = _merge_histograms(snapshots)
+    doc["histograms"] = histograms
+    latency = histograms.get(_LATENCY_HIST, {}).get("series") or []
+    unlabelled = next((s for s in latency if not s["labels"]), None)
+    if unlabelled is not None:
+        buckets, count = unlabelled["buckets"], unlabelled["count"]
+        doc["latency_approx"] = {
+            "method": "merged-histogram interpolation",
+            "count": count,
+            "p50_s": _quantile_from_buckets(buckets, count, 50),
+            "p95_s": _quantile_from_buckets(buckets, count, 95),
+            "p99_s": _quantile_from_buckets(buckets, count, 99),
+        }
+    else:
+        doc["latency_approx"] = None
+
+    doc["workers"] = {
+        str(snap.get("worker_id", i)): snap
+        for i, snap in enumerate(snapshots)
+    }
+    if router is not None:
+        doc["router"] = router
+    return doc
+
+
+def _fmt(value: float) -> str:
+    return repr(int(value)) if float(value).is_integer() else repr(value)
+
+
+def render_fleet_prometheus(
+    snapshots: List[Dict[str, Any]],
+    *,
+    router: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Prometheus text exposition 0.0.4 of the merged fleet state.
+
+    Counter families carry fleet totals plus a per-worker breakdown via
+    a ``worker`` label; the merged request-latency histogram is emitted
+    with standard ``_bucket``/``_sum``/``_count`` series so
+    ``histogram_quantile`` works on one router scrape.
+    """
+    merged = aggregate_snapshots(snapshots, router=router)
+    lines: List[str] = []
+
+    counter_help = {
+        "requests": "Accepted POST /v1/solve submissions.",
+        "completed": "Reports delivered (ok or failed).",
+        "failed": "Reports with ok=False.",
+        "rejected": "Admission-control rejections (HTTP 429).",
+        "coalesced": "Requests served by an in-flight twin.",
+        "cache_hits": "Reports served from the shared disk cache.",
+        "memory_cache_hits": "Reports served from per-worker memory LRUs.",
+        "executed": "Solver executions (no cache tier hit).",
+        "timeouts": "Per-request deadlines exceeded.",
+        "batches": "Micro-batches dispatched.",
+    }
+    for key, help_text in counter_help.items():
+        name = f"repro_fleet_{key}_total"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_fmt(merged[key])}")
+        for worker_id, snap in sorted(merged["workers"].items()):
+            lines.append(f'{name}{{worker="{worker_id}"}} '
+                         f"{_fmt(snap.get(key, 0))}")
+
+    gauge_help = {
+        "in_flight": "Requests admitted but not yet resolved, fleet-wide.",
+        "queue_depth": "Undispatched admission-queue entries, fleet-wide.",
+        "workers_reporting": "Workers whose metrics were scraped.",
+    }
+    for key, help_text in gauge_help.items():
+        name = f"repro_fleet_{key}"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_fmt(merged[key])}")
+
+    if router is not None:
+        for key, value in sorted(router.items()):
+            if not isinstance(value, (int, float)):
+                continue
+            name = f"repro_fleet_router_{key}"
+            lines.append(f"# HELP {name} Router-side counter.")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {_fmt(value)}")
+
+    latency = (merged["histograms"].get(_LATENCY_HIST) or {}).get("series")
+    unlabelled = next((s for s in latency or [] if not s["labels"]), None)
+    if unlabelled is not None:
+        name = "repro_fleet_request_latency_seconds"
+        lines.append(f"# HELP {name} Merged per-worker request latency.")
+        lines.append(f"# TYPE {name} histogram")
+        for le, cum in unlabelled["buckets"]:
+            lines.append(f'{name}_bucket{{le="{le}"}} {int(cum)}')
+        lines.append(f"{name}_sum {_fmt(unlabelled['sum'])}")
+        lines.append(f"{name}_count {int(unlabelled['count'])}")
+
+    return "\n".join(lines) + "\n"

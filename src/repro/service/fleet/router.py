@@ -1,0 +1,569 @@
+"""The fleet router: one HTTP front door, N sharded solver workers.
+
+``repro fleet`` binds this router.  ``POST /v1/solve`` is forwarded to
+the worker that owns the request's shard —
+``sha256(SolveRequest.key())`` modulo the worker count
+(:func:`repro.service.fleet.routing.shard_for_key`) — so every
+identical request lands on the same worker regardless of which client
+sent it or when.  That placement is the whole point: the per-worker
+coalescer still collapses concurrent twins and the per-worker memory
+LRU still sees its repeats, i.e. coalescing and cache locality survive
+sharding.
+
+Routing is cheap on the hot path: the router keeps a body-bytes →
+shard-key LRU, so a repeated request body costs one sha256 of the raw
+bytes, not a JSON parse.  Unparseable or schema-invalid bodies are
+sharded by their body hash instead and forwarded anyway — the worker
+owns the canonical 400, the router never duplicates that logic.
+Oversized graph declarations are the one exception (413 at the router,
+before any bytes cross to a worker).
+
+Failover: if the owning worker is down, the request walks to the next
+alive worker (placement degrades for exactly the keys owned by the dead
+shard, correctness never does — any worker can solve any request).  A
+background reaper notices dead workers and asks the supervisor to
+restart them.
+
+``GET /v1/metrics`` scrapes every worker and serves the merged fleet
+document (:mod:`repro.service.fleet.aggregate`); ``?format=prometheus``
+is the same state as one text exposition.  ``/v1/health`` and
+``/v1/ready`` aggregate worker health; the router itself drains on
+SIGTERM by refusing new work, draining the workers, then exiting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import signal
+from typing import Any, Dict, List, Optional, Tuple, Union
+from urllib.parse import parse_qs
+
+from repro._version import __version__
+from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest
+from repro.service.fleet.aggregate import (
+    aggregate_snapshots,
+    render_fleet_prometheus,
+)
+from repro.service.fleet.cache import LruCache
+from repro.service.fleet.routing import shard_for_key
+from repro.service.fleet.supervisor import FleetSupervisor, WorkerEndpoint
+from repro.service.server import (
+    JSON_CONTENT_TYPE,
+    MAX_BODY_BYTES,
+    PROMETHEUS_CONTENT_TYPE,
+    SolverServer,
+    _REASONS,
+)
+
+__all__ = ["FleetRouter", "run_fleet"]
+
+# How many idle keep-alive connections the router parks per worker.
+POOL_SIZE = 16
+# Worker-side request timeout the router enforces on proxied calls
+# (workers enforce per-request deadlines themselves; this is the
+# backstop against a hung worker socket).
+PROXY_TIMEOUT_S = 300.0
+HEALTH_TIMEOUT_S = 5.0
+REAP_INTERVAL_S = 1.0
+
+
+class _UpstreamError(Exception):
+    """The proxied worker could not be reached or answered garbage."""
+
+
+class _WorkerChannel:
+    """Keep-alive connection pool to one worker endpoint."""
+
+    def __init__(self, endpoint: WorkerEndpoint) -> None:
+        self.endpoint = endpoint
+        self._free: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(self, method: str, path: str, body: bytes = b"",
+                      timeout_s: float = PROXY_TIMEOUT_S,
+                      ) -> Tuple[int, bytes, str]:
+        """Proxy one request; returns (status, body, content type).
+
+        A pooled connection may have been closed by the worker while
+        parked; the first attempt reuses one, the second always dials
+        fresh before the failure is declared upstream.
+        """
+        last: Optional[BaseException] = None
+        for attempt in (1, 2):
+            conn = self._free.pop() if (attempt == 1 and self._free) else None
+            try:
+                if conn is None:
+                    conn = await asyncio.wait_for(
+                        asyncio.open_connection(self.endpoint.host,
+                                                self.endpoint.port),
+                        timeout=HEALTH_TIMEOUT_S,
+                    )
+                reader, writer = conn
+                head = (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    f"Host: {self.endpoint.host}:{self.endpoint.port}\r\n"
+                    f"Content-Type: {JSON_CONTENT_TYPE}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"\r\n"
+                ).encode("latin-1")
+                writer.write(head + body)
+                await writer.drain()
+                status, payload, ctype, reusable = await asyncio.wait_for(
+                    self._read_response(reader), timeout=timeout_s)
+                if reusable and len(self._free) < POOL_SIZE:
+                    self._free.append((reader, writer))
+                else:
+                    await _close_writer(writer)
+                return status, payload, ctype
+            except (OSError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, ConnectionError) as exc:
+                last = exc
+                if conn is not None:
+                    await _close_writer(conn[1])
+        raise _UpstreamError(
+            f"worker {self.endpoint.worker_id} "
+            f"({self.endpoint.host}:{self.endpoint.port}): {last}")
+
+    @staticmethod
+    async def _read_response(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[int, bytes, str, bool]:
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionError("worker closed connection")
+        status = int(status_line.split()[1])
+        length = 0
+        ctype = JSON_CONTENT_TYPE
+        keep = True
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = raw.decode("latin-1").partition(":")
+            lname = name.strip().lower()
+            if lname == "content-length":
+                length = int(value.strip())
+            elif lname == "content-type":
+                ctype = value.strip()
+            elif lname == "connection" and value.strip().lower() == "close":
+                keep = False
+        payload = await reader.readexactly(length) if length else b""
+        return status, payload, ctype, keep
+
+    async def close(self) -> None:
+        for _, writer in self._free:
+            await _close_writer(writer)
+        self._free.clear()
+
+
+async def _close_writer(writer: asyncio.StreamWriter) -> None:
+    with contextlib.suppress(Exception):
+        writer.close()
+        await writer.wait_closed()
+
+
+class FleetRouter:
+    """Shard-routing HTTP proxy over a supervisor's worker pool."""
+
+    def __init__(self, supervisor: Any, *, host: str = "127.0.0.1",
+                 port: int = 0, routing_cache: int = 4096) -> None:
+        self.supervisor = supervisor
+        self.host = host
+        self.port = port
+        self._endpoints = supervisor.endpoints()
+        self._channels = [_WorkerChannel(e) for e in self._endpoints]
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._reaper: Optional[asyncio.Task] = None
+        self._draining = False
+        # body sha256 → shard key: repeats skip the JSON parse.
+        self._routing_cache: Optional[LruCache] = (
+            LruCache(routing_cache) if routing_cache > 0 else None
+        )
+        self.stats: Dict[str, int] = {
+            "routed": 0, "failovers": 0, "routing_cache_hits": 0,
+            "parse_routed": 0, "body_routed": 0, "upstream_errors": 0,
+            "restarts": 0,
+        }
+
+    @property
+    def shards(self) -> int:
+        return len(self._endpoints)
+
+    # ----------------------------------------------------------------- #
+    # lifecycle
+    # ----------------------------------------------------------------- #
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._reaper = asyncio.get_running_loop().create_task(
+            self._reap_loop())
+        return self.port
+
+    async def shutdown(self, *, drain_workers: bool = True) -> None:
+        """Stop admitting, drain the workers, close every channel."""
+        self._draining = True
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Parked keep-alive connections are closed before the workers
+        # drain — a draining worker cancelling a half-open router
+        # connection is pure teardown noise.
+        for channel in self._channels:
+            await channel.close()
+        if drain_workers:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self.supervisor.drain)
+
+    async def _reap_loop(self) -> None:
+        """Restart crashed workers in the background (supervisor.check
+        is blocking — subprocess wait + readiness poll — so it runs in
+        the default executor, never on the event loop)."""
+        loop = asyncio.get_running_loop()
+        while True:
+            await asyncio.sleep(REAP_INTERVAL_S)
+            try:
+                restarted = await loop.run_in_executor(
+                    None, self.supervisor.check)
+            except Exception:  # noqa: BLE001 — reaping must not die
+                continue
+            if restarted:
+                self.stats["restarts"] += len(restarted)
+
+    # ----------------------------------------------------------------- #
+    # connection handling (same minimal HTTP/1.1 as the worker server)
+    # ----------------------------------------------------------------- #
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                parsed = await self._read_request(reader)
+                if parsed is None:
+                    return
+                method, path, headers, body = parsed
+                keep_alive = headers.get("connection", "").lower() != "close"
+                status, payload, ctype = await self._route(method, path, body)
+                await self._write_response(writer, status, payload, ctype,
+                                           close=not keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError,
+                asyncio.IncompleteReadError, ValueError):
+            pass
+        finally:
+            await _close_writer(writer)
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        method, path, _version = line.decode("latin-1").split()
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = raw.decode("latin-1").partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise ValueError("oversized body")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    @staticmethod
+    async def _write_response(writer: asyncio.StreamWriter, status: int,
+                              payload: Union[bytes, str, Dict[str, Any]],
+                              ctype: str, *, close: bool) -> None:
+        if isinstance(payload, dict):
+            body = json.dumps(payload, sort_keys=True,
+                              separators=(",", ":")).encode()
+        elif isinstance(payload, str):
+            body = payload.encode("utf-8")
+        else:
+            body = payload
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+
+    # ----------------------------------------------------------------- #
+    # routing
+    # ----------------------------------------------------------------- #
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     ) -> Tuple[int, Union[bytes, str, Dict[str, Any]], str]:
+        path, _, query = path.partition("?")
+        if path == "/v1/solve":
+            if method != "POST":
+                return self._error(405, "use POST for /v1/solve")
+            return await self._solve(body)
+        if method not in ("GET", "HEAD"):
+            return self._error(405, f"use GET for {path}")
+        if path == "/v1/health":
+            return await self._health()
+        if path == "/v1/ready":
+            return await self._ready()
+        if path == "/v1/metrics":
+            fmt = (parse_qs(query).get("format") or ["json"])[-1]
+            if fmt not in ("json", "prometheus"):
+                return self._error(400, f"unknown metrics format {fmt!r}; "
+                                        f"use 'json' or 'prometheus'")
+            return await self._metrics(fmt)
+        if path == "/v1/algorithms":
+            # Identical on every worker; any alive one may answer.
+            return await self._forward_any("GET", "/v1/algorithms")
+        return self._error(404, f"no route {path!r}")
+
+    def _shard_key(self, body: bytes) -> str:
+        """The string whose sha256 places this request on a shard.
+
+        Well-formed bodies shard by the canonical request fingerprint
+        (``SolveRequest.key()``) so all encodings of the same logical
+        request co-locate; malformed bodies shard by their body hash —
+        the owning worker produces the canonical 400.
+        """
+        body_hash = hashlib.sha256(body).hexdigest()
+        if self._routing_cache is not None:
+            cached = self._routing_cache.get(body_hash)
+            if cached is not None:
+                self.stats["routing_cache_hits"] += 1
+                return cached
+        try:
+            doc = json.loads(body.decode("utf-8"))
+            oversized = SolverServer._graph_too_large(doc)
+            if oversized is not None:
+                raise _OversizedGraph(oversized)
+            key = SolveRequest.from_doc(doc).key()
+            self.stats["parse_routed"] += 1
+        except _OversizedGraph:
+            raise
+        except (ValueError, UnicodeDecodeError, SchemaError, TypeError,
+                KeyError):
+            key = body_hash
+            self.stats["body_routed"] += 1
+        if self._routing_cache is not None:
+            self._routing_cache.put(body_hash, key)
+        return key
+
+    async def _solve(self, body: bytes,
+                     ) -> Tuple[int, Union[bytes, Dict[str, Any]], str]:
+        if self._draining:
+            return self._error(503, "fleet is draining")
+        loop = asyncio.get_running_loop()
+        try:
+            # Parsing a previously unseen body materializes the graph —
+            # off the event loop, so one giant request cannot stall
+            # routing for everyone else.
+            key = await loop.run_in_executor(None, self._shard_key, body)
+        except _OversizedGraph as exc:
+            return self._error(413, str(exc))
+        shard = shard_for_key(key, self.shards)
+        status_payload = await self._forward_sharded(shard, body)
+        return status_payload
+
+    async def _forward_sharded(
+        self, shard: int, body: bytes,
+    ) -> Tuple[int, Union[bytes, Dict[str, Any]], str]:
+        """Send to the owning worker; walk forward on failure.
+
+        Every worker is tried at most once.  A worker that fails is
+        marked dead (the reaper restarts it); the request itself keeps
+        going — failover costs placement (coalescing for that key until
+        the owner returns), never availability.
+        """
+        last_error = ""
+        for offset in range(self.shards):
+            index = (shard + offset) % self.shards
+            endpoint = self._endpoints[index]
+            if not endpoint.alive:
+                continue
+            try:
+                status, payload, ctype = await self._channels[index].request(
+                    "POST", "/v1/solve", body)
+            except _UpstreamError as exc:
+                endpoint.alive = False
+                self.stats["upstream_errors"] += 1
+                last_error = str(exc)
+                continue
+            self.stats["routed"] += 1
+            if offset:
+                self.stats["failovers"] += 1
+            return status, payload, ctype
+        return self._error(503, f"no worker available ({last_error})")
+
+    async def _forward_any(
+        self, method: str, path: str,
+    ) -> Tuple[int, Union[bytes, Dict[str, Any]], str]:
+        for index, endpoint in enumerate(self._endpoints):
+            if not endpoint.alive:
+                continue
+            try:
+                return await self._channels[index].request(method, path)
+            except _UpstreamError:
+                endpoint.alive = False
+                self.stats["upstream_errors"] += 1
+        return self._error(503, "no worker available")
+
+    # ----------------------------------------------------------------- #
+    # fleet health + metrics
+    # ----------------------------------------------------------------- #
+
+    async def _poll_workers(
+        self, path: str,
+    ) -> List[Optional[Dict[str, Any]]]:
+        async def one(index: int) -> Optional[Dict[str, Any]]:
+            try:
+                status, payload, _ = await self._channels[index].request(
+                    "GET", path, timeout_s=HEALTH_TIMEOUT_S)
+            except _UpstreamError:
+                return None
+            try:
+                doc = json.loads(payload)
+            except ValueError:
+                return None
+            doc["_status"] = status
+            return doc
+
+        return list(await asyncio.gather(
+            *(one(i) for i in range(self.shards))))
+
+    async def _health(self) -> Tuple[int, Dict[str, Any], str]:
+        polled = await self._poll_workers("/v1/health")
+        workers = {}
+        for endpoint, doc in zip(self._endpoints, polled):
+            workers[endpoint.worker_id] = {
+                "alive": doc is not None,
+                "restarts": endpoint.restarts,
+                **({k: v for k, v in doc.items() if not k.startswith("_")}
+                   if doc else {}),
+            }
+        alive = sum(1 for doc in polled if doc is not None)
+        status = ("draining" if self._draining
+                  else "ok" if alive == self.shards
+                  else "degraded" if alive else "down")
+        return 200, {
+            "schema": SCHEMA_VERSION,
+            "status": status,
+            "version": __version__,
+            "role": "fleet-router",
+            "shards": self.shards,
+            "workers_alive": alive,
+            "workers": workers,
+        }, JSON_CONTENT_TYPE
+
+    async def _ready(self) -> Tuple[int, Dict[str, Any], str]:
+        polled = await self._poll_workers("/v1/ready")
+        ready = sum(1 for doc in polled
+                    if doc is not None and doc.get("_status") == 200)
+        ok = not self._draining and ready == self.shards
+        return (200 if ok else 503), {
+            "schema": SCHEMA_VERSION,
+            "status": ("ready" if ok
+                       else "draining" if self._draining else "warming"),
+            "shards": self.shards,
+            "workers_ready": ready,
+        }, JSON_CONTENT_TYPE
+
+    async def _metrics(
+        self, fmt: str,
+    ) -> Tuple[int, Union[str, Dict[str, Any]], str]:
+        polled = await self._poll_workers("/v1/metrics")
+        snapshots = [
+            {k: v for k, v in doc.items() if k != "_status"}
+            for doc in polled if doc is not None
+        ]
+        router = dict(self.stats, shards=self.shards)
+        if fmt == "prometheus":
+            return (200, render_fleet_prometheus(snapshots, router=router),
+                    PROMETHEUS_CONTENT_TYPE)
+        return (200, aggregate_snapshots(snapshots, router=router),
+                JSON_CONTENT_TYPE)
+
+    @staticmethod
+    def _error(status: int, message: str) -> Tuple[int, Dict[str, Any], str]:
+        return status, {
+            "schema": SCHEMA_VERSION,
+            "error": {"code": status, "message": message},
+        }, JSON_CONTENT_TYPE
+
+
+class _OversizedGraph(Exception):
+    """Raised inside shard-key computation for a 413 at the router."""
+
+
+async def _run_fleet_async(router: FleetRouter, *, banner: bool) -> None:
+    port = await router.start()
+    if banner:
+        print(f"repro-fleet listening on http://{router.host}:{port} "
+              f"({router.shards} workers, schema {SCHEMA_VERSION})",
+              flush=True)
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):
+            pass
+    try:
+        await stop.wait()
+        if banner:
+            print("repro-fleet draining workers...", flush=True)
+        await router.shutdown()
+        if banner:
+            print("repro-fleet drained; bye", flush=True)
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+
+
+def run_fleet(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8009,
+    workers: int = 2,
+    cache_dir: Optional[str] = None,
+    memory_cache: int = 256,
+    max_queue: int = 64,
+    max_batch: int = 8,
+    backend: str = "per-node",
+    scratch_dir: str = ".fleet",
+    banner: bool = True,
+) -> int:
+    """Blocking entry point of ``repro fleet``.
+
+    Spawns ``workers`` solver subprocesses sharing ``cache_dir`` (tier
+    2), each with a ``memory_cache``-sized LRU (tier 1), then routes
+    ``/v1/*`` traffic across them until SIGTERM/SIGINT, then drains.
+    """
+    supervisor = FleetSupervisor(
+        workers=workers, cache_dir=cache_dir, memory_cache=memory_cache,
+        max_queue=max_queue, max_batch=max_batch, backend=backend,
+        scratch_dir=scratch_dir, host=host,
+    )
+    supervisor.start()
+    router = FleetRouter(supervisor, host=host, port=port)
+    try:
+        asyncio.run(_run_fleet_async(router, banner=banner))
+    finally:
+        supervisor.stop()
+    return 0

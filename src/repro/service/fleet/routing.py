@@ -1,0 +1,52 @@
+"""Deterministic shard assignment by sha256 request fingerprint.
+
+The router must place every logically-identical request on the same
+worker, in every process, on every run: that placement is what lets
+request coalescing and the per-worker memory cache survive sharding.
+Python's builtin ``hash()`` is *per-process* (``PYTHONHASHSEED``
+randomizes string hashing), so it can never be the shard function —
+two router restarts would disagree about where a fingerprint lives and
+every cached key would go cold.  Shards are therefore taken from the
+sha256 digest of the request key, which is itself the sha256 hex of the
+canonical request document (:meth:`repro.api.SolveRequest.key`).
+
+``tests/test_service/test_fleet_routing.py`` pins the assignment to
+fixed expected values so it can never silently change across versions,
+processes, or hash seeds.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import SolveRequest
+
+__all__ = ["routing_key", "shard_for_key", "shard_for_request"]
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """Map a request key to a shard in ``[0, shards)``.
+
+    ``key`` is any stable string identity (normally the sha256 hex from
+    :meth:`repro.api.SolveRequest.key`; the router falls back to the
+    sha256 of the raw body for requests too malformed to parse).  The
+    shard is the first 8 bytes of ``sha256(key)`` taken big-endian,
+    modulo the shard count — stable across processes, platforms, and
+    ``PYTHONHASHSEED`` values.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shards
+
+
+def routing_key(request: "SolveRequest") -> str:
+    """The identity the fleet shards on: the request's coalescing key."""
+    return request.key()
+
+
+def shard_for_request(request: "SolveRequest", shards: int) -> int:
+    """Shard for a parsed request — ``shard_for_key(request.key())``."""
+    return shard_for_key(routing_key(request), shards)

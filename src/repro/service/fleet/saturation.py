@@ -1,0 +1,263 @@
+"""Open-loop saturation sweep: find the throughput/latency knee.
+
+For each worker count the sweep boots a fresh fleet (subprocess workers
+behind a :class:`~repro.service.fleet.router.FleetRouter`), walks an
+ascending offered-load ladder with deterministic Poisson arrivals
+(:func:`repro.service.loadgen.generate_arrivals`), and records offered
+vs achieved throughput and client-observed p99 per rung.  The *knee* is
+the highest rung the fleet still keeps up with — achieved/offered at or
+above ``knee_threshold`` — i.e. where the open loop first outruns the
+service.  A closed loop cannot measure this point at all: it slows its
+own offered load to match the service, so achieved == offered by
+construction.
+
+Results go to ``BENCH_fleet.json``, including the host topology
+(``os.cpu_count``) — on a single-core host the per-worker-count knees
+are expected to coincide for CPU-bound load, and the committed document
+says so rather than pretending otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["FleetHandle", "saturation_sweep", "start_fleet"]
+
+DEFAULT_RATES: Tuple[float, ...] = (25.0, 50.0, 100.0, 200.0, 400.0)
+DEFAULT_WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+class FleetHandle:
+    """A running fleet (supervisor + router-in-a-thread) for benchmarks.
+
+    The router's asyncio loop runs in a daemon thread so blocking
+    benchmark code (the load generator, pytest) can drive it over plain
+    HTTP.  ``close()`` drains workers and joins the thread.
+    """
+
+    def __init__(self, supervisor: Any, router: Any,
+                 thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop,
+                 stop: asyncio.Event) -> None:
+        self.supervisor = supervisor
+        self.router = router
+        self._thread = thread
+        self._loop = loop
+        self._stop = stop
+
+    @property
+    def host(self) -> str:
+        return self.router.host
+
+    @property
+    def port(self) -> int:
+        return self.router.port
+
+    def close(self, *, drain: bool = True) -> None:
+        self.router.drain_workers_on_shutdown = drain
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=120.0)
+        self.supervisor.stop()
+
+
+def start_fleet(
+    *,
+    workers: int,
+    cache_dir: Optional[str] = None,
+    memory_cache: int = 256,
+    max_queue: int = 64,
+    max_batch: int = 8,
+    scratch_dir: str = ".fleet",
+    threaded: bool = False,
+    registry: Optional[Dict[str, Any]] = None,
+    host: str = "127.0.0.1",
+) -> FleetHandle:
+    """Boot a fleet and return a handle once the router is listening.
+
+    ``threaded=True`` swaps subprocess workers for in-process
+    :class:`~repro.service.fleet.supervisor.ThreadedFleet` workers —
+    what the unit tests use (``registry`` injection only works there;
+    closures do not cross process boundaries).
+    """
+    from repro.service.fleet.router import FleetRouter
+    from repro.service.fleet.supervisor import FleetSupervisor, ThreadedFleet
+
+    if threaded:
+        supervisor: Any = ThreadedFleet(
+            workers=workers, cache_dir=cache_dir, memory_cache=memory_cache,
+            max_queue=max_queue, max_batch=max_batch, registry=registry)
+    else:
+        if registry is not None:
+            raise ValueError("registry injection requires threaded=True")
+        supervisor = FleetSupervisor(
+            workers=workers, cache_dir=cache_dir, memory_cache=memory_cache,
+            max_queue=max_queue, max_batch=max_batch,
+            scratch_dir=scratch_dir, host=host)
+    supervisor.start()
+
+    router = FleetRouter(supervisor, host=host, port=0)
+    ready = threading.Event()
+    box: Dict[str, Any] = {}
+
+    def run() -> None:
+        async def main() -> None:
+            box["loop"] = asyncio.get_running_loop()
+            box["stop"] = asyncio.Event()
+            try:
+                await router.start()
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                box["error"] = exc
+                ready.set()
+                return
+            ready.set()
+            await box["stop"].wait()
+            await router.shutdown(
+                drain_workers=getattr(
+                    router, "drain_workers_on_shutdown", True))
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True, name="fleet-router")
+    thread.start()
+    if not ready.wait(timeout=120.0) or "error" in box:
+        supervisor.stop()
+        raise RuntimeError(
+            f"fleet router failed to start: {box.get('error', 'timeout')}")
+    return FleetHandle(supervisor, router, thread, box["loop"], box["stop"])
+
+
+def _find_knee(cells: Sequence[Dict[str, Any]],
+               threshold: float) -> Optional[Dict[str, Any]]:
+    """Highest rung still keeping up (goodput ratio >= threshold)."""
+    knee = None
+    for cell in cells:
+        if cell["goodput_ratio"] >= threshold:
+            knee = cell
+    return knee
+
+
+def saturation_sweep(
+    *,
+    host: str = "127.0.0.1",
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    rates: Sequence[float] = DEFAULT_RATES,
+    duration_s: float = 3.0,
+    arrival: str = "poisson",
+    arrival_seed: int = 0,
+    burst_size: int = 8,
+    memory_cache: int = 256,
+    knee_threshold: float = 0.9,
+    out_path: Optional[str] = "BENCH_fleet.json",
+    scratch_dir: Optional[str] = None,
+    progress: bool = True,
+) -> Dict[str, Any]:
+    """The saturation sweep behind ``repro loadgen --saturation``.
+
+    Each worker count gets its own fleet and its own fresh disk cache
+    (warm-cache effects would otherwise let later counts free-ride on
+    earlier ones); within a count the rate ladder shares the cache, as
+    a real service would.  Every rung replays the same seeded arrival
+    schedule, so two sweeps at the same seed offer identical load.
+    """
+    from repro.service.loadgen import build_request_pool, run_open_loop
+
+    pool = build_request_pool()
+    sweeps: List[Dict[str, Any]] = []
+    t_start = time.monotonic()
+    with tempfile.TemporaryDirectory() as default_scratch:
+        scratch = scratch_dir or default_scratch
+        for workers in worker_counts:
+            cache_dir = os.path.join(scratch, f"cache-w{workers}")
+            fleet = start_fleet(
+                workers=workers, cache_dir=cache_dir,
+                memory_cache=memory_cache,
+                scratch_dir=os.path.join(scratch, f"fleet-w{workers}"),
+                host=host,
+            )
+            cells: List[Dict[str, Any]] = []
+            try:
+                for rate in rates:
+                    doc = run_open_loop(
+                        host=fleet.host, port=fleet.port, rate=rate,
+                        duration_s=duration_s, arrival=arrival,
+                        arrival_seed=arrival_seed, burst_size=burst_size,
+                        pool=pool, out_path=None,
+                    )
+                    cell = {
+                        "offered_rps": doc["offered_rps"],
+                        "achieved_rps": doc["achieved_rps"],
+                        "goodput_ratio": doc["goodput_ratio"],
+                        "p50_s": doc["latency"]["p50_s"],
+                        "p99_s": doc["latency"]["p99_s"],
+                        "rejected": doc["rejected"],
+                        "gave_up": doc["gave_up"],
+                        "completed": doc["completed"],
+                        "offered": doc["offered"],
+                    }
+                    cells.append(cell)
+                    if progress:
+                        print(f"workers={workers} rate={rate:g}: "
+                              f"achieved {cell['achieved_rps']:.1f}/"
+                              f"{cell['offered_rps']:.1f} rps, "
+                              f"p99 {cell['p99_s'] * 1e3:.1f} ms",
+                              flush=True)
+            finally:
+                fleet.close()
+            knee = _find_knee(cells, knee_threshold)
+            sweeps.append({
+                "workers": workers,
+                "cells": cells,
+                "knee": knee,
+            })
+            if progress:
+                if knee:
+                    print(f"workers={workers}: knee at "
+                          f"{knee['offered_rps']:.1f} rps offered "
+                          f"({knee['achieved_rps']:.1f} achieved, "
+                          f"p99 {knee['p99_s'] * 1e3:.1f} ms)", flush=True)
+                else:
+                    print(f"workers={workers}: saturated below "
+                          f"{min(rates):g} rps", flush=True)
+
+    by_workers = {s["workers"]: s for s in sweeps}
+    speedup = None
+    if 1 in by_workers and 4 in by_workers:
+        k1, k4 = by_workers[1]["knee"], by_workers[4]["knee"]
+        if k1 and k4 and k1["achieved_rps"] > 0:
+            speedup = k4["achieved_rps"] / k1["achieved_rps"]
+    doc: Dict[str, Any] = {
+        "schema": "v1",
+        "kind": "fleet_saturation",
+        "config": {
+            "worker_counts": list(worker_counts),
+            "rates": list(rates),
+            "duration_s": duration_s,
+            "arrival": arrival,
+            "arrival_seed": arrival_seed,
+            "memory_cache": memory_cache,
+            "knee_threshold": knee_threshold,
+        },
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "elapsed_s": time.monotonic() - t_start,
+        "sweeps": sweeps,
+        "knee_by_workers": {
+            str(s["workers"]): s["knee"] for s in sweeps
+        },
+        "speedup_4v1": speedup,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc

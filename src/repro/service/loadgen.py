@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -35,7 +36,14 @@ from repro.graphs.specs import graph_from_spec, weights_from_spec
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.obs.aggregate import percentile
 
-__all__ = ["DEFAULT_ALGORITHMS", "DEFAULT_SPECS", "build_request_pool", "run_loadgen"]
+__all__ = [
+    "DEFAULT_ALGORITHMS",
+    "DEFAULT_SPECS",
+    "build_request_pool",
+    "generate_arrivals",
+    "run_loadgen",
+    "run_open_loop",
+]
 
 # Instances stay under the exact solver's node limit so every unique
 # report can be certified against true OPT after the run.
@@ -307,6 +315,256 @@ async def _fetch_metrics(host: str, port: int) -> Optional[Dict[str, Any]]:
         return None
     finally:
         await client.close()
+
+
+# --------------------------------------------------------------------- #
+# open-loop arrivals
+# --------------------------------------------------------------------- #
+
+def generate_arrivals(
+    *,
+    process: str = "poisson",
+    rate: float,
+    duration_s: float,
+    seed: int = 0,
+    burst_size: int = 8,
+) -> List[float]:
+    """Deterministic arrival offsets (seconds from t=0) for one run.
+
+    Open-loop load is defined by *when requests arrive*, independent of
+    when earlier requests complete — a closed loop throttles itself to
+    the service's pace and therefore cannot see overload.  Three
+    processes:
+
+    * ``poisson`` — exponential inter-arrival gaps at ``rate`` req/s,
+      the memoryless baseline.
+    * ``bursty`` — bursts of ``burst_size`` simultaneous arrivals at
+      Poisson-spaced epochs, mean rate still ``rate`` (what coalescers
+      and admission queues actually face).
+    * ``uniform`` — fixed ``1/rate`` spacing, the smoothest possible
+      offered load (the lower bound on queueing).
+
+    The schedule is a pure function of ``(process, rate, duration_s,
+    seed, burst_size)`` — a private :class:`random.Random` keyed by
+    ``seed``, never global state — so a sweep cell can be replayed
+    bit-for-bit.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be > 0, got {rate}")
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be > 0, got {duration_s}")
+    if burst_size < 1:
+        raise ValueError(f"burst_size must be >= 1, got {burst_size}")
+    rng = random.Random(seed)
+    arrivals: List[float] = []
+    t = 0.0
+    if process == "poisson":
+        while True:
+            t += rng.expovariate(rate)
+            if t >= duration_s:
+                break
+            arrivals.append(t)
+    elif process == "uniform":
+        step = 1.0 / rate
+        i = 1
+        while i * step < duration_s:
+            arrivals.append(i * step)
+            i += 1
+    elif process == "bursty":
+        epoch_rate = rate / burst_size
+        while True:
+            t += rng.expovariate(epoch_rate)
+            if t >= duration_s:
+                break
+            arrivals.extend([t] * burst_size)
+    else:
+        raise ValueError(
+            f"unknown arrival process {process!r}; "
+            f"use 'poisson', 'bursty', or 'uniform'")
+    return arrivals
+
+
+@dataclass
+class _OpenTally(_Tally):
+    """Closed-loop tally plus the open-loop bookkeeping."""
+
+    rejected: int = 0          # HTTP 429/503 — the overload signal
+    late_starts: List[float] = field(default_factory=list)
+    gave_up: int = 0           # still unfinished at the wall-clock cap
+
+
+async def _fire_one(pool_conns: List[_Client], host: str, port: int,
+                    entry: PoolEntry, scheduled: float,
+                    tally: _OpenTally, timeout_s: float) -> None:
+    """One open-loop request: latency counts from the *scheduled*
+    arrival, so client-side send delay (coordinated omission) is part of
+    the measurement, not hidden by it."""
+    client = pool_conns.pop() if pool_conns else _Client(host, port)
+    started = time.monotonic()
+    tally.late_starts.append(max(0.0, started - scheduled))
+    try:
+        status, payload = await asyncio.wait_for(
+            client.request("POST", "/v1/solve", entry.body),
+            timeout=timeout_s)
+    except asyncio.TimeoutError:
+        tally.gave_up += 1
+        await client.close()
+        return
+    except (ConnectionError, OSError, asyncio.IncompleteReadError):
+        tally.transport_errors += 1
+        await client.close()
+        return
+    seconds = time.monotonic() - scheduled
+    tally.sent += 1
+    tally.status_counts[str(status)] = (
+        tally.status_counts.get(str(status), 0) + 1)
+    if len(pool_conns) < 64:
+        pool_conns.append(client)
+    else:
+        await client.close()
+    if status in (429, 503):
+        tally.rejected += 1
+        return
+    if status != 200:
+        return
+    tally.completed += 1
+    tally.latencies.append(seconds)
+    envelope = json.loads(payload)
+    served = envelope.get("served", {})
+    if served.get("cached"):
+        tally.cached += 1
+    if served.get("coalesced"):
+        tally.coalesced += 1
+    if served.get("trace_id"):
+        tally.with_trace_id += 1
+    report_doc = envelope.get("report", {})
+    if report_doc.get("ok"):
+        tally.ok += 1
+    key = entry.request.key()
+    tally.reports.setdefault(key, report_doc)
+    tally.report_bytes.setdefault(key, set()).add(
+        json.dumps(report_doc, sort_keys=True, separators=(",", ":")))
+
+
+async def _run_open_loop_async(
+    host: str, port: int, pool: List[PoolEntry], arrivals: List[float],
+    picks: List[int], *, duration_s: float, timeout_s: float,
+) -> Tuple[_OpenTally, float]:
+    tally = _OpenTally()
+    conns: List[_Client] = []
+    tasks: List[asyncio.Task] = []
+    t0 = time.monotonic()
+    # The hard wall-clock cap: schedule for duration_s, then allow a
+    # bounded grace for stragglers before they are counted as gave_up.
+    cap = t0 + duration_s + min(timeout_s, 2.0 * duration_s)
+    for offset, pick in zip(arrivals, picks):
+        now = time.monotonic()
+        if now - t0 >= duration_s:
+            break
+        delay = (t0 + offset) - now
+        if delay > 0:
+            await asyncio.sleep(delay)
+        tasks.append(asyncio.ensure_future(_fire_one(
+            conns, host, port, pool[pick], t0 + offset, tally, timeout_s)))
+    if tasks:
+        done, pending = await asyncio.wait(
+            tasks, timeout=max(0.1, cap - time.monotonic()))
+        for task in pending:
+            task.cancel()
+            tally.gave_up += 1
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+    elapsed = time.monotonic() - t0
+    for client in conns:
+        await client.close()
+    return tally, elapsed
+
+
+def run_open_loop(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    rate: float = 50.0,
+    duration_s: float = 5.0,
+    arrival: str = "poisson",
+    arrival_seed: int = 0,
+    burst_size: int = 8,
+    timeout_s: float = 30.0,
+    pool: Optional[List[PoolEntry]] = None,
+    out_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Open-loop benchmark: offer ``rate`` req/s for ``duration_s``.
+
+    Unlike :func:`run_loadgen`'s closed loop, arrivals here are
+    generated up front (:func:`generate_arrivals`, deterministic under
+    ``arrival_seed``) and fired on schedule whether or not earlier
+    requests came back — achieved throughput below offered load, growing
+    latency from *scheduled* arrival time, and 429s are all visible.
+    ``duration_s`` is also a wall-clock cap: no new request starts after
+    it, and stragglers get at most a bounded grace before being counted
+    in ``gave_up``.
+    """
+    if pool is None:
+        pool = build_request_pool()
+    if not pool:
+        raise ValueError("request pool is empty")
+    arrivals = generate_arrivals(process=arrival, rate=rate,
+                                 duration_s=duration_s, seed=arrival_seed,
+                                 burst_size=burst_size)
+    # Pool picks come from their own stream (seed+1) so the request mix
+    # is deterministic too but independent of the gap sequence.
+    pick_rng = random.Random(arrival_seed + 1)
+    picks = [pick_rng.randrange(len(pool)) for _ in arrivals]
+    tally, elapsed = asyncio.run(_run_open_loop_async(
+        host, port, pool, arrivals, picks,
+        duration_s=duration_s, timeout_s=timeout_s))
+    offered = len(arrivals) / duration_s
+    doc: Dict[str, Any] = {
+        "schema": "v1",
+        "kind": "service_open_loop",
+        "config": {
+            "host": host, "port": port, "arrival": arrival, "rate": rate,
+            "duration_s": duration_s, "arrival_seed": arrival_seed,
+            "burst_size": burst_size if arrival == "bursty" else None,
+            "timeout_s": timeout_s, "pool_size": len(pool),
+        },
+        "elapsed_s": elapsed,
+        "offered": len(arrivals),
+        "offered_rps": offered,
+        "sent": tally.sent,
+        "completed": tally.completed,
+        "ok": tally.ok,
+        "rejected": tally.rejected,
+        "gave_up": tally.gave_up,
+        "transport_errors": tally.transport_errors,
+        "status_counts": tally.status_counts,
+        "achieved_rps": (tally.completed / elapsed) if elapsed > 0 else 0.0,
+        "goodput_ratio": (tally.completed / len(arrivals)) if arrivals else 0.0,
+        "latency": {
+            "p50_s": percentile(tally.latencies, 50),
+            "p95_s": percentile(tally.latencies, 95),
+            "p99_s": percentile(tally.latencies, 99),
+            "max_s": max(tally.latencies, default=0.0),
+            "observed": len(tally.latencies),
+        },
+        "send_delay": {
+            "p99_s": percentile(tally.late_starts, 99),
+            "max_s": max(tally.late_starts, default=0.0),
+        },
+        "served": {
+            "cached": tally.cached,
+            "coalesced": tally.coalesced,
+            "with_trace_id": tally.with_trace_id,
+        },
+        "unique_reports": len(tally.reports),
+        "divergent_reports": sum(1 for blobs in tally.report_bytes.values()
+                                 if len(blobs) > 1),
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc
 
 
 def run_loadgen(

@@ -8,7 +8,12 @@ versioned:
   "served": {...}}`` where ``report`` is the *canonical* solve report
   (byte-identical to ``repro.api.solve``) and ``served`` carries cache /
   coalescing / latency provenance.
-* ``GET /v1/health`` — liveness plus drain state.
+* ``GET /v1/health`` — liveness plus drain state, the worker id, and
+  the default execution backend (what the fleet router keys on).
+* ``GET /v1/ready`` — readiness: 503 while draining or before the
+  engine's worker pool is warm, 200 otherwise.  Liveness and readiness
+  are deliberately split so a router can keep a live-but-draining
+  worker out of rotation without treating it as crashed.
 * ``GET /v1/metrics`` — serving aggregates (in-flight, queue depth,
   cache-hit rate, p50/p95/p99 latency, per-stage histograms, fleet
   fallbacks) as JSON; ``?format=prometheus`` serves the same registry as
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import hashlib
 import json
 import signal
 from time import perf_counter
@@ -49,6 +55,7 @@ from repro.service.engine import (
     SolverEngine,
     UnknownAlgorithmError,
 )
+from repro.service.fleet.cache import LruCache
 
 __all__ = ["SolverServer", "serve"]
 
@@ -80,12 +87,19 @@ class SolverServer:
     """One listening socket in front of one :class:`SolverEngine`."""
 
     def __init__(self, engine: SolverEngine, *, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0, parse_cache: int = 512) -> None:
         self.engine = engine
         self.host = host
         self.port = port          # 0 = ephemeral; .port is updated on start
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: Set[asyncio.Task] = set()
+        # Body-bytes → parsed SolveRequest memo: repeated identical
+        # bodies (the cache-heavy serving regime) skip JSON decoding and
+        # graph materialization entirely.  Parsing is deterministic and
+        # SolveRequest is frozen, so reuse is safe.
+        self._parse_cache: Optional[LruCache] = (
+            LruCache(parse_cache) if parse_cache > 0 else None
+        )
 
     async def start(self) -> int:
         """Bind and listen; returns the actual port (resolves port 0)."""
@@ -245,6 +259,20 @@ class SolverServer:
                 "schema": SCHEMA_VERSION,
                 "status": "draining" if self.engine.draining else "ok",
                 "version": __version__,
+                "worker_id": self.engine.worker_id,
+                "backend": self.engine.backend,
+            }
+        if path == "/v1/ready":
+            if self.engine.ready:
+                status, state = 200, "ready"
+            else:
+                status = 503
+                state = "draining" if self.engine.draining else "warming"
+            return status, {
+                "schema": SCHEMA_VERSION,
+                "status": state,
+                "worker_id": self.engine.worker_id,
+                "backend": self.engine.backend,
             }
         if path == "/v1/metrics":
             return 200, self.engine.metrics_snapshot()
@@ -256,21 +284,30 @@ class SolverServer:
         return self._error(404, f"no route {path!r}")
 
     async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
-        try:
-            doc = json.loads(body.decode("utf-8"))
-        except (ValueError, UnicodeDecodeError) as exc:
-            return self._error(400, f"request is not valid JSON: {exc}")
-        # Admission control before the graph materializes: a request may
-        # declare its size either inline (nodes list) or via a generator
-        # spec; both are checked up front so an oversized graph is a
-        # clean 413, not a memory blow-up deep in the engine.
-        oversized = self._graph_too_large(doc)
-        if oversized is not None:
-            return self._error(413, oversized)
-        try:
-            request = SolveRequest.from_doc(doc)
-        except SchemaError as exc:
-            return self._error(400, str(exc))
+        request: Optional[SolveRequest] = None
+        body_key = ""
+        if self._parse_cache is not None:
+            body_key = hashlib.sha256(body).hexdigest()
+            request = self._parse_cache.get(body_key)
+        if request is None:
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                return self._error(400, f"request is not valid JSON: {exc}")
+            # Admission control before the graph materializes: a request
+            # may declare its size either inline (nodes list) or via a
+            # generator spec; both are checked up front so an oversized
+            # graph is a clean 413, not a memory blow-up deep in the
+            # engine.
+            oversized = self._graph_too_large(doc)
+            if oversized is not None:
+                return self._error(413, oversized)
+            try:
+                request = SolveRequest.from_doc(doc)
+            except SchemaError as exc:
+                return self._error(400, str(exc))
+            if self._parse_cache is not None:
+                self._parse_cache.put(body_key, request)
         try:
             served = await self.engine.submit(request)
         except UnknownAlgorithmError as exc:
@@ -298,6 +335,10 @@ class SolverServer:
         }
         if served.primary_trace_id:
             served_doc["primary_trace_id"] = served.primary_trace_id
+        if served.cache_tier:
+            served_doc["cache_tier"] = served.cache_tier
+        if self.engine.worker_id:
+            served_doc["worker_id"] = self.engine.worker_id
         return 200, {
             "schema": SCHEMA_VERSION,
             "report": report_doc,
@@ -367,15 +408,24 @@ def serve(
     max_queue: int = 64,
     max_batch: int = 8,
     banner: bool = True,
+    memory_cache: int = 0,
+    worker_id: str = "",
+    backend: str = "per-node",
 ) -> int:
     """Blocking entry point of ``repro serve``.
 
     Runs until SIGTERM/SIGINT, then drains in-flight requests before
     returning.  ``port=0`` binds an ephemeral port (printed in the
-    startup banner — how the CI smoke finds it).
+    startup banner — how the CI smoke finds it).  ``memory_cache`` sizes
+    the in-memory LRU report cache (0 disables it); ``worker_id`` tags
+    this process in health payloads and served envelopes when it runs as
+    a fleet worker; ``backend`` is the execution backend used for
+    requests that do not select one.
     """
     engine = SolverEngine(workers=workers, cache_dir=cache_dir,
-                          max_queue=max_queue, max_batch=max_batch)
+                          max_queue=max_queue, max_batch=max_batch,
+                          memory_cache=memory_cache, worker_id=worker_id,
+                          backend=backend)
     server = SolverServer(engine, host=host, port=port)
     asyncio.run(_serve_async(server, banner=banner))
     return 0

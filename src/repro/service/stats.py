@@ -51,6 +51,8 @@ class ServiceStats:
         self.rejected = 0          # admission-control 429s
         self.coalesced = 0         # requests served by an in-flight twin
         self.cache_hits = 0        # reports served from the disk cache
+        self.memory_cache_hits = 0  # reports served from the in-memory LRU
+        self.executed = 0          # solver executions (no cache tier hit)
         self.timeouts = 0          # per-request deadlines exceeded
         self.batches = 0           # micro-batches dispatched
         self.latency_sample = ReservoirSample(_RESERVOIR)
@@ -87,6 +89,12 @@ class ServiceStats:
             "runner.run executions, per execution backend.",
             labelnames=("backend",),
         )
+        self._cache_tier_hits = self.registry.counter(
+            "cache_tier_hits_total",
+            "Requests served from a result-cache tier "
+            "(memory = per-worker LRU, disk = shared JSON cache).",
+            labelnames=("tier",),
+        )
         # JSON-snapshot mirrors of the labelled counters above (the
         # snapshot stays flat and diff-friendly).
         self.fallback_reasons: Dict[str, int] = {}
@@ -101,6 +109,14 @@ class ServiceStats:
     def observe_latency(self, seconds: float) -> None:
         self.latency_sample.observe(seconds)
         self._latency_hist.observe(seconds)
+
+    def record_cache_hit(self, tier: str) -> None:
+        """Count one request served from ``tier`` (memory/disk)."""
+        if tier == "memory":
+            self.memory_cache_hits += 1
+        else:
+            self.cache_hits += 1
+        self._cache_tier_hits.inc(tier=tier)
 
     def observe_stages(self, stages: Dict[str, float]) -> None:
         for name, seconds in stages.items():
@@ -143,7 +159,10 @@ class ServiceStats:
     # ----------------------------------------------------------------- #
 
     def snapshot(self, *, in_flight: int, queue_depth: int,
-                 draining: bool) -> Dict[str, Any]:
+                 draining: bool, worker_id: str = "",
+                 backend: str = "per-node",
+                 memory_cache: Optional[Dict[str, Any]] = None,
+                 ) -> Dict[str, Any]:
         """The ``/v1/metrics`` JSON document."""
         lat = self.latency_sample.values()
         total = self.requests + self.coalesced
@@ -156,9 +175,12 @@ class ServiceStats:
                 "total_s": entry["sum"],
                 "mean_s": (entry["sum"] / count) if count else 0.0,
             }
+        served_from_cache = self.cache_hits + self.memory_cache_hits
         return {
             "schema": "v1",
             "uptime_s": time.monotonic() - self.started,
+            "worker_id": worker_id,
+            "default_backend": backend,
             "in_flight": in_flight,
             "queue_depth": queue_depth,
             "draining": draining,
@@ -168,10 +190,15 @@ class ServiceStats:
             "rejected": self.rejected,
             "coalesced": self.coalesced,
             "cache_hits": self.cache_hits,
+            "memory_cache_hits": self.memory_cache_hits,
+            "executed": self.executed,
             "timeouts": self.timeouts,
             "batches": self.batches,
             "cache_hit_rate": (self.cache_hits / total) if total else 0.0,
+            "served_from_cache_rate": (
+                (served_from_cache / total) if total else 0.0),
             "coalesce_rate": (self.coalesced / total) if total else 0.0,
+            "memory_cache": memory_cache,
             "p50_latency_s": percentile(lat, 50),
             "p95_latency_s": percentile(lat, 95),
             "p99_latency_s": percentile(lat, 99),
@@ -214,6 +241,11 @@ class ServiceStats:
                                 self.coalesced),
             "cache_hits_total": ("Reports served from the disk cache.",
                                  self.cache_hits),
+            "memory_cache_hits_total": (
+                "Reports served from the per-worker in-memory LRU.",
+                self.memory_cache_hits),
+            "executed_total": ("Solver executions (requests served by no "
+                               "cache tier).", self.executed),
             "timeouts_total": ("Per-request deadlines exceeded (HTTP 504).",
                                self.timeouts),
             "batches_total": ("Micro-batches dispatched.", self.batches),

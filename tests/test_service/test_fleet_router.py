@@ -1,0 +1,472 @@
+"""The sharded fleet end to end: placement, coalescing, failover, drain.
+
+These tests run the real router over an in-process
+:class:`~repro.service.fleet.supervisor.ThreadedFleet` — the same HTTP
+surface as the subprocess fleet (which ``benchmarks/fleet_smoke.py``
+covers) without fork cost, so they stay in tier 1.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.api import SolveRequest, solve
+from repro.core import weighted_greedy_maxis
+from repro.graphs import gnp, uniform_weights
+from repro.service import SolverEngine, SolverServer
+from repro.service.fleet import shard_for_request
+from repro.service.fleet.aggregate import (
+    aggregate_snapshots,
+    render_fleet_prometheus,
+)
+from repro.service.fleet.saturation import start_fleet
+from repro.service.loadgen import _Client
+
+
+@pytest.fixture
+def instance():
+    return uniform_weights(gnp(24, 0.15, seed=1), 1, 10, seed=2)
+
+
+def http(port, method, path, body=b""):
+    async def go():
+        client = _Client("127.0.0.1", port)
+        try:
+            status, payload = await client.request(method, path, body)
+        finally:
+            await client.close()
+        return status, json.loads(payload) if payload else None
+
+    return asyncio.run(go())
+
+
+def http_burst(port, bodies):
+    """Fire all bodies concurrently over independent connections."""
+
+    async def one(body):
+        client = _Client("127.0.0.1", port)
+        try:
+            status, payload = await client.request("POST", "/v1/solve", body)
+        finally:
+            await client.close()
+        return status, json.loads(payload) if payload else None
+
+    async def go():
+        return await asyncio.gather(*(one(b) for b in bodies))
+
+    return asyncio.run(go())
+
+
+def counting_registry(calls, *, delay=0.0):
+    def wrapper(graph, seed=None, **params):
+        calls.append(seed)
+        if delay:
+            time.sleep(delay)
+        return weighted_greedy_maxis(graph, seed=seed)
+
+    return {"counted": wrapper}
+
+
+def request_body(instance, *, algorithm="thm2", seed=7, params=None):
+    request = SolveRequest(graph=instance, algorithm=algorithm, seed=seed,
+                           params={"eps": 0.5} if params is None else params)
+    return request, request.to_json().encode()
+
+
+class TestPlacement:
+    def test_same_body_lands_on_same_worker(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            cache_dir=str(tmp_path / "disk"))
+        try:
+            _, body = request_body(instance)
+            workers = set()
+            for _ in range(4):
+                status, doc = http(fleet.port, "POST", "/v1/solve", body)
+                assert status == 200
+                workers.add(doc["served"]["worker_id"])
+            assert len(workers) == 1, "placement must be sticky"
+        finally:
+            fleet.close()
+
+    def test_placement_matches_shard_function(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            cache_dir=str(tmp_path / "disk"))
+        try:
+            for seed in range(4):
+                request, body = request_body(instance, seed=seed)
+                expected = shard_for_request(request, 2)
+                status, doc = http(fleet.port, "POST", "/v1/solve", body)
+                assert status == 200
+                assert doc["served"]["worker_id"] == str(expected), seed
+        finally:
+            fleet.close()
+
+    def test_distinct_keys_spread_across_workers(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            cache_dir=str(tmp_path / "disk"))
+        try:
+            workers = set()
+            for seed in range(8):
+                _, body = request_body(instance, seed=seed)
+                status, doc = http(fleet.port, "POST", "/v1/solve", body)
+                assert status == 200
+                workers.add(doc["served"]["worker_id"])
+            assert workers == {"0", "1"}
+        finally:
+            fleet.close()
+
+
+class TestCoalescingSurvivesSharding:
+    def test_each_unique_fingerprint_executes_exactly_once(self, instance):
+        """The acceptance pin: N concurrent duplicates of K unique
+        requests through the sharded router execute the solver exactly
+        K times fleet-wide — coalescing (and the memory tier) survive
+        sharding because duplicates always land on the same worker."""
+        calls = []
+        fleet = start_fleet(workers=4, threaded=True, memory_cache=32,
+                            registry=counting_registry(calls, delay=0.05))
+        try:
+            unique = 3
+            dup = 6
+            bodies = []
+            for seed in range(unique):
+                _, body = request_body(instance, algorithm="counted",
+                                       seed=seed, params={})
+                bodies.extend([body] * dup)
+            results = http_burst(fleet.port, bodies)
+            assert all(status == 200 for status, _ in results)
+            status, metrics = http(fleet.port, "GET", "/v1/metrics")
+            assert status == 200
+        finally:
+            fleet.close()
+        assert len(calls) == unique, (
+            f"expected exactly {unique} solver executions fleet-wide, "
+            f"saw {len(calls)}")
+        assert metrics["executed"] == unique
+        per_worker_executed = sum(
+            w["executed"] for w in metrics["workers"].values())
+        assert per_worker_executed == unique
+        served = metrics["coalesced"] + metrics["memory_cache_hits"]
+        assert served == unique * (dup - 1)
+
+    def test_sequential_repeats_served_from_memory_tier(self, instance):
+        calls = []
+        fleet = start_fleet(workers=2, threaded=True, memory_cache=32,
+                            registry=counting_registry(calls))
+        try:
+            _, body = request_body(instance, algorithm="counted", seed=5,
+                                   params={})
+            docs = [http(fleet.port, "POST", "/v1/solve", body)[1]
+                    for _ in range(3)]
+        finally:
+            fleet.close()
+        assert len(calls) == 1
+        assert "cache_tier" not in docs[0]["served"]
+        assert [d["served"].get("cache_tier") for d in docs[1:]] == [
+            "memory", "memory"]
+
+
+class TestByteIdentity:
+    def test_fleet_response_is_byte_identical_to_api_solve(self, instance,
+                                                           tmp_path):
+        request, body = request_body(instance)
+        reference = solve(instance, "thm2", seed=7, eps=0.5).to_json()
+        fleet = start_fleet(workers=2, threaded=True, memory_cache=8,
+                            cache_dir=str(tmp_path / "disk"))
+        try:
+            blobs = set()
+            for _ in range(3):  # computed, then memory-tier repeats
+                status, doc = http(fleet.port, "POST", "/v1/solve", body)
+                assert status == 200
+                blobs.add(json.dumps(doc["report"], sort_keys=True,
+                                     separators=(",", ":")))
+        finally:
+            fleet.close()
+        assert blobs == {reference}
+
+    def test_fleet_matches_single_process_serve(self, instance, tmp_path):
+        """Same fixed-seed request through `repro serve` (single
+        process) and through the 2-worker fleet: identical canonical
+        report bytes, tier by tier."""
+        request, body = request_body(instance, seed=13)
+
+        single = {}
+
+        async def run_single():
+            engine = SolverEngine(cache_dir=str(tmp_path / "single"))
+            server = SolverServer(engine, host="127.0.0.1", port=0)
+            port = await server.start()
+            client = _Client("127.0.0.1", port)
+            try:
+                _, payload = await client.request("POST", "/v1/solve", body)
+                single["report"] = json.loads(payload)["report"]
+            finally:
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(run_single())
+
+        fleet = start_fleet(workers=2, threaded=True, memory_cache=8,
+                            cache_dir=str(tmp_path / "fleet"))
+        try:
+            status, doc = http(fleet.port, "POST", "/v1/solve", body)
+            assert status == 200
+        finally:
+            fleet.close()
+        canon = lambda d: json.dumps(d, sort_keys=True, separators=(",", ":"))  # noqa: E731
+        assert canon(doc["report"]) == canon(single["report"])
+
+
+class TestHealthAndReadiness:
+    def test_fleet_health_aggregates_workers(self, instance):
+        fleet = start_fleet(workers=2, threaded=True)
+        try:
+            status, doc = http(fleet.port, "GET", "/v1/health")
+            assert status == 200
+            assert doc["status"] == "ok"
+            assert doc["role"] == "fleet-router"
+            assert doc["shards"] == 2
+            assert doc["workers_alive"] == 2
+            assert set(doc["workers"]) == {"0", "1"}
+            for worker_id, entry in doc["workers"].items():
+                assert entry["alive"]
+                assert entry["worker_id"] == worker_id
+                assert entry["backend"] == "per-node"
+        finally:
+            fleet.close()
+
+    def test_fleet_ready_all_workers(self, instance):
+        fleet = start_fleet(workers=2, threaded=True)
+        try:
+            status, doc = http(fleet.port, "GET", "/v1/ready")
+            assert status == 200
+            assert doc["status"] == "ready"
+            assert doc["workers_ready"] == 2
+        finally:
+            fleet.close()
+
+    def test_worker_readiness_splits_from_liveness_on_drain(self):
+        """Satellite pin: /v1/health stays 200 while draining (alive),
+        /v1/ready flips to 503 (not serviceable)."""
+
+        async def scenario():
+            engine = SolverEngine(worker_id="w9", backend="per-node")
+            server = SolverServer(engine, host="127.0.0.1", port=0)
+            port = await server.start()
+            client = _Client("127.0.0.1", port)
+            try:
+                h_before = await client.request("GET", "/v1/health")
+                r_before = await client.request("GET", "/v1/ready")
+                engine.begin_drain()
+                h_after = await client.request("GET", "/v1/health")
+                r_after = await client.request("GET", "/v1/ready")
+            finally:
+                await client.close()
+                await server.shutdown()
+            return h_before, r_before, h_after, r_after
+
+        h_before, r_before, h_after, r_after = asyncio.run(scenario())
+        assert h_before[0] == 200
+        assert json.loads(h_before[1])["worker_id"] == "w9"
+        assert json.loads(h_before[1])["backend"] == "per-node"
+        assert r_before[0] == 200
+        assert json.loads(r_before[1])["status"] == "ready"
+        assert json.loads(r_before[1])["worker_id"] == "w9"
+        assert h_after[0] == 200, "liveness survives draining"
+        assert json.loads(h_after[1])["status"] == "draining"
+        assert r_after[0] == 503, "readiness does not"
+        assert json.loads(r_after[1])["status"] == "draining"
+
+
+class TestFailover:
+    def test_request_fails_over_when_owner_dies(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            cache_dir=str(tmp_path / "disk"))
+        fleet.supervisor.restart_on_crash = False
+        try:
+            request, body = request_body(instance, seed=3)
+            owner = shard_for_request(request, 2)
+            status, doc = http(fleet.port, "POST", "/v1/solve", body)
+            assert status == 200
+            assert doc["served"]["worker_id"] == str(owner)
+            fleet.supervisor.stop_worker(str(owner))
+            status, doc = http(fleet.port, "POST", "/v1/solve", body)
+            assert status == 200, "failover must keep the key available"
+            assert doc["served"]["worker_id"] == str(1 - owner)
+            assert fleet.router.stats["failovers"] >= 1
+        finally:
+            fleet.close()
+
+    def test_supervisor_restarts_crashed_worker(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            cache_dir=str(tmp_path / "disk"))
+        try:
+            fleet.supervisor.stop_worker("1")
+            restarted = fleet.supervisor.check()
+            assert restarted == ["1"]
+            endpoints = {e.worker_id: e for e in fleet.supervisor.endpoints()}
+            assert endpoints["1"].alive
+            assert endpoints["1"].restarts == 1
+            # The revived worker serves its shard again.
+            for seed in range(6):
+                request, body = request_body(instance, seed=seed)
+                if shard_for_request(request, 2) == 1:
+                    status, doc = http(fleet.port, "POST", "/v1/solve", body)
+                    assert status == 200
+                    assert doc["served"]["worker_id"] == "1"
+                    break
+            else:  # pragma: no cover - sha256 would have to be degenerate
+                pytest.fail("no probe key landed on shard 1")
+        finally:
+            fleet.close()
+
+
+class TestRouterEdges:
+    def test_malformed_body_gets_canonical_worker_400(self):
+        fleet = start_fleet(workers=2, threaded=True)
+        try:
+            status, doc = http(fleet.port, "POST", "/v1/solve", b"{nope")
+            assert status == 400
+            assert doc["error"]["code"] == 400
+            assert fleet.router.stats["body_routed"] >= 1
+        finally:
+            fleet.close()
+
+    def test_oversized_graph_is_413_at_router(self):
+        fleet = start_fleet(workers=1, threaded=True)
+        try:
+            body = json.dumps({
+                "schema": "v1",
+                "graph": {"spec": "gnp:2000000,0.001"},
+                "algorithm": "thm2",
+            }).encode()
+            status, doc = http(fleet.port, "POST", "/v1/solve", body)
+            assert status == 413
+        finally:
+            fleet.close()
+
+    def test_routing_cache_skips_reparse(self, instance):
+        fleet = start_fleet(workers=2, threaded=True)
+        try:
+            _, body = request_body(instance)
+            for _ in range(3):
+                http(fleet.port, "POST", "/v1/solve", body)
+            stats = dict(fleet.router.stats)
+        finally:
+            fleet.close()
+        assert stats["parse_routed"] == 1
+        assert stats["routing_cache_hits"] == 2
+
+    def test_algorithms_proxied(self):
+        fleet = start_fleet(workers=2, threaded=True)
+        try:
+            status, doc = http(fleet.port, "GET", "/v1/algorithms")
+            assert status == 200
+            names = {entry["name"] for entry in doc["algorithms"]}
+            assert "thm2" in names
+        finally:
+            fleet.close()
+
+
+class TestFleetMetrics:
+    def test_json_aggregation_sums_workers(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True, memory_cache=8,
+                            cache_dir=str(tmp_path / "disk"))
+        try:
+            for seed in range(4):
+                _, body = request_body(instance, seed=seed)
+                http(fleet.port, "POST", "/v1/solve", body)
+                http(fleet.port, "POST", "/v1/solve", body)  # memory hit
+            status, doc = http(fleet.port, "GET", "/v1/metrics")
+        finally:
+            fleet.close()
+        assert status == 200
+        assert doc["scope"] == "fleet"
+        assert doc["workers_reporting"] == 2
+        assert doc["requests"] == 8
+        assert doc["executed"] == 4
+        assert doc["memory_cache_hits"] == 4
+        assert doc["requests"] == sum(
+            w["requests"] for w in doc["workers"].values())
+        assert doc["router"]["routed"] == 8
+        assert doc["latency_approx"]["count"] == 8
+        assert doc["latency_approx"]["p99_s"] >= doc["latency_approx"]["p50_s"]
+
+    def test_prometheus_exposition(self, instance):
+        fleet = start_fleet(workers=2, threaded=True)
+        try:
+            _, body = request_body(instance)
+            http(fleet.port, "POST", "/v1/solve", body)
+
+            async def fetch():
+                client = _Client("127.0.0.1", fleet.port)
+                try:
+                    return await client.request(
+                        "GET", "/v1/metrics?format=prometheus")
+                finally:
+                    await client.close()
+
+            status, payload = asyncio.run(fetch())
+        finally:
+            fleet.close()
+        assert status == 200
+        text = payload.decode()
+        assert "# TYPE repro_fleet_requests_total counter" in text
+        assert "repro_fleet_requests_total 1" in text
+        assert 'repro_fleet_requests_total{worker="0"}' in text
+        assert 'repro_fleet_requests_total{worker="1"}' in text
+        assert "repro_fleet_request_latency_seconds_bucket" in text
+        assert "repro_fleet_router_routed 1" in text
+
+
+class TestAggregateUnit:
+    """aggregate_snapshots on synthetic worker documents."""
+
+    @staticmethod
+    def _snap(worker_id, requests, buckets):
+        return {
+            "worker_id": worker_id,
+            "requests": requests,
+            "completed": requests,
+            "coalesced": 0,
+            "cache_hits": 0,
+            "memory_cache_hits": 0,
+            "executed": requests,
+            "histograms": {
+                "repro_service_request_latency_seconds": {
+                    "kind": "histogram",
+                    "help": "x",
+                    "series": [{
+                        "labels": {},
+                        "buckets": buckets,
+                        "sum": 1.0,
+                        "count": buckets[-1][1],
+                    }],
+                },
+            },
+        }
+
+    def test_counter_sum_and_histogram_merge(self):
+        a = self._snap("0", 6, [["0.1", 4], ["1", 6], ["+Inf", 6]])
+        b = self._snap("1", 2, [["0.1", 1], ["1", 2], ["+Inf", 2]])
+        doc = aggregate_snapshots([a, b])
+        assert doc["requests"] == 8
+        assert doc["executed"] == 8
+        merged = doc["histograms"][
+            "repro_service_request_latency_seconds"]["series"][0]
+        assert merged["buckets"] == [["0.1", 5], ["1", 8], ["+Inf", 8]]
+        assert merged["count"] == 8
+        # p50 falls in the first bucket (5 of 8 <= 0.1s).
+        assert 0.0 < doc["latency_approx"]["p50_s"] <= 0.1
+        assert 0.1 < doc["latency_approx"]["p99_s"] <= 1.0
+
+    def test_render_prometheus_from_synthetic(self):
+        a = self._snap("0", 3, [["0.1", 3], ["+Inf", 3]])
+        text = render_fleet_prometheus([a], router={"routed": 3})
+        assert "repro_fleet_requests_total 3" in text
+        assert 'repro_fleet_request_latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_fleet_router_routed 3" in text
