@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke fleet-smoke fleet-saturation slo-check experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke fleet-smoke fleet-saturation graphplane-smoke slo-check experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -81,6 +81,19 @@ service-smoke:
 fleet-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 fleet-smoke:
 	$(PYTHON) benchmarks/fleet_smoke.py --keep-bench
+
+# Graph-plane smoke: start `repro serve --graph-store`, register a
+# graph binary blob (POST /v1/graphs), assert a graph_ref solve is
+# byte-identical to the body solve and to repro.api.solve, measure the
+# ingest-once-solve-many cells (10^4/10^5 nodes, ref path must beat
+# the body path >= 5x on fresh solves of the 10^5 cell), evict, drain,
+# and assert no shared-memory arena segment leaks — on SIGTERM *and*
+# SIGKILL.  Writes BENCH_graphplane.json for the CI artifact upload.
+# See benchmarks/graphplane_smoke.py and docs/service.md ("Graph
+# registry").
+graphplane-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+graphplane-smoke:
+	$(PYTHON) benchmarks/graphplane_smoke.py --keep-bench
 
 # Full saturation sweep (minutes, not for CI): open-loop rate ladder
 # against 1/2/4-worker fleets, knee detection per worker count, writes

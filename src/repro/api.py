@@ -37,6 +37,7 @@ from repro.exceptions import GraphFormatError, ReproError
 from repro.graphs.io import from_doc as _graph_from_inline_doc
 from repro.graphs.io import to_doc as _graph_to_inline_doc
 from repro.graphs.specs import graph_from_spec, weights_from_spec
+from repro.graphs.store import GraphRef, GraphStore
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.registry import algorithm_registry
 
@@ -51,6 +52,7 @@ __all__ = [
     "describe_algorithms",
     "graph_to_doc",
     "graph_from_doc",
+    "request_key_from_doc",
     "algorithm_registry",
 ]
 
@@ -77,26 +79,52 @@ class SolveError(ReproError):
 # request-side graph codec
 # --------------------------------------------------------------------- #
 
-def graph_to_doc(graph: WeightedGraph) -> Dict[str, Any]:
-    """The inline wire encoding of a graph (see :mod:`repro.graphs.io`)."""
+def graph_to_doc(graph) -> Dict[str, Any]:
+    """The wire encoding of a graph (see :mod:`repro.graphs.io`).
+
+    A :class:`~repro.graphs.store.GraphRef` encodes as the reference form
+    ``{"graph_ref": "<fingerprint>"}``; a materialized graph encodes
+    inline.
+    """
+    if isinstance(graph, GraphRef):
+        return {"graph_ref": graph.ref}
     return _graph_to_inline_doc(graph)
 
 
-def graph_from_doc(doc: Any) -> WeightedGraph:
+def graph_from_doc(doc: Any, *, store: Optional[GraphStore] = None):
     """Decode the graph field of a solve request.
 
-    Two encodings are accepted:
+    Three encodings are accepted:
 
     * inline — ``{"nodes": [[id, weight], ...], "edges": [[u, v], ...]}``
       (the :func:`repro.graphs.io.to_doc` format);
     * by spec — ``{"spec": "gnp:100,0.05", "weights": "uniform:1,20",
       "seed": 7}``, materialized server-side through the generator zoo
-      (``weights`` defaults to ``keep``, ``seed`` to 0).
+      (``weights`` defaults to ``keep``, ``seed`` to 0);
+    * by reference — ``{"graph_ref": "<fingerprint>"}``, resolved against
+      ``store`` (a graph previously registered via ``POST /v1/graphs`` or
+      :meth:`GraphStore.put`).  Returns a :class:`GraphRef` — the graph
+      itself is only materialized where the solve executes.  Raises
+      :class:`~repro.graphs.store.UnknownGraphRef` when the store has no
+      such fingerprint, and :class:`SchemaError` when no store is
+      configured.
 
     Raises :class:`SchemaError` on anything else.
     """
     if not isinstance(doc, dict):
         raise SchemaError(f"graph must be an object, got {type(doc).__name__}")
+    if "graph_ref" in doc:
+        ref = doc["graph_ref"]
+        if not isinstance(ref, str) or not ref:
+            raise SchemaError(f"graph_ref must be a hex string, got {ref!r}")
+        if store is None:
+            raise SchemaError(
+                "graph_ref requires a graph store (this entry point has "
+                "none configured)")
+        try:
+            return store.ref(ref)
+        except GraphFormatError as exc:
+            raise SchemaError(str(exc)) from exc
     if "spec" in doc:
         seed = doc.get("seed", 0)
         if not isinstance(seed, int) or isinstance(seed, bool):
@@ -146,9 +174,16 @@ class SolveRequest:
     are byte-identical by contract, but the selector still participates
     in :meth:`key` so a columnar request is never coalesced with (or
     cached as) a per-node one.
+
+    ``graph`` may be a materialized :class:`WeightedGraph` or a
+    :class:`~repro.graphs.store.GraphRef`.  Because a ref's
+    ``fingerprint()`` *is* the stored graph's content hash, :meth:`key`
+    is identical either way — ref-based and body-based requests for the
+    same computation coalesce together and share cache entries, which is
+    what makes their reports byte-identical.
     """
 
-    graph: WeightedGraph
+    graph: Any  # WeightedGraph | GraphRef
     algorithm: str
     seed: int = 0
     params: Dict[str, Any] = field(default_factory=dict)
@@ -192,7 +227,8 @@ class SolveRequest:
                           separators=(",", ":"))
 
     @classmethod
-    def from_doc(cls, doc: Any) -> "SolveRequest":
+    def from_doc(cls, doc: Any, *,
+                 store: Optional[GraphStore] = None) -> "SolveRequest":
         if not isinstance(doc, dict):
             raise SchemaError(
                 f"request must be an object, got {type(doc).__name__}"
@@ -235,7 +271,7 @@ class SolveRequest:
             except ValueError as exc:
                 raise SchemaError(str(exc)) from exc
         return cls(
-            graph=graph_from_doc(doc["graph"]),
+            graph=graph_from_doc(doc["graph"], store=store),
             algorithm=algorithm,
             seed=seed,
             params=_canonical_params(params),
@@ -245,12 +281,67 @@ class SolveRequest:
         )
 
     @classmethod
-    def from_json(cls, text: str) -> "SolveRequest":
+    def from_json(cls, text: str, *,
+                  store: Optional[GraphStore] = None) -> "SolveRequest":
         try:
             doc = json.loads(text)
         except ValueError as exc:
             raise SchemaError(f"request is not valid JSON: {exc}") from exc
-        return cls.from_doc(doc)
+        return cls.from_doc(doc, store=store)
+
+
+def request_key_from_doc(doc: Any) -> Optional[str]:
+    """Compute :meth:`SolveRequest.key` for a ``graph_ref`` request doc
+    without materializing anything.
+
+    The fleet router shards by request key; for reference-form requests
+    the graph fingerprint is right there in the doc, so the key — and
+    hence the shard — is computable with no graph store, no body reparse,
+    and no size-dependent work.  Returns ``None`` whenever the doc is not
+    a well-formed reference request (the caller falls back to the full
+    parse path, which produces the proper schema error or inline-graph
+    key).
+    """
+    if not isinstance(doc, dict):
+        return None
+    if doc.get("schema", SCHEMA_VERSION) != SCHEMA_VERSION:
+        return None
+    graph_doc = doc.get("graph")
+    if not isinstance(graph_doc, dict) or "graph_ref" not in graph_doc:
+        return None
+    ref = graph_doc["graph_ref"]
+    if not isinstance(ref, str) or not ref:
+        return None
+    algorithm = doc.get("algorithm")
+    if not isinstance(algorithm, str) or not algorithm:
+        return None
+    seed = doc.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        return None
+    params = doc.get("params") or {}
+    if not isinstance(params, dict):
+        return None
+    backend = doc.get("backend", "")
+    if backend:
+        from repro.simulator.backends import normalize_backend_name
+
+        try:
+            backend = normalize_backend_name(backend)
+        except ValueError:
+            return None
+    key_doc: Dict[str, Any] = {
+        "fingerprint": ref,
+        "algorithm": algorithm,
+        "seed": seed,
+        "params": params,
+    }
+    if backend and backend != "per-node":
+        key_doc["backend"] = backend
+    try:
+        blob = json.dumps(key_doc, sort_keys=True, default=repr)
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def _strip_wall(obj: Any) -> Any:
@@ -399,7 +490,7 @@ def _check_algorithm(algorithm: str) -> None:
 
 
 def solve(
-    graph: WeightedGraph,
+    graph,
     algorithm: str,
     *,
     seed: int = 0,
@@ -416,7 +507,11 @@ def solve(
     ``cache_dir`` is shared), byte-identical canonical report.
 
     Args:
-        graph: the weighted instance.
+        graph: the weighted instance — a :class:`WeightedGraph`, or a
+            :class:`~repro.graphs.store.GraphRef` from a
+            :class:`~repro.graphs.store.GraphStore` (resolved zero-copy
+            where the job executes; the report is byte-identical to
+            passing the materialized graph).
         algorithm: a :func:`repro.registry.algorithm_registry` name.
         seed: root of the run's randomness (fixed seed ⇒ fixed output).
         policy: optional bandwidth policy forwarded to the algorithm.
@@ -450,7 +545,7 @@ def solve(
 
 
 def sweep(
-    graph: WeightedGraph,
+    graph,
     algorithm: str,
     *,
     seeds: int = 10,

@@ -17,6 +17,7 @@ Subcommands::
     python -m repro loadgen --port 8008 --clients 8 --duration 5
     python -m repro loadgen --arrival poisson --rate 100 --arrival-seed 7
     python -m repro loadgen --saturation --workers-list 1,2,4
+    python -m repro loadgen --graph-ref --clients 8 --duration 5
 
 Graph specs: ``gnp:n,p`` | ``regular:n,d`` | ``tree:n`` | ``grid:r,c`` |
 ``cycle:n`` | ``path:n`` | ``geometric:n,radius`` | ``caterpillar:spine,legs``
@@ -557,6 +558,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             memory_cache=args.memory_cache,
             worker_id=args.worker_id,
             backend=args.backend,
+            graph_store=args.graph_store,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -579,6 +581,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             backend=args.backend,
             scratch_dir=args.scratch,
+            graph_store=args.graph_store,
         )
     except ValueError as exc:
         raise SystemExit(str(exc))
@@ -604,6 +607,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             out_path=args.out,
             verify=not args.no_verify,
             slo=args.slo,
+            graph_ref=args.graph_ref,
         )
     except (ValueError, TypeError, FileNotFoundError) as exc:
         raise SystemExit(str(exc))
@@ -661,6 +665,7 @@ def _cmd_loadgen_open(args: argparse.Namespace) -> int:
             arrival_seed=args.arrival_seed,
             burst_size=args.burst_size,
             out_path=args.out,
+            graph_ref=args.graph_ref,
         )
     except (ValueError, TypeError) as exc:
         raise SystemExit(str(exc))
@@ -931,6 +936,10 @@ def build_parser() -> argparse.ArgumentParser:
                          default="per-node",
                          help="default execution backend for requests that "
                               "do not select one")
+    p_serve.add_argument("--graph-store", default=None, metavar="DIR",
+                         help="content-addressed graph store directory for "
+                              "POST /v1/graphs + graph_ref solves (default: "
+                              "<cache>/graphs, or an ephemeral store)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_fleet = sub.add_parser(
@@ -957,6 +966,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="default execution backend on every worker")
     p_fleet.add_argument("--scratch", default=".fleet", metavar="DIR",
                          help="worker log directory")
+    p_fleet.add_argument("--graph-store", default=None, metavar="DIR",
+                         help="shared content-addressed graph store for all "
+                              "workers (default: <scratch>/graphs)")
     p_fleet.set_defaults(func=_cmd_fleet)
 
     p_load = sub.add_parser(
@@ -990,6 +1002,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "bit-identical offered load)")
     p_load.add_argument("--burst-size", type=int, default=8, metavar="K",
                         help="arrivals per burst for --arrival bursty")
+    p_load.add_argument("--graph-ref", action="store_true",
+                        help="register every unique pool graph once via "
+                             "POST /v1/graphs, then solve by graph_ref "
+                             "(tiny bodies, zero-copy attach on the server)")
     p_load.add_argument("--saturation", action="store_true",
                         help="saturation sweep: boot fleets for "
                              "--workers-list, walk --rates per fleet, find "

@@ -139,6 +139,11 @@ class FleetRun:
         self._nodes = graph.nodes
         self._seed_children: Optional[Dict[int, np.random.SeedSequence]] = None
         self._gens: List[Optional[np.random.Generator]] = [None] * self.n
+        # Scratch for the (m+1)-long prefix sums row_counts/compact
+        # rebuild every round.  Safe to reuse: slot 0 is never written
+        # after this zero-fill, cumsum overwrites [1:] fully each call,
+        # and both callers only return fancy-indexed *copies* of it.
+        self._prefix_scratch = np.zeros(self.m + 1, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # randomness
@@ -186,7 +191,7 @@ class FleetRun:
 
     def row_counts(self, mask: np.ndarray) -> np.ndarray:
         """Per row: how many neighbour entries fall in ``mask``."""
-        prefix = np.zeros(self.m + 1, dtype=np.int64)
+        prefix = self._prefix_scratch
         np.cumsum(mask[self.indices], out=prefix[1:])
         return prefix[self.indptr[1:]] - prefix[self.indptr[:-1]]
 
@@ -199,7 +204,7 @@ class FleetRun:
         per-node inbox dict is filled in)."""
         entry = sender_mask[self.indices]
         senders = self.indices[entry]
-        prefix = np.zeros(self.m + 1, dtype=np.int64)
+        prefix = self._prefix_scratch
         np.cumsum(entry, out=prefix[1:])
         counts = prefix[self.indptr[1:]] - prefix[self.indptr[:-1]]
         starts = prefix[self.indptr[:-1]]

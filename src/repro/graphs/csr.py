@@ -69,6 +69,29 @@ class CSRIndex:
         self.weights = np.fromiter((weights[v] for v in ids),
                                    dtype=np.float64, count=n)
 
+    @classmethod
+    def from_arrays(cls, ids: np.ndarray, indptr: np.ndarray,
+                    indices: np.ndarray, weights: np.ndarray) -> "CSRIndex":
+        """Rehydrate an index from already-canonical CSR arrays.
+
+        ``ids`` must be strictly ascending int64, ``indptr``/``indices``
+        a valid CSR adjacency over slots with each row sorted ascending,
+        and ``weights`` float64 per slot — exactly what ``__init__``
+        produces and what the binary graph codec / graph store persist.
+        The arrays are adopted as-is (they may be read-only views into a
+        shared arena); only the derived ``degrees``/``slot_of``/id list
+        are materialized here.
+        """
+        self = object.__new__(cls)
+        self.ids = ids
+        self._id_list = ids.tolist()
+        self.slot_of = {v: s for s, v in enumerate(self._id_list)}
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = indptr[1:] - indptr[:-1]
+        self.weights = weights
+        return self
+
     @property
     def n(self) -> int:
         return len(self._id_list)

@@ -92,6 +92,52 @@ class WeightedGraph:
         g._init_caches()
         return g
 
+    @classmethod
+    def _from_csr_arrays(
+        cls,
+        ids,
+        indptr,
+        indices,
+        weights,
+        *,
+        fingerprint: Optional[str] = None,
+    ) -> "WeightedGraph":
+        """Fast constructor from canonical CSR arrays (the binary codec /
+        graph-store attach path).
+
+        ``ids`` are the node ids in ascending order, ``indptr``/``indices``
+        the slot-based CSR adjacency with rows sorted ascending, and
+        ``weights`` the per-slot float64 weights — the exact arrays
+        :class:`~repro.graphs.csr.CSRIndex` builds.  The dict adjacency is
+        reconstructed in bulk (one vectorized slot→id gather plus per-row
+        tuple slicing), the CSR index is pre-seeded with the given arrays
+        (no rebuild on first kernel use), and a known ``fingerprint`` is
+        installed directly so attach never re-hashes the graph.
+        """
+        from repro.graphs.csr import CSRIndex
+
+        import numpy as np
+
+        ids = np.asarray(ids, dtype=np.int64)
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        csr = CSRIndex.from_arrays(ids, indptr, indices, weights_arr)
+        id_list = csr._id_list
+        nbr_ids = ids[indices].tolist()  # python ints, row-major order
+        bounds = indptr.tolist()
+        adj = {
+            v: tuple(nbr_ids[bounds[s]:bounds[s + 1]])
+            for s, v in enumerate(id_list)
+        }
+        w_list = weights_arr.tolist()
+        w = {v: w_list[s] for s, v in enumerate(id_list)}
+        g = cls._from_canonical(adj, w, m=len(nbr_ids) // 2)
+        g._csr = csr
+        if fingerprint is not None:
+            g._fingerprint = fingerprint
+        return g
+
     # ------------------------------------------------------------------ #
     # constructors
     # ------------------------------------------------------------------ #

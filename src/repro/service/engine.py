@@ -36,6 +36,7 @@ import asyncio
 import contextlib
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.api import SolveReport, SolveRequest
@@ -123,6 +124,7 @@ class SolverEngine:
         memory_cache: int = 0,
         worker_id: str = "",
         backend: str = "per-node",
+        graph_store: Optional[Any] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -139,6 +141,26 @@ class SolverEngine:
         self.max_queue = max_queue
         self.worker_id = worker_id
         self.backend = backend or "per-node"
+        # The graph plane: a content-addressed store backing POST
+        # /v1/graphs registration and graph_ref solves.  Accepts a
+        # GraphStore instance (caller-owned, e.g. shared across a
+        # threaded fleet), a directory path, or None — which defaults to
+        # <cache_dir>/graphs next to the result cache, or an ephemeral
+        # temp store without one.  Stores the engine constructs are
+        # closed (and, if ephemeral, removed) in aclose().
+        from repro.graphs.store import GraphStore, ephemeral_store
+
+        if graph_store is None or isinstance(graph_store, (str, Path)):
+            self._owns_graph_store = True
+            if graph_store is not None:
+                self._graph_store = GraphStore(graph_store)
+            elif cache_dir is not None:
+                self._graph_store = GraphStore(Path(cache_dir) / "graphs")
+            else:
+                self._graph_store = ephemeral_store()
+        else:
+            self._owns_graph_store = False
+            self._graph_store = graph_store
         # Tier 1 of the two-tier cache: ok reports keyed by request key,
         # populated on completion (computed *and* disk-cache hits) and
         # served from the event-loop thread with no dispatch handoff.
@@ -219,8 +241,10 @@ class SolverEngine:
             await asyncio.gather(*waits, return_exceptions=True)
 
     async def aclose(self) -> None:
-        """Drain, then tear the dispatcher and pools down."""
+        """Drain, then tear the dispatcher, pools, and graph store down."""
         if not self._started:
+            if self._owns_graph_store:
+                self._graph_store.close()
             return
         await self.drain()
         if self._warmup_task is not None and not self._warmup_task.done():
@@ -235,6 +259,8 @@ class SolverEngine:
             self._dispatch_pool.shutdown(wait=False)
         if self._worker_pool is not None:
             self._worker_pool.shutdown(wait=False, cancel_futures=True)
+        if self._owns_graph_store:
+            self._graph_store.close()
         self._started = False
 
     # ----------------------------------------------------------------- #
@@ -257,6 +283,11 @@ class SolverEngine:
     @property
     def memory_cache(self) -> Optional[LruCache]:
         return self._memory_cache
+
+    @property
+    def graph_store(self):
+        """The engine's content-addressed graph store (always present)."""
+        return self._graph_store
 
     @property
     def stats(self) -> ServiceStats:

@@ -12,11 +12,20 @@ sharding.
 
 Routing is cheap on the hot path: the router keeps a body-bytes →
 shard-key LRU, so a repeated request body costs one sha256 of the raw
-bytes, not a JSON parse.  Unparseable or schema-invalid bodies are
-sharded by their body hash instead and forwarded anyway — the worker
-owns the canonical 400, the router never duplicates that logic.
-Oversized graph declarations are the one exception (413 at the router,
-before any bytes cross to a worker).
+bytes, not a JSON parse.  ``graph_ref`` requests are cheaper still —
+the ref *is* the graph fingerprint, so the shard key falls out of the
+tiny JSON body without materializing a graph (and co-locates with
+body-based twins of the same graph, because the fingerprints agree).
+Unparseable or schema-invalid bodies are sharded by their body hash
+instead and forwarded anyway — the worker owns the canonical 400, the
+router never duplicates that logic.  Oversized graph declarations are
+the one exception (413 at the router, before any bytes cross to a
+worker).
+
+The graph registry (``/v1/graphs``) is proxied too: workers share one
+content-addressed store directory, so registration and lookup forward
+to any alive worker, while ``DELETE`` broadcasts so every worker drops
+its in-process attach state.
 
 Failover: if the owning worker is down, the request walks to the next
 alive worker (placement degrades for exactly the keys owned by the dead
@@ -42,7 +51,12 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 from urllib.parse import parse_qs
 
 from repro._version import __version__
-from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest
+from repro.api import (
+    SCHEMA_VERSION,
+    SchemaError,
+    SolveRequest,
+    request_key_from_doc,
+)
 from repro.service.fleet.aggregate import (
     aggregate_snapshots,
     render_fleet_prometheus,
@@ -183,8 +197,8 @@ class FleetRouter:
         )
         self.stats: Dict[str, int] = {
             "routed": 0, "failovers": 0, "routing_cache_hits": 0,
-            "parse_routed": 0, "body_routed": 0, "upstream_errors": 0,
-            "restarts": 0,
+            "parse_routed": 0, "ref_routed": 0, "body_routed": 0,
+            "upstream_errors": 0, "restarts": 0,
         }
 
     @property
@@ -315,6 +329,8 @@ class FleetRouter:
             if method != "POST":
                 return self._error(405, "use POST for /v1/solve")
             return await self._solve(body)
+        if path == "/v1/graphs" or path.startswith("/v1/graphs/"):
+            return await self._graphs(method, path, body)
         if method not in ("GET", "HEAD"):
             return self._error(405, f"use GET for {path}")
         if path == "/v1/health":
@@ -348,11 +364,21 @@ class FleetRouter:
                 return cached
         try:
             doc = json.loads(body.decode("utf-8"))
-            oversized = SolverServer._graph_too_large(doc)
-            if oversized is not None:
-                raise _OversizedGraph(oversized)
-            key = SolveRequest.from_doc(doc).key()
-            self.stats["parse_routed"] += 1
+            ref_key = request_key_from_doc(doc)
+            if ref_key is not None:
+                # graph_ref request: the ref IS the canonical fingerprint,
+                # so the shard key is computable without touching a graph
+                # store or materializing anything.  Body-based twins of
+                # the same graph land on the same shard because
+                # GraphRef.fingerprint() == WeightedGraph.fingerprint().
+                key = ref_key
+                self.stats["ref_routed"] += 1
+            else:
+                oversized = SolverServer._graph_too_large(doc)
+                if oversized is not None:
+                    raise _OversizedGraph(oversized)
+                key = SolveRequest.from_doc(doc).key()
+                self.stats["parse_routed"] += 1
         except _OversizedGraph:
             raise
         except (ValueError, UnicodeDecodeError, SchemaError, TypeError,
@@ -410,17 +436,92 @@ class FleetRouter:
         return self._error(503, f"no worker available ({last_error})")
 
     async def _forward_any(
-        self, method: str, path: str,
+        self, method: str, path: str, body: bytes = b"",
     ) -> Tuple[int, Union[bytes, Dict[str, Any]], str]:
         for index, endpoint in enumerate(self._endpoints):
             if not endpoint.alive:
                 continue
             try:
-                return await self._channels[index].request(method, path)
+                return await self._channels[index].request(method, path, body)
             except _UpstreamError:
                 endpoint.alive = False
                 self.stats["upstream_errors"] += 1
         return self._error(503, "no worker available")
+
+    # ----------------------------------------------------------------- #
+    # graph plane
+    # ----------------------------------------------------------------- #
+
+    async def _graphs(self, method: str, path: str, body: bytes,
+                      ) -> Tuple[int, Union[bytes, Dict[str, Any]], str]:
+        """Proxy the graph registry.
+
+        Workers share one content-addressed store directory, so a graph
+        registered through *any* worker is immediately resolvable by all
+        of them — ``POST`` and ``GET``/``HEAD`` forward to any alive
+        worker.  ``DELETE`` is the exception: eviction must also drop
+        each worker's in-process attach memo and shared-memory mapping,
+        so it broadcasts to every alive worker and merges the answers.
+        """
+        if path == "/v1/graphs":
+            if method != "POST":
+                return self._error(405, "use POST for /v1/graphs")
+            if self._draining:
+                return self._error(503, "fleet is draining")
+            return await self._forward_any("POST", "/v1/graphs", body)
+        if method in ("GET", "HEAD"):
+            return await self._forward_any(method, path)
+        if method == "DELETE":
+            return await self._evict_graph(path)
+        return self._error(405, f"unsupported method {method} for {path}")
+
+    async def _evict_graph(self, path: str,
+                           ) -> Tuple[int, Dict[str, Any], str]:
+        """Broadcast a graph eviction to every alive worker.
+
+        The first worker to delete the backing file answers
+        ``evicted: true``; the rest drop their local attach state and
+        report the ref as already gone.  The merged response says
+        whether *any* worker actually evicted, which is the fleet-level
+        truth the client cares about.
+        """
+        async def one(index: int) -> Optional[Dict[str, Any]]:
+            endpoint = self._endpoints[index]
+            if not endpoint.alive:
+                return None
+            try:
+                status, payload, _ = await self._channels[index].request(
+                    "DELETE", path, timeout_s=HEALTH_TIMEOUT_S)
+            except _UpstreamError:
+                endpoint.alive = False
+                self.stats["upstream_errors"] += 1
+                return None
+            try:
+                doc = json.loads(payload) if payload else {}
+            except ValueError:
+                doc = {}
+            doc["_status"] = status
+            return doc
+
+        polled = [doc for doc in await asyncio.gather(
+            *(one(i) for i in range(self.shards))) if doc is not None]
+        if not polled:
+            return self._error(503, "no worker available")
+        bad = next((doc for doc in polled
+                    if doc.get("_status") not in (200, 404)), None)
+        if bad is not None:
+            status = int(bad.get("_status", 500))
+            return status, {k: v for k, v in bad.items()
+                            if not k.startswith("_")}, JSON_CONTENT_TYPE
+        evicted = any(doc.get("evicted") for doc in polled)
+        ref = next((doc.get("graph_ref") for doc in polled
+                    if doc.get("graph_ref")), path.rsplit("/", 1)[-1])
+        return 200, {
+            "schema": SCHEMA_VERSION,
+            "graph_ref": ref,
+            "evicted": evicted,
+            "workers_polled": len(polled),
+        }, JSON_CONTENT_TYPE
 
     # ----------------------------------------------------------------- #
     # fleet health + metrics
@@ -547,18 +648,21 @@ def run_fleet(
     max_batch: int = 8,
     backend: str = "per-node",
     scratch_dir: str = ".fleet",
+    graph_store: Optional[str] = None,
     banner: bool = True,
 ) -> int:
     """Blocking entry point of ``repro fleet``.
 
     Spawns ``workers`` solver subprocesses sharing ``cache_dir`` (tier
-    2), each with a ``memory_cache``-sized LRU (tier 1), then routes
-    ``/v1/*`` traffic across them until SIGTERM/SIGINT, then drains.
+    2), each with a ``memory_cache``-sized LRU (tier 1) and one shared
+    content-addressed graph store (``graph_store``, defaulting to
+    ``<scratch_dir>/graphs``), then routes ``/v1/*`` traffic across
+    them until SIGTERM/SIGINT, then drains.
     """
     supervisor = FleetSupervisor(
         workers=workers, cache_dir=cache_dir, memory_cache=memory_cache,
         max_queue=max_queue, max_batch=max_batch, backend=backend,
-        scratch_dir=scratch_dir, host=host,
+        scratch_dir=scratch_dir, graph_store=graph_store, host=host,
     )
     supervisor.start()
     router = FleetRouter(supervisor, host=host, port=port)

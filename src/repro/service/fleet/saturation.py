@@ -75,6 +75,7 @@ def start_fleet(
     max_queue: int = 64,
     max_batch: int = 8,
     scratch_dir: str = ".fleet",
+    graph_store: Optional[str] = None,
     threaded: bool = False,
     registry: Optional[Dict[str, Any]] = None,
     host: str = "127.0.0.1",
@@ -92,14 +93,15 @@ def start_fleet(
     if threaded:
         supervisor: Any = ThreadedFleet(
             workers=workers, cache_dir=cache_dir, memory_cache=memory_cache,
-            max_queue=max_queue, max_batch=max_batch, registry=registry)
+            max_queue=max_queue, max_batch=max_batch, registry=registry,
+            graph_store=graph_store)
     else:
         if registry is not None:
             raise ValueError("registry injection requires threaded=True")
         supervisor = FleetSupervisor(
             workers=workers, cache_dir=cache_dir, memory_cache=memory_cache,
             max_queue=max_queue, max_batch=max_batch,
-            scratch_dir=scratch_dir, host=host)
+            scratch_dir=scratch_dir, graph_store=graph_store, host=host)
     supervisor.start()
 
     router = FleetRouter(supervisor, host=host, port=0)

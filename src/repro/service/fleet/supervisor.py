@@ -110,6 +110,7 @@ class FleetSupervisor:
         max_batch: int = 8,
         backend: str = "per-node",
         scratch_dir: str = ".",
+        graph_store: Optional[str] = None,
         restart_on_crash: bool = True,
         start_timeout_s: float = 60.0,
         host: str = "127.0.0.1",
@@ -123,6 +124,10 @@ class FleetSupervisor:
         self.max_batch = max_batch
         self.backend = backend
         self.scratch_dir = scratch_dir
+        # All workers attach the same content-addressed graph store so a
+        # graph registered through any one of them resolves on all.
+        self.graph_store = (graph_store if graph_store is not None
+                            else os.path.join(scratch_dir, "graphs"))
         self.restart_on_crash = restart_on_crash
         self.start_timeout_s = start_timeout_s
         self.host = host
@@ -157,6 +162,7 @@ class FleetSupervisor:
             "--max-queue", str(self.max_queue),
             "--max-batch", str(self.max_batch),
             "--backend", self.backend,
+            "--graph-store", self.graph_store,
         ]
         if self.cache_dir is not None:
             argv += ["--cache", self.cache_dir]
@@ -272,6 +278,7 @@ class FleetSupervisor:
             "memory_cache": self.memory_cache,
             "backend": self.backend,
             "cache_dir": self.cache_dir,
+            "graph_store": self.graph_store,
             "restart_on_crash": self.restart_on_crash,
             "restarts": {e.worker_id: e.restarts for e in self._endpoints
                          if e.restarts},
@@ -289,6 +296,7 @@ class ThreadedFleet:
     def __init__(self, *, workers: int, cache_dir: Optional[str] = None,
                  memory_cache: int = 256, max_queue: int = 64,
                  max_batch: int = 8, backend: str = "per-node",
+                 graph_store: Optional[str] = None,
                  restart_on_crash: bool = True,
                  registry: Optional[Dict[str, Any]] = None) -> None:
         if workers < 1:
@@ -299,6 +307,7 @@ class ThreadedFleet:
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.backend = backend
+        self.graph_store = graph_store
         self.restart_on_crash = restart_on_crash
         self.registry = registry
         self._threads: List[Optional[threading.Thread]] = [None] * workers
@@ -331,6 +340,7 @@ class ThreadedFleet:
                     max_queue=self.max_queue, max_batch=self.max_batch,
                     worker_id=str(index), backend=self.backend,
                     registry=self.registry,
+                    graph_store=self.graph_store,
                 )
                 server = SolverServer(engine, host="127.0.0.1", port=0)
                 self._loops[index] = asyncio.get_running_loop()
@@ -408,6 +418,7 @@ class ThreadedFleet:
             "memory_cache": self.memory_cache,
             "backend": self.backend,
             "cache_dir": self.cache_dir,
+            "graph_store": self.graph_store,
             "restart_on_crash": self.restart_on_crash,
             "restarts": {e.worker_id: e.restarts for e in self._endpoints
                          if e.restarts},

@@ -41,6 +41,7 @@ __all__ = [
     "DEFAULT_SPECS",
     "build_request_pool",
     "generate_arrivals",
+    "register_pool_graphs",
     "run_loadgen",
     "run_open_loop",
 ]
@@ -193,6 +194,67 @@ class _Client:
         if close_after:
             await self.close()
         return status, payload
+
+
+# --------------------------------------------------------------------- #
+# graph_ref mode
+# --------------------------------------------------------------------- #
+
+def _ref_body(request: SolveRequest, fingerprint: str) -> bytes:
+    """The request body with the graph replaced by its ``graph_ref``.
+
+    ``SolveRequest.key()`` hashes the graph *fingerprint*, which is
+    exactly the ref — so the ref-carrying request is the same logical
+    request (same cache key, same coalescing, byte-identical report) in
+    a body a few hundred bytes long instead of the full node/edge dump.
+    """
+    doc = request.to_doc()
+    doc["graph"] = {"graph_ref": fingerprint}
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+async def _register_async(host: str, port: int,
+                          pool: List[PoolEntry]) -> Dict[str, str]:
+    from repro.graphs import io as graph_io
+
+    client = _Client(host, port)
+    refs: Dict[str, str] = {}
+    try:
+        for entry in pool:
+            fp = entry.graph.fingerprint()
+            if fp in refs:
+                continue
+            status, payload = await client.request(
+                "POST", "/v1/graphs", graph_io.to_bytes(entry.graph))
+            if status != 200:
+                raise ConnectionError(
+                    f"graph registration failed: HTTP {status}: "
+                    f"{payload[:200]!r}")
+            refs[fp] = json.loads(payload)["graph_ref"]
+    finally:
+        await client.close()
+    return refs
+
+
+def register_pool_graphs(host: str, port: int,
+                         pool: List[PoolEntry]) -> List[PoolEntry]:
+    """Ingest-once-solve-many: register every unique pool graph via
+    ``POST /v1/graphs`` (binary blob upload) and return a pool whose
+    request bodies reference the stored graphs by ``graph_ref``.
+
+    Request keys are unchanged (the ref *is* the fingerprint), so
+    report verification and divergence tracking work identically on the
+    rewritten pool.
+    """
+    refs = asyncio.run(_register_async(host, port, pool))
+    return [
+        PoolEntry(
+            request=entry.request,
+            graph=entry.graph,
+            body=_ref_body(entry.request, refs[entry.graph.fingerprint()]),
+        )
+        for entry in pool
+    ]
 
 
 # --------------------------------------------------------------------- #
@@ -492,6 +554,7 @@ def run_open_loop(
     timeout_s: float = 30.0,
     pool: Optional[List[PoolEntry]] = None,
     out_path: Optional[str] = None,
+    graph_ref: bool = False,
 ) -> Dict[str, Any]:
     """Open-loop benchmark: offer ``rate`` req/s for ``duration_s``.
 
@@ -508,6 +571,8 @@ def run_open_loop(
         pool = build_request_pool()
     if not pool:
         raise ValueError("request pool is empty")
+    if graph_ref:
+        pool = register_pool_graphs(host, port, pool)
     arrivals = generate_arrivals(process=arrival, rate=rate,
                                  duration_s=duration_s, seed=arrival_seed,
                                  burst_size=burst_size)
@@ -527,6 +592,7 @@ def run_open_loop(
             "duration_s": duration_s, "arrival_seed": arrival_seed,
             "burst_size": burst_size if arrival == "bursty" else None,
             "timeout_s": timeout_s, "pool_size": len(pool),
+            "graph_ref": graph_ref,
         },
         "elapsed_s": elapsed,
         "offered": len(arrivals),
@@ -577,6 +643,7 @@ def run_loadgen(
     pool: Optional[List[PoolEntry]] = None,
     verify: bool = True,
     slo: Optional[Any] = None,
+    graph_ref: bool = False,
 ) -> Dict[str, Any]:
     """Drive a running service and write the benchmark document.
 
@@ -599,6 +666,10 @@ def run_loadgen(
         pool = build_request_pool()
     if not pool:
         raise ValueError("request pool is empty")
+    if graph_ref:
+        # Ingest-once-solve-many: every unique graph goes over the wire
+        # exactly once; the loop then solves by reference.
+        pool = register_pool_graphs(host, port, pool)
 
     t0 = time.monotonic()
     tally = asyncio.run(
@@ -624,6 +695,7 @@ def run_loadgen(
             "clients": clients,
             "duration_s": duration_s,
             "pool_size": len(pool),
+            "graph_ref": graph_ref,
         },
         "elapsed_s": elapsed,
         "sent": tally.sent,

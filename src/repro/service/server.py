@@ -7,7 +7,13 @@ versioned:
   document; the response envelope is ``{"schema": "v1", "report": ...,
   "served": {...}}`` where ``report`` is the *canonical* solve report
   (byte-identical to ``repro.api.solve``) and ``served`` carries cache /
-  coalescing / latency provenance.
+  coalescing / latency provenance.  The request's graph may be inline,
+  a generator spec, or ``{"graph_ref": "<fingerprint>"}`` referencing a
+  graph registered through ``POST /v1/graphs`` (404 on unknown refs).
+* ``POST /v1/graphs`` — register a graph (binary CSR blob or JSON graph
+  document) in the content-addressed graph store; returns its
+  ``graph_ref`` (the graph fingerprint).  ``GET /v1/graphs/<ref>``
+  describes a stored graph; ``DELETE /v1/graphs/<ref>`` evicts it.
 * ``GET /v1/health`` — liveness plus drain state, the worker id, and
   the default execution backend (what the fleet router keys on).
 * ``GET /v1/ready`` — readiness: 503 while draining or before the
@@ -48,7 +54,9 @@ from urllib.parse import parse_qs
 
 from repro._version import __version__
 from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest, describe_algorithms
+from repro.exceptions import GraphFormatError
 from repro.graphs.specs import declared_nodes
+from repro.graphs.store import GraphRef, UnknownGraphRef
 from repro.service.engine import (
     DeadlineExceeded,
     RequestRejected,
@@ -252,6 +260,17 @@ class SolverServer:
             if method != "POST":
                 return self._error(405, "use POST for /v1/solve")
             return await self._solve(body)
+        if path == "/v1/graphs":
+            if method != "POST":
+                return self._error(405, "use POST for /v1/graphs")
+            return self._register_graph(body)
+        if path.startswith("/v1/graphs/"):
+            ref = path[len("/v1/graphs/"):]
+            if method in ("GET", "HEAD"):
+                return self._describe_graph(ref)
+            if method == "DELETE":
+                return self._evict_graph(ref)
+            return self._error(405, "use GET or DELETE for /v1/graphs/<ref>")
         if method not in ("GET", "HEAD"):
             return self._error(405, f"use GET for {path}")
         if path == "/v1/health":
@@ -283,6 +302,89 @@ class SolverServer:
             }
         return self._error(404, f"no route {path!r}")
 
+    # ----------------------------------------------------------------- #
+    # the graph plane: register once, solve by reference
+    # ----------------------------------------------------------------- #
+
+    def _register_graph(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/graphs`` — ingest a graph into the engine's
+        content-addressed store and return its ``graph_ref``.
+
+        Two body encodings, distinguished by content sniffing (the binary
+        blob format is magic-prefixed, so no header plumbing is needed):
+
+        * the binary CSR blob of :func:`repro.graphs.io.to_bytes`;
+        * a JSON graph document (inline ``nodes``/``edges`` or a
+          generator ``spec``, exactly the forms ``/v1/solve`` accepts
+          inline).
+        """
+        from repro import blob
+
+        store = self.engine.graph_store
+        if body[:8] == blob.MAGIC:
+            # Size admission without materializing: the blob header
+            # carries the node count.
+            try:
+                from repro.graphs.store import _blob_meta
+
+                declared = int(_blob_meta(body).get("n", 0))
+            except (GraphFormatError, TypeError, ValueError) as exc:
+                return self._error(400, f"bad graph blob: {exc}")
+            if declared > MAX_GRAPH_NODES:
+                return self._error(
+                    413, f"graph declares {declared} nodes; this server "
+                         f"accepts at most {MAX_GRAPH_NODES}")
+            try:
+                ref = store.put_bytes(body)
+            except GraphFormatError as exc:
+                return self._error(400, str(exc))
+        else:
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                return self._error(
+                    400, f"graph body is neither a repro blob nor valid "
+                         f"JSON: {exc}")
+            oversized = self._graph_too_large({"graph": doc})
+            if oversized is not None:
+                return self._error(413, oversized)
+            from repro.api import graph_from_doc
+
+            try:
+                graph = graph_from_doc(doc)
+            except SchemaError as exc:
+                return self._error(400, str(exc))
+            if graph.n > MAX_GRAPH_NODES:
+                return self._error(
+                    413, f"graph has {graph.n} nodes; this server accepts "
+                         f"at most {MAX_GRAPH_NODES}")
+            ref = store.put(graph)
+        return 200, {
+            "schema": SCHEMA_VERSION,
+            "graph_ref": ref.ref,
+            "n": ref.n,
+            "m": ref.m,
+        }
+
+    def _describe_graph(self, ref: str) -> Tuple[int, Dict[str, Any]]:
+        try:
+            info = self.engine.graph_store.describe(ref)
+        except UnknownGraphRef as exc:
+            return self._error(404, str(exc))
+        except GraphFormatError as exc:
+            return self._error(400, str(exc))
+        return 200, {"schema": SCHEMA_VERSION, "graph_ref": ref,
+                     "n": info["n"], "m": info["m"],
+                     "nbytes": info["nbytes"]}
+
+    def _evict_graph(self, ref: str) -> Tuple[int, Dict[str, Any]]:
+        try:
+            evicted = self.engine.graph_store.evict(ref)
+        except GraphFormatError as exc:
+            return self._error(400, str(exc))
+        return 200, {"schema": SCHEMA_VERSION, "graph_ref": ref,
+                     "evicted": evicted}
+
     async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         request: Optional[SolveRequest] = None
         body_key = ""
@@ -303,11 +405,25 @@ class SolverServer:
             if oversized is not None:
                 return self._error(413, oversized)
             try:
-                request = SolveRequest.from_doc(doc)
+                request = SolveRequest.from_doc(
+                    doc, store=self.engine.graph_store)
+            except UnknownGraphRef as exc:
+                return self._error(404, str(exc))
             except SchemaError as exc:
                 return self._error(400, str(exc))
             if self._parse_cache is not None:
                 self._parse_cache.put(body_key, request)
+        if isinstance(request.graph, GraphRef):
+            # Re-check liveness on parse-cache hits: the ref may have
+            # been evicted since the request was first parsed.
+            if request.graph.ref not in self.engine.graph_store:
+                return self._error(
+                    404, f"unknown graph_ref {request.graph.ref!r}")
+            if request.graph.n > MAX_GRAPH_NODES:
+                return self._error(
+                    413, f"graph {request.graph.ref[:12]}… has "
+                         f"{request.graph.n} nodes; this server accepts "
+                         f"at most {MAX_GRAPH_NODES}")
         try:
             served = await self.engine.submit(request)
         except UnknownAlgorithmError as exc:
@@ -411,6 +527,7 @@ def serve(
     memory_cache: int = 0,
     worker_id: str = "",
     backend: str = "per-node",
+    graph_store: Optional[str] = None,
 ) -> int:
     """Blocking entry point of ``repro serve``.
 
@@ -420,12 +537,14 @@ def serve(
     the in-memory LRU report cache (0 disables it); ``worker_id`` tags
     this process in health payloads and served envelopes when it runs as
     a fleet worker; ``backend`` is the execution backend used for
-    requests that do not select one.
+    requests that do not select one; ``graph_store`` points the
+    content-addressed graph store at a directory (shared across a fleet
+    so a graph registered on any worker resolves on all of them).
     """
     engine = SolverEngine(workers=workers, cache_dir=cache_dir,
                           max_queue=max_queue, max_batch=max_batch,
                           memory_cache=memory_cache, worker_id=worker_id,
-                          backend=backend)
+                          backend=backend, graph_store=graph_store)
     server = SolverServer(engine, host=host, port=port)
     asyncio.run(_serve_async(server, banner=banner))
     return 0

@@ -38,6 +38,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.graphs.store import GraphRef
 from repro.graphs.weighted_graph import WeightedGraph
 from repro.obs.telemetry import collect_run_telemetry
 from repro.registry import AlgorithmFn
@@ -87,9 +88,16 @@ class BatchJob:
     ``seed=None`` means "derive from the master seed by job position";
     an explicit int is used verbatim, which lets experiments route their
     existing per-trial seeds through the engine unchanged.
+
+    ``graph`` may also be a :class:`~repro.graphs.store.GraphRef`: the
+    job then pickles as a few hundred bytes and the executing worker
+    attaches the graph zero-copy through its process-global store memo
+    (once per graph per worker, not once per job).  Cache keys only use
+    ``graph.fingerprint()``, so ref jobs and materialized jobs share
+    cache entries bit for bit.
     """
 
-    graph: WeightedGraph
+    graph: Union[WeightedGraph, GraphRef]
     algorithm: Union[str, AlgorithmFn]
     seed: Optional[int] = None
     params: Dict[str, Any] = field(default_factory=dict)
@@ -352,7 +360,29 @@ def _cache_path(cache_dir: str, key: str) -> str:
     return os.path.join(cache_dir, f"{key}.json")
 
 
+def _binary_cache_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"{key}.bin")
+
+
+def _binary_min_nodes() -> int:
+    """Independent-set size above which an outcome also gets a binary
+    cache entry (``REPRO_CACHE_BINARY_MIN``, default 4096).
+
+    Small outcomes stay JSON-only: the blob framing would cost more than
+    the ``json.loads`` it saves.  Large ones — the 10⁵–10⁶-node cells —
+    parse their chosen-set array as one zero-copy read instead of a list
+    of Python ints.
+    """
+    try:
+        return int(os.environ.get("REPRO_CACHE_BINARY_MIN", "4096"))
+    except ValueError:
+        return 4096
+
+
 def _cache_load(cache_dir: str, key: str, index: int) -> Optional[JobOutcome]:
+    outcome = _binary_cache_load(cache_dir, key, index)
+    if outcome is not None:
+        return outcome
     path = _cache_path(cache_dir, key)
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -365,6 +395,28 @@ def _cache_load(cache_dir: str, key: str, index: int) -> Optional[JobOutcome]:
         return None  # corrupt entry: recompute and overwrite
 
 
+def _binary_cache_load(cache_dir: str, key: str,
+                       index: int) -> Optional[JobOutcome]:
+    """The binary tier: checked before JSON, torn/corrupt entries fall
+    through (the JSON tier, or a recompute, then overwrites them)."""
+    try:
+        with open(_binary_cache_path(cache_dir, key), "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return None
+    from repro import blob
+
+    try:
+        meta, arrays = blob.unpack(data)
+        if meta.get("kind") != "job_outcome":
+            return None
+        doc = dict(meta["outcome"])
+        doc["independent_set"] = arrays["independent_set"].tolist()
+        return JobOutcome.from_doc(doc, index=index, cached=True)
+    except (blob.BlobFormatError, KeyError, TypeError, ValueError):
+        return None
+
+
 def _cache_store(cache_dir: str, key: str, outcome: JobOutcome) -> None:
     path = _cache_path(cache_dir, key)
     tmp = f"{path}.tmp.{os.getpid()}"
@@ -372,6 +424,22 @@ def _cache_store(cache_dir: str, key: str, outcome: JobOutcome) -> None:
     with open(tmp, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, indent=1)
     os.replace(tmp, path)  # atomic on POSIX: concurrent sweeps never see partial files
+    if len(outcome.independent_set) >= _binary_min_nodes():
+        _binary_cache_store(cache_dir, key, outcome)
+
+
+def _binary_cache_store(cache_dir: str, key: str, outcome: JobOutcome) -> None:
+    from repro import blob
+
+    doc = outcome.to_doc()
+    chosen = np.asarray(doc.pop("independent_set"), dtype=np.int64)
+    data = blob.pack({"kind": "job_outcome", "key": key, "outcome": doc},
+                     [("independent_set", chosen)])
+    path = _binary_cache_path(cache_dir, key)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)  # same atomicity contract as the JSON tier
 
 
 # --------------------------------------------------------------------- #
@@ -402,11 +470,19 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
     """Run one job; top-level so ProcessPoolExecutor can pickle it."""
     index, job, seed, policy = payload
     start = time.perf_counter()
+    attach_s = 0.0
     # The collector sees every inner run() of composed algorithms on
     # this thread (workers ship the collected doc back inside the
     # pickled outcome); it never touches the result itself.
     with collect_run_telemetry() as collector:
         try:
+            if isinstance(job.graph, GraphRef):
+                # Zero-copy resolution: the process-global store memo
+                # attaches each fingerprint once per worker, so repeat
+                # jobs skip graph unpickling entirely.
+                t0 = time.perf_counter()
+                job = replace(job, graph=job.graph.resolve())
+                attach_s = time.perf_counter() - t0
             if isinstance(job.algorithm, str):
                 registry = _algorithm_registry()
                 if job.algorithm not in registry:
@@ -431,7 +507,7 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
                 else:
                     result = job.algorithm(job.graph, seed=seed, **job.params)
             chosen = tuple(sorted(result.independent_set))
-            return JobOutcome(
+            outcome = JobOutcome(
                 index=index,
                 algorithm=job.algorithm_name,
                 seed=seed,
@@ -446,7 +522,7 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
                 telemetry=collector.to_doc(),
             )
         except Exception as exc:  # noqa: BLE001 — one bad job must not kill the sweep
-            return JobOutcome(
+            outcome = JobOutcome(
                 index=index,
                 algorithm=job.algorithm_name,
                 seed=seed,
@@ -456,6 +532,9 @@ def _execute_job(payload: Tuple[int, BatchJob, int, Optional[BandwidthPolicy]]) 
                 label=job.label,
                 telemetry=collector.to_doc(),
             )
+    if attach_s:
+        outcome = _with_stage(outcome, "graph_attach", attach_s)
+    return outcome
 
 
 def _with_stage(outcome: JobOutcome, name: str, seconds: float) -> JobOutcome:
@@ -608,7 +687,9 @@ def batch_run(
                 "graph": {
                     "n": job.graph.n,
                     "m": job.graph.m,
-                    "max_degree": job.graph.max_degree,
+                    # A GraphRef carries no degree stats; emit None rather
+                    # than materializing the graph just for the record.
+                    "max_degree": getattr(job.graph, "max_degree", None),
                     "fingerprint": job.graph.fingerprint(),
                 },
                 **outcome.to_doc(),

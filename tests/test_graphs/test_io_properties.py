@@ -98,3 +98,82 @@ def test_awkward_float_weights_are_exact(weird):
     g = path(3).with_weights({0: weird, 1: 1.0, 2: weird})
     assert loads(dumps(g)).weight(0) == weird
     assert from_json(to_json(g)).weight(2) == weird
+
+
+# --------------------------------------------------------------------- #
+# binary codec: equal to the JSON codec on everything the zoo produces
+# --------------------------------------------------------------------- #
+
+def _binary_roundtrips(g: WeightedGraph) -> None:
+    from repro.graphs.io import from_buffer, from_bytes, to_bytes
+
+    blob = to_bytes(g)
+    for back in (from_bytes(blob), from_buffer(blob)):
+        assert back == g
+        assert back.fingerprint() == g.fingerprint()
+        assert back.nodes == g.nodes
+    # The two codecs are interchangeable: JSON-decode of the JSON
+    # encoding equals binary-decode of the binary encoding.
+    assert from_bytes(blob) == from_json(to_json(g))
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1),
+       wseed=st.integers(0, 2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_zoo_binary_roundtrip_with_random_weights(gen, seed, wseed):
+    _binary_roundtrips(uniform_weights(gen(seed), 0.5, 100.0, seed=wseed))
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1),
+       stride=st.integers(2, 17), offset=st.integers(0, 1000))
+@settings(max_examples=40, deadline=None)
+def test_non_contiguous_node_ids_binary_roundtrip(gen, seed, stride, offset):
+    g = gen(seed)
+    relabel = {v: offset + stride * v for v in g.nodes}
+    h = WeightedGraph.from_edges(
+        relabel.values(),
+        [(relabel[u], relabel[v]) for u, v in g.edges()],
+        {relabel[v]: g.weight(v) for v in g.nodes},
+    )
+    _binary_roundtrips(h)
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1),
+       zeros=st.sets(st.integers(0, 30), max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_zero_weight_nodes_binary_roundtrip(gen, seed, zeros):
+    from repro.graphs.io import from_bytes, to_bytes
+
+    g = gen(seed)
+    zeroed = zeros & set(g.nodes)
+    g = g.with_weights({v: (0.0 if v in zeroed else g.weight(v))
+                        for v in g.nodes})
+    _binary_roundtrips(g)
+    back = from_bytes(to_bytes(g))
+    assert all(back.weight(v) == 0.0 for v in zeroed)
+
+
+def test_empty_graph_binary_roundtrip():
+    from repro.graphs.io import from_bytes, to_bytes
+
+    g = WeightedGraph.from_edges([], [], {})
+    _binary_roundtrips(g)
+    assert from_bytes(to_bytes(g)).n == 0
+
+
+@pytest.mark.parametrize("weird", [0.1 + 0.2, 1e-300, 1.5e300, 1 / 3])
+def test_awkward_float_weights_exact_in_binary(weird):
+    from repro.graphs.io import from_bytes, to_bytes
+
+    g = path(3).with_weights({0: weird, 1: 1.0, 2: weird})
+    back = from_bytes(to_bytes(g))
+    assert back.weight(0) == weird and back.weight(2) == weird
+
+
+@given(gen=st.sampled_from(ZOO), seed=st.integers(0, 2**32 - 1))
+@settings(max_examples=30, deadline=None)
+def test_binary_encoding_is_deterministic(gen, seed):
+    from repro.graphs.io import to_bytes
+
+    g = uniform_weights(gen(seed), 1, 50, seed=seed)
+    assert to_bytes(g) == to_bytes(loads(dumps(g)))

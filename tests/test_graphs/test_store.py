@@ -1,0 +1,191 @@
+"""Content-addressed graph store: put/attach/evict, zero-copy attach,
+cross-store visibility, and shared-memory hygiene.
+
+The store is the backbone of solve-by-reference: ``/v1/solve`` with a
+``graph_ref`` and pickled :class:`~repro.graphs.store.GraphRef` objects
+in batch jobs both resolve through it, so an attached graph must be
+*indistinguishable* from the original — same fingerprint, same
+iteration order, byte-identical solver results.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.api import solve
+from repro.graphs import gnp, uniform_weights
+from repro.graphs.io import GraphFormatError, to_bytes
+from repro.graphs.store import (
+    GraphRef,
+    GraphStore,
+    UnknownGraphRef,
+    ephemeral_store,
+    get_store,
+    resolve,
+    shm_segment_name,
+)
+from repro.graphs.weighted_graph import WeightedGraph
+
+
+@pytest.fixture
+def graph():
+    return uniform_weights(gnp(30, 0.15, seed=4), 1, 20, seed=9)
+
+
+def test_put_then_attach_is_identical(tmp_path, graph):
+    with GraphStore(tmp_path) as store:
+        ref = store.put(graph)
+        assert ref.ref == graph.fingerprint()
+        assert ref.n == graph.n and ref.m == graph.m
+        back = store.attach(ref.ref)
+        assert back == graph
+        assert back.fingerprint() == graph.fingerprint()
+        assert back.nodes == graph.nodes
+
+
+def test_attach_from_fresh_store_solves_identically(tmp_path, graph):
+    # A second store over the same root simulates another process: it
+    # has no memo and must attach from the persisted blob.
+    with GraphStore(tmp_path) as writer:
+        fp = writer.put(graph).ref
+    with GraphStore(tmp_path) as reader:
+        attached = reader.attach(fp)
+        a = solve(graph, "thm2", seed=3, eps=0.5)
+        b = solve(attached, "thm2", seed=3, eps=0.5)
+        assert a.to_json() == b.to_json()
+
+
+def test_put_is_idempotent(tmp_path, graph):
+    with GraphStore(tmp_path) as store:
+        r1 = store.put(graph)
+        r2 = store.put(graph)
+        assert r1 == r2
+        assert store.refs() == [r1.ref]
+
+
+def test_put_bytes_validates_fingerprint(tmp_path, graph):
+    blob = to_bytes(graph)
+    with GraphStore(tmp_path) as store:
+        ref = store.put_bytes(blob)
+        assert ref.ref == graph.fingerprint()
+    # A blob whose header claims a different fingerprint is rejected:
+    # content addressing must not be poisonable.
+    forged = blob.replace(graph.fingerprint().encode(),
+                          ("0" * 64).encode())
+    with GraphStore(tmp_path / "other") as store:
+        with pytest.raises(GraphFormatError):
+            store.put_bytes(forged)
+
+
+def test_unknown_ref_raises(tmp_path):
+    with GraphStore(tmp_path) as store:
+        with pytest.raises(UnknownGraphRef):
+            store.attach("0" * 64)
+        with pytest.raises(UnknownGraphRef):
+            store.describe("0" * 64)
+        assert ("0" * 64) not in store
+
+
+def test_path_traversal_refs_rejected(tmp_path):
+    with GraphStore(tmp_path) as store:
+        for bad in ("../../etc/passwd", "a/b", "a\\b", "x.rwg"):
+            with pytest.raises(GraphFormatError):
+                store.attach(bad)
+
+
+def test_describe_reads_header_only(tmp_path, graph):
+    with GraphStore(tmp_path) as store:
+        fp = store.put(graph).ref
+    with GraphStore(tmp_path) as store:
+        info = store.describe(fp)
+        assert info["n"] == graph.n and info["m"] == graph.m
+        assert info["nbytes"] > 0
+        # describe must not populate the attach memo.
+        assert store._graphs == {}
+
+
+def test_evict(tmp_path, graph):
+    with GraphStore(tmp_path) as store:
+        fp = store.put(graph).ref
+        assert store.evict(fp) is True
+        assert fp not in store
+        assert store.evict(fp) is False
+        with pytest.raises(UnknownGraphRef):
+            store.attach(fp)
+
+
+def test_concurrent_readers_share_one_graph(tmp_path, graph):
+    with GraphStore(tmp_path) as store:
+        fp = store.put(graph).ref
+    with GraphStore(tmp_path) as reader:
+        a = reader.attach(fp)
+        b = reader.attach(fp)
+        assert a is b  # the per-store memo: one materialization
+
+
+def test_graph_ref_resolve_roundtrip(tmp_path, graph):
+    with GraphStore(tmp_path) as store:
+        ref = store.put(graph)
+        assert resolve(ref) == graph
+    # Self-describing: a ref carries its root, so a fresh process (here:
+    # the module-level resolver with no prior store) can resolve it.
+    ref2 = GraphRef(ref=ref.ref, root=str(tmp_path), n=ref.n, m=ref.m)
+    assert resolve(ref2) == graph
+
+
+def test_get_store_memoizes_per_root(tmp_path):
+    s1 = get_store(tmp_path)
+    s2 = get_store(os.path.join(str(tmp_path), "."))
+    assert s1 is s2
+
+
+def test_ephemeral_store_cleans_up(graph):
+    store = ephemeral_store()
+    root = store.root
+    store.put(graph)
+    assert os.path.isdir(root)
+    store.close()
+    assert not os.path.exists(root)
+
+
+def test_empty_graph_roundtrips_through_store(tmp_path):
+    g = WeightedGraph.from_edges([], [], {})
+    with GraphStore(tmp_path) as store:
+        fp = store.put(g).ref
+    with GraphStore(tmp_path) as reader:
+        assert reader.attach(fp) == g
+
+
+def test_no_leaked_shm_segments_after_close(tmp_path, graph):
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("no /dev/shm on this platform")
+    with GraphStore(tmp_path, use_shm=True) as store:
+        fp = store.put(graph).ref
+        store.attach(fp)
+    assert not os.path.exists(os.path.join("/dev/shm",
+                                           shm_segment_name(fp)))
+
+
+def _child_attach(root, fp, queue):
+    from repro.graphs.store import GraphStore
+
+    with GraphStore(root) as store:
+        g = store.attach(fp)
+        queue.put((g.n, g.m, g.fingerprint()))
+
+
+def test_cross_process_attach(tmp_path, graph):
+    # The mmap/shm fallback pair must let a genuinely separate process
+    # attach the same fingerprint and see the identical graph.
+    with GraphStore(tmp_path) as store:
+        fp = store.put(graph).ref
+        ctx = multiprocessing.get_context("spawn")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_child_attach,
+                           args=(str(tmp_path), fp, queue))
+        proc.start()
+        n, m, child_fp = queue.get(timeout=60)
+        proc.join(timeout=60)
+        assert (n, m, child_fp) == (graph.n, graph.m, fp)
+        assert proc.exitcode == 0

@@ -470,3 +470,87 @@ class TestAggregateUnit:
         assert "repro_fleet_requests_total 3" in text
         assert 'repro_fleet_request_latency_seconds_bucket{le="+Inf"} 3' in text
         assert "repro_fleet_router_routed 3" in text
+
+
+class TestGraphPlane:
+    """The graph registry through the router: shared store, ref routing,
+    eviction broadcast."""
+
+    def _register(self, fleet, instance):
+        from repro.graphs import io as graph_io
+
+        status, doc = http(fleet.port, "POST", "/v1/graphs",
+                           graph_io.to_bytes(instance))
+        assert status == 200
+        return doc["graph_ref"]
+
+    def test_register_then_solve_by_ref_on_any_worker(self, instance,
+                                                      tmp_path):
+        fleet = start_fleet(workers=3, threaded=True,
+                            graph_store=str(tmp_path / "graphs"))
+        try:
+            ref = self._register(fleet, instance)
+            assert ref == instance.fingerprint()
+            request, body = request_body(instance)
+            doc = json.loads(body)
+            doc["graph"] = {"graph_ref": ref}
+            ref_body = json.dumps(doc).encode()
+            s1, env1 = http(fleet.port, "POST", "/v1/solve", body)
+            s2, env2 = http(fleet.port, "POST", "/v1/solve", ref_body)
+            assert s1 == s2 == 200
+            assert env1["report"] == env2["report"]
+            # Ref and body forms of the same request share the shard.
+            assert (env1["served"]["worker_id"]
+                    == env2["served"]["worker_id"])
+            assert fleet.router.stats["ref_routed"] >= 1
+        finally:
+            fleet.close()
+
+    def test_describe_proxied(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            graph_store=str(tmp_path / "graphs"))
+        try:
+            ref = self._register(fleet, instance)
+            status, info = http(fleet.port, "GET", f"/v1/graphs/{ref}")
+            assert status == 200
+            assert info["n"] == instance.n and info["m"] == instance.m
+            status, _ = http(fleet.port, "GET", "/v1/graphs/" + "0" * 64)
+            assert status == 404
+        finally:
+            fleet.close()
+
+    def test_evict_broadcasts_to_all_workers(self, instance, tmp_path):
+        fleet = start_fleet(workers=3, threaded=True,
+                            graph_store=str(tmp_path / "graphs"))
+        try:
+            ref = self._register(fleet, instance)
+            status, doc = http(fleet.port, "DELETE", f"/v1/graphs/{ref}")
+            assert status == 200
+            assert doc["evicted"] is True
+            assert doc["workers_polled"] == 3
+            # Every worker's store dropped it: a ref solve now 404s
+            # regardless of which shard owns the key.
+            request, body = request_body(instance)
+            rdoc = json.loads(body)
+            rdoc["graph"] = {"graph_ref": ref}
+            status, _ = http(fleet.port, "POST", "/v1/solve",
+                             json.dumps(rdoc).encode())
+            assert status == 404
+        finally:
+            fleet.close()
+
+    def test_unknown_ref_solve_404_through_router(self, instance, tmp_path):
+        fleet = start_fleet(workers=2, threaded=True,
+                            graph_store=str(tmp_path / "graphs"))
+        try:
+            request, body = request_body(instance)
+            doc = json.loads(body)
+            doc["graph"] = {"graph_ref": "0" * 64}
+            status, _ = http(fleet.port, "POST", "/v1/solve",
+                             json.dumps(doc).encode())
+            assert status == 404
+            # The bad ref still routed by its ref (no body-hash fallback).
+            assert fleet.router.stats["ref_routed"] >= 1
+            assert fleet.router.stats["body_routed"] == 0
+        finally:
+            fleet.close()

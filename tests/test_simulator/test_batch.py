@@ -210,3 +210,107 @@ class TestObservability:
         # Plain runs must not pay for (or crash on) emission plumbing.
         res = batch_run([BatchJob(graph, "ranking")], master_seed=5)
         assert res.outcomes[0].ok
+
+
+class TestBinaryCacheTier:
+    """The ``<key>.bin`` tier in front of ``<key>.json``: written for
+    large chosen sets, read first, torn entries fall through."""
+
+    def _run_with_threshold(self, graph, tmp_path, monkeypatch, threshold):
+        monkeypatch.setenv("REPRO_CACHE_BINARY_MIN", str(threshold))
+        cache = str(tmp_path / "cache")
+        jobs = [BatchJob(graph, "ranking") for _ in range(3)]
+        cold = batch_run(jobs, master_seed=9, cache_dir=cache)
+        return cache, jobs, cold
+
+    def test_binary_entries_written_above_threshold(self, graph, tmp_path,
+                                                    monkeypatch):
+        cache, jobs, cold = self._run_with_threshold(
+            graph, tmp_path, monkeypatch, 1)
+        bins = [f for f in os.listdir(cache) if f.endswith(".bin")]
+        jsons = [f for f in os.listdir(cache) if f.endswith(".json")]
+        assert len(bins) == len(jsons) == 3
+
+    def test_small_outcomes_stay_json_only(self, graph, tmp_path,
+                                           monkeypatch):
+        cache, _, _ = self._run_with_threshold(
+            graph, tmp_path, monkeypatch, 10**6)
+        assert not any(f.endswith(".bin") for f in os.listdir(cache))
+
+    def test_binary_tier_roundtrip_is_byte_identical(self, graph, tmp_path,
+                                                     monkeypatch):
+        cache, jobs, cold = self._run_with_threshold(
+            graph, tmp_path, monkeypatch, 1)
+        warm = batch_run(jobs, master_seed=9, cache_dir=cache)
+        assert warm.cached_jobs == 3
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            da, db = a.to_doc(), b.to_doc()
+            assert json.dumps(da, sort_keys=True) == json.dumps(
+                db, sort_keys=True)
+
+    def test_torn_binary_entry_falls_through_to_json(self, graph, tmp_path,
+                                                     monkeypatch):
+        cache, jobs, cold = self._run_with_threshold(
+            graph, tmp_path, monkeypatch, 1)
+        for name in os.listdir(cache):
+            if name.endswith(".bin"):
+                path = os.path.join(cache, name)
+                data = open(path, "rb").read()
+                with open(path, "wb") as fh:
+                    fh.write(data[: len(data) // 2])  # torn write
+        warm = batch_run(jobs, master_seed=9, cache_dir=cache)
+        assert warm.cached_jobs == 3  # JSON tier served every job
+        for a, b in zip(cold.outcomes, warm.outcomes):
+            assert json.dumps(a.to_doc(), sort_keys=True) == json.dumps(
+                b.to_doc(), sort_keys=True)
+
+
+class TestGraphRefJobs:
+    """BatchJob.graph may be a GraphRef: workers attach the shared
+    store entry instead of unpickling the whole graph per job."""
+
+    def test_ref_jobs_match_graph_jobs(self, graph, tmp_path):
+        from repro.graphs.store import GraphStore
+
+        with GraphStore(tmp_path / "graphs") as store:
+            ref = store.put(graph)
+            by_graph = batch_run(
+                [BatchJob(graph, "ranking") for _ in range(4)],
+                master_seed=5)
+            by_ref = batch_run(
+                [BatchJob(ref, "ranking") for _ in range(4)],
+                master_seed=5)
+            for a, b in zip(by_graph.outcomes, by_ref.outcomes):
+                da, db = a.to_doc(), b.to_doc()
+                # The ref path adds a graph_attach stage; everything
+                # else — the report proper — must be byte-identical.
+                (da.get("stages") or {}).pop("graph_attach", None)
+                (db.get("stages") or {}).pop("graph_attach", None)
+                da.pop("seconds", None), db.pop("seconds", None)
+                da["metrics"].pop("span", None)
+                db["metrics"].pop("span", None)
+                assert json.dumps(da, sort_keys=True) == json.dumps(
+                    db, sort_keys=True)
+
+    def test_ref_jobs_share_cache_keys_with_graph_jobs(self, graph,
+                                                       tmp_path):
+        from repro.graphs.store import GraphStore
+
+        with GraphStore(tmp_path / "graphs") as store:
+            ref = store.put(graph)
+            assert (job_cache_key(BatchJob(graph, "ranking"), 3, None)
+                    == job_cache_key(BatchJob(ref, "ranking"), 3, None))
+
+    def test_ref_jobs_across_processes(self, graph, tmp_path):
+        from repro.graphs.store import GraphStore
+
+        with GraphStore(tmp_path / "graphs") as store:
+            ref = store.put(graph)
+            serial = batch_run([BatchJob(ref, "ranking")
+                                for _ in range(4)], master_seed=7, n_jobs=1)
+            parallel = batch_run([BatchJob(ref, "ranking")
+                                  for _ in range(4)], master_seed=7,
+                                 n_jobs=2)
+            assert ([sorted(o.independent_set) for o in serial.outcomes]
+                    == [sorted(o.independent_set)
+                        for o in parallel.outcomes])
