@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke fleet-smoke fleet-saturation graphplane-smoke slo-check experiments examples coverage clean
+.PHONY: install test lint bench bench-smoke bench-perf bench-columnar backend-equivalence service-smoke fleet-smoke fleet-saturation graphplane-smoke delta-smoke slo-check experiments examples coverage clean
 
 install:
 	pip install -e .
@@ -94,6 +94,19 @@ fleet-smoke:
 graphplane-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 graphplane-smoke:
 	$(PYTHON) benchmarks/graphplane_smoke.py --keep-bench
+
+# Delta-plane smoke: in-process engine on the 10^5-node cell, parent
+# report warmed into the memory tier, then per epoch one full re-solve
+# of an edited child (register + solve by ref) vs one delta-form solve
+# served incrementally from the parent's cached report.  Asserts the
+# incremental report is byte-identical to the from-scratch solve, that
+# topology edits fall back to the full path, and that the incremental
+# path is >= 3x faster at <= 1% edit distance.  Writes BENCH_delta.json
+# for the CI artifact upload.  See benchmarks/delta_smoke.py and
+# docs/service.md ("Deltas").
+delta-smoke: export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+delta-smoke:
+	$(PYTHON) benchmarks/delta_smoke.py --keep-bench
 
 # Full saturation sweep (minutes, not for CI): open-loop rate ladder
 # against 1/2/4-worker fleets, knee detection per worker count, writes

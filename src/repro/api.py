@@ -10,12 +10,22 @@ dataclasses defined here:
   weight, the CONGEST cost accounting, and the guarantee metadata needed
   to re-certify the result.
 
-Both carry ``schema "v1"`` and round-trip through ``to_json``/
-``from_json``; the solver service serializes exactly these documents on
-the wire, so Python callers and HTTP callers share one contract.  Report
-serialization is *canonical* (sorted keys, compact separators, wall-clock
-stripped), which is what makes fixed-seed responses byte-identical across
-the in-process and HTTP paths — a property the service test-suite pins.
+Requests speak ``schema "v2"``: the graph travels as one tagged union —
+``{"inline": <graph doc>}``, ``{"ref": "<fingerprint>"}``, or
+``{"delta": {"parent": "<fingerprint>", "ops": [...]}}`` — instead of
+the v1 era's mutually exclusive top-level ``graph``/``graph_ref``
+shapes.  v1-shaped documents are still accepted through a compatibility
+shim (a :class:`DeprecationWarning` here, ``deprecated: true`` in the
+served envelope) and produce *byte-identical request keys*, so existing
+cache entries keep hitting and v1/v2 twins coalesce together.
+
+Reports carry ``schema "v1"`` — the canonical report document is
+deliberately **unchanged** by the v2 request redesign.  Report
+serialization is *canonical* (sorted keys, compact separators,
+wall-clock stripped), which is what makes fixed-seed responses
+byte-identical across the in-process and HTTP paths, across execution
+backends, and across request schema versions — properties the service
+test-suite pins.
 
 Quickstart::
 
@@ -30,10 +40,12 @@ from __future__ import annotations
 
 import hashlib
 import json
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.exceptions import GraphFormatError, ReproError
+from repro.graphs.delta import DeltaConflictError, GraphDelta, apply_delta_info
 from repro.graphs.io import from_doc as _graph_from_inline_doc
 from repro.graphs.io import to_doc as _graph_to_inline_doc
 from repro.graphs.specs import graph_from_spec, weights_from_spec
@@ -42,7 +54,11 @@ from repro.graphs.weighted_graph import WeightedGraph
 from repro.registry import algorithm_registry
 
 __all__ = [
+    "REPORT_SCHEMA_VERSION",
+    "SCHEMA_V1",
     "SCHEMA_VERSION",
+    "SUPPORTED_SCHEMAS",
+    "DeltaForm",
     "SchemaError",
     "SolveError",
     "SolveRequest",
@@ -53,10 +69,26 @@ __all__ = [
     "graph_to_doc",
     "graph_from_doc",
     "request_key_from_doc",
+    "delta_route_key_from_doc",
     "algorithm_registry",
 ]
 
-SCHEMA_VERSION = "v1"
+# The request/envelope schema this build speaks natively, and the legacy
+# one the compatibility shim still accepts.
+SCHEMA_V1 = "v1"
+SCHEMA_VERSION = "v2"
+SUPPORTED_SCHEMAS = (SCHEMA_V1, SCHEMA_VERSION)
+# The canonical report document is versioned independently of the
+# request schema and did NOT change in v2: fixed-seed reports stay
+# byte-identical across the redesign (cache entries, goldens, and the
+# backend-equivalence suite all pin these bytes).
+REPORT_SCHEMA_VERSION = "v1"
+
+_V1_DEPRECATION = (
+    "schema-v1 solve requests (top-level graph/graph_ref shapes) are "
+    "deprecated; send schema v2 with the tagged graph union "
+    '({"inline": ...} | {"ref": ...} | {"delta": ...})'
+)
 
 
 class SchemaError(ReproError, ValueError):
@@ -79,22 +111,30 @@ class SolveError(ReproError):
 # request-side graph codec
 # --------------------------------------------------------------------- #
 
-def graph_to_doc(graph) -> Dict[str, Any]:
+def graph_to_doc(graph, *, schema: str = SCHEMA_VERSION) -> Dict[str, Any]:
     """The wire encoding of a graph (see :mod:`repro.graphs.io`).
 
-    A :class:`~repro.graphs.store.GraphRef` encodes as the reference form
-    ``{"graph_ref": "<fingerprint>"}``; a materialized graph encodes
-    inline.
+    Under schema v2 (the default) the encoding is the tagged union: a
+    :class:`~repro.graphs.store.GraphRef` becomes ``{"ref":
+    "<fingerprint>"}`` and a materialized graph ``{"inline": <doc>}``.
+    Pass ``schema="v1"`` for the legacy shapes (``{"graph_ref": ...}`` /
+    bare inline doc) — used by the compatibility shim's round-trip.
     """
+    if schema == SCHEMA_V1:
+        if isinstance(graph, GraphRef):
+            return {"graph_ref": graph.ref}
+        return _graph_to_inline_doc(graph)
     if isinstance(graph, GraphRef):
-        return {"graph_ref": graph.ref}
-    return _graph_to_inline_doc(graph)
+        return {"ref": graph.ref}
+    return {"inline": _graph_to_inline_doc(graph)}
 
 
 def graph_from_doc(doc: Any, *, store: Optional[GraphStore] = None):
-    """Decode the graph field of a solve request.
+    """Decode a graph document — either schema's vocabulary.
 
-    Three encodings are accepted:
+    The schema-v2 tagged union is accepted (``{"inline": <doc>}``,
+    ``{"ref": "<fp>"}``, ``{"delta": {"parent", "ops"}}`` — a delta form
+    is materialized to the child graph), as are the legacy v1 shapes:
 
     * inline — ``{"nodes": [[id, weight], ...], "edges": [[u, v], ...]}``
       (the :func:`repro.graphs.io.to_doc` format);
@@ -111,6 +151,14 @@ def graph_from_doc(doc: Any, *, store: Optional[GraphStore] = None):
 
     Raises :class:`SchemaError` on anything else.
     """
+    if isinstance(doc, dict) and any(k in doc for k in _V2_GRAPH_TAGS):
+        graph, _ = _decode_graph_v2(doc, store=store)
+        return graph
+    return _graph_field_v1(doc, store=store)
+
+
+def _graph_field_v1(doc: Any, *, store: Optional[GraphStore] = None):
+    """The legacy (schema-v1) graph-field decoder."""
     if not isinstance(doc, dict):
         raise SchemaError(f"graph must be an object, got {type(doc).__name__}")
     if "graph_ref" in doc:
@@ -147,6 +195,93 @@ def graph_from_doc(doc: Any, *, store: Optional[GraphStore] = None):
     )
 
 
+@dataclass(frozen=True)
+class DeltaForm:
+    """How a delta-form request arrived: parent fingerprint plus ops.
+
+    Recorded on the parsed :class:`SolveRequest` (whose ``graph`` field
+    is already the materialized child) so the serving layer can plan an
+    incremental re-solve from the parent's cached report.  Never part of
+    :meth:`SolveRequest.key`: the child graph's own fingerprint is the
+    request identity, exactly as if the edited graph had been sent
+    whole — which is what keeps delta-form, ref-form, and inline solves
+    of the same content coalescing together.
+    """
+
+    parent: str
+    delta: GraphDelta
+    touched: Tuple[int, ...] = ()
+    weight_only: bool = False
+
+    def to_doc(self) -> Dict[str, Any]:
+        return {"parent": self.parent, "ops": self.delta.to_doc()}
+
+
+_V2_GRAPH_TAGS = ("inline", "ref", "delta")
+
+
+def _decode_graph_v2(doc: Any, *, store: Optional[GraphStore] = None,
+                     ) -> Tuple[Any, Optional[DeltaForm]]:
+    """Decode the schema-v2 tagged graph union.
+
+    Returns ``(graph, delta_form)`` where ``graph`` is a
+    :class:`WeightedGraph` or :class:`GraphRef` and ``delta_form`` is the
+    delta provenance (``None`` unless the ``delta`` tag was used).
+    """
+    if not isinstance(doc, dict):
+        raise SchemaError(f"graph must be an object, got {type(doc).__name__}")
+    tags = [k for k in _V2_GRAPH_TAGS if k in doc]
+    if len(tags) != 1:
+        raise SchemaError(
+            "schema-v2 graph must carry exactly one of "
+            f"{'/'.join(_V2_GRAPH_TAGS)}, got {sorted(doc) or 'nothing'}"
+        )
+    tag = tags[0]
+    if tag == "inline":
+        return _graph_field_v1(doc["inline"], store=None), None
+    if tag == "ref":
+        return _graph_field_v1({"graph_ref": doc["ref"]}, store=store), None
+    return _decode_delta_form(doc["delta"], store=store)
+
+
+def _decode_delta_form(value: Any, *, store: Optional[GraphStore] = None,
+                       ) -> Tuple[WeightedGraph, DeltaForm]:
+    """Materialize ``{"parent": fp, "ops": [...]}`` into the child graph.
+
+    Malformed documents raise :class:`SchemaError` (HTTP 400); edits
+    that contradict the parent's actual state raise
+    :class:`~repro.graphs.delta.DeltaConflictError` (HTTP 409); an
+    unknown parent raises
+    :class:`~repro.graphs.store.UnknownGraphRef` (HTTP 404).
+    """
+    if not isinstance(value, dict):
+        raise SchemaError(
+            f"delta must be an object, got {type(value).__name__}")
+    parent = value.get("parent")
+    if not isinstance(parent, str) or not parent:
+        raise SchemaError(
+            f"delta.parent must be a graph fingerprint, got {parent!r}")
+    if store is None:
+        raise SchemaError(
+            "delta-form graphs require a graph store (this entry point "
+            "has none configured)")
+    try:
+        delta = GraphDelta.from_doc(value)
+    except DeltaConflictError as exc:
+        # Shape problems in the ops list are a bad request, not a
+        # conflict with graph state.
+        raise SchemaError(str(exc)) from exc
+    try:
+        parent_graph = store.attach(parent)
+    except GraphFormatError as exc:
+        raise SchemaError(str(exc)) from exc
+    info = apply_delta_info(parent_graph, delta)
+    form = DeltaForm(parent=parent, delta=delta,
+                     touched=tuple(sorted(info.touched)),
+                     weight_only=info.weight_only)
+    return info.graph, form
+
+
 def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
     out = dict(params)
     try:
@@ -157,7 +292,7 @@ def _canonical_params(params: Mapping[str, Any]) -> Dict[str, Any]:
 
 
 # --------------------------------------------------------------------- #
-# the v1 request/report contract
+# the request/report contract
 # --------------------------------------------------------------------- #
 
 @dataclass(frozen=True)
@@ -181,6 +316,14 @@ class SolveRequest:
     is identical either way — ref-based and body-based requests for the
     same computation coalesce together and share cache entries, which is
     what makes their reports byte-identical.
+
+    ``schema_version`` records which wire vocabulary the request arrived
+    in (``"v2"`` natively; ``"v1"`` through the compatibility shim) and
+    ``delta`` the delta-form provenance when the graph arrived as
+    ``{"delta": {parent, ops}}``.  Both are serving metadata: neither
+    participates in :meth:`key`, so a v1-shaped solve keys — and caches,
+    and coalesces — byte-identically to its v2 twin, and a delta-form
+    solve identically to a from-scratch solve of the edited graph.
     """
 
     graph: Any  # WeightedGraph | GraphRef
@@ -190,13 +333,24 @@ class SolveRequest:
     timeout_s: Optional[float] = None
     label: str = ""
     backend: str = ""
+    schema_version: str = SCHEMA_VERSION
+    delta: Optional[DeltaForm] = None
 
     def key(self) -> str:
         """Coalescing identity: requests with equal keys are the same
         computation (graph content, algorithm, seed, params, backend)
         and may be served by one execution."""
+        return self.key_for_fingerprint(self.graph.fingerprint())
+
+    def key_for_fingerprint(self, fingerprint: str) -> str:
+        """:meth:`key` recomputed against another graph fingerprint.
+
+        The incremental re-solve path uses this to derive the *parent's*
+        cache/coalescing key from a delta-form request — same algorithm,
+        seed, params, and backend, different graph content.
+        """
         doc = {
-            "fingerprint": self.graph.fingerprint(),
+            "fingerprint": fingerprint,
             "algorithm": self.algorithm,
             "seed": self.seed,
             "params": self.params,
@@ -207,9 +361,22 @@ class SolveRequest:
         return hashlib.sha256(blob.encode()).hexdigest()
 
     def to_doc(self) -> Dict[str, Any]:
+        """Re-emit the request in the vocabulary it was parsed from.
+
+        ``schema_version == "v1"`` round-trips through the legacy shapes
+        so a shimmed request serializes back to what the caller sent; a
+        delta-form request re-emits its delta union member rather than
+        the materialized child.
+        """
+        if self.schema_version == SCHEMA_V1:
+            graph_doc = graph_to_doc(self.graph, schema=SCHEMA_V1)
+        elif self.delta is not None:
+            graph_doc = {"delta": self.delta.to_doc()}
+        else:
+            graph_doc = graph_to_doc(self.graph)
         doc: Dict[str, Any] = {
-            "schema": SCHEMA_VERSION,
-            "graph": graph_to_doc(self.graph),
+            "schema": self.schema_version,
+            "graph": graph_doc,
             "algorithm": self.algorithm,
             "seed": self.seed,
             "params": dict(self.params),
@@ -233,11 +400,12 @@ class SolveRequest:
             raise SchemaError(
                 f"request must be an object, got {type(doc).__name__}"
             )
-        schema = doc.get("schema", SCHEMA_VERSION)
-        if schema != SCHEMA_VERSION:
+        schema = doc.get("schema", SCHEMA_V1)
+        if schema not in SUPPORTED_SCHEMAS:
             raise SchemaError(
                 f"unsupported schema {schema!r}; this build speaks "
-                f"{SCHEMA_VERSION!r}"
+                f"{SCHEMA_VERSION!r} (and {SCHEMA_V1!r} through the "
+                "compatibility shim)"
             )
         if "graph" not in doc:
             raise SchemaError("request is missing the graph field")
@@ -270,14 +438,21 @@ class SolveRequest:
                 backend = normalize_backend_name(backend)
             except ValueError as exc:
                 raise SchemaError(str(exc)) from exc
+        if schema == SCHEMA_V1:
+            warnings.warn(_V1_DEPRECATION, DeprecationWarning, stacklevel=2)
+            graph, delta_form = _graph_field_v1(doc["graph"], store=store), None
+        else:
+            graph, delta_form = _decode_graph_v2(doc["graph"], store=store)
         return cls(
-            graph=graph_from_doc(doc["graph"], store=store),
+            graph=graph,
             algorithm=algorithm,
             seed=seed,
             params=_canonical_params(params),
             timeout_s=timeout_s,
             label=str(doc.get("label", "")),
             backend=str(backend or ""),
+            schema_version=schema,
+            delta=delta_form,
         )
 
     @classmethod
@@ -290,28 +465,10 @@ class SolveRequest:
         return cls.from_doc(doc, store=store)
 
 
-def request_key_from_doc(doc: Any) -> Optional[str]:
-    """Compute :meth:`SolveRequest.key` for a ``graph_ref`` request doc
-    without materializing anything.
-
-    The fleet router shards by request key; for reference-form requests
-    the graph fingerprint is right there in the doc, so the key — and
-    hence the shard — is computable with no graph store, no body reparse,
-    and no size-dependent work.  Returns ``None`` whenever the doc is not
-    a well-formed reference request (the caller falls back to the full
-    parse path, which produces the proper schema error or inline-graph
-    key).
-    """
-    if not isinstance(doc, dict):
-        return None
-    if doc.get("schema", SCHEMA_VERSION) != SCHEMA_VERSION:
-        return None
-    graph_doc = doc.get("graph")
-    if not isinstance(graph_doc, dict) or "graph_ref" not in graph_doc:
-        return None
-    ref = graph_doc["graph_ref"]
-    if not isinstance(ref, str) or not ref:
-        return None
+def _key_for_fingerprint(doc: Dict[str, Any],
+                         fingerprint: str) -> Optional[str]:
+    """Hash the :meth:`SolveRequest.key` doc for ``fingerprint`` using
+    the (already-validated-as-present) request fields of ``doc``."""
     algorithm = doc.get("algorithm")
     if not isinstance(algorithm, str) or not algorithm:
         return None
@@ -330,7 +487,7 @@ def request_key_from_doc(doc: Any) -> Optional[str]:
         except ValueError:
             return None
     key_doc: Dict[str, Any] = {
-        "fingerprint": ref,
+        "fingerprint": fingerprint,
         "algorithm": algorithm,
         "seed": seed,
         "params": params,
@@ -342,6 +499,70 @@ def request_key_from_doc(doc: Any) -> Optional[str]:
     except (TypeError, ValueError):
         return None
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def _doc_graph_ref(doc: Any) -> Optional[str]:
+    """The graph fingerprint named by a reference-form request doc, in
+    either schema's vocabulary; ``None`` for any other shape."""
+    if not isinstance(doc, dict):
+        return None
+    schema = doc.get("schema", SCHEMA_V1)
+    if schema not in SUPPORTED_SCHEMAS:
+        return None
+    graph_doc = doc.get("graph")
+    if not isinstance(graph_doc, dict):
+        return None
+    ref = graph_doc.get("graph_ref" if schema == SCHEMA_V1 else "ref")
+    if not isinstance(ref, str) or not ref:
+        return None
+    return ref
+
+
+def request_key_from_doc(doc: Any) -> Optional[str]:
+    """Compute :meth:`SolveRequest.key` for a reference-form request doc
+    without materializing anything.
+
+    The fleet router shards by request key; for reference-form requests
+    (v1 ``{"graph_ref": fp}`` or v2 ``{"ref": fp}``) the graph
+    fingerprint is right there in the doc, so the key — and hence the
+    shard — is computable with no graph store, no body reparse, and no
+    size-dependent work.  Returns ``None`` whenever the doc is not a
+    well-formed reference request (the caller falls back to the full
+    parse path, which produces the proper schema error or inline-graph
+    key).
+    """
+    ref = _doc_graph_ref(doc)
+    if ref is None:
+        return None
+    return _key_for_fingerprint(doc, ref)
+
+
+def delta_route_key_from_doc(doc: Any) -> Optional[str]:
+    """A *placement hint* for a delta-form request: the key the same
+    (algorithm, seed, params, backend) solve would have against the
+    **parent** graph.
+
+    Not the request's identity — the true key uses the child's
+    fingerprint, which only exists after the delta is applied.  But
+    sharding by this hint lands the solve on the shard whose memory
+    cache holds the parent's report, which is exactly where the
+    incremental re-solve path wants to run.  Returns ``None`` for
+    non-delta docs.
+    """
+    if not isinstance(doc, dict):
+        return None
+    if doc.get("schema", SCHEMA_V1) != SCHEMA_VERSION:
+        return None
+    graph_doc = doc.get("graph")
+    if not isinstance(graph_doc, dict):
+        return None
+    delta_doc = graph_doc.get("delta")
+    if not isinstance(delta_doc, dict):
+        return None
+    parent = delta_doc.get("parent")
+    if not isinstance(parent, str) or not parent:
+        return None
+    return _key_for_fingerprint(doc, parent)
 
 
 def _strip_wall(obj: Any) -> Any:
@@ -409,7 +630,7 @@ class SolveReport:
 
     def to_doc(self) -> Dict[str, Any]:
         return {
-            "schema": SCHEMA_VERSION,
+            "schema": REPORT_SCHEMA_VERSION,
             "algorithm": self.algorithm,
             "seed": self.seed,
             "graph_fingerprint": self.graph_fingerprint,
@@ -437,11 +658,11 @@ class SolveReport:
             raise SchemaError(
                 f"report must be an object, got {type(doc).__name__}"
             )
-        schema = doc.get("schema", SCHEMA_VERSION)
-        if schema != SCHEMA_VERSION:
+        schema = doc.get("schema", REPORT_SCHEMA_VERSION)
+        if schema != REPORT_SCHEMA_VERSION:
             raise SchemaError(
-                f"unsupported schema {schema!r}; this build speaks "
-                f"{SCHEMA_VERSION!r}"
+                f"unsupported report schema {schema!r}; this build "
+                f"speaks {REPORT_SCHEMA_VERSION!r}"
             )
         try:
             return cls(

@@ -594,6 +594,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     fleet saturation sweep."""
     if args.saturation:
         return _cmd_loadgen_saturation(args)
+    if args.churn:
+        return _cmd_loadgen_churn(args)
     if args.arrival != "closed":
         return _cmd_loadgen_open(args)
     from repro.service import run_loadgen
@@ -692,6 +694,43 @@ def _cmd_loadgen_open(args: argparse.Namespace) -> int:
         print(f"wrote {args.out}")
     failed = doc["completed"] == 0 or doc["divergent_reports"] > 0
     return 1 if failed else 0
+
+
+def _cmd_loadgen_churn(args: argparse.Namespace) -> int:
+    """Churn benchmark: a mutating graph under a deterministic edit
+    schedule, solved by delta every epoch."""
+    from repro.service import run_churn
+
+    out = args.out if args.out != "BENCH_service.json" else "BENCH_churn.json"
+    try:
+        doc = run_churn(
+            host=args.host,
+            port=args.port,
+            epochs=args.churn_epochs,
+            edits_per_epoch=args.churn_edits,
+            crash_fraction=args.churn_crash_fraction,
+            algorithm=args.churn_algorithm,
+            seed=args.arrival_seed,
+            out_path=out or None,
+        )
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(str(exc))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"cannot reach service at {args.host}:{args.port}: {exc}"
+        )
+    print(f"epochs: {doc['epochs']} ({doc['incremental']} incremental, "
+          f"{doc['full']} full, {doc['failed']} failed; "
+          f"incremental rate {doc['incremental_rate'] * 100:.0f}%)")
+    df = doc["dirty_frontier"]
+    print(f"dirty frontier: mean {df['mean']:.1f}, max {df['max']} "
+          f"over {df['observed']} delta solves")
+    lat = doc["latency"]
+    print(f"latency: p50 {lat['p50_s'] * 1e3:.1f} ms, "
+          f"p95 {lat['p95_s'] * 1e3:.1f} ms")
+    if out:
+        print(f"wrote {out}")
+    return 1 if doc["failed"] else 0
 
 
 def _cmd_loadgen_saturation(args: argparse.Namespace) -> int:
@@ -1006,6 +1045,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="register every unique pool graph once via "
                              "POST /v1/graphs, then solve by graph_ref "
                              "(tiny bodies, zero-copy attach on the server)")
+    p_load.add_argument("--churn", action="store_true",
+                        help="churn benchmark: register one graph, then "
+                             "mutate it every epoch (reweighting + "
+                             "crash/restart) and solve by delta; reports "
+                             "the incremental-vs-full serving mix and "
+                             "writes BENCH_churn.json")
+    p_load.add_argument("--churn-epochs", type=int, default=20, metavar="N",
+                        help="mutation epochs for --churn")
+    p_load.add_argument("--churn-edits", type=int, default=4, metavar="K",
+                        help="set_weight edits per reweighting epoch")
+    p_load.add_argument("--churn-crash-fraction", type=float, default=0.25,
+                        metavar="P",
+                        help="fraction of epochs that crash/restart a node "
+                             "(topology edits — always full re-solves)")
+    p_load.add_argument("--churn-algorithm", default="mis-luby",
+                        help="algorithm for --churn solves (weight-"
+                             "oblivious MIS algorithms can be served "
+                             "incrementally)")
     p_load.add_argument("--saturation", action="store_true",
                         help="saturation sweep: boot fleets for "
                              "--workers-list, walk --rates per fleet, find "

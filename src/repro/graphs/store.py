@@ -109,6 +109,7 @@ class GraphStore:
             use_shm = _shm_supported()
         self.use_shm = bool(use_shm)
         self._graphs: Dict[str, WeightedGraph] = {}
+        self._chains: Dict[str, Any] = {}         # child fp -> (parent, delta)
         self._owned_shm: Dict[str, Any] = {}      # fingerprint -> SharedMemory
         self._attached_shm: Dict[str, Any] = {}   # fingerprint -> SharedMemory
         self._mmaps: Dict[str, mmap.mmap] = {}    # fingerprint -> mapping
@@ -150,6 +151,54 @@ class GraphStore:
     def put_doc(self, doc: Dict[str, Any]) -> GraphRef:
         """Register a graph posted as a JSON graph document."""
         return self.put(graph_io.from_doc(doc))
+
+    def put_delta(self, parent: str, delta) -> GraphRef:
+        """Register the child of a stored graph under an edit script.
+
+        Applies ``delta`` (a :class:`~repro.graphs.delta.GraphDelta`) to
+        the graph stored as ``parent`` — copy-on-write, untouched rows
+        shared with the parent's in-memory instance — and registers the
+        child under its own content fingerprint, byte-identical to
+        registering the from-scratch edited graph.  The lineage
+        (parent fingerprint + canonical ops) is persisted in a
+        ``<child>.delta.json`` sidecar so any process attached to this
+        store — including the incremental re-solve path — can recover
+        the chain.  Raises :class:`UnknownGraphRef` for an unknown
+        parent and :class:`~repro.graphs.delta.DeltaConflictError` for
+        contradictory edits.
+        """
+        from repro.graphs.delta import apply_delta_info, chain_doc
+
+        parent_graph = self.attach(parent)
+        info = apply_delta_info(parent_graph, delta)
+        ref = self.put(info.graph)
+        doc = chain_doc(parent, delta, ref.ref)
+        doc["touched"] = sorted(info.touched)
+        sidecar = self._chain_path(ref.ref)
+        if not sidecar.exists():
+            _atomic_write(sidecar, json.dumps(
+                doc, sort_keys=True, separators=(",", ":")).encode())
+        self._chains[ref.ref] = (parent, delta)
+        return ref
+
+    def delta_chain(self, fingerprint: str):
+        """``(parent_fingerprint, GraphDelta)`` if ``fingerprint`` was
+        registered through :meth:`put_delta` (here or by any process
+        sharing this store directory), else ``None``."""
+        chain = self._chains.get(fingerprint)
+        if chain is not None:
+            return chain
+        path = self._chain_path(fingerprint)
+        try:
+            doc = json.loads(path.read_text())
+        except (FileNotFoundError, ValueError, OSError):
+            return None
+        from repro.graphs.delta import chain_from_doc
+
+        chain = chain_from_doc(doc)
+        if chain is not None:
+            self._chains[fingerprint] = chain
+        return chain
 
     # ------------------------------------------------------------------ #
     # attach / inspect
@@ -217,11 +266,13 @@ class GraphStore:
         segment this store owns).  Returns whether anything was removed."""
         found = fingerprint in self
         self._graphs.pop(fingerprint, None)
+        self._chains.pop(fingerprint, None)
         self._release_mapping(fingerprint, unlink_owned=True)
-        try:
-            self._path(fingerprint).unlink()
-        except FileNotFoundError:
-            pass
+        for path in (self._path(fingerprint), self._chain_path(fingerprint)):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
         return found
 
     def close(self) -> None:
@@ -253,6 +304,10 @@ class GraphStore:
         if not fingerprint or any(c in fingerprint for c in "/\\."):
             raise GraphFormatError(f"malformed graph_ref {fingerprint!r}")
         return self.root / f"{fingerprint}{_BLOB_SUFFIX}"
+
+    def _chain_path(self, fingerprint: str) -> Path:
+        self._path(fingerprint)  # same ref validation
+        return self.root / f"{fingerprint}.delta.json"
 
     def _export_shm(self, fingerprint: str, path: Path) -> None:
         from multiprocessing import shared_memory

@@ -7,7 +7,12 @@ Layers:
 * :mod:`repro.service.server` — the stdlib HTTP/1.1 front end
   (``repro serve``).
 * :mod:`repro.service.loadgen` — the closed-loop benchmark client
-  (``repro loadgen``).
+  (``repro loadgen``), open-loop arrivals, and the churn benchmark
+  against a mutating graph (``repro loadgen --churn``).
+* :mod:`repro.service.incremental` — eligibility, certification, and
+  derivation of incremental re-solves for delta-form requests.
+* :mod:`repro.service.errors` — the unified error taxonomy every
+  non-200 response speaks (worker and router alike).
 * :mod:`repro.service.stats` — serving counters, histograms, and the
   latency reservoir behind ``/v1/metrics`` (JSON + Prometheus).
 * :mod:`repro.service.slo` — declarative service-level objectives and
@@ -27,6 +32,8 @@ from repro.service.engine import (
 from repro.service.loadgen import (
     build_request_pool,
     generate_arrivals,
+    generate_churn,
+    run_churn,
     run_loadgen,
     run_open_loop,
 )
@@ -47,7 +54,9 @@ __all__ = [
     "UnknownAlgorithmError",
     "build_request_pool",
     "generate_arrivals",
+    "generate_churn",
     "load_slo_spec",
+    "run_churn",
     "run_loadgen",
     "run_open_loop",
     "serve",

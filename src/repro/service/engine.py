@@ -41,6 +41,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.api import SolveReport, SolveRequest
 from repro.exceptions import ReproError
+from repro.graphs.store import GraphRef
 from repro.obs.telemetry import new_trace_id
 from repro.registry import algorithm_registry
 from repro.service.fleet.cache import LruCache
@@ -98,6 +99,15 @@ class ServedReport:
     # Which cache tier satisfied the request: "memory" (per-worker LRU),
     # "disk" (shared JSON cache), or "" (computed / coalesced).
     cache_tier: str = ""
+    # Delta-form requests only: how the solve was performed —
+    # "incremental" (report derived from the parent's cached report) or
+    # "full" (the solver actually ran on the child).  Empty for
+    # non-delta requests and for straight cache hits of the child's own
+    # key.  ``dirty_frontier`` is the size of the outermost BFS shell of
+    # the dirty region around the delta's touched nodes (-1 when not
+    # computed).
+    solve_mode: str = ""
+    dirty_frontier: int = -1
 
 
 @dataclass
@@ -177,6 +187,12 @@ class SolverEngine:
                                 else algorithm_registry())
         self._stats = ServiceStats()
         self._inflight: Dict[str, _Entry] = {}
+        # Eviction-vs-in-flight-solve safety: refs named by admitted
+        # requests are pinned until their computation resolves; DELETE
+        # on a pinned ref evicts *logically* (new lookups 404) and the
+        # physical removal is deferred to the last unpin.
+        self._ref_pins: Dict[str, int] = {}
+        self._deferred_evictions: set = set()
         self._draining = False
         self._started = False
         self._pool_warm = False
@@ -289,6 +305,47 @@ class SolverEngine:
         """The engine's content-addressed graph store (always present)."""
         return self._graph_store
 
+    # ----------------------------------------------------------------- #
+    # graph lifecycle (the eviction-vs-in-flight race lives here)
+    # ----------------------------------------------------------------- #
+
+    def ref_alive(self, fingerprint: str) -> bool:
+        """Whether new requests may name this ref: stored and not
+        (logically) evicted."""
+        return (fingerprint not in self._deferred_evictions
+                and fingerprint in self._graph_store)
+
+    def evict_graph(self, fingerprint: str) -> Dict[str, Any]:
+        """``DELETE /v1/graphs/<ref>`` semantics.
+
+        Logical eviction is immediate — :meth:`ref_alive` turns false
+        and new solves/describes 404.  Physical removal (blob, shm
+        segment, memo) is deferred while any in-flight solve holds a pin
+        on the ref, so a solve that already attached the arena completes
+        — and its report stays certified — instead of crashing on a
+        vanished segment.  Returns ``{"evicted": bool, "deferred":
+        bool}``.
+        """
+        if self._ref_pins.get(fingerprint):
+            self._deferred_evictions.add(fingerprint)
+            return {"evicted": True, "deferred": True}
+        evicted = self._graph_store.evict(fingerprint)
+        self._deferred_evictions.discard(fingerprint)
+        return {"evicted": evicted, "deferred": False}
+
+    def _pin_ref(self, fingerprint: str) -> None:
+        self._ref_pins[fingerprint] = self._ref_pins.get(fingerprint, 0) + 1
+
+    def _unpin_ref(self, fingerprint: str) -> None:
+        count = self._ref_pins.get(fingerprint, 0) - 1
+        if count > 0:
+            self._ref_pins[fingerprint] = count
+            return
+        self._ref_pins.pop(fingerprint, None)
+        if fingerprint in self._deferred_evictions:
+            self._deferred_evictions.discard(fingerprint)
+            self._graph_store.evict(fingerprint)
+
     @property
     def stats(self) -> ServiceStats:
         return self._stats
@@ -374,6 +431,10 @@ class SolverEngine:
             # trace (which did the computing) is recorded alongside.
             return replace(served, coalesced=True, trace_id=trace_id,
                            primary_trace_id=served.trace_id, stages=stages)
+        if request.delta is not None:
+            served = self._serve_incremental(request, key, trace_id)
+            if served is not None:
+                return served
         if self._queue.full():
             self._stats.rejected += 1
             raise RequestRejected(
@@ -384,6 +445,11 @@ class SolverEngine:
         entry = _Entry(request=request, key=key,
                        future=loop.create_future(), enqueued=loop.time(),
                        trace_id=trace_id)
+        if isinstance(request.graph, GraphRef):
+            # Pinned until the dispatch loop resolves this entry: a
+            # DELETE racing the solve defers physical eviction instead
+            # of yanking the arena out from under the workers.
+            self._pin_ref(request.graph.ref)
         self._inflight[key] = entry
         # Cannot raise: fullness was checked above and only this
         # event-loop thread enqueues.
@@ -405,6 +471,76 @@ class SolverEngine:
                 f"deadline of {timeout_s}s exceeded for "
                 f"{entry.request.algorithm} (key {entry.key[:12]}…)"
             ) from None
+
+    # ----------------------------------------------------------------- #
+    # incremental re-solve (delta-form requests)
+    # ----------------------------------------------------------------- #
+
+    def _serve_incremental(self, request: SolveRequest, key: str,
+                           trace_id: str) -> Optional[ServedReport]:
+        """Try to derive this delta-form request's report from the
+        parent's cached one (see :mod:`repro.service.incremental`).
+
+        Returns the served derivation, or ``None`` — counted as
+        ``incremental_fallback`` — when the request is ineligible
+        (topology edits, weight-sensitive algorithm), no parent report
+        is cached, or the cached set fails dirty-region certification.
+        """
+        from repro.service import incremental as inc
+
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        if not inc.eligible(request):
+            self._stats.incremental_fallback += 1
+            return None
+        assert request.delta is not None
+        parent_key = request.key_for_fingerprint(request.delta.parent)
+        parent_report: Optional[SolveReport] = None
+        tier = ""
+        if self._memory_cache is not None:
+            parent_report = self._memory_cache.get(parent_key)
+            tier = "memory"
+        if parent_report is None and self.cache_dir:
+            parent_report = inc.parent_report_from_disk(
+                self.cache_dir, request, policy=self.policy,
+                default_backend=self.backend)
+            tier = "disk"
+        if parent_report is None or not parent_report.ok:
+            self._stats.incremental_fallback += 1
+            return None
+        cert = inc.certify(request.graph, parent_report.independent_set,
+                           request.delta.touched)
+        if cert is None:
+            self._stats.incremental_fallback += 1
+            return None
+        _region, frontier = cert
+        report = inc.derive_report(parent_report, request)
+        if self._memory_cache is not None:
+            # The derived report is the child's canonical report; cache
+            # it under the child's own key so later solves (delta-form
+            # or not) hit the memory tier directly.
+            self._memory_cache.put(key, report)
+        seconds = loop.time() - t0
+        stages = {"incremental": seconds}
+        self._stats.requests += 1
+        self._stats.completed += 1
+        self._stats.incremental_served += 1
+        self._stats.observe_latency(seconds)
+        self._stats.observe_stages(stages)
+        return ServedReport(report=report, cached=True, seconds=seconds,
+                            trace_id=trace_id, stages=stages,
+                            cache_tier=tier, solve_mode="incremental",
+                            dirty_frontier=len(frontier))
+
+    @staticmethod
+    def _frontier_size(request: SolveRequest) -> int:
+        """Dirty-frontier size of a delta-form request's child graph."""
+        from repro.graphs.delta import dirty_region
+
+        assert request.delta is not None
+        _region, frontier = dirty_region(request.graph,
+                                         request.delta.touched)
+        return len(frontier)
 
     # ----------------------------------------------------------------- #
     # dispatch
@@ -468,6 +604,16 @@ class SolverEngine:
             self._stats.batches += 1
             for e, outcome in zip(batch, outcomes):
                 self._inflight.pop(e.key, None)
+                if isinstance(e.request.graph, GraphRef):
+                    self._unpin_ref(e.request.graph.ref)
+                # Delta-form entries reaching the dispatcher took the
+                # full path (ineligible, or incremental fell back).
+                delta_marks: Dict[str, Any] = {}
+                if e.request.delta is not None:
+                    delta_marks = {
+                        "solve_mode": "full",
+                        "dirty_frontier": self._frontier_size(e.request),
+                    }
                 # Stage attribution: queue_wait is admission → dispatch;
                 # cache_lookup and any run-recorded stages come from the
                 # outcome's telemetry; solve is compute performed *for
@@ -479,7 +625,8 @@ class SolverEngine:
                     served = ServedReport(report=report,
                                           seconds=now - e.enqueued,
                                           trace_id=e.trace_id,
-                                          stages=stages)
+                                          stages=stages,
+                                          **delta_marks)
                     self._stats.failed += 1
                 else:
                     stages.update(outcome.telemetry.get("stages", {}))
@@ -497,7 +644,8 @@ class SolverEngine:
                                           stages=stages,
                                           telemetry=outcome.telemetry,
                                           cache_tier=("disk" if outcome.cached
-                                                      else ""))
+                                                      else ""),
+                                          **delta_marks)
                     self._stats.absorb_run_telemetry(outcome.telemetry)
                     if outcome.cached:
                         self._stats.record_cache_hit("disk")

@@ -1,0 +1,98 @@
+"""One machine-readable error taxonomy for the whole HTTP surface.
+
+Every non-200 JSON response — from a solver worker *or* from the fleet
+router — carries the same envelope::
+
+    {"schema": "v2", "error": {"code": "<stable-code>",
+                               "message": "<human text>",
+                               "detail": "<machine context or empty>"}}
+
+``code`` is a *stable string*, one per status, so clients branch on it
+without parsing prose (and without caring whether the router or a
+worker originated the error — the two are deliberately
+indistinguishable on the wire):
+
+====== ====================
+status code
+====== ====================
+400    ``bad_request``
+404    ``not_found``
+405    ``method_not_allowed``
+409    ``conflict``
+413    ``payload_too_large``
+429    ``queue_full``
+500    ``internal``
+502    ``bad_upstream``
+503    ``unavailable``
+504    ``deadline_exceeded``
+====== ====================
+
+405 responses additionally carry the ``Allow`` header (RFC 9110 §15.5.6)
+listing the methods the resource does support; the header travels inside
+the error doc under the private ``_headers`` key, which the HTTP writer
+pops before serialization — error-producing call sites stay plain
+``(status, doc)`` tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api import SCHEMA_VERSION
+
+__all__ = ["ERROR_CODES", "HTTP_REASONS", "error_doc", "pop_headers"]
+
+ERROR_CODES: Dict[int, str] = {
+    400: "bad_request",
+    404: "not_found",
+    405: "method_not_allowed",
+    409: "conflict",
+    413: "payload_too_large",
+    429: "queue_full",
+    500: "internal",
+    502: "bad_upstream",
+    503: "unavailable",
+    504: "deadline_exceeded",
+}
+
+HTTP_REASONS: Dict[int, str] = {
+    200: "OK", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    502: "Bad Gateway", 503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+# The private doc key carrying extra response headers (e.g. Allow on
+# 405); popped by the HTTP writers, never serialized.
+HEADERS_KEY = "_headers"
+
+
+def error_doc(status: int, message: str, *, detail: str = "",
+              allow: Optional[str] = None,
+              ) -> Tuple[int, Dict[str, Any]]:
+    """Build the taxonomy's ``(status, doc)`` pair for one error.
+
+    ``detail`` is optional machine-oriented context (the offending ref,
+    the queue bound, ...); ``allow`` sets the 405 ``Allow`` header.
+    """
+    doc: Dict[str, Any] = {
+        "schema": SCHEMA_VERSION,
+        "error": {
+            "code": ERROR_CODES.get(status, str(status)),
+            "message": message,
+            "detail": detail,
+        },
+    }
+    if allow:
+        doc[HEADERS_KEY] = {"Allow": allow}
+    return status, doc
+
+
+def pop_headers(doc: Any) -> Dict[str, str]:
+    """Extract (and remove) the private extra-headers entry of an error
+    doc; returns ``{}`` for docs without one."""
+    if isinstance(doc, dict):
+        headers = doc.pop(HEADERS_KEY, None)
+        if isinstance(headers, dict):
+            return {str(k): str(v) for k, v in headers.items()}
+    return {}

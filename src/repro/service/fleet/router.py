@@ -55,8 +55,10 @@ from repro.api import (
     SCHEMA_VERSION,
     SchemaError,
     SolveRequest,
+    delta_route_key_from_doc,
     request_key_from_doc,
 )
+from repro.service.errors import HTTP_REASONS, error_doc, pop_headers
 from repro.service.fleet.aggregate import (
     aggregate_snapshots,
     render_fleet_prometheus,
@@ -69,7 +71,6 @@ from repro.service.server import (
     MAX_BODY_BYTES,
     PROMETHEUS_CONTENT_TYPE,
     SolverServer,
-    _REASONS,
 )
 
 __all__ = ["FleetRouter", "run_fleet"]
@@ -197,8 +198,8 @@ class FleetRouter:
         )
         self.stats: Dict[str, int] = {
             "routed": 0, "failovers": 0, "routing_cache_hits": 0,
-            "parse_routed": 0, "ref_routed": 0, "body_routed": 0,
-            "upstream_errors": 0, "restarts": 0,
+            "parse_routed": 0, "ref_routed": 0, "delta_routed": 0,
+            "body_routed": 0, "upstream_errors": 0, "restarts": 0,
         }
 
     @property
@@ -301,6 +302,7 @@ class FleetRouter:
     async def _write_response(writer: asyncio.StreamWriter, status: int,
                               payload: Union[bytes, str, Dict[str, Any]],
                               ctype: str, *, close: bool) -> None:
+        headers = pop_headers(payload)
         if isinstance(payload, dict):
             body = json.dumps(payload, sort_keys=True,
                               separators=(",", ":")).encode()
@@ -308,10 +310,13 @@ class FleetRouter:
             body = payload.encode("utf-8")
         else:
             body = payload
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in headers.items())
         head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"HTTP/1.1 {status} {HTTP_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -327,12 +332,14 @@ class FleetRouter:
         path, _, query = path.partition("?")
         if path == "/v1/solve":
             if method != "POST":
-                return self._error(405, "use POST for /v1/solve")
+                return self._error(405, "use POST for /v1/solve",
+                                   allow="POST")
             return await self._solve(body)
         if path == "/v1/graphs" or path.startswith("/v1/graphs/"):
             return await self._graphs(method, path, body)
         if method not in ("GET", "HEAD"):
-            return self._error(405, f"use GET for {path}")
+            return self._error(405, f"use GET for {path}",
+                               allow="GET, HEAD")
         if path == "/v1/health":
             return await self._health()
         if path == "/v1/ready":
@@ -365,6 +372,8 @@ class FleetRouter:
         try:
             doc = json.loads(body.decode("utf-8"))
             ref_key = request_key_from_doc(doc)
+            delta_key = (delta_route_key_from_doc(doc)
+                         if ref_key is None else None)
             if ref_key is not None:
                 # graph_ref request: the ref IS the canonical fingerprint,
                 # so the shard key is computable without touching a graph
@@ -373,6 +382,15 @@ class FleetRouter:
                 # GraphRef.fingerprint() == WeightedGraph.fingerprint().
                 key = ref_key
                 self.stats["ref_routed"] += 1
+            elif delta_key is not None:
+                # Delta-form request: the canonical key needs the *child*
+                # fingerprint (only computable by applying the delta), but
+                # the parent-keyed stand-in colocates the solve with the
+                # worker whose memory LRU holds the parent's report — the
+                # incremental path's cache locality.  Identical delta
+                # bodies still coalesce at that worker.
+                key = delta_key
+                self.stats["delta_routed"] += 1
             else:
                 oversized = SolverServer._graph_too_large(doc)
                 if oversized is not None:
@@ -406,7 +424,7 @@ class FleetRouter:
         return status_payload
 
     async def _forward_sharded(
-        self, shard: int, body: bytes,
+        self, shard: int, body: bytes, path: str = "/v1/solve",
     ) -> Tuple[int, Union[bytes, Dict[str, Any]], str]:
         """Send to the owning worker; walk forward on failure.
 
@@ -423,7 +441,7 @@ class FleetRouter:
                 continue
             try:
                 status, payload, ctype = await self._channels[index].request(
-                    "POST", "/v1/solve", body)
+                    "POST", path, body)
             except _UpstreamError as exc:
                 endpoint.alive = False
                 self.stats["upstream_errors"] += 1
@@ -459,21 +477,36 @@ class FleetRouter:
         Workers share one content-addressed store directory, so a graph
         registered through *any* worker is immediately resolvable by all
         of them — ``POST`` and ``GET``/``HEAD`` forward to any alive
-        worker.  ``DELETE`` is the exception: eviction must also drop
-        each worker's in-process attach memo and shared-memory mapping,
-        so it broadcasts to every alive worker and merges the answers.
+        worker.  Two exceptions: ``DELETE`` must also drop each worker's
+        in-process attach memo and shared-memory mapping, so it
+        broadcasts to every alive worker and merges the answers; and
+        ``POST .../deltas`` shards by the parent ref, so one mutating
+        client's delta chain grows on one worker (whose attach memo
+        already holds the parent) instead of faulting every store onto
+        every worker.
         """
         if path == "/v1/graphs":
             if method != "POST":
-                return self._error(405, "use POST for /v1/graphs")
+                return self._error(405, "use POST for /v1/graphs",
+                                   allow="POST")
             if self._draining:
                 return self._error(503, "fleet is draining")
             return await self._forward_any("POST", "/v1/graphs", body)
+        if path.endswith("/deltas"):
+            if method != "POST":
+                return self._error(405, f"use POST for {path}",
+                                   allow="POST")
+            if self._draining:
+                return self._error(503, "fleet is draining")
+            parent = path[len("/v1/graphs/"):-len("/deltas")]
+            return await self._forward_sharded(
+                shard_for_key(parent, self.shards), body, path)
         if method in ("GET", "HEAD"):
             return await self._forward_any(method, path)
         if method == "DELETE":
             return await self._evict_graph(path)
-        return self._error(405, f"unsupported method {method} for {path}")
+        return self._error(405, f"unsupported method {method} for {path}",
+                           allow="GET, HEAD, DELETE")
 
     async def _evict_graph(self, path: str,
                            ) -> Tuple[int, Dict[str, Any], str]:
@@ -599,11 +632,11 @@ class FleetRouter:
                 JSON_CONTENT_TYPE)
 
     @staticmethod
-    def _error(status: int, message: str) -> Tuple[int, Dict[str, Any], str]:
-        return status, {
-            "schema": SCHEMA_VERSION,
-            "error": {"code": status, "message": message},
-        }, JSON_CONTENT_TYPE
+    def _error(status: int, message: str, *, detail: str = "",
+               allow: Optional[str] = None,
+               ) -> Tuple[int, Dict[str, Any], str]:
+        status, doc = error_doc(status, message, detail=detail, allow=allow)
+        return status, doc, JSON_CONTENT_TYPE
 
 
 class _OversizedGraph(Exception):

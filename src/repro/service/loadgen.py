@@ -41,7 +41,9 @@ __all__ = [
     "DEFAULT_SPECS",
     "build_request_pool",
     "generate_arrivals",
+    "generate_churn",
     "register_pool_graphs",
+    "run_churn",
     "run_loadgen",
     "run_open_loop",
 ]
@@ -201,7 +203,7 @@ class _Client:
 # --------------------------------------------------------------------- #
 
 def _ref_body(request: SolveRequest, fingerprint: str) -> bytes:
-    """The request body with the graph replaced by its ``graph_ref``.
+    """The request body with the graph replaced by its schema-v2 ref.
 
     ``SolveRequest.key()`` hashes the graph *fingerprint*, which is
     exactly the ref — so the ref-carrying request is the same logical
@@ -209,7 +211,7 @@ def _ref_body(request: SolveRequest, fingerprint: str) -> bytes:
     a body a few hundred bytes long instead of the full node/edge dump.
     """
     doc = request.to_doc()
-    doc["graph"] = {"graph_ref": fingerprint}
+    doc["graph"] = {"ref": fingerprint}
     return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
 
 
@@ -255,6 +257,234 @@ def register_pool_graphs(host: str, port: int,
         )
         for entry in pool
     ]
+
+
+# --------------------------------------------------------------------- #
+# churn: load against a mutating graph
+# --------------------------------------------------------------------- #
+
+# Spawn-key of the churn stream, mirroring the idiom of
+# repro.faults.plans.fault_generator: mutation randomness is drawn from
+# its own stream keyed disjointly from the arrival schedule (seed) and
+# the pool picks (seed+1), so the same seed reproduces the same
+# mutation history without perturbing either.
+_CHURN_SPAWN_KEY = 0x6368726E  # "chrn"
+
+
+def churn_rng(seed: int) -> random.Random:
+    """The dedicated churn RNG for a run seeded with ``seed``."""
+    return random.Random((seed << 32) ^ _CHURN_SPAWN_KEY)
+
+
+def generate_churn(
+    graph: WeightedGraph,
+    *,
+    epochs: int,
+    edits_per_epoch: int = 4,
+    crash_fraction: float = 0.25,
+    weight_range: Tuple[int, int] = (1, 20),
+    seed: int = 0,
+) -> List[List[List[Any]]]:
+    """Deterministic per-epoch edit scripts for a mutating-graph run.
+
+    Composes the fault vocabulary of :mod:`repro.faults.plans` into
+    graph mutations.  Each epoch is one :class:`~repro.graphs.delta.
+    GraphDelta`-shaped op list, drawn from the churn stream:
+
+    * **reweighting churn** (probability ``1 - crash_fraction``) —
+      ``edits_per_epoch`` ``set_weight`` ops on live nodes, the
+      weight-only shape the incremental re-solve path serves;
+    * **crash** — a live node fail-stops: one ``remove_node`` op
+      (neighbours keep running, exactly like a
+      :class:`~repro.faults.plans.CrashSchedule` fail-stop);
+    * **restart** — a previously crashed node comes back:
+      ``add_node`` with its original weight plus ``add_edge`` to each
+      of its original neighbours that is still alive.
+
+    The schedule is a pure function of ``(graph, epochs,
+    edits_per_epoch, crash_fraction, weight_range, seed)`` — replayable
+    bit for bit, like every other seeded schedule in this module.
+    """
+    if epochs < 0:
+        raise ValueError(f"epochs must be >= 0, got {epochs}")
+    if not 0.0 <= crash_fraction <= 1.0:
+        raise ValueError(
+            f"crash_fraction must be in [0, 1], got {crash_fraction}")
+    rng = churn_rng(seed)
+    lo, hi = weight_range
+    alive = sorted(graph.nodes)
+    weights = {v: graph.weight(v) for v in alive}
+    adjacency = {v: set(graph.neighbors(v)) for v in alive}
+    down: List[Tuple[int, float, Tuple[int, ...]]] = []
+    schedule: List[List[List[Any]]] = []
+    for _ in range(epochs):
+        roll = rng.random()
+        if roll < crash_fraction / 2 and down:
+            # restart: re-add the node, then re-wire the surviving edges
+            v, w, edges = down.pop(rng.randrange(len(down)))
+            ops: List[List[Any]] = [["add_node", v, w]]
+            restored = [u for u in edges if u in weights]
+            for u in sorted(restored):
+                ops.append(["add_edge", v, u])
+                adjacency.setdefault(u, set()).add(v)
+            alive.append(v)
+            alive.sort()
+            weights[v] = w
+            adjacency[v] = set(restored)
+        elif roll < crash_fraction and len(alive) > 2:
+            # crash: fail-stop one live node; remember it for restart
+            v = alive.pop(rng.randrange(len(alive)))
+            down.append((v, weights.pop(v),
+                         tuple(sorted(adjacency.pop(v)))))
+            for nbrs in adjacency.values():
+                nbrs.discard(v)
+            ops = [["remove_node", v]]
+        else:
+            # steady-state reweighting (weight-only — the incremental
+            # path's case)
+            ops = []
+            for _ in range(max(1, edits_per_epoch)):
+                v = alive[rng.randrange(len(alive))]
+                w = float(rng.randint(lo, hi))
+                weights[v] = w
+                ops.append(["set_weight", v, w])
+        schedule.append(ops)
+    return schedule
+
+
+async def _churn_async(host: str, port: int, graph: WeightedGraph,
+                       schedule: List[List[List[Any]]], *,
+                       algorithm: str, solve_seed: int,
+                       params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.graphs import io as graph_io
+
+    client = _Client(host, port)
+    counts = {"epochs": 0, "incremental": 0, "full": 0, "failed": 0}
+    frontiers: List[int] = []
+    latencies: List[float] = []
+    try:
+        status, payload = await client.request(
+            "POST", "/v1/graphs", graph_io.to_bytes(graph))
+        if status != 200:
+            raise ConnectionError(
+                f"graph registration failed: HTTP {status}: "
+                f"{payload[:200]!r}")
+        parent = json.loads(payload)["graph_ref"]
+        for ops in schedule:
+            solve_doc = {
+                "schema": "v2",
+                "graph": {"delta": {"parent": parent, "ops": ops}},
+                "algorithm": algorithm,
+                "seed": solve_seed,
+                "params": params,
+            }
+            t0 = time.monotonic()
+            status, payload = await client.request(
+                "POST", "/v1/solve",
+                json.dumps(solve_doc, sort_keys=True,
+                           separators=(",", ":")).encode())
+            latencies.append(time.monotonic() - t0)
+            counts["epochs"] += 1
+            if status != 200:
+                counts["failed"] += 1
+                continue
+            envelope = json.loads(payload)
+            served = envelope.get("served", {})
+            mode = served.get("solve_mode", "full")
+            counts[mode if mode in counts else "full"] += 1
+            if "dirty_frontier" in served:
+                frontiers.append(served["dirty_frontier"])
+            # advance the chain: register this epoch's delta so the next
+            # epoch's parent is the mutated graph
+            status, payload = await client.request(
+                "POST", f"/v1/graphs/{parent}/deltas",
+                json.dumps({"ops": ops}).encode())
+            if status == 200:
+                parent = json.loads(payload)["graph_ref"]
+            else:
+                counts["failed"] += 1
+    finally:
+        await client.close()
+    return {
+        "counts": counts,
+        "frontiers": frontiers,
+        "latencies": latencies,
+        "final_ref": parent,
+    }
+
+
+def run_churn(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8008,
+    graph: Optional[WeightedGraph] = None,
+    epochs: int = 20,
+    edits_per_epoch: int = 4,
+    crash_fraction: float = 0.25,
+    algorithm: str = "mis-luby",
+    seed: int = 0,
+    solve_seed: int = 1,
+    params: Optional[Dict[str, Any]] = None,
+    out_path: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Churn benchmark: a mutating graph under a deterministic edit
+    schedule.
+
+    Registers ``graph`` once, then walks :func:`generate_churn`'s
+    schedule: each epoch submits a delta-form solve (``{"delta":
+    {"parent": ..., "ops": ...}}``) and registers the epoch's delta via
+    ``POST /v1/graphs/<ref>/deltas`` so the next epoch mutates the
+    child.  The document reports how many epochs the service served
+    incrementally versus with a full re-solve, plus dirty-frontier
+    sizes — the serving-side view of the delta plane under sustained
+    mutation.
+    """
+    if graph is None:
+        graph = weights_from_spec(
+            "uniform:1,20", graph_from_spec("gnp:64,0.08", seed=seed),
+            seed=seed + 1)
+    schedule = generate_churn(
+        graph, epochs=epochs, edits_per_epoch=edits_per_epoch,
+        crash_fraction=crash_fraction, seed=seed)
+    result = asyncio.run(_churn_async(
+        host, port, graph, schedule, algorithm=algorithm,
+        solve_seed=solve_seed, params=dict(params or {})))
+    counts = result["counts"]
+    doc: Dict[str, Any] = {
+        "schema": "v1",
+        "kind": "service_churn",
+        "config": {
+            "host": host, "port": port, "epochs": epochs,
+            "edits_per_epoch": edits_per_epoch,
+            "crash_fraction": crash_fraction, "algorithm": algorithm,
+            "seed": seed, "solve_seed": solve_seed,
+            "graph_fingerprint": graph.fingerprint(),
+            "n": graph.n, "m": graph.m,
+        },
+        "epochs": counts["epochs"],
+        "incremental": counts["incremental"],
+        "full": counts["full"],
+        "failed": counts["failed"],
+        "incremental_rate": (counts["incremental"] / counts["epochs"]
+                             if counts["epochs"] else 0.0),
+        "dirty_frontier": {
+            "observed": len(result["frontiers"]),
+            "max": max(result["frontiers"], default=0),
+            "mean": (sum(result["frontiers"]) / len(result["frontiers"])
+                     if result["frontiers"] else 0.0),
+        },
+        "latency": {
+            "p50_s": percentile(result["latencies"], 50),
+            "p95_s": percentile(result["latencies"], 95),
+            "observed": len(result["latencies"]),
+        },
+        "final_ref": result["final_ref"],
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return doc
 
 
 # --------------------------------------------------------------------- #

@@ -4,16 +4,26 @@
 versioned:
 
 * ``POST /v1/solve`` — body is a :class:`repro.api.SolveRequest` JSON
-  document; the response envelope is ``{"schema": "v1", "report": ...,
+  document (schema **v2**: the graph is a tagged union
+  ``{"inline": ...} | {"ref": fp} | {"delta": {"parent": fp, "ops":
+  [...]}}``; schema-v1 bodies still work through a compatibility shim
+  and are answered with ``"deprecated": true`` in the envelope).  The
+  response envelope is ``{"schema": <request's schema>, "report": ...,
   "served": {...}}`` where ``report`` is the *canonical* solve report
   (byte-identical to ``repro.api.solve``) and ``served`` carries cache /
-  coalescing / latency provenance.  The request's graph may be inline,
-  a generator spec, or ``{"graph_ref": "<fingerprint>"}`` referencing a
-  graph registered through ``POST /v1/graphs`` (404 on unknown refs).
+  coalescing / latency provenance — plus, for delta-form requests,
+  ``solve_mode`` (``"incremental"``/``"full"``) and the
+  ``dirty_frontier`` size.  Unknown refs → 404; deltas contradicting
+  the parent's state → 409.
 * ``POST /v1/graphs`` — register a graph (binary CSR blob or JSON graph
   document) in the content-addressed graph store; returns its
   ``graph_ref`` (the graph fingerprint).  ``GET /v1/graphs/<ref>``
-  describes a stored graph; ``DELETE /v1/graphs/<ref>`` evicts it.
+  describes a stored graph; ``DELETE /v1/graphs/<ref>`` evicts it
+  (deferred past in-flight solves that pin it — the response says
+  ``"deferred": true``).  ``POST /v1/graphs/<ref>/deltas`` applies an
+  edit script to a stored graph and registers the child under its own
+  fingerprint, byte-identical to registering the edited graph from
+  scratch.
 * ``GET /v1/health`` — liveness plus drain state, the worker id, and
   the default execution backend (what the fleet router keys on).
 * ``GET /v1/ready`` — readiness: 503 while draining or before the
@@ -31,10 +41,16 @@ Every 200 solve response carries serving telemetry: ``served.trace_id``
 breakdown including response serialization), and for coalesced
 followers ``served.primary_trace_id`` — see docs/observability.md.
 
-Status mapping: schema/graph/algorithm errors → 400, unknown route →
-404, admission-queue full → 429, draining → 503, deadline exceeded →
-504, oversized body or a graph declaring more than ``MAX_GRAPH_NODES``
-nodes → 413.
+Every non-200 response speaks the unified error taxonomy of
+:mod:`repro.service.errors` — ``{"error": {"code": "<stable-string>",
+"message": ..., "detail": ...}}`` — shared verbatim with the fleet
+router.  Status mapping: schema/graph/algorithm errors → 400
+(``bad_request``), unknown route/ref → 404 (``not_found``), wrong
+method → 405 (``method_not_allowed``, with ``Allow``), delta conflicts
+→ 409 (``conflict``), admission-queue full → 429 (``queue_full``),
+draining → 503 (``unavailable``), deadline exceeded → 504
+(``deadline_exceeded``), oversized body or a graph declaring more than
+``MAX_GRAPH_NODES`` nodes → 413 (``payload_too_large``).
 
 The HTTP implementation is deliberately minimal (HTTP/1.1 keep-alive,
 Content-Length bodies, JSON only) — enough for the load generator, CI
@@ -53,8 +69,15 @@ from typing import Any, Dict, Optional, Set, Tuple, Union
 from urllib.parse import parse_qs
 
 from repro._version import __version__
-from repro.api import SCHEMA_VERSION, SchemaError, SolveRequest, describe_algorithms
+from repro.api import (
+    SCHEMA_V1,
+    SCHEMA_VERSION,
+    SchemaError,
+    SolveRequest,
+    describe_algorithms,
+)
 from repro.exceptions import GraphFormatError
+from repro.graphs.delta import DeltaConflictError, GraphDelta
 from repro.graphs.specs import declared_nodes
 from repro.graphs.store import GraphRef, UnknownGraphRef
 from repro.service.engine import (
@@ -63,6 +86,7 @@ from repro.service.engine import (
     SolverEngine,
     UnknownAlgorithmError,
 )
+from repro.service.errors import HTTP_REASONS, error_doc, pop_headers
 from repro.service.fleet.cache import LruCache
 
 __all__ = ["SolverServer", "serve"]
@@ -81,14 +105,6 @@ class _HttpError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
-
-
-_REASONS = {
-    200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 413: "Payload Too Large",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
-}
 
 
 class SolverServer:
@@ -150,12 +166,9 @@ class SolverServer:
                 try:
                     parsed = await self._read_request(reader)
                 except _HttpError as exc:
-                    await self._write_json(
-                        writer, exc.status,
-                        {"schema": SCHEMA_VERSION,
-                         "error": {"code": exc.status, "message": str(exc)}},
-                        close=True,
-                    )
+                    _status, doc = error_doc(exc.status, str(exc))
+                    await self._write_json(writer, exc.status, doc,
+                                           close=True)
                     return
                 if parsed is None:  # clean EOF between requests
                     return
@@ -212,15 +225,19 @@ class SolverServer:
                               status: int, payload: Union[Dict[str, Any], str],
                               content_type: str, *, close: bool,
                               head_only: bool = False) -> None:
+        extra_headers = pop_headers(payload)
         if isinstance(payload, str):
             body = payload.encode("utf-8")
         else:
             body = json.dumps(payload, sort_keys=True,
                               separators=(",", ":")).encode()
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in extra_headers.items())
         head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"HTTP/1.1 {status} {HTTP_REASONS.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: {'close' if close else 'keep-alive'}\r\n"
             f"\r\n"
         ).encode("latin-1")
@@ -258,21 +275,32 @@ class SolverServer:
                           body: bytes) -> Tuple[int, Dict[str, Any]]:
         if path == "/v1/solve":
             if method != "POST":
-                return self._error(405, "use POST for /v1/solve")
+                return self._error(405, "use POST for /v1/solve",
+                                   allow="POST")
             return await self._solve(body)
         if path == "/v1/graphs":
             if method != "POST":
-                return self._error(405, "use POST for /v1/graphs")
+                return self._error(405, "use POST for /v1/graphs",
+                                   allow="POST")
             return self._register_graph(body)
         if path.startswith("/v1/graphs/"):
             ref = path[len("/v1/graphs/"):]
+            if ref.endswith("/deltas"):
+                ref = ref[:-len("/deltas")]
+                if method != "POST":
+                    return self._error(
+                        405, "use POST for /v1/graphs/<ref>/deltas",
+                        allow="POST")
+                return self._register_delta(ref, body)
             if method in ("GET", "HEAD"):
                 return self._describe_graph(ref)
             if method == "DELETE":
                 return self._evict_graph(ref)
-            return self._error(405, "use GET or DELETE for /v1/graphs/<ref>")
+            return self._error(405, "use GET or DELETE for /v1/graphs/<ref>",
+                               allow="GET, HEAD, DELETE")
         if method not in ("GET", "HEAD"):
-            return self._error(405, f"use GET for {path}")
+            return self._error(405, f"use GET for {path}",
+                               allow="GET, HEAD")
         if path == "/v1/health":
             return 200, {
                 "schema": SCHEMA_VERSION,
@@ -366,11 +394,61 @@ class SolverServer:
             "m": ref.m,
         }
 
+    def _register_delta(self, ref: str,
+                        body: bytes) -> Tuple[int, Dict[str, Any]]:
+        """``POST /v1/graphs/<ref>/deltas`` — apply an edit script to a
+        stored graph and register the child under its own fingerprint.
+
+        The body is ``{"ops": [...]}`` (or a bare ops list) in the
+        :class:`~repro.graphs.delta.GraphDelta` vocabulary.  Responds
+        with the child's ``graph_ref`` — byte-identical to registering
+        the from-scratch edited graph — plus the lineage.  Malformed
+        ops → 400, unknown/evicted parent → 404, edits contradicting
+        the parent's state → 409.
+        """
+        try:
+            if not self.engine.ref_alive(ref):
+                return self._error(404, f"unknown graph_ref {ref!r}",
+                                   detail=ref)
+        except GraphFormatError as exc:
+            return self._error(400, str(exc))
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            return self._error(400, f"delta body is not valid JSON: {exc}")
+        try:
+            delta = GraphDelta.from_doc(doc)
+        except DeltaConflictError as exc:
+            # Op-shape problems are a bad request; only edits that
+            # contradict the parent's actual state are conflicts.
+            return self._error(400, str(exc))
+        try:
+            child = self.engine.graph_store.put_delta(ref, delta)
+        except UnknownGraphRef as exc:
+            return self._error(404, str(exc), detail=ref)
+        except DeltaConflictError as exc:
+            return self._error(409, str(exc), detail=delta.fingerprint())
+        except GraphFormatError as exc:
+            return self._error(400, str(exc))
+        return 200, {
+            "schema": SCHEMA_VERSION,
+            "graph_ref": child.ref,
+            "parent": ref,
+            "n": child.n,
+            "m": child.m,
+            "ops": len(delta),
+            "weight_only": delta.weight_only,
+            "delta_fingerprint": delta.fingerprint(),
+        }
+
     def _describe_graph(self, ref: str) -> Tuple[int, Dict[str, Any]]:
         try:
+            if not self.engine.ref_alive(ref):
+                return self._error(404, f"unknown graph_ref {ref!r}",
+                                   detail=ref)
             info = self.engine.graph_store.describe(ref)
         except UnknownGraphRef as exc:
-            return self._error(404, str(exc))
+            return self._error(404, str(exc), detail=ref)
         except GraphFormatError as exc:
             return self._error(400, str(exc))
         return 200, {"schema": SCHEMA_VERSION, "graph_ref": ref,
@@ -379,11 +457,17 @@ class SolverServer:
 
     def _evict_graph(self, ref: str) -> Tuple[int, Dict[str, Any]]:
         try:
-            evicted = self.engine.graph_store.evict(ref)
+            result = self.engine.evict_graph(ref)
         except GraphFormatError as exc:
             return self._error(400, str(exc))
-        return 200, {"schema": SCHEMA_VERSION, "graph_ref": ref,
-                     "evicted": evicted}
+        doc = {"schema": SCHEMA_VERSION, "graph_ref": ref,
+               "evicted": result["evicted"]}
+        if result.get("deferred"):
+            # An in-flight solve still holds the arena; the ref is
+            # logically gone (new lookups 404) and physically removed
+            # when the last pinned solve resolves.
+            doc["deferred"] = True
+        return 200, doc
 
     async def _solve(self, body: bytes) -> Tuple[int, Dict[str, Any]]:
         request: Optional[SolveRequest] = None
@@ -404,11 +488,24 @@ class SolverServer:
             oversized = self._graph_too_large(doc)
             if oversized is not None:
                 return self._error(413, oversized)
+            parent = self._delta_parent(doc)
+            if parent is not None and not self._ref_is_alive(parent):
+                # A delta names its parent by ref; a logically evicted
+                # parent must 404 even while a pinned in-flight solve
+                # keeps the bytes mapped.
+                return self._error(404, f"unknown graph_ref {parent!r}",
+                                   detail=parent)
             try:
                 request = SolveRequest.from_doc(
                     doc, store=self.engine.graph_store)
             except UnknownGraphRef as exc:
                 return self._error(404, str(exc))
+            except DeltaConflictError as exc:
+                # The edit script contradicts the parent's actual state
+                # (duplicate node, missing edge, ...): the request is
+                # well-formed but unappliable — a conflict, not a
+                # schema error.
+                return self._error(409, str(exc))
             except SchemaError as exc:
                 return self._error(400, str(exc))
             if self._parse_cache is not None:
@@ -416,7 +513,7 @@ class SolverServer:
         if isinstance(request.graph, GraphRef):
             # Re-check liveness on parse-cache hits: the ref may have
             # been evicted since the request was first parsed.
-            if request.graph.ref not in self.engine.graph_store:
+            if not self.engine.ref_alive(request.graph.ref):
                 return self._error(
                     404, f"unknown graph_ref {request.graph.ref!r}")
             if request.graph.n > MAX_GRAPH_NODES:
@@ -453,13 +550,45 @@ class SolverServer:
             served_doc["primary_trace_id"] = served.primary_trace_id
         if served.cache_tier:
             served_doc["cache_tier"] = served.cache_tier
+        if served.solve_mode:
+            served_doc["solve_mode"] = served.solve_mode
+            if served.dirty_frontier >= 0:
+                served_doc["dirty_frontier"] = served.dirty_frontier
         if self.engine.worker_id:
             served_doc["worker_id"] = self.engine.worker_id
-        return 200, {
-            "schema": SCHEMA_VERSION,
+        envelope: Dict[str, Any] = {
+            # The response echoes the schema the *request* spoke — v1
+            # clients keep reading v1-shaped envelopes (plus a
+            # deprecation marker) through the shim.
+            "schema": request.schema_version,
             "report": report_doc,
             "served": served_doc,
         }
+        if request.schema_version == SCHEMA_V1:
+            envelope["deprecated"] = True
+        return 200, envelope
+
+    def _ref_is_alive(self, ref: str) -> bool:
+        try:
+            return self.engine.ref_alive(ref)
+        except GraphFormatError:
+            # Malformed ref strings fail schema validation downstream
+            # with a better message.
+            return True
+
+    @staticmethod
+    def _delta_parent(doc: Any) -> Optional[str]:
+        """The parent ref named by a schema-v2 delta-form request doc,
+        or ``None`` for every other shape."""
+        if not isinstance(doc, dict):
+            return None
+        graph = doc.get("graph")
+        if not isinstance(graph, dict):
+            return None
+        delta = graph.get("delta")
+        if isinstance(delta, dict) and isinstance(delta.get("parent"), str):
+            return delta["parent"]
+        return None
 
     @staticmethod
     def _graph_too_large(doc: Any) -> Optional[str]:
@@ -471,6 +600,11 @@ class SolverServer:
         graph = doc.get("graph")
         if not isinstance(graph, dict):
             return None
+        # Schema-v2 tagged union: the size-bearing shapes live one level
+        # down under "inline"; "ref" sizes are checked post-parse and
+        # "delta" sizes are bounded by the parent (already admitted).
+        if isinstance(graph.get("inline"), dict):
+            graph = graph["inline"]
         declared: Optional[int] = None
         if "spec" in graph:
             declared = declared_nodes(str(graph["spec"]))
@@ -482,11 +616,9 @@ class SolverServer:
         return None
 
     @staticmethod
-    def _error(status: int, message: str) -> Tuple[int, Dict[str, Any]]:
-        return status, {
-            "schema": SCHEMA_VERSION,
-            "error": {"code": status, "message": message},
-        }
+    def _error(status: int, message: str, *, detail: str = "",
+               allow: Optional[str] = None) -> Tuple[int, Dict[str, Any]]:
+        return error_doc(status, message, detail=detail, allow=allow)
 
 
 async def _serve_async(server: SolverServer, *, banner: bool = True) -> None:

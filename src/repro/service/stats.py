@@ -37,7 +37,7 @@ _RESERVOIR = 4096
 # ``serialize`` after the engine resolves; followers only see
 # ``coalesce_wait``).  Kept here so docs/tests have one source of truth.
 STAGES = ("queue_wait", "coalesce_wait", "cache_lookup", "solve",
-          "serialize")
+          "incremental", "serialize")
 
 
 class ServiceStats:
@@ -55,6 +55,8 @@ class ServiceStats:
         self.executed = 0          # solver executions (no cache tier hit)
         self.timeouts = 0          # per-request deadlines exceeded
         self.batches = 0           # micro-batches dispatched
+        self.incremental_served = 0    # delta solves derived from parent
+        self.incremental_fallback = 0  # delta solves that went full-path
         self.latency_sample = ReservoirSample(_RESERVOIR)
 
         self.registry = MetricRegistry(namespace="repro_service")
@@ -194,6 +196,8 @@ class ServiceStats:
             "executed": self.executed,
             "timeouts": self.timeouts,
             "batches": self.batches,
+            "incremental_served": self.incremental_served,
+            "incremental_fallback": self.incremental_fallback,
             "cache_hit_rate": (self.cache_hits / total) if total else 0.0,
             "served_from_cache_rate": (
                 (served_from_cache / total) if total else 0.0),
@@ -249,6 +253,12 @@ class ServiceStats:
             "timeouts_total": ("Per-request deadlines exceeded (HTTP 504).",
                                self.timeouts),
             "batches_total": ("Micro-batches dispatched.", self.batches),
+            "incremental_served_total": (
+                "Delta-form solves served by deriving the parent's "
+                "cached report.", self.incremental_served),
+            "incremental_fallback_total": (
+                "Delta-form solves that fell back to a full solve.",
+                self.incremental_fallback),
         }
         for name, (help_text, value) in counters.items():
             counter = self.registry.counter(name, help_text)

@@ -55,6 +55,9 @@ __all__ = [
     "batch_run",
     "run_job",
     "derive_job_seeds",
+    "cache_key_for",
+    "cached_outcome_for",
+    "job_cache_key",
     "algorithm_registry",
 ]
 
@@ -335,25 +338,57 @@ def _policy_key(policy: Optional[BandwidthPolicy]) -> str:
     return f"{model}:{policy.factor}:{int(policy.strict)}"
 
 
-def job_cache_key(job: BatchJob, seed: int,
-                  policy: Optional[BandwidthPolicy]) -> str:
-    """Hex digest identifying a job for the on-disk cache."""
+def cache_key_for(*, fingerprint: str, algorithm_name: str, seed: int,
+                  policy: Optional[BandwidthPolicy],
+                  params: Dict[str, Any],
+                  backend_name: str = "per-node") -> str:
+    """The on-disk cache key from its raw coordinates.
+
+    Exists so callers that know a fingerprint but hold no graph — the
+    incremental re-solve path looking up a *parent's* outcome from a
+    delta-form request — can address the cache without materializing
+    anything."""
     doc = {
-        "fingerprint": job.graph.fingerprint(),
-        "algorithm": job.algorithm_name,
+        "fingerprint": fingerprint,
+        "algorithm": algorithm_name,
         "seed": seed,
         "policy": _policy_key(policy),
-        "params": job.params,
+        "params": params,
     }
-    backend = job.backend_name
-    if backend != "per-node":
+    if backend_name != "per-node":
         # Only non-default backends enter the key, so every cache entry
         # written before backends existed stays valid.  Backends are
         # byte-identical by contract, but the cache must still never
         # conflate cells: a columnar entry records a columnar run.
-        doc["backend"] = backend
+        doc["backend"] = backend_name
     blob = json.dumps(doc, sort_keys=True, default=repr)
     return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def job_cache_key(job: BatchJob, seed: int,
+                  policy: Optional[BandwidthPolicy]) -> str:
+    """Hex digest identifying a job for the on-disk cache."""
+    return cache_key_for(fingerprint=job.graph.fingerprint(),
+                         algorithm_name=job.algorithm_name, seed=seed,
+                         policy=policy, params=job.params,
+                         backend_name=job.backend_name)
+
+
+def cached_outcome_for(cache_dir: str, *, fingerprint: str,
+                       algorithm_name: str, seed: int,
+                       params: Dict[str, Any],
+                       policy: Optional[BandwidthPolicy] = None,
+                       backend_name: str = "per-node",
+                       ) -> Optional[JobOutcome]:
+    """Load the cached outcome for raw job coordinates, if present.
+
+    Read-only: never executes anything and never writes cache entries.
+    """
+    key = cache_key_for(fingerprint=fingerprint,
+                        algorithm_name=algorithm_name, seed=seed,
+                        policy=policy, params=params,
+                        backend_name=backend_name)
+    return _cache_load(cache_dir, key, 0)
 
 
 def _cache_path(cache_dir: str, key: str) -> str:

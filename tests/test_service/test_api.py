@@ -1,4 +1,4 @@
-"""The public facade: the v1 request/report contract and repro.solve."""
+"""The public facade: the v2 request / v1 report contract and repro.solve."""
 
 from __future__ import annotations
 
@@ -56,15 +56,15 @@ class TestSolveRequest:
 
     def test_spec_graph_decodes_server_side(self):
         doc = {"schema": SCHEMA_VERSION,
-               "graph": {"spec": "gnp:20,0.2", "weights": "uniform:1,9",
-                         "seed": 5},
+               "graph": {"inline": {"spec": "gnp:20,0.2",
+                                    "weights": "uniform:1,9", "seed": 5}},
                "algorithm": "thm1"}
         req = SolveRequest.from_doc(doc)
         assert req.graph.n == 20
         assert all(1 <= req.graph.weight(v) <= 9 for v in req.graph.nodes)
 
     @pytest.mark.parametrize("mutate, match", [
-        (lambda d: d.update(schema="v2"), "unsupported schema"),
+        (lambda d: d.update(schema="v9"), "unsupported schema"),
         (lambda d: d.pop("graph"), "missing the graph"),
         (lambda d: d.pop("algorithm"), "missing the algorithm"),
         (lambda d: d.update(seed=True), "seed must be an int"),
@@ -72,8 +72,14 @@ class TestSolveRequest:
         (lambda d: d.update(params=[1]), "params must be an object"),
         (lambda d: d.update(timeout_s=-1), "timeout_s must be positive"),
         (lambda d: d.update(timeout_s="soon"), "timeout_s must be a number"),
-        (lambda d: d.update(graph={"spec": "nosuch:3"}), "unknown graph kind"),
-        (lambda d: d.update(graph={"weird": 1}), "nodes/edges .* or a spec"),
+        (lambda d: d.update(graph={"inline": {"spec": "nosuch:3"}}),
+         "unknown graph kind"),
+        (lambda d: d.update(graph={"inline": {"weird": 1}}),
+         "nodes/edges .* or a spec"),
+        (lambda d: d.update(graph={"weird": 1}),
+         "exactly one of inline/ref/delta"),
+        (lambda d: d.update(graph={"ref": "a" * 64, "inline": {}}),
+         "exactly one of inline/ref/delta"),
     ])
     def test_bad_documents_raise_schema_error(self, instance, mutate, match):
         doc = SolveRequest(graph=instance, algorithm="thm2").to_doc()
@@ -103,7 +109,7 @@ class TestSolveReport:
                                   separators=(",", ":"))
 
     def test_rejects_wrong_schema(self):
-        with pytest.raises(SchemaError, match="unsupported schema"):
+        with pytest.raises(SchemaError, match="unsupported report schema"):
             SolveReport.from_doc({"schema": "v0", "algorithm": "x",
                                   "seed": 0, "ok": True})
 

@@ -331,7 +331,7 @@ class TestRouterEdges:
         try:
             status, doc = http(fleet.port, "POST", "/v1/solve", b"{nope")
             assert status == 400
-            assert doc["error"]["code"] == 400
+            assert doc["error"]["code"] == "bad_request"
             assert fleet.router.stats["body_routed"] >= 1
         finally:
             fleet.close()
@@ -493,7 +493,7 @@ class TestGraphPlane:
             assert ref == instance.fingerprint()
             request, body = request_body(instance)
             doc = json.loads(body)
-            doc["graph"] = {"graph_ref": ref}
+            doc["graph"] = {"ref": ref}
             ref_body = json.dumps(doc).encode()
             s1, env1 = http(fleet.port, "POST", "/v1/solve", body)
             s2, env2 = http(fleet.port, "POST", "/v1/solve", ref_body)
@@ -532,7 +532,7 @@ class TestGraphPlane:
             # regardless of which shard owns the key.
             request, body = request_body(instance)
             rdoc = json.loads(body)
-            rdoc["graph"] = {"graph_ref": ref}
+            rdoc["graph"] = {"ref": ref}
             status, _ = http(fleet.port, "POST", "/v1/solve",
                              json.dumps(rdoc).encode())
             assert status == 404
@@ -545,7 +545,7 @@ class TestGraphPlane:
         try:
             request, body = request_body(instance)
             doc = json.loads(body)
-            doc["graph"] = {"graph_ref": "0" * 64}
+            doc["graph"] = {"ref": "0" * 64}
             status, _ = http(fleet.port, "POST", "/v1/solve",
                              json.dumps(doc).encode())
             assert status == 404

@@ -36,7 +36,7 @@ def _request_doc(graph, *, backend=None):
 
 def _ref_doc(doc, ref):
     out = dict(doc)
-    out["graph"] = {"graph_ref": ref}
+    out["graph"] = {"ref": ref}
     return out
 
 
@@ -178,7 +178,7 @@ class TestLoadgenGraphRef:
                 assert after.request.key() == before.request.key()
                 body = json.loads(after.body)
                 assert body["graph"] == {
-                    "graph_ref": before.graph.fingerprint()}
+                    "ref": before.graph.fingerprint()}
                 assert len(after.body) < len(before.body)
             # A ref body solves and reports ok.
             status, env = http(srv.port, "POST", "/v1/solve",

@@ -1,0 +1,193 @@
+"""Schema v2 and the v1 compatibility shim.
+
+The redesign's promise: v2 is a *vocabulary* change, not a semantic
+one.  A v1-shaped body parses through the shim (with a deprecation
+marker), produces the byte-identical request key, shares cache entries
+and coalescing with its v2 twin, and yields the same report.  Schema
+v2's tagged graph union (``inline`` / ``ref`` / ``delta``) must carry
+exactly one tag.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    SCHEMA_V1,
+    SCHEMA_VERSION,
+    SchemaError,
+    SolveRequest,
+    delta_route_key_from_doc,
+)
+from repro.graphs import gnp, uniform_weights
+from repro.graphs.delta import GraphDelta, apply_delta
+from repro.graphs.store import GraphRef, GraphStore
+
+from .test_server import ServerThread, http
+
+
+@pytest.fixture
+def instance():
+    return uniform_weights(gnp(20, 0.18, seed=3), 1, 10, seed=4)
+
+
+def _inline_graph_doc(graph):
+    from repro.graphs import io as graph_io
+
+    return graph_io.to_doc(graph)
+
+
+def _v1_doc(g, **over):
+    doc = {"graph": _inline_graph_doc(g), "algorithm": "thm2",
+           "seed": 3, "params": {"eps": 0.5}}
+    doc.update(over)
+    return doc
+
+
+def _v2_doc(g, **over):
+    doc = {"schema": "v2", "graph": {"inline": _inline_graph_doc(g)},
+           "algorithm": "thm2", "seed": 3, "params": {"eps": 0.5}}
+    doc.update(over)
+    return doc
+
+
+class TestV2Parsing:
+    def test_inline_form(self, instance):
+        req = SolveRequest.from_doc(_v2_doc(instance))
+        assert req.schema_version == SCHEMA_VERSION
+        assert req.graph.fingerprint() == instance.fingerprint()
+        assert req.delta is None
+
+    def test_ref_form(self, instance, tmp_path):
+        store = GraphStore(tmp_path)
+        ref = store.put(instance)
+        doc = _v2_doc(instance, graph={"ref": ref.ref})
+        req = SolveRequest.from_doc(doc, store=store)
+        assert isinstance(req.graph, GraphRef)
+        assert req.key() == SolveRequest.from_doc(_v2_doc(instance)).key()
+        store.close()
+
+    def test_delta_form_materializes_child(self, instance, tmp_path):
+        store = GraphStore(tmp_path)
+        ref = store.put(instance)
+        v = instance.nodes[0]
+        ops = [["set_weight", v, 42.0]]
+        doc = _v2_doc(instance,
+                      graph={"delta": {"parent": ref.ref, "ops": ops}})
+        req = SolveRequest.from_doc(doc, store=store)
+        child = apply_delta(instance, GraphDelta.of(ops))
+        assert req.graph.fingerprint() == child.fingerprint()
+        assert req.delta is not None
+        assert req.delta.parent == ref.ref
+        assert req.delta.weight_only is True
+        assert req.delta.touched == (v,)
+        # The delta never leaks into the key: identical to solving the
+        # edited graph sent whole.
+        assert req.key() == SolveRequest.from_doc(_v2_doc(child)).key()
+        store.close()
+
+    def test_union_requires_exactly_one_tag(self, instance, tmp_path):
+        store = GraphStore(tmp_path)
+        ref = store.put(instance)
+        for graph in ({}, {"spec": "gnp:8,0.2"},
+                      {"inline": _inline_graph_doc(instance),
+                       "ref": ref.ref}):
+            with pytest.raises(SchemaError, match="exactly one"):
+                SolveRequest.from_doc(_v2_doc(instance, graph=graph),
+                                      store=store)
+        store.close()
+
+    def test_unsupported_schema_rejected(self, instance):
+        with pytest.raises(SchemaError, match="unsupported schema"):
+            SolveRequest.from_doc(_v2_doc(instance, schema="v3"))
+
+    def test_v2_round_trips(self, instance):
+        req = SolveRequest.from_doc(_v2_doc(instance))
+        again = SolveRequest.from_doc(req.to_doc())
+        assert again.key() == req.key()
+        assert again.to_doc() == req.to_doc()
+
+
+class TestV1Shim:
+    def test_missing_schema_parses_as_v1_with_deprecation(self, instance):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            req = SolveRequest.from_doc(_v1_doc(instance))
+        assert req.schema_version == SCHEMA_V1
+        assert req.graph.fingerprint() == instance.fingerprint()
+
+    def test_explicit_v1_schema_also_shimmed(self, instance):
+        with pytest.warns(DeprecationWarning):
+            req = SolveRequest.from_doc(_v1_doc(instance, schema="v1"))
+        assert req.schema_version == SCHEMA_V1
+
+    def test_request_keys_byte_identical_across_schemas(self, instance):
+        """The shim's load-bearing promise: same computation, same key —
+        so v1 and v2 callers share cache entries and coalesce."""
+        with pytest.warns(DeprecationWarning):
+            v1 = SolveRequest.from_doc(_v1_doc(instance))
+        v2 = SolveRequest.from_doc(_v2_doc(instance))
+        assert v1.key() == v2.key()
+
+    def test_v1_ref_shape_keys_like_v2_ref(self, instance, tmp_path):
+        store = GraphStore(tmp_path)
+        ref = store.put(instance)
+        with pytest.warns(DeprecationWarning):
+            v1 = SolveRequest.from_doc(
+                _v1_doc(instance, graph={"graph_ref": ref.ref}),
+                store=store)
+        v2 = SolveRequest.from_doc(
+            _v2_doc(instance, graph={"ref": ref.ref}), store=store)
+        assert v1.key() == v2.key()
+        store.close()
+
+    def test_v1_round_trips_in_legacy_shapes(self, instance):
+        with pytest.warns(DeprecationWarning):
+            req = SolveRequest.from_doc(_v1_doc(instance))
+        doc = req.to_doc()
+        assert doc["schema"] == SCHEMA_V1
+        # Legacy shape: bare inline doc, not the tagged union.
+        assert "nodes" in doc["graph"] and "inline" not in doc["graph"]
+        with pytest.warns(DeprecationWarning):
+            again = SolveRequest.from_doc(doc)
+        assert again.key() == req.key()
+
+
+class TestDeltaRouteKey:
+    def test_delta_doc_routes_by_parent_key(self, instance, tmp_path):
+        store = GraphStore(tmp_path)
+        ref = store.put(instance)
+        doc = _v2_doc(instance, graph={
+            "delta": {"parent": ref.ref, "ops": [["set_weight", 0, 1.0]]}})
+        route_key = delta_route_key_from_doc(doc)
+        # The parent-keyed stand-in: the same hash a ref/inline solve of
+        # the *parent* would route by, so delta solves land on the
+        # worker whose memory tier holds the parent's report.
+        parent_req = SolveRequest.from_doc(
+            _v2_doc(instance, graph={"ref": ref.ref}), store=store)
+        assert route_key == parent_req.key()
+        store.close()
+
+    def test_non_delta_docs_have_no_route_key(self, instance):
+        assert delta_route_key_from_doc(_v2_doc(instance)) is None
+        assert delta_route_key_from_doc(_v1_doc(instance)) is None
+        assert delta_route_key_from_doc("nonsense") is None
+
+
+class TestServedEnvelope:
+    def test_v1_body_served_with_deprecation_marker(self, instance):
+        body_v1 = json.dumps(_v1_doc(instance)).encode()
+        body_v2 = json.dumps(_v2_doc(instance)).encode()
+        with ServerThread(memory_cache=16) as srv:
+            s1, env1 = http(srv.port, "POST", "/v1/solve", body_v1)
+            s2, env2 = http(srv.port, "POST", "/v1/solve", body_v2)
+            assert s1 == s2 == 200
+            assert env1["schema"] == SCHEMA_V1
+            assert env1["deprecated"] is True
+            assert env2["schema"] == SCHEMA_VERSION
+            assert "deprecated" not in env2
+            # Identical reports, and the v2 request hit the cache entry
+            # the v1 request populated: the keys really are identical.
+            assert env1["report"] == env2["report"]
+            assert env2["served"]["cached"] is True

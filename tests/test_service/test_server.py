@@ -110,7 +110,7 @@ class TestRoutes:
         with ServerThread() as server:
             status, doc = http(server.port, "GET", "/v2/anything")
         assert status == 404
-        assert doc["error"]["code"] == 404
+        assert doc["error"]["code"] == "not_found"
 
     def test_solve_requires_post(self):
         with ServerThread() as server:
@@ -146,8 +146,8 @@ class TestSolveEndpoint:
     def test_spec_graph_request_solves(self):
         body = json.dumps({
             "schema": SCHEMA_VERSION,
-            "graph": {"spec": "gnp:20,0.2", "weights": "uniform:1,9",
-                      "seed": 5},
+            "graph": {"inline": {"spec": "gnp:20,0.2",
+                                 "weights": "uniform:1,9", "seed": 5}},
             "algorithm": "thm1",
             "seed": 2,
             "params": {"eps": 0.5},
@@ -174,6 +174,8 @@ class TestSolveEndpoint:
          "unsupported schema"),
         (b'{"schema": "v1", "graph": {"spec": "nosuch:1"}, '
          b'"algorithm": "thm2"}', "unknown graph kind"),
+        (b'{"schema": "v2", "graph": {"spec": "gnp:8,0.2"}, '
+         b'"algorithm": "thm2"}', "exactly one of inline/ref/delta"),
     ])
     def test_bad_request_400(self, body, match):
         with ServerThread() as server:
@@ -198,7 +200,7 @@ class TestSolveEndpoint:
         # the engine and surface as a 500-class failure).
         body = json.dumps({
             "schema": SCHEMA_VERSION,
-            "graph": {"spec": "gnp:100000000,0.5", "seed": 1},
+            "graph": {"inline": {"spec": "gnp:100000000,0.5", "seed": 1}},
             "algorithm": "thm2",
         }).encode()
         with ServerThread() as server:
@@ -211,8 +213,9 @@ class TestSolveEndpoint:
 
         body = json.dumps({
             "schema": SCHEMA_VERSION,
-            "graph": {"nodes": [[i, 1] for i in range(MAX_GRAPH_NODES + 1)],
-                      "edges": []},
+            "graph": {"inline": {
+                "nodes": [[i, 1] for i in range(MAX_GRAPH_NODES + 1)],
+                "edges": []}},
             "algorithm": "thm2",
         }).encode()
         with ServerThread() as server:
@@ -225,7 +228,7 @@ class TestSolveEndpoint:
         for spec in ("grid:20000,20000", "caterpillar:1000000,200"):
             body = json.dumps({
                 "schema": SCHEMA_VERSION,
-                "graph": {"spec": spec},
+                "graph": {"inline": {"spec": spec}},
                 "algorithm": "mis-det",
             }).encode()
             with ServerThread() as server:
